@@ -1,0 +1,57 @@
+// Shared plumbing for the table/figure regeneration binaries.
+//
+// Every binary prints the rows of one paper table or figure. Absolute
+// numbers come from our simulated substrate; the *shapes* (who wins, rough
+// factors, where the crossovers sit) are the reproduction target — see
+// EXPERIMENTS.md. Set GP_BENCH_FULL=1 to sweep the whole corpus instead of
+// the quick default subset.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/core.hpp"
+#include "corpus/corpus.hpp"
+
+namespace gp::bench {
+
+inline bool full_sweep() { return std::getenv("GP_BENCH_FULL") != nullptr; }
+
+/// The benchmark programs a quick run uses (a representative third of the
+/// corpus); GP_BENCH_FULL=1 uses all twelve.
+inline std::vector<corpus::ProgramSource> bench_programs() {
+  const auto& all = corpus::benchmark();
+  if (full_sweep()) return all;
+  return {all[0], all[3], all[7], all[10]};  // sort, fib, matrix, hash
+}
+
+/// The obfuscation configurations of Table IV's rows.
+struct ObfRow {
+  std::string label;
+  obf::Options options;
+};
+inline std::vector<ObfRow> table4_rows(u64 seed = 7) {
+  return {{"Original", obf::Options::none()},
+          {"LLVM-Obf", obf::Options::llvm_obf(seed)},
+          {"Tigress", obf::Options::tigress(seed)}};
+}
+
+inline void hr(int width = 100) {
+  for (int i = 0; i < width; ++i) std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+/// Campaign options tuned so a full bench binary stays in the minutes
+/// range.
+inline core::CampaignOptions quick_campaign() {
+  core::CampaignOptions opts;
+  opts.pipeline.plan.max_chains = 8;
+  opts.pipeline.plan.time_budget_seconds = 20;
+  opts.pipeline.plan.max_expansions = 4000;
+  opts.sgc_max_chains = 4;
+  return opts;
+}
+
+}  // namespace gp::bench

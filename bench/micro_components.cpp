@@ -1,0 +1,105 @@
+// Component micro-benchmarks (google-benchmark): decoder throughput,
+// lift+symbolic-execution rate, SAT solving, emulator speed. These are the
+// substrate costs underlying the stage times in Table VII.
+#include <benchmark/benchmark.h>
+
+#include "codegen/codegen.hpp"
+#include "gadget/gadget.hpp"
+#include "corpus/corpus.hpp"
+#include "emu/emu.hpp"
+#include "lift/lift.hpp"
+#include "minic/minic.hpp"
+#include "obfuscate/obfuscate.hpp"
+#include "solver/solver.hpp"
+#include "sym/exec.hpp"
+#include "x86/decoder.hpp"
+
+namespace {
+
+using namespace gp;
+
+const image::Image& test_image() {
+  static const image::Image img = [] {
+    auto prog = minic::compile_source(corpus::by_name("hash_table").source);
+    obf::obfuscate(prog, obf::Options::llvm_obf(7));
+    return codegen::compile(prog);
+  }();
+  return img;
+}
+
+void BM_DecodeEveryOffset(benchmark::State& state) {
+  const auto& img = test_image();
+  for (auto _ : state) {
+    u64 decoded = 0;
+    for (u64 a = img.code_base(); a < img.code_end(); ++a) {
+      auto inst = x86::decode(img.code_at(a), a);
+      if (inst) ++decoded;
+    }
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(img.code().size()));
+}
+BENCHMARK(BM_DecodeEveryOffset);
+
+void BM_LiftAndSymStep(benchmark::State& state) {
+  const auto& img = test_image();
+  solver::Context ctx;
+  sym::Executor exec(ctx, &img);
+  for (auto _ : state) {
+    sym::State st = exec.initial_state();
+    u64 a = img.code_base();
+    int steps = 0;
+    while (steps < 64 && img.in_code(a)) {
+      auto inst = x86::decode(img.code_at(a), a);
+      if (!inst || inst->is_terminator()) break;
+      exec.step(st, lift::lift(*inst));
+      a += inst->len;
+      ++steps;
+    }
+    benchmark::DoNotOptimize(st.regs[0]);
+  }
+}
+BENCHMARK(BM_LiftAndSymStep);
+
+void BM_SolverEquivalenceQuery(benchmark::State& state) {
+  solver::Context ctx;
+  const auto a = ctx.var("a", 64);
+  const auto b = ctx.var("b", 64);
+  const auto lhs = ctx.bxor(a, b);
+  const auto rhs =
+      ctx.bor(ctx.band(ctx.bnot(a), b), ctx.band(a, ctx.bnot(b)));
+  for (auto _ : state) {
+    solver::Solver solver(ctx);
+    benchmark::DoNotOptimize(solver.prove_equal(lhs, rhs));
+  }
+}
+BENCHMARK(BM_SolverEquivalenceQuery);
+
+void BM_EmulatorRun(benchmark::State& state) {
+  const auto& img = test_image();
+  i64 steps = 0;
+  for (auto _ : state) {
+    emu::Emulator e(img);
+    auto r = e.run(5'000'000);
+    benchmark::DoNotOptimize(r.steps);
+    steps += static_cast<i64>(r.steps);
+  }
+  state.SetItemsProcessed(steps);
+}
+BENCHMARK(BM_EmulatorRun);
+
+void BM_GadgetExtraction(benchmark::State& state) {
+  const auto& img = test_image();
+  for (auto _ : state) {
+    solver::Context ctx;
+    gadget::Extractor ex(ctx, img);
+    auto pool = ex.extract({});
+    benchmark::DoNotOptimize(pool.size());
+  }
+}
+BENCHMARK(BM_GadgetExtraction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Table I: per-type gadget counts (Return / UDJ / UIJ / CDJ / CIJ) in
+// original vs obfuscated programs, with the increase rate. Counting follows
+// the paper's ROPGadget-style syntactic scan: decode straight-line from
+// every offset until the first control transfer and classify by that
+// terminator (a Jcc followed by an indirect transfer is CIJ, otherwise CDJ).
+#include "bench_util.hpp"
+#include "codegen/codegen.hpp"
+#include "minic/minic.hpp"
+#include "x86/decoder.hpp"
+
+namespace {
+
+enum Type { kRet = 0, kUDJ, kUIJ, kCDJ, kCIJ, kNumTypes };
+const char* kNames[] = {"Return", "UDJ", "UIJ", "CDJ", "CIJ"};
+
+void count_types(const gp::image::Image& img, gp::u64 counts[kNumTypes]) {
+  using namespace gp;
+  const auto code = img.code();
+  for (size_t off = 0; off < code.size(); ++off) {
+    u64 pc = img.code_base() + off;
+    for (int i = 0; i < 10; ++i) {
+      auto inst = x86::decode(img.code_at(pc), pc);
+      if (!inst) break;
+      using x86::Mnemonic;
+      if (inst->mnemonic == Mnemonic::RET) {
+        ++counts[kRet];
+        break;
+      }
+      if (inst->mnemonic == Mnemonic::JMP || inst->mnemonic == Mnemonic::CALL) {
+        ++counts[inst->dst.is_imm() ? kUDJ : kUIJ];
+        break;
+      }
+      if (inst->mnemonic == Mnemonic::SYSCALL) break;
+      if (inst->mnemonic == Mnemonic::JCC) {
+        // Peek at the fallthrough: conditional-then-indirect is CIJ.
+        const u64 next = inst->addr + inst->len;
+        bool indirect_next = false;
+        if (img.in_code(next)) {
+          auto peek = x86::decode(img.code_at(next), next);
+          indirect_next = peek && (peek->mnemonic == Mnemonic::JMP ||
+                                   peek->mnemonic == Mnemonic::CALL) &&
+                          !peek->dst.is_imm();
+        }
+        ++counts[indirect_next ? kCIJ : kCDJ];
+        break;
+      }
+      pc += inst->len;
+      if (!img.in_code(pc)) break;
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace gp;
+  u64 original[kNumTypes] = {};
+  u64 obfuscated[kNumTypes] = {};
+
+  for (const auto& program : bench::bench_programs()) {
+    {
+      auto prog = minic::compile_source(program.source);
+      count_types(codegen::compile(prog), original);
+    }
+    {
+      // "Obfuscated" aggregates the paper's all-options setting; we follow
+      // with the Tigress profile (all five methods).
+      auto prog = minic::compile_source(program.source);
+      obf::obfuscate(prog, obf::Options::tigress(7));
+      count_types(codegen::compile(prog), obfuscated);
+    }
+  }
+
+  std::printf("Table I — gadget types, original vs obfuscated (summed over "
+              "%zu programs)\n",
+              bench::bench_programs().size());
+  std::printf("%-10s %14s %14s %10s\n", "type", "original", "obfuscated",
+              "IR");
+  bench::hr(52);
+  for (int t = 0; t < kNumTypes; ++t) {
+    const double ir =
+        original[t] ? 100.0 * (static_cast<double>(obfuscated[t]) -
+                               static_cast<double>(original[t])) /
+                          static_cast<double>(original[t])
+                    : 0.0;
+    std::printf("%-10s %14llu %14llu %9.2f%%\n", kNames[t],
+                (unsigned long long)original[t],
+                (unsigned long long)obfuscated[t], ir);
+  }
+  std::printf("(paper Table I: increase rates between 42%% and 83%% across "
+              "types)\n");
+  return 0;
+}

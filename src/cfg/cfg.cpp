@@ -1,0 +1,242 @@
+#include "cfg/cfg.hpp"
+
+#include <sstream>
+
+#include "support/str.hpp"
+
+namespace gp::cfg {
+
+bool is_binop(Opcode op) {
+  switch (op) {
+    case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+    case Opcode::And: case Opcode::Or: case Opcode::Xor:
+    case Opcode::Shl: case Opcode::Sar: case Opcode::Shr:
+    case Opcode::CmpEq: case Opcode::CmpNe: case Opcode::CmpLt:
+    case Opcode::CmpLe: case Opcode::CmpGt: case Opcode::CmpGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_cmp(Opcode op) {
+  switch (op) {
+    case Opcode::CmpEq: case Opcode::CmpNe: case Opcode::CmpLt:
+    case Opcode::CmpLe: case Opcode::CmpGt: case Opcode::CmpGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::Const: return "const";
+    case Opcode::Copy: return "copy";
+    case Opcode::Add: return "add";
+    case Opcode::Sub: return "sub";
+    case Opcode::Mul: return "mul";
+    case Opcode::And: return "and";
+    case Opcode::Or: return "or";
+    case Opcode::Xor: return "xor";
+    case Opcode::Shl: return "shl";
+    case Opcode::Sar: return "sar";
+    case Opcode::Shr: return "shr";
+    case Opcode::Not: return "not";
+    case Opcode::Neg: return "neg";
+    case Opcode::CmpEq: return "cmpeq";
+    case Opcode::CmpNe: return "cmpne";
+    case Opcode::CmpLt: return "cmplt";
+    case Opcode::CmpLe: return "cmple";
+    case Opcode::CmpGt: return "cmpgt";
+    case Opcode::CmpGe: return "cmpge";
+    case Opcode::Load: return "load";
+    case Opcode::LoadB: return "loadb";
+    case Opcode::Store: return "store";
+    case Opcode::StoreB: return "storeb";
+    case Opcode::FrameAddr: return "frameaddr";
+    case Opcode::GlobalAddr: return "globaladdr";
+    case Opcode::Call: return "call";
+    case Opcode::Out: return "out";
+  }
+  return "<bad>";
+}
+
+int Program::find_function(const std::string& name) const {
+  for (size_t i = 0; i < functions.size(); ++i)
+    if (functions[i].name == name) return static_cast<int>(i);
+  return -1;
+}
+
+i64 Program::add_data(const std::vector<u8>& bytes) {
+  const i64 off = static_cast<i64>(data.size());
+  data.insert(data.end(), bytes.begin(), bytes.end());
+  return off;
+}
+
+i64 Program::add_data_string(const std::string& s) {
+  const i64 off = static_cast<i64>(data.size());
+  data.insert(data.end(), s.begin(), s.end());
+  data.push_back(0);
+  return off;
+}
+
+i64 Program::add_data_zeros(size_t n) {
+  const i64 off = static_cast<i64>(data.size());
+  data.resize(data.size() + n, 0);
+  return off;
+}
+
+namespace {
+
+void verify_function(const Program& p, const Function& f) {
+  const auto ctx = [&](const std::string& what) {
+    return "verify(" + f.name + "): " + what;
+  };
+  GP_CHECK(f.num_params <= 6, ctx("more than 6 params"));
+  GP_CHECK(f.num_temps >= f.num_params, ctx("temps < params"));
+  GP_CHECK(!f.blocks.empty(), ctx("no blocks"));
+  GP_CHECK(f.entry >= 0 && f.entry < static_cast<BlockId>(f.blocks.size()),
+           ctx("entry out of range"));
+  auto check_temp = [&](Temp t, bool allow_none = false) {
+    if (t == kNoTemp && allow_none) return;
+    GP_CHECK(t >= 0 && t < f.num_temps, ctx("temp out of range"));
+  };
+  auto check_block = [&](BlockId b) {
+    GP_CHECK(b >= 0 && b < static_cast<BlockId>(f.blocks.size()),
+             ctx("block target out of range"));
+  };
+  for (const Block& blk : f.blocks) {
+    for (const Instr& i : blk.instrs) {
+      switch (i.op) {
+        case Opcode::Const:
+          check_temp(i.dst);
+          break;
+        case Opcode::Copy:
+        case Opcode::Not:
+        case Opcode::Neg:
+        case Opcode::Out:
+          if (i.op == Opcode::Out) {
+            check_temp(i.a);
+          } else {
+            check_temp(i.dst);
+            check_temp(i.a);
+          }
+          break;
+        case Opcode::Load:
+        case Opcode::LoadB:
+          check_temp(i.dst);
+          check_temp(i.a);
+          break;
+        case Opcode::Store:
+        case Opcode::StoreB:
+          check_temp(i.a);
+          check_temp(i.b);
+          break;
+        case Opcode::FrameAddr:
+          check_temp(i.dst);
+          GP_CHECK(i.imm >= 0 && i.imm <= f.frame_bytes,
+                   ctx("frame offset out of range"));
+          break;
+        case Opcode::GlobalAddr:
+          check_temp(i.dst);
+          GP_CHECK(i.imm >= 0 &&
+                       i.imm <= static_cast<i64>(p.data.size()),
+                   ctx("global offset out of range"));
+          break;
+        case Opcode::Call: {
+          check_temp(i.dst);
+          GP_CHECK(i.imm >= 0 &&
+                       i.imm < static_cast<i64>(p.functions.size()),
+                   ctx("call target out of range"));
+          const auto& callee = p.functions[i.imm];
+          GP_CHECK(static_cast<int>(i.args.size()) == callee.num_params,
+                   ctx("call arg count mismatch for " + callee.name));
+          for (const Temp t : i.args) check_temp(t);
+          break;
+        }
+        default:
+          GP_CHECK(is_binop(i.op), ctx("unknown opcode"));
+          check_temp(i.dst);
+          check_temp(i.a);
+          check_temp(i.b);
+      }
+    }
+    switch (blk.term.kind) {
+      case Terminator::Kind::Jump:
+        check_block(blk.term.target);
+        break;
+      case Terminator::Kind::Branch:
+        check_temp(blk.term.cond);
+        check_block(blk.term.target);
+        check_block(blk.term.fallthrough);
+        break;
+      case Terminator::Kind::Switch:
+        check_temp(blk.term.cond);
+        GP_CHECK(!blk.term.table.empty(), ctx("empty switch table"));
+        for (const BlockId b : blk.term.table) check_block(b);
+        break;
+      case Terminator::Kind::Ret:
+        check_temp(blk.term.value);
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+void verify(const Program& p) {
+  GP_CHECK(p.main_index >= 0 &&
+               p.main_index < static_cast<int>(p.functions.size()),
+           "verify: missing main");
+  GP_CHECK(p.functions[p.main_index].num_params == 0,
+           "verify: main must take no params");
+  for (const Function& f : p.functions) verify_function(p, f);
+}
+
+std::string to_string(const Program& p) {
+  std::ostringstream os;
+  for (const Function& f : p.functions) {
+    os << "func " << f.name << "(" << f.num_params << ") temps="
+       << f.num_temps << " frame=" << f.frame_bytes << "\n";
+    for (size_t b = 0; b < f.blocks.size(); ++b) {
+      os << "  b" << b << ":\n";
+      for (const Instr& i : f.blocks[b].instrs) {
+        os << "    " << opcode_name(i.op);
+        if (i.dst != kNoTemp) os << " t" << i.dst;
+        if (i.a != kNoTemp) os << ", t" << i.a;
+        if (i.b != kNoTemp) os << ", t" << i.b;
+        if (i.op == Opcode::Const || i.op == Opcode::FrameAddr ||
+            i.op == Opcode::GlobalAddr || i.op == Opcode::Call ||
+            i.op == Opcode::Load || i.op == Opcode::LoadB ||
+            i.op == Opcode::Store || i.op == Opcode::StoreB)
+          os << ", #" << i.imm;
+        for (const Temp t : i.args) os << " t" << t;
+        os << "\n";
+      }
+      const Terminator& t = f.blocks[b].term;
+      switch (t.kind) {
+        case Terminator::Kind::Jump:
+          os << "    jump b" << t.target << "\n";
+          break;
+        case Terminator::Kind::Branch:
+          os << "    branch t" << t.cond << " ? b" << t.target << " : b"
+             << t.fallthrough << "\n";
+          break;
+        case Terminator::Kind::Switch: {
+          os << "    switch t" << t.cond << " [";
+          for (size_t k = 0; k < t.table.size(); ++k)
+            os << (k ? " " : "") << "b" << t.table[k];
+          os << "]\n";
+          break;
+        }
+        case Terminator::Kind::Ret:
+          os << "    ret t" << t.value << "\n";
+          break;
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace gp::cfg

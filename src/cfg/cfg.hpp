@@ -1,0 +1,124 @@
+// Three-address CFG IR shared by the mini-C frontend, the obfuscation
+// passes, and the x86 code generator. This is the layer where the paper's
+// obfuscators (Obfuscator-LLVM on LLVM IR, Tigress on C) do their work.
+//
+// Model:
+//  - unlimited mutable virtual temps (not SSA; each maps to a frame slot);
+//  - a per-function byte-addressed frame for arrays (FrameAddr);
+//  - a global data section for literals and tables (GlobalAddr);
+//  - functions take up to 6 integer params (SysV-style register passing);
+//  - terminators: Jump / Branch / Switch (computed, used by flattening and
+//    the VM dispatcher) / Ret.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace gp::cfg {
+
+enum class Opcode : u8 {
+  Const,   // dst = imm
+  Copy,    // dst = a
+  Add, Sub, Mul, And, Or, Xor, Shl, Sar, Shr,  // dst = a op b
+  Not, Neg,                                     // dst = op a
+  CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe,     // dst = a cmp b (signed, 0/1)
+  Load,    // dst = *(i64*)(a + imm)
+  LoadB,   // dst = *(u8*)(a + imm), zero-extended
+  Store,   // *(i64*)(a + imm) = b
+  StoreB,  // *(u8*)(a + imm) = (u8)b
+  FrameAddr,   // dst = &frame[imm]
+  GlobalAddr,  // dst = &data[imm]
+  Call,    // dst = functions[imm](args...)
+  Out,     // emit the 8 bytes of temp a to the program output stream
+};
+
+bool is_binop(Opcode op);
+bool is_cmp(Opcode op);
+const char* opcode_name(Opcode op);
+
+using Temp = i32;
+constexpr Temp kNoTemp = -1;
+
+struct Instr {
+  Opcode op = Opcode::Const;
+  Temp dst = kNoTemp;
+  Temp a = kNoTemp;
+  Temp b = kNoTemp;
+  i64 imm = 0;
+  std::vector<Temp> args;  // Call only
+
+  static Instr constant(Temp dst, i64 v) {
+    return {.op = Opcode::Const, .dst = dst, .imm = v};
+  }
+  static Instr bin(Opcode op, Temp dst, Temp a, Temp b) {
+    return {.op = op, .dst = dst, .a = a, .b = b};
+  }
+};
+
+using BlockId = i32;
+
+struct Terminator {
+  enum class Kind : u8 { Jump, Branch, Switch, Ret } kind = Kind::Ret;
+  Temp cond = kNoTemp;        // Branch (non-zero = taken) / Switch selector
+  BlockId target = 0;         // Jump / Branch taken
+  BlockId fallthrough = 0;    // Branch not-taken
+  std::vector<BlockId> table; // Switch: selector indexes this table
+  Temp value = kNoTemp;       // Ret
+
+  static Terminator jump(BlockId t) {
+    return {.kind = Kind::Jump, .target = t};
+  }
+  static Terminator branch(Temp c, BlockId t, BlockId f) {
+    return {.kind = Kind::Branch, .cond = c, .target = t, .fallthrough = f};
+  }
+  static Terminator ret(Temp v) {
+    return {.kind = Kind::Ret, .value = v};
+  }
+  static Terminator make_switch(Temp sel, std::vector<BlockId> table) {
+    return {.kind = Kind::Switch, .cond = sel, .table = std::move(table)};
+  }
+};
+
+struct Block {
+  std::vector<Instr> instrs;
+  Terminator term;
+};
+
+struct Function {
+  std::string name;
+  int num_params = 0;      // params are temps 0..num_params-1
+  int num_temps = 0;       // >= num_params
+  i64 frame_bytes = 0;     // array/scratch area addressed by FrameAddr
+  std::vector<Block> blocks;
+  BlockId entry = 0;
+
+  Temp new_temp() { return num_temps++; }
+  BlockId new_block() {
+    blocks.emplace_back();
+    return static_cast<BlockId>(blocks.size()) - 1;
+  }
+};
+
+struct Program {
+  std::vector<Function> functions;
+  std::vector<u8> data;    // initial contents of the data section
+  int main_index = -1;
+
+  int find_function(const std::string& name) const;
+  /// Append bytes to the data section, returning their offset.
+  i64 add_data(const std::vector<u8>& bytes);
+  i64 add_data_string(const std::string& s);  // NUL-terminated
+  /// Reserve zero-initialized data space.
+  i64 add_data_zeros(size_t n);
+};
+
+/// Structural validation: temps in range, block targets in range, call
+/// indices valid, exactly one main. Throws gp::Error with a description.
+void verify(const Program& p);
+
+/// Human-readable dump (tests and debugging).
+std::string to_string(const Program& p);
+
+}  // namespace gp::cfg

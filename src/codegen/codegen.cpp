@@ -1,0 +1,402 @@
+#include "codegen/codegen.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+
+#include "x86/encoder.hpp"
+
+namespace gp::codegen {
+
+using cfg::Block;
+using cfg::Function;
+using cfg::Instr;
+using cfg::Opcode;
+using cfg::Program;
+using cfg::Temp;
+using cfg::Terminator;
+using x86::Assembler;
+using x86::Cond;
+using x86::MemRef;
+using x86::Mnemonic;
+using x86::Reg;
+
+namespace {
+
+constexpr Reg kArgRegs[6] = {Reg::RDI, Reg::RSI, Reg::RDX,
+                             Reg::RCX, Reg::R8,  Reg::R9};
+
+Cond cond_of(Opcode op) {
+  switch (op) {
+    case Opcode::CmpEq: return Cond::E;
+    case Opcode::CmpNe: return Cond::NE;
+    case Opcode::CmpLt: return Cond::L;
+    case Opcode::CmpLe: return Cond::LE;
+    case Opcode::CmpGt: return Cond::G;
+    case Opcode::CmpGe: return Cond::GE;
+    default: fail("not a comparison opcode");
+  }
+}
+
+class FunctionCompiler {
+ public:
+  FunctionCompiler(Assembler& a, const Function& f,
+                   const std::vector<Assembler::Label>& fn_labels,
+                   std::vector<std::pair<i64, Assembler::Label>>& table_fixups,
+                   std::vector<u8>& data)
+      : a_(a), f_(f), fn_labels_(fn_labels), table_fixups_(table_fixups),
+        data_(data) {
+    block_labels_.reserve(f.blocks.size());
+    for (size_t i = 0; i < f.blocks.size(); ++i)
+      block_labels_.push_back(a_.new_label());
+    allocate_registers();
+  }
+
+  void run() {
+    prologue();
+    // Entry block first (fall into it), then the rest in order.
+    emit_block(f_.entry);
+    for (size_t b = 0; b < f_.blocks.size(); ++b)
+      if (static_cast<cfg::BlockId>(b) != f_.entry)
+        emit_block(static_cast<cfg::BlockId>(b));
+  }
+
+ private:
+  /// Like a real compiler, the hottest temps live in callee-saved registers
+  /// (saved in the prologue, restored with a `pop` run in the epilogue —
+  /// which is exactly where compiled binaries get their classic
+  /// `pop reg; ... ; pop rbp; ret` gadget shapes).
+  void allocate_registers() {
+    static const Reg kCalleeSaved[] = {Reg::RBX, Reg::R12, Reg::R13,
+                                       Reg::R14, Reg::R15};
+    std::unordered_map<Temp, int> uses;
+    auto touch = [&](Temp t) {
+      if (t != cfg::kNoTemp) ++uses[t];
+    };
+    for (const Block& b : f_.blocks) {
+      for (const Instr& in : b.instrs) {
+        touch(in.dst);
+        touch(in.a);
+        touch(in.b);
+        for (const Temp t : in.args) touch(t);
+      }
+      touch(b.term.cond);
+      touch(b.term.value);
+    }
+    std::vector<std::pair<int, Temp>> ranked;
+    for (const auto& [t, n] : uses) ranked.push_back({n, t});
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& x, const auto& y) {
+                if (x.first != y.first) return x.first > y.first;
+                return x.second < y.second;
+              });
+    for (const auto& [n, t] : ranked) {
+      if (saved_.size() >= std::size(kCalleeSaved)) break;
+      const Reg r = kCalleeSaved[saved_.size()];
+      reg_alloc_.emplace(t, r);
+      saved_.push_back(r);
+    }
+  }
+
+  std::optional<Reg> reg_of(Temp t) const {
+    auto it = reg_alloc_.find(t);
+    if (it == reg_alloc_.end()) return std::nullopt;
+    return it->second;
+  }
+  MemRef slot(Temp t) const {
+    GP_CHECK(t >= 0 && t < f_.num_temps, "codegen: temp out of range");
+    return MemRef{.base = Reg::RBP,
+                  .disp = static_cast<i32>(-8 * static_cast<i64>(saved_.size()) -
+                                           8 * (t + 1))};
+  }
+  i32 frame_area_disp(i64 off) const {
+    return static_cast<i32>(-8 * static_cast<i64>(saved_.size()) -
+                            (8 * f_.num_temps + f_.frame_bytes) + off);
+  }
+  void load(Reg r, Temp t) {
+    if (const auto alloc = reg_of(t)) {
+      if (*alloc != r) a_.mov(r, *alloc);
+    } else {
+      a_.mov_load(r, slot(t));
+    }
+  }
+  void store(Temp t, Reg r) {
+    if (const auto alloc = reg_of(t)) {
+      if (*alloc != r) a_.mov(*alloc, r);
+    } else {
+      a_.mov_store(slot(t), r);
+    }
+  }
+
+  void prologue() {
+    a_.push(Reg::RBP);
+    a_.mov(Reg::RBP, Reg::RSP);
+    for (const Reg r : saved_) a_.push(r);
+    const i64 frame = 8 * f_.num_temps + f_.frame_bytes;
+    if (frame > 0) a_.alu_imm(Mnemonic::SUB, Reg::RSP, static_cast<i32>(frame));
+    for (int i = 0; i < f_.num_params; ++i) store(i, kArgRegs[i]);
+  }
+
+  void epilogue() {
+    if (saved_.empty()) {
+      a_.leave();
+    } else {
+      a_.lea(Reg::RSP,
+             MemRef{.base = Reg::RBP,
+                    .disp = static_cast<i32>(-8 *
+                                             static_cast<i64>(saved_.size()))});
+      for (size_t i = saved_.size(); i-- > 0;) a_.pop(saved_[i]);
+      a_.pop(Reg::RBP);
+    }
+    a_.ret();
+  }
+
+  void emit_block(cfg::BlockId id) {
+    a_.bind(block_labels_[id]);
+    const Block& blk = f_.blocks[id];
+    for (const Instr& in : blk.instrs) emit_instr(in);
+    emit_term(blk.term);
+  }
+
+  void emit_instr(const Instr& in) {
+    switch (in.op) {
+      case Opcode::Const:
+        a_.mov_imm(Reg::RAX, in.imm);
+        store(in.dst, Reg::RAX);
+        break;
+      case Opcode::Copy:
+        load(Reg::RAX, in.a);
+        store(in.dst, Reg::RAX);
+        break;
+      case Opcode::Add: case Opcode::Sub: case Opcode::And:
+      case Opcode::Or: case Opcode::Xor: {
+        static const Mnemonic m[] = {Mnemonic::ADD, Mnemonic::SUB,
+                                     Mnemonic::AND, Mnemonic::OR,
+                                     Mnemonic::XOR};
+        const int idx = static_cast<int>(in.op) - static_cast<int>(Opcode::Add);
+        // Add..Xor are contiguous in Opcode except Mul sits between Sub and
+        // And; map explicitly instead.
+        Mnemonic mn;
+        switch (in.op) {
+          case Opcode::Add: mn = m[0]; break;
+          case Opcode::Sub: mn = m[1]; break;
+          case Opcode::And: mn = m[2]; break;
+          case Opcode::Or: mn = m[3]; break;
+          default: mn = m[4]; break;
+        }
+        (void)idx;
+        load(Reg::RAX, in.a);
+        load(Reg::RCX, in.b);
+        a_.alu(mn, Reg::RAX, Reg::RCX);
+        store(in.dst, Reg::RAX);
+        break;
+      }
+      case Opcode::Mul:
+        load(Reg::RAX, in.a);
+        load(Reg::RCX, in.b);
+        a_.imul(Reg::RAX, Reg::RCX);
+        store(in.dst, Reg::RAX);
+        break;
+      case Opcode::Shl: case Opcode::Sar: case Opcode::Shr: {
+        const Mnemonic mn = in.op == Opcode::Shl   ? Mnemonic::SHL
+                            : in.op == Opcode::Sar ? Mnemonic::SAR
+                                                   : Mnemonic::SHR;
+        load(Reg::RAX, in.a);
+        load(Reg::RCX, in.b);
+        a_.shift_cl(mn, Reg::RAX);
+        store(in.dst, Reg::RAX);
+        break;
+      }
+      case Opcode::Not:
+        load(Reg::RAX, in.a);
+        a_.unary(Mnemonic::NOT, Reg::RAX);
+        store(in.dst, Reg::RAX);
+        break;
+      case Opcode::Neg:
+        load(Reg::RAX, in.a);
+        a_.unary(Mnemonic::NEG, Reg::RAX);
+        store(in.dst, Reg::RAX);
+        break;
+      case Opcode::CmpEq: case Opcode::CmpNe: case Opcode::CmpLt:
+      case Opcode::CmpLe: case Opcode::CmpGt: case Opcode::CmpGe: {
+        // Branchless, like real compiler output: cmp + cmovcc.
+        load(Reg::RAX, in.a);
+        load(Reg::RCX, in.b);
+        a_.alu(Mnemonic::CMP, Reg::RAX, Reg::RCX);
+        a_.mov_imm(Reg::RAX, 0);
+        a_.mov_imm(Reg::RDX, 1);
+        a_.cmov(cond_of(in.op), Reg::RAX, Reg::RDX);
+        store(in.dst, Reg::RAX);
+        break;
+      }
+      case Opcode::Load:
+        load(Reg::RAX, in.a);
+        a_.mov_load(Reg::RAX, MemRef{.base = Reg::RAX,
+                                     .disp = static_cast<i32>(in.imm)});
+        store(in.dst, Reg::RAX);
+        break;
+      case Opcode::LoadB:
+        load(Reg::RAX, in.a);
+        a_.movzx_load(Reg::RAX, MemRef{.base = Reg::RAX,
+                                       .disp = static_cast<i32>(in.imm)});
+        store(in.dst, Reg::RAX);
+        break;
+      case Opcode::Store:
+        load(Reg::RAX, in.a);
+        load(Reg::RCX, in.b);
+        a_.mov_store(MemRef{.base = Reg::RAX,
+                            .disp = static_cast<i32>(in.imm)},
+                     Reg::RCX);
+        break;
+      case Opcode::StoreB: {
+        // Read-modify-write of the containing 8 bytes.
+        load(Reg::RAX, in.a);
+        a_.mov_load(Reg::RDX, MemRef{.base = Reg::RAX,
+                                     .disp = static_cast<i32>(in.imm)});
+        a_.mov_imm(Reg::RCX, ~i64{0xff});
+        a_.alu(Mnemonic::AND, Reg::RDX, Reg::RCX);
+        load(Reg::RCX, in.b);
+        a_.alu_imm(Mnemonic::AND, Reg::RCX, 0xff);
+        a_.alu(Mnemonic::OR, Reg::RDX, Reg::RCX);
+        a_.mov_store(MemRef{.base = Reg::RAX,
+                            .disp = static_cast<i32>(in.imm)},
+                     Reg::RDX);
+        break;
+      }
+      case Opcode::FrameAddr:
+        a_.lea(Reg::RAX, MemRef{.base = Reg::RBP,
+                                .disp = frame_area_disp(in.imm)});
+        store(in.dst, Reg::RAX);
+        break;
+      case Opcode::GlobalAddr:
+        a_.mov_imm(Reg::RAX,
+                   static_cast<i64>(image::kDataBase) + in.imm);
+        store(in.dst, Reg::RAX);
+        break;
+      case Opcode::Call: {
+        for (size_t i = 0; i < in.args.size(); ++i)
+          load(kArgRegs[i], in.args[i]);
+        a_.call(fn_labels_[in.imm]);
+        store(in.dst, Reg::RAX);
+        break;
+      }
+      case Opcode::Out: {
+        // Stage the value in the data-section scratch slot, then write(1).
+        load(Reg::RAX, in.a);
+        a_.mov_imm(Reg::RSI, static_cast<i64>(image::kDataBase) +
+                                 static_cast<i64>(out_scratch_offset(data_)));
+        a_.mov_store(MemRef{.base = Reg::RSI}, Reg::RAX);
+        a_.mov_imm(Reg::RAX, 1);
+        a_.mov_imm(Reg::RDI, 1);
+        a_.mov_imm(Reg::RDX, 8);
+        a_.syscall();
+        break;
+      }
+    }
+  }
+
+  void emit_term(const Terminator& t) {
+    switch (t.kind) {
+      case Terminator::Kind::Jump:
+        a_.jmp(block_labels_[t.target]);
+        break;
+      case Terminator::Kind::Branch:
+        load(Reg::RAX, t.cond);
+        a_.alu(Mnemonic::TEST, Reg::RAX, Reg::RAX);
+        a_.jcc(Cond::NE, block_labels_[t.target]);
+        a_.jmp(block_labels_[t.fallthrough]);
+        break;
+      case Terminator::Kind::Switch: {
+        // Reserve an absolute-address table in data; patched after layout.
+        const i64 table_off = static_cast<i64>(data_.size());
+        data_.resize(data_.size() + 8 * t.table.size(), 0);
+        for (size_t i = 0; i < t.table.size(); ++i)
+          table_fixups_.push_back(
+              {table_off + 8 * static_cast<i64>(i),
+               block_labels_[t.table[i]]});
+        load(Reg::RAX, t.cond);
+        a_.shift_imm(Mnemonic::SHL, Reg::RAX, 3);
+        a_.mov_imm(Reg::RCX,
+                   static_cast<i64>(image::kDataBase) + table_off);
+        a_.alu(Mnemonic::ADD, Reg::RCX, Reg::RAX);
+        a_.jmp_mem(MemRef{.base = Reg::RCX});
+        break;
+      }
+      case Terminator::Kind::Ret:
+        load(Reg::RAX, t.value);
+        epilogue();
+        break;
+    }
+  }
+
+  /// The 8-byte Out scratch slot lives at a fixed offset recorded once per
+  /// compile in compile() below; this helper reads it back.
+  static i64 out_scratch_offset(const std::vector<u8>&);
+
+  Assembler& a_;
+  const Function& f_;
+  const std::vector<Assembler::Label>& fn_labels_;
+  std::vector<std::pair<i64, Assembler::Label>>& table_fixups_;
+  std::vector<u8>& data_;
+  std::vector<Assembler::Label> block_labels_;
+  std::unordered_map<Temp, Reg> reg_alloc_;
+  std::vector<Reg> saved_;
+};
+
+// Scratch offset is communicated via a thread-local set by compile();
+// keeps FunctionCompiler free of extra plumbing.
+thread_local i64 g_out_scratch = 0;
+i64 FunctionCompiler::out_scratch_offset(const std::vector<u8>&) {
+  return g_out_scratch;
+}
+
+}  // namespace
+
+image::Image compile(const Program& prog, const Options& opts) {
+  cfg::verify(prog);
+
+  std::vector<u8> data = prog.data;
+  // 8-byte scratch slot used by Out, 8-aligned.
+  data.resize((data.size() + 7) & ~size_t{7}, 0);
+  g_out_scratch = static_cast<i64>(data.size());
+  data.resize(data.size() + 8, 0);
+
+  Assembler a;
+  a.set_base(image::kCodeBase);
+  std::vector<Assembler::Label> fn_labels;
+  for (size_t i = 0; i < prog.functions.size(); ++i)
+    fn_labels.push_back(a.new_label());
+  std::vector<std::pair<i64, Assembler::Label>> table_fixups;
+
+  // Entry stub.
+  a.call(fn_labels[prog.main_index]);
+  a.mov(Reg::RDI, Reg::RAX);
+  a.mov_imm(Reg::RAX, 60);
+  a.syscall();
+
+  std::vector<std::pair<std::string, i64>> symbol_offsets;
+  for (size_t i = 0; i < prog.functions.size(); ++i) {
+    if (opts.pad_functions)
+      for (int k = 0; k < 4; ++k) a.int3();
+    a.bind(fn_labels[i]);
+    symbol_offsets.emplace_back(prog.functions[i].name,
+                                a.label_offset(fn_labels[i]));
+    FunctionCompiler fc(a, prog.functions[i], fn_labels, table_fixups, data);
+    fc.run();
+  }
+
+  // Resolve switch tables now that label offsets are final.
+  for (const auto& [data_off, label] : table_fixups) {
+    const u64 addr = image::kCodeBase +
+                     static_cast<u64>(a.label_offset(label));
+    for (int i = 0; i < 8; ++i)
+      data[data_off + i] = static_cast<u8>(addr >> (8 * i));
+  }
+
+  image::Image img(a.finish(), data, image::kCodeBase);
+  for (auto& [name, off] : symbol_offsets)
+    img.add_symbol(name, image::kCodeBase + static_cast<u64>(off));
+  return img;
+}
+
+}  // namespace gp::codegen

@@ -1,0 +1,30 @@
+// CFG IR -> x86-64 machine code.
+//
+// A deliberately simple stack-slot code generator (every temp lives in a
+// frame slot; operations stage through rax/rcx): easy to verify, and its
+// output is idiomatic compiler-shaped code — dense with the mov/alu/branch
+// patterns that gadget scanners feed on, which is the point of the study.
+//
+// Layout of the emitted image:
+//   code:  [entry stub][function 0][function 1]...
+//   data:  [program data][out-scratch][switch jump tables]
+// The entry stub calls main and performs the exit(rax) syscall. Switch
+// terminators compile to `jmp [table + sel*8]` with an absolute-address
+// table in the data section (patched after layout).
+#pragma once
+
+#include "cfg/cfg.hpp"
+#include "image/image.hpp"
+
+namespace gp::codegen {
+
+struct Options {
+  /// Pad function entries with int3 sleds (off by default; keeps addresses
+  /// deterministic for tests).
+  bool pad_functions = false;
+};
+
+/// Compile a verified program to an executable image.
+image::Image compile(const cfg::Program& prog, const Options& opts = {});
+
+}  // namespace gp::codegen

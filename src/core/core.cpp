@@ -1,0 +1,161 @@
+#include "core/core.hpp"
+
+#include <chrono>
+#include <fstream>
+
+#include "codegen/codegen.hpp"
+#include "minic/minic.hpp"
+
+namespace gp::core {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+double secs_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+}  // namespace
+
+u64 current_rss_mb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      u64 kb = 0;
+      for (const char c : line)
+        if (c >= '0' && c <= '9') kb = kb * 10 + (c - '0');
+      return kb / 1024;
+    }
+  }
+  return 0;
+}
+
+GadgetPlanner::GadgetPlanner(const image::Image& img,
+                             const PipelineOptions& opts)
+    : img_(img), opts_(opts), ctx_(std::make_unique<solver::Context>()) {
+  auto t0 = Clock::now();
+  gadget::Extractor extractor(*ctx_, img_);
+  auto pool = extractor.extract(opts_.extract);
+  extract_stats_ = extractor.stats();
+  report_.extract_seconds = secs_since(t0);
+  report_.pool_raw = pool.size();
+  report_.rss_mb_after_extract = current_rss_mb();
+
+  auto t1 = Clock::now();
+  if (opts_.run_subsumption) {
+    pool = subsume::minimize(*ctx_, std::move(pool), &subsume_stats_);
+  }
+  report_.subsume_seconds = secs_since(t1);
+  report_.pool_minimized = pool.size();
+  report_.rss_mb_after_subsume = current_rss_mb();
+
+  lib_ = std::make_unique<gadget::Library>(std::move(pool));
+}
+
+std::vector<payload::Chain> GadgetPlanner::find_chains(
+    const payload::Goal& goal) {
+  auto t0 = Clock::now();
+  planner::Planner planner(*ctx_, *lib_, img_);
+  auto chains = planner.plan(goal, opts_.plan);
+  report_.plan_seconds += secs_since(t0);
+  report_.rss_mb_after_plan = current_rss_mb();
+  const auto& s = planner.stats();
+  planner_stats_.expansions += s.expansions;
+  planner_stats_.successors += s.successors;
+  planner_stats_.dead_ends += s.dead_ends;
+  planner_stats_.linearizations += s.linearizations;
+  planner_stats_.concretize_calls += s.concretize_calls;
+  planner_stats_.validated += s.validated;
+  return chains;
+}
+
+CampaignResult run_campaign(const std::string& program_name,
+                            const std::string& source,
+                            const obf::Options& obf_opts,
+                            const CampaignOptions& opts) {
+  CampaignResult result;
+  result.program = program_name;
+  result.obfuscation = obf_opts.name();
+
+  auto prog = minic::compile_source(source);
+  obf::obfuscate(prog, obf_opts);
+  const image::Image img = codegen::compile(prog);
+  result.code_bytes = img.code().size();
+
+  const auto& goals = payload::Goal::all();
+
+  if (opts.run_rop_gadget) {
+    ToolOutcome tool;
+    tool.tool = "ROPGadget";
+    for (const auto& goal : goals) {
+      auto r = baselines::rop_gadget(img, goal);
+      tool.gadgets_total = r.gadgets_total;
+      tool.gadgets_used += r.gadgets_used;
+      tool.chains_per_goal.push_back(static_cast<int>(r.chains.size()));
+    }
+    result.tools.push_back(std::move(tool));
+  }
+
+  // The three semantic tools share one extracted library.
+  if (opts.run_angrop || opts.run_sgc || opts.run_gadget_planner) {
+    GadgetPlanner gp(img, opts.pipeline);
+    result.gp_stages = gp.report();
+
+    if (opts.run_angrop) {
+      ToolOutcome tool;
+      tool.tool = "Angrop";
+      for (const auto& goal : goals) {
+        auto r = baselines::angrop(gp.ctx(), gp.library(), img, goal);
+        tool.gadgets_total = r.gadgets_total;
+        tool.gadgets_used += r.gadgets_used;
+        tool.chains_per_goal.push_back(static_cast<int>(r.chains.size()));
+      }
+      result.tools.push_back(std::move(tool));
+    }
+
+    if (opts.run_sgc) {
+      ToolOutcome tool;
+      tool.tool = "SGC";
+      for (const auto& goal : goals) {
+        auto r = baselines::sgc(gp.ctx(), gp.library(), img, goal,
+                                opts.sgc_max_chains);
+        tool.gadgets_total = r.gadgets_total;
+        tool.gadgets_used += r.gadgets_used;
+        tool.chains_per_goal.push_back(static_cast<int>(r.chains.size()));
+      }
+      result.tools.push_back(std::move(tool));
+    }
+
+    if (opts.run_gadget_planner) {
+      ToolOutcome tool;
+      tool.tool = "Gadget-Planner";
+      tool.gadgets_total = gp.library().size();
+      int chains_total = 0;
+      int insts_total = 0;
+      for (const auto& goal : goals) {
+        auto chains = gp.find_chains(goal);
+        tool.chains_per_goal.push_back(static_cast<int>(chains.size()));
+        for (const auto& c : chains) {
+          tool.gadgets_used += c.gadgets.size();
+          ++chains_total;
+          insts_total += c.total_insts;
+          result.gp_ret += c.ret_gadgets;
+          result.gp_ij += c.ij_gadgets;
+          result.gp_dj += c.dj_gadgets;
+          result.gp_cj += c.cj_gadgets;
+          result.gp_avg_gadget_len += c.avg_gadget_len();
+        }
+      }
+      if (chains_total > 0) {
+        result.gp_avg_gadget_len /= chains_total;
+        result.gp_avg_chain_len =
+            static_cast<double>(insts_total) / chains_total;
+      }
+      result.gp_stages = gp.report();
+      result.tools.push_back(std::move(tool));
+    }
+  }
+  return result;
+}
+
+}  // namespace gp::core

@@ -1,0 +1,113 @@
+// Public facade: the four-stage Gadget-Planner pipeline (Fig. 3) and the
+// campaign runner the benchmarks are built on.
+//
+// Quickstart:
+//   auto prog = gp::minic::compile_source(source);
+//   gp::obf::obfuscate(prog, gp::obf::Options::llvm_obf());
+//   auto img = gp::codegen::compile(prog);
+//   gp::core::GadgetPlanner planner(img);
+//   auto chains = planner.find_chains(gp::payload::Goal::execve());
+#pragma once
+
+#include <memory>
+
+#include "baselines/baselines.hpp"
+#include "gadget/gadget.hpp"
+#include "obfuscate/obfuscate.hpp"
+#include "payload/payload.hpp"
+#include "planner/planner.hpp"
+#include "subsume/subsume.hpp"
+
+namespace gp::core {
+
+struct PipelineOptions {
+  gadget::ExtractOptions extract;
+  bool run_subsumption = true;  // ablation hook (DESIGN.md #1)
+  planner::Options plan;
+};
+
+/// Wall-clock and size accounting per pipeline stage (Table VII).
+struct StageReport {
+  double extract_seconds = 0;
+  double subsume_seconds = 0;
+  double plan_seconds = 0;
+  u64 pool_raw = 0;        // gadgets out of extraction
+  u64 pool_minimized = 0;  // gadgets after subsumption
+  u64 rss_mb_after_extract = 0;
+  u64 rss_mb_after_subsume = 0;
+  u64 rss_mb_after_plan = 0;
+};
+
+/// Resident set size of this process in MiB (0 when /proc is unavailable).
+u64 current_rss_mb();
+
+/// One analysis session over a binary image. Construction runs extraction
+/// and subsumption; find_chains() runs the planner per goal.
+class GadgetPlanner {
+ public:
+  explicit GadgetPlanner(const image::Image& img,
+                         const PipelineOptions& opts = {});
+
+  const gadget::Library& library() const { return *lib_; }
+  solver::Context& ctx() { return *ctx_; }
+  const image::Image& img() const { return img_; }
+
+  std::vector<payload::Chain> find_chains(const payload::Goal& goal);
+
+  const StageReport& report() const { return report_; }
+  const planner::Stats& planner_stats() const { return planner_stats_; }
+  const gadget::ExtractStats& extract_stats() const { return extract_stats_; }
+  const subsume::Stats& subsume_stats() const { return subsume_stats_; }
+
+ private:
+  const image::Image& img_;
+  PipelineOptions opts_;
+  std::unique_ptr<solver::Context> ctx_;
+  std::unique_ptr<gadget::Library> lib_;
+  StageReport report_;
+  planner::Stats planner_stats_;
+  gadget::ExtractStats extract_stats_;
+  subsume::Stats subsume_stats_;
+};
+
+/// Campaign: run every tool on one image (the unit of Tables IV/VI).
+struct ToolOutcome {
+  std::string tool;
+  u64 gadgets_total = 0;
+  u64 gadgets_used = 0;
+  std::vector<int> chains_per_goal;  // indexed like payload::Goal::all()
+  int total_chains() const {
+    int n = 0;
+    for (const int c : chains_per_goal) n += c;
+    return n;
+  }
+};
+
+struct CampaignResult {
+  std::string program;
+  std::string obfuscation;
+  size_t code_bytes = 0;
+  std::vector<ToolOutcome> tools;  // ROPGadget, Angrop, SGC, Gadget-Planner
+  StageReport gp_stages;
+  // Chain-shape metrics for Gadget-Planner (Table V).
+  double gp_avg_gadget_len = 0;
+  double gp_avg_chain_len = 0;
+  int gp_ret = 0, gp_ij = 0, gp_dj = 0, gp_cj = 0;
+};
+
+struct CampaignOptions {
+  bool run_rop_gadget = true;
+  bool run_angrop = true;
+  bool run_sgc = true;
+  bool run_gadget_planner = true;
+  PipelineOptions pipeline;
+  int sgc_max_chains = 4;
+};
+
+/// Compile `source` under `obf_opts` and run the selected tools on it.
+CampaignResult run_campaign(const std::string& program_name,
+                            const std::string& source,
+                            const obf::Options& obf_opts,
+                            const CampaignOptions& opts = {});
+
+}  // namespace gp::core

@@ -1,0 +1,461 @@
+#include "corpus/corpus.hpp"
+
+#include "support/common.hpp"
+
+namespace gp::corpus {
+
+const std::vector<ProgramSource>& benchmark() {
+  static const std::vector<ProgramSource> programs = {
+      {"bubble_sort", R"(
+int a[24];
+int fill(int seed) {
+  int i = 0; int x = seed;
+  while (i < 24) { x = (x * 1103515245 + 12345) & 0x7fffffff; a[i] = x & 0xff; i = i + 1; }
+  return x;
+}
+int main() {
+  fill(42);
+  int i = 0;
+  while (i < 24) {
+    int j = 0;
+    while (j < 23 - i) {
+      if (a[j] > a[j + 1]) { int t = a[j]; a[j] = a[j + 1]; a[j + 1] = t; }
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+  int k = 0; int sum = 0;
+  while (k < 24) { sum = sum + a[k] * k; k = k + 1; }
+  out(sum);
+  return sum & 0xffff;
+})"},
+      {"binary_search", R"(
+int a[32];
+int bsearch(int lo, int hi, int key) {
+  while (lo < hi) {
+    int mid = (lo + hi) >> 1;
+    if (a[mid] == key) return mid;
+    if (a[mid] < key) { lo = mid + 1; } else { hi = mid; }
+  }
+  return 0 - 1;
+}
+int main() {
+  int i = 0;
+  while (i < 32) { a[i] = i * 3 + 1; i = i + 1; }
+  int hits = 0; int k = 0;
+  while (k < 100) {
+    if (bsearch(0, 32, k) >= 0) { hits = hits + 1; }
+    k = k + 1;
+  }
+  out(hits);
+  return hits;
+})"},
+      {"crc32", R"(
+byte msg[64];
+int crc_update(int crc, int b) {
+  crc = crc ^ b;
+  int k = 0;
+  while (k < 8) {
+    if (crc & 1) { crc = (crc >> 1) ^ 0x6db88320; } else { crc = crc >> 1; }
+    crc = crc & 0x7fffffff;
+    k = k + 1;
+  }
+  return crc;
+}
+int main() {
+  int i = 0;
+  while (i < 64) { msg[i] = (i * 7 + 13) & 0xff; i = i + 1; }
+  int crc = 0x7fffffff; int j = 0;
+  while (j < 64) { crc = crc_update(crc, msg[j]); j = j + 1; }
+  out(crc);
+  return crc & 0xffff;
+})"},
+      {"fibonacci", R"(
+int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+int main() { int v = fib(17); out(v); return v & 0xffff; })"},
+      {"gcd_lcm", R"(
+int gcd(int a, int b) {
+  while (b != 0) { int t = b; int q = a; while (q >= b) { q = q - b; } b = q; a = t; }
+  return a;
+}
+int main() {
+  int sum = 0; int i = 1;
+  while (i < 30) {
+    int j = i + 1;
+    while (j < 30) { sum = sum + gcd(i * 7, j * 5); j = j + 3; }
+    i = i + 2;
+  }
+  out(sum);
+  return sum & 0xffff;
+})"},
+      {"primes_sieve", R"(
+byte sieve[200];
+int main() {
+  int i = 2;
+  while (i < 200) { sieve[i] = 1; i = i + 1; }
+  i = 2;
+  while (i * i < 200) {
+    if (sieve[i]) {
+      int j = i * i;
+      while (j < 200) { sieve[j] = 0; j = j + i; }
+    }
+    i = i + 1;
+  }
+  int count = 0; int k = 2;
+  while (k < 200) { if (sieve[k]) { count = count + 1; } k = k + 1; }
+  out(count);
+  return count;
+})"},
+      {"string_search", R"(
+int match_at(int text, int pat, int pos) {
+  int k = 0;
+  while (loadb(pat + k) != 0) {
+    if (loadb(text + pos + k) != loadb(pat + k)) return 0;
+    k = k + 1;
+  }
+  return 1;
+}
+int main() {
+  int text = "the quick brown fox jumps over the lazy dog the end";
+  int found = 0; int pos = 0;
+  while (loadb(text + pos) != 0) {
+    if (match_at(text, "the", pos)) { found = found + 1; }
+    pos = pos + 1;
+  }
+  out(found);
+  return found;
+})"},
+      {"matrix_mult", R"(
+int a[16]; int b[16]; int c[16];
+int main() {
+  int i = 0;
+  while (i < 16) { a[i] = i + 1; b[i] = 16 - i; i = i + 1; }
+  int r = 0;
+  while (r < 4) {
+    int col = 0;
+    while (col < 4) {
+      int acc = 0; int k = 0;
+      while (k < 4) { acc = acc + a[r * 4 + k] * b[k * 4 + col]; k = k + 1; }
+      c[r * 4 + col] = acc;
+      col = col + 1;
+    }
+    r = r + 1;
+  }
+  int sum = 0; int j = 0;
+  while (j < 16) { sum = sum + c[j]; j = j + 1; }
+  out(sum);
+  return sum & 0xffff;
+})"},
+      {"state_machine", R"(
+byte input[40];
+int main() {
+  int i = 0;
+  while (i < 40) { input[i] = (i * 11 + 3) & 3; i = i + 1; }
+  int state = 0; int accepted = 0; int j = 0;
+  while (j < 40) {
+    int sym = input[j];
+    if (state == 0) { if (sym == 1) { state = 1; } else { state = 0; } }
+    else { if (state == 1) { if (sym == 2) { state = 2; } else { if (sym == 1) { state = 1; } else { state = 0; } } }
+    else { if (sym == 3) { accepted = accepted + 1; state = 0; } else { state = 2; } } }
+    j = j + 1;
+  }
+  out(accepted); out(state);
+  return accepted * 10 + state;
+})"},
+      {"rle_codec", R"(
+byte src[48]; byte enc[96]; byte dec[48];
+int main() {
+  int i = 0;
+  while (i < 48) { src[i] = ((i >> 3) * 5) & 0xff; i = i + 1; }
+  int w = 0; int r = 0;
+  while (r < 48) {
+    int v = src[r]; int run = 1;
+    while (r + run < 48 && src[r + run] == v && run < 255) { run = run + 1; }
+    enc[w] = run; enc[w + 1] = v; w = w + 2; r = r + run;
+  }
+  int d = 0; int e = 0;
+  while (e < w) {
+    int n = enc[e]; int v = enc[e + 1]; int k = 0;
+    while (k < n) { dec[d] = v; d = d + 1; k = k + 1; }
+    e = e + 2;
+  }
+  int ok = 1; int j = 0;
+  while (j < 48) { if (dec[j] != src[j]) { ok = 0; } j = j + 1; }
+  out(ok); out(w);
+  return ok * 1000 + w;
+})"},
+      {"hash_table", R"(
+int keys[64]; int vals[64];
+int hash(int k) { return ((k * 2654435761) >> 8) & 63; }
+int insert(int k, int v) {
+  int h = hash(k); int probes = 0;
+  while (keys[h] != 0 && keys[h] != k && probes < 64) { h = (h + 1) & 63; probes = probes + 1; }
+  keys[h] = k; vals[h] = v;
+  return probes;
+}
+int lookup(int k) {
+  int h = hash(k); int probes = 0;
+  while (probes < 64) {
+    if (keys[h] == k) return vals[h];
+    if (keys[h] == 0) return 0 - 1;
+    h = (h + 1) & 63; probes = probes + 1;
+  }
+  return 0 - 1;
+}
+int main() {
+  int i = 1; int total_probes = 0;
+  while (i <= 40) { total_probes = total_probes + insert(i * 13 + 7, i * i); i = i + 1; }
+  int sum = 0; int j = 1;
+  while (j <= 40) { sum = sum + lookup(j * 13 + 7); j = j + 1; }
+  out(sum); out(total_probes);
+  return sum & 0xffff;
+})"},
+      {"bit_tricks", R"(
+int popcount(int x) {
+  int c = 0;
+  while (x != 0) { c = c + (x & 1); x = (x >> 1) & 0x7fffffffffffffff; }
+  return c;
+}
+int reverse_bits(int x) {
+  int r = 0; int i = 0;
+  while (i < 32) { r = (r << 1) | (x & 1); x = x >> 1; i = i + 1; }
+  return r;
+}
+int main() {
+  int acc = 0; int i = 1;
+  while (i < 500) {
+    acc = acc + popcount(i * 2654435761) - popcount(reverse_bits(i));
+    acc = acc ^ (i << 3);
+    i = i + 7;
+  }
+  out(acc);
+  return acc & 0xffff;
+})"},
+  };
+  return programs;
+}
+
+const std::vector<ProgramSource>& spec() {
+  static const std::vector<ProgramSource> programs = {
+      // 401.bzip2-like: move-to-front + RLE over a generated block.
+      {"bzip2_like", R"(
+byte block[96]; byte mtf[96]; byte table[256]; byte outbuf[224];
+int main() {
+  int i = 0;
+  while (i < 96) { block[i] = ((i * 37) ^ (i >> 2)) & 0x3f; i = i + 1; }
+  i = 0;
+  while (i < 256) { table[i] = i; i = i + 1; }
+  // move-to-front transform
+  int p = 0;
+  while (p < 96) {
+    int v = block[p];
+    int idx = 0;
+    while (table[idx] != v) { idx = idx + 1; }
+    mtf[p] = idx;
+    int k = idx;
+    while (k > 0) { table[k] = table[k - 1]; k = k - 1; }
+    table[0] = v;
+    p = p + 1;
+  }
+  // run-length encode the mtf output
+  int w = 0; int r = 0;
+  while (r < 96) {
+    int v = mtf[r]; int run = 1;
+    while (r + run < 96 && mtf[r + run] == v && run < 255) { run = run + 1; }
+    outbuf[w] = run; outbuf[w + 1] = v; w = w + 2; r = r + run;
+  }
+  int check = 0; int j = 0;
+  while (j < w) { check = (check * 31 + outbuf[j]) & 0xffffff; j = j + 1; }
+  out(check); out(w);
+  return check & 0xffff;
+})"},
+      // 429.mcf-like: Bellman-Ford over a small flow network.
+      {"mcf_like", R"(
+int head[16]; int cost[64]; int to[64]; int next_arc[64]; int dist[16];
+int n_arcs;
+int add_arc(int u, int v, int c) {
+  to[n_arcs] = v; cost[n_arcs] = c;
+  next_arc[n_arcs] = head[u]; head[u] = n_arcs + 1;
+  n_arcs = n_arcs + 1;
+  return n_arcs;
+}
+int main() {
+  int i = 0;
+  while (i < 16) { head[i] = 0; dist[i] = 99999; i = i + 1; }
+  n_arcs = 0;
+  int u = 0;
+  while (u < 15) {
+    add_arc(u, u + 1, (u * 7 + 3) & 15);
+    if (u + 3 < 16) { add_arc(u, u + 3, (u * 5 + 11) & 31); }
+    if (u & 1) { add_arc(u, (u * 3) & 15, (u + 13) & 7); }
+    u = u + 1;
+  }
+  dist[0] = 0;
+  int round = 0;
+  while (round < 16) {
+    int changed = 0; int x = 0;
+    while (x < 16) {
+      int a = head[x];
+      while (a != 0) {
+        int arc = a - 1;
+        int nd = dist[x] + cost[arc];
+        if (nd < dist[to[arc]]) { dist[to[arc]] = nd; changed = 1; }
+        a = next_arc[arc];
+      }
+      x = x + 1;
+    }
+    if (changed == 0) { round = 16; } else { round = round + 1; }
+  }
+  int sum = 0; int k = 0;
+  while (k < 16) { if (dist[k] < 99999) { sum = sum + dist[k]; } k = k + 1; }
+  out(sum);
+  return sum & 0xffff;
+})"},
+      // 445.gobmk-like: board influence evaluation sweeps.
+      {"gobmk_like", R"(
+byte board[81]; int influence[81];
+int neighbors_of(int pos, int color) {
+  int count = 0;
+  int r = pos - 9; if (r >= 0) { if (board[r] == color) { count = count + 1; } }
+  r = pos + 9; if (r < 81) { if (board[r] == color) { count = count + 1; } }
+  if ((pos - (pos >> 3) * 8 - (pos >> 3)) > 0) { if (board[pos - 1] == color) { count = count + 1; } }
+  if (pos + 1 < 81) { if (board[pos + 1] == color) { count = count + 1; } }
+  return count;
+}
+int main() {
+  int i = 0;
+  while (i < 81) { board[i] = ((i * 13 + 5) >> 2) & 3; i = i + 1; }
+  int pass = 0;
+  while (pass < 8) {
+    int p = 0;
+    while (p < 81) {
+      int inf = neighbors_of(p, 1) * 4 - neighbors_of(p, 2) * 3;
+      influence[p] = influence[p] + inf;
+      p = p + 1;
+    }
+    pass = pass + 1;
+  }
+  int black = 0; int white = 0; int q = 0;
+  while (q < 81) {
+    if (influence[q] > 0) { black = black + 1; }
+    if (influence[q] < 0) { white = white + 1; }
+    q = q + 1;
+  }
+  out(black); out(white);
+  return black * 100 + white;
+})"},
+      // 456.hmmer-like: Viterbi-style dynamic programming matrix fill.
+      {"hmmer_like", R"(
+int dp[400]; byte seq[20]; int emit[80];
+int max2(int a, int b) { if (a > b) return a; return b; }
+int main() {
+  int i = 0;
+  while (i < 20) { seq[i] = (i * 17 + 3) & 3; i = i + 1; }
+  i = 0;
+  while (i < 80) { emit[i] = ((i * 29) & 31) - 15; i = i + 1; }
+  int s = 1;
+  while (s < 20) {
+    int m = 1;
+    while (m < 20) {
+      int diag = dp[(s - 1) * 20 + (m - 1)] + emit[m * 4 + seq[s]];
+      int up = dp[(s - 1) * 20 + m] - 4;
+      int left = dp[s * 20 + (m - 1)] - 4;
+      dp[s * 20 + m] = max2(diag, max2(up, left));
+      m = m + 1;
+    }
+    s = s + 1;
+  }
+  int best = 0; int k = 0;
+  while (k < 400) { if (dp[k] > best) { best = dp[k]; } k = k + 1; }
+  out(best);
+  return best & 0xffff;
+})"},
+  };
+  return programs;
+}
+
+const ProgramSource& netperf() {
+  // Mirrors the structure of the paper's Fig. 7 target: command-line
+  // parsing where break_args copies an attacker-controlled optarg into two
+  // fixed-size stack buffers without length checks, then a send loop.
+  static const ProgramSource program = {"netperf_like", R"(
+byte optarg_buf[128];
+int remote_rate; int local_rate; int packets_sent;
+
+int str_chr(int s, int c) {
+  int i = 0;
+  while (loadb(s + i) != 0) {
+    if (loadb(s + i) == c) return s + i;
+    i = i + 1;
+  }
+  return 0;
+}
+
+// The vulnerable routine: copies both halves of "local,remote" into the
+// caller's fixed-size buffers with no bounds check (CVE-style overflow).
+int break_args(int s, int arg1, int arg2) {
+  int ns = str_chr(s, ',');
+  if (ns) {
+    storeb(ns, 0);
+    ns = ns + 1;
+    while (loadb(ns) != 0) { storeb(arg2, loadb(ns)); arg2 = arg2 + 1; ns = ns + 1; }
+    storeb(arg2, 0);
+  } else {
+    int p = s;
+    while (loadb(p) != 0) { storeb(arg2, loadb(p)); arg2 = arg2 + 1; p = p + 1; }
+    storeb(arg2, 0);
+  }
+  while (loadb(s) != 0) { storeb(arg1, loadb(s)); arg1 = arg1 + 1; s = s + 1; }
+  storeb(arg1, 0);
+  return 0;
+}
+
+int parse_int(int s) {
+  int v = 0;
+  while (loadb(s) >= '0' && loadb(s) <= '9') { v = v * 10 + loadb(s) - '0'; s = s + 1; }
+  return v;
+}
+
+int scan_cmdline(int arg) {
+  byte arg1[16];
+  byte arg2[16];
+  int a1 = arg1; int a2 = arg2;
+  break_args(arg, a1, a2);
+  local_rate = parse_int(a1);
+  remote_rate = parse_int(a2);
+  return local_rate + remote_rate;
+}
+
+int send_burst(int n) {
+  int i = 0; int acks = 0; int win = 4;
+  while (i < n) {
+    packets_sent = packets_sent + 1;
+    if ((i & 7) < win) { acks = acks + 1; } else { win = (win & 7) + 1; }
+    i = i + 1;
+  }
+  return acks;
+}
+
+int main() {
+  // Simulated `netperf -a 16,32`: stage the option text, parse, send.
+  int p = optarg_buf;
+  storeb(p + 0, '1'); storeb(p + 1, '6'); storeb(p + 2, ',');
+  storeb(p + 3, '3'); storeb(p + 4, '2'); storeb(p + 5, 0);
+  scan_cmdline(p);
+  int acks = send_burst(local_rate * remote_rate);
+  out(local_rate); out(remote_rate); out(acks);
+  return acks & 0xffff;
+})"};
+  return program;
+}
+
+const ProgramSource& by_name(const std::string& name) {
+  for (const auto& p : benchmark())
+    if (p.name == name) return p;
+  for (const auto& p : spec())
+    if (p.name == name) return p;
+  if (netperf().name == name) return netperf();
+  fail("corpus: unknown program " + name);
+}
+
+}  // namespace gp::corpus

@@ -1,0 +1,36 @@
+// The evaluation corpus — mini-C stand-ins for the paper's three program
+// sets:
+//   benchmark()  twelve small-but-diverse programs mirroring the shapes of
+//                the Banescu obfuscation benchmark (sorting, searching,
+//                arithmetic kernels, state machines, string handling);
+//   spec()       four larger programs echoing the paper's buildable SPEC
+//                2006 subset: 401.bzip2 (RLE + move-to-front compressor),
+//                429.mcf (graph shortest path), 445.gobmk (board
+//                evaluation), 456.hmmer (dynamic-programming matrix);
+//   netperf()    a network-bandwidth-tester-like client whose option parser
+//                contains the paper's break_args stack-overflow pattern
+//                (Fig. 7) — the real-world case study target.
+//
+// Every program compiles with minic::compile_source, runs to completion in
+// the emulator, and produces deterministic output (so obfuscated variants
+// can be checked for semantic preservation).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gp::corpus {
+
+struct ProgramSource {
+  std::string name;
+  std::string source;
+};
+
+const std::vector<ProgramSource>& benchmark();
+const std::vector<ProgramSource>& spec();
+const ProgramSource& netperf();
+
+/// Find a program by name across all suites; throws gp::Error if absent.
+const ProgramSource& by_name(const std::string& name);
+
+}  // namespace gp::corpus

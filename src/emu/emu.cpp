@@ -1,0 +1,168 @@
+#include "emu/emu.hpp"
+
+#include "lift/lift.hpp"
+#include "x86/decoder.hpp"
+
+namespace gp::emu {
+
+using ir::EffectKind;
+using ir::IrOp;
+using ir::JumpKind;
+using ir::Lifted;
+
+const char* stop_reason_name(StopReason r) {
+  switch (r) {
+    case StopReason::Running: return "running";
+    case StopReason::Exit: return "exit";
+    case StopReason::Syscall: return "syscall";
+    case StopReason::BadFetch: return "bad-fetch";
+    case StopReason::BadDecode: return "bad-decode";
+    case StopReason::Int3: return "int3";
+    case StopReason::MaxSteps: return "max-steps";
+  }
+  return "<bad>";
+}
+
+Emulator::Emulator(const image::Image& img) : img_(img) { reset(); }
+
+void Emulator::reset() {
+  mem_ = Memory();
+  regs_.fill(0);
+  flags_.fill(false);
+  output_.clear();
+  mem_.write_bytes(img_.code_base(), img_.code());
+  mem_.write_bytes(img_.data_base(), img_.data());
+  // Entry convention: rsp points at a return address of kExitAddress, so a
+  // plain `ret` from the entry function cleanly exits.
+  const u64 rsp = image::kStackTop - 4096;
+  mem_.write(rsp, image::kExitAddress, 8);
+  set_reg(x86::Reg::RSP, rsp);
+  rip_ = img_.entry();
+}
+
+StopReason Emulator::step() {
+  if (rip_ == image::kExitAddress) return StopReason::Exit;
+  if (!img_.in_code(rip_)) return StopReason::BadFetch;
+
+  auto cached = lift_cache_.find(rip_);
+  if (cached == lift_cache_.end()) {
+    auto inst = x86::decode(img_.code_at(rip_), rip_);
+    if (!inst) return StopReason::BadDecode;
+    if (inst->mnemonic == x86::Mnemonic::INT3) return StopReason::Int3;
+    cached = lift_cache_.emplace(rip_, lift::lift(*inst)).first;
+  }
+  const Lifted& l = cached->second;
+
+  // Evaluate the SSA computes.
+  std::vector<u64> temps(l.num_temps, 0);
+  for (const auto& c : l.compute) {
+    u64 v = 0;
+    const u8 w = c.width;
+    auto mask_count = [&](u64 cnt) { return cnt & (w == 64 ? 63 : w - 1); };
+    switch (c.op) {
+      case IrOp::Const: v = c.imm; break;
+      case IrOp::GetReg: v = reg(c.reg); break;
+      case IrOp::GetFlag: v = flag(c.flag); break;
+      case IrOp::Load: v = mem_.read(temps[c.a], w / 8); break;
+      case IrOp::Add: v = temps[c.a] + temps[c.b]; break;
+      case IrOp::Sub: v = temps[c.a] - temps[c.b]; break;
+      case IrOp::Mul: v = temps[c.a] * temps[c.b]; break;
+      case IrOp::And: v = temps[c.a] & temps[c.b]; break;
+      case IrOp::Or: v = temps[c.a] | temps[c.b]; break;
+      case IrOp::Xor: v = temps[c.a] ^ temps[c.b]; break;
+      case IrOp::Shl: v = temps[c.a] << mask_count(temps[c.b]); break;
+      case IrOp::LShr: v = temps[c.a] >> mask_count(temps[c.b]); break;
+      case IrOp::AShr:
+        v = static_cast<u64>(
+            static_cast<i64>(sign_extend(temps[c.a], w)) >>
+            mask_count(temps[c.b]));
+        break;
+      case IrOp::Not: v = ~temps[c.a]; break;
+      case IrOp::Neg: v = ~temps[c.a] + 1; break;
+      case IrOp::Eq: v = temps[c.a] == temps[c.b]; break;
+      case IrOp::Ult: v = temps[c.a] < temps[c.b]; break;
+      case IrOp::Slt: {
+        // Signed compare at the *operand* width (c.width is 1); recover it
+        // from the defining compute of operand a.
+        const u8 aw = l.compute[c.a].width;
+        const i64 x = static_cast<i64>(sign_extend(temps[c.a], aw));
+        const i64 y = static_cast<i64>(sign_extend(temps[c.b], aw));
+        v = x < y;
+        break;
+      }
+      case IrOp::Ite: v = temps[c.a] ? temps[c.b] : temps[c.c]; break;
+      case IrOp::ZExt: v = temps[c.a]; break;
+      case IrOp::SExt:
+        v = sign_extend(temps[c.a], l.compute[c.a].width);
+        break;
+      case IrOp::Trunc: v = temps[c.a]; break;
+    }
+    temps[c.dst] = truncate(v, w);
+  }
+
+  // Apply effects in order.
+  for (const auto& e : l.effects) {
+    switch (e.kind) {
+      case EffectKind::PutReg: set_reg(e.reg, temps[e.value]); break;
+      case EffectKind::PutFlag: set_flag(e.flag, temps[e.value]); break;
+      case EffectKind::Store:
+        mem_.write(temps[e.addr], temps[e.value], e.width / 8);
+        break;
+    }
+  }
+
+  // Control flow.
+  switch (l.jump.kind) {
+    case JumpKind::Fall:
+      rip_ = l.jump.fallthrough;
+      break;
+    case JumpKind::Direct:
+      rip_ = l.jump.target;
+      break;
+    case JumpKind::Indirect:
+      rip_ = temps[l.jump.target_temp];
+      break;
+    case JumpKind::CondDirect:
+      rip_ = temps[l.jump.cond] ? l.jump.target : l.jump.fallthrough;
+      break;
+    case JumpKind::Syscall: {
+      last_syscall_ = reg(x86::Reg::RAX);
+      rip_ = l.jump.fallthrough;
+      if (last_syscall_ == 1) {  // write(fd, buf, len)
+        const u64 buf = reg(x86::Reg::RSI);
+        const u64 len = reg(x86::Reg::RDX);
+        GP_CHECK(len <= 1 << 20, "unreasonable write length");
+        for (u64 i = 0; i < len; ++i) output_.push_back(mem_.read8(buf + i));
+        break;
+      }
+      if (last_syscall_ == 60) return StopReason::Exit;
+      return StopReason::Syscall;
+    }
+  }
+  return StopReason::Running;
+}
+
+RunResult Emulator::run(u64 max_steps) {
+  RunResult r;
+  for (u64 i = 0; i < max_steps; ++i) {
+    const StopReason s = step();
+    ++r.steps;
+    if (s != StopReason::Running) {
+      r.reason = s;
+      r.rip = rip_;
+      r.syscall_no = last_syscall_;
+      if (s == StopReason::Exit) {
+        r.exit_status = reg(x86::Reg::RDI);
+        // A ret to kExitAddress exits with status rax by convention.
+        if (rip_ == image::kExitAddress)
+          r.exit_status = reg(x86::Reg::RAX);
+      }
+      return r;
+    }
+  }
+  r.reason = StopReason::MaxSteps;
+  r.rip = rip_;
+  return r;
+}
+
+}  // namespace gp::emu

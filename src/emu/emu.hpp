@@ -1,0 +1,127 @@
+// Concrete user-mode emulator over the micro-IR.
+//
+// Plays two roles in the reproduction:
+//  - runs compiled (and obfuscated) corpus programs end-to-end, which is how
+//    the semantic-preservation property tests validate the obfuscator;
+//  - validates planner payloads: place the payload on the simulated stack,
+//    run, and confirm the goal syscall is reached with the planned register
+//    state (the paper's "spawns a shell" check, minus the shell).
+//
+// ABI of the simulated OS (documented in DESIGN.md):
+//   syscall 1  (write): append memory[rsi..rsi+rdx) to captured output,
+//                       continue;
+//   syscall 60 (exit):  stop, exit status = rdi;
+//   any other syscall (incl. execve=59, mprotect=10, mmap=9): stop and
+//   report — these are the code-reuse attack goals.
+#pragma once
+
+#include <array>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "image/image.hpp"
+#include "ir/ir.hpp"
+#include "x86/inst.hpp"
+
+namespace gp::emu {
+
+/// Sparse byte-addressed memory; untouched bytes read as zero.
+class Memory {
+ public:
+  u8 read8(u64 addr) const {
+    auto it = pages_.find(addr >> kPageShift);
+    if (it == pages_.end()) return 0;
+    return it->second[addr & kPageMask];
+  }
+  void write8(u64 addr, u8 v) { page(addr)[addr & kPageMask] = v; }
+
+  u64 read(u64 addr, unsigned bytes) const {
+    u64 v = 0;
+    for (unsigned i = 0; i < bytes; ++i)
+      v |= static_cast<u64>(read8(addr + i)) << (8 * i);
+    return v;
+  }
+  void write(u64 addr, u64 v, unsigned bytes) {
+    for (unsigned i = 0; i < bytes; ++i)
+      write8(addr + i, static_cast<u8>(v >> (8 * i)));
+  }
+  void write_bytes(u64 addr, std::span<const u8> bytes) {
+    for (size_t i = 0; i < bytes.size(); ++i) write8(addr + i, bytes[i]);
+  }
+  std::vector<u8> read_bytes(u64 addr, size_t n) const {
+    std::vector<u8> out(n);
+    for (size_t i = 0; i < n; ++i) out[i] = read8(addr + i);
+    return out;
+  }
+
+ private:
+  static constexpr unsigned kPageShift = 12;
+  static constexpr u64 kPageMask = 0xfff;
+  std::array<u8, 4096>& page(u64 addr) {
+    return pages_[addr >> kPageShift];
+  }
+  std::unordered_map<u64, std::array<u8, 4096>> pages_;
+};
+
+enum class StopReason : u8 {
+  Running,
+  Exit,        // syscall 60
+  Syscall,     // any non-ABI syscall (attack goal)
+  BadFetch,    // rip left the code section (and isn't kExitAddress)
+  BadDecode,   // bytes at rip are not a supported instruction
+  Int3,
+  MaxSteps,
+};
+const char* stop_reason_name(StopReason r);
+
+struct RunResult {
+  StopReason reason = StopReason::Running;
+  u64 steps = 0;
+  u64 rip = 0;          // where execution stopped
+  u64 syscall_no = 0;   // reason == Syscall/Exit: rax at the stop
+  u64 exit_status = 0;  // reason == Exit
+};
+
+class Emulator {
+ public:
+  explicit Emulator(const image::Image& img);
+
+  /// Reset registers/stack and load the image afresh.
+  void reset();
+
+  u64 reg(x86::Reg r) const { return regs_[static_cast<int>(r)]; }
+  void set_reg(x86::Reg r, u64 v) { regs_[static_cast<int>(r)] = v; }
+  bool flag(ir::Flag f) const { return flags_[static_cast<int>(f)]; }
+  void set_flag(ir::Flag f, bool v) { flags_[static_cast<int>(f)] = v; }
+  u64 rip() const { return rip_; }
+  void set_rip(u64 v) { rip_ = v; }
+
+  Memory& memory() { return mem_; }
+  const Memory& memory() const { return mem_; }
+
+  /// Captured bytes from syscall 1 (write).
+  const std::vector<u8>& output() const { return output_; }
+  std::string output_str() const {
+    return std::string(output_.begin(), output_.end());
+  }
+
+  /// Execute a single instruction. Returns Running to continue.
+  StopReason step();
+
+  /// Run from the current rip until a stop condition.
+  RunResult run(u64 max_steps = 10'000'000);
+
+ private:
+  const image::Image& img_;
+  Memory mem_;
+  std::array<u64, x86::kNumRegs> regs_{};
+  std::array<bool, ir::kNumFlags> flags_{};
+  u64 rip_ = 0;
+  std::vector<u8> output_;
+  u64 last_syscall_ = 0;
+  // Decode+lift cache keyed by address (code is not self-modifying in-run).
+  std::unordered_map<u64, ir::Lifted> lift_cache_;
+};
+
+}  // namespace gp::emu

@@ -1,0 +1,255 @@
+#include "gadget/gadget.hpp"
+
+#include <algorithm>
+
+#include "lift/lift.hpp"
+#include "x86/decoder.hpp"
+
+namespace gp::gadget {
+
+using solver::ExprRef;
+using x86::Inst;
+using x86::Mnemonic;
+using x86::Reg;
+
+const char* end_kind_name(EndKind k) {
+  switch (k) {
+    case EndKind::Ret: return "ret";
+    case EndKind::IndJmp: return "ind-jmp";
+    case EndKind::IndCall: return "ind-call";
+    case EndKind::Syscall: return "syscall";
+  }
+  return "<bad>";
+}
+
+namespace {
+
+/// In-flight exploration state for one path.
+struct Path {
+  sym::State st;
+  std::vector<PathStep> steps;
+  u64 rip;
+  int cond_jumps = 0;
+  bool has_direct = false;
+  u32 first_run_len = 0;
+};
+
+}  // namespace
+
+void Extractor::explore(u64 addr, const ExtractOptions& opts,
+                        std::vector<Record>& out) {
+  // Quick pre-filter: must decode at all from this offset.
+  auto first = x86::decode(img_.code_at(addr), addr);
+  if (!first) {
+    ++stats_.decode_failures;
+    return;
+  }
+
+  std::vector<Path> frontier;
+  frontier.push_back({exec_.initial_state(), {}, addr, 0, false, 0});
+  int emitted = 0;
+
+  while (!frontier.empty() && emitted < opts.max_paths) {
+    Path p = std::move(frontier.back());
+    frontier.pop_back();
+
+    bool dead = false;
+    while (!dead) {
+      if (static_cast<int>(p.steps.size()) >= opts.max_insts) {
+        dead = true;
+        break;
+      }
+      if (!img_.in_code(p.rip)) {
+        dead = true;
+        break;
+      }
+      auto inst = x86::decode(img_.code_at(p.rip), p.rip);
+      if (!inst || inst->mnemonic == Mnemonic::INT3) {
+        dead = true;
+        break;
+      }
+      const sym::Flow flow = exec_.step(p.st, lift::lift(*inst));
+      p.steps.push_back({*inst, false});
+      // `len` reports the contiguous byte run from the start address; it
+      // stops growing once a direct-jump merge leaves the run.
+      if (!p.has_direct) p.first_run_len += inst->len;
+
+      switch (flow.kind) {
+        case ir::JumpKind::Fall:
+          p.rip = flow.fallthrough;
+          continue;
+
+        case ir::JumpKind::Direct:
+          if (flow.is_call) {
+            // Direct call: following into the callee is equivalent to a
+            // direct-jump merge (return address was pushed).
+            p.has_direct = true;
+            p.rip = flow.target;
+            continue;
+          }
+          // Paper: gadgets ending with a direct jump merge with the gadget
+          // at the target address.
+          p.has_direct = true;
+          p.rip = flow.target;
+          continue;
+
+        case ir::JumpKind::CondDirect: {
+          if (p.cond_jumps >= opts.max_cond_jumps) {
+            dead = true;
+            break;
+          }
+          ++p.cond_jumps;
+          // Fork: not-taken continues here; taken goes on the frontier.
+          Path taken = p;
+          taken.steps.back().branch_taken = true;
+          taken.st.constraints.push_back(flow.cond);
+          taken.rip = flow.target;
+          taken.has_direct = true;
+          frontier.push_back(std::move(taken));
+
+          p.st.constraints.push_back(ctx_.bnot(flow.cond));
+          p.rip = flow.fallthrough;
+          continue;
+        }
+
+        case ir::JumpKind::Indirect:
+        case ir::JumpKind::Syscall: {
+          // A `ret` whose popped target resolves to a constant (a called
+          // function returning to the return address pushed within this
+          // same path) behaves like a direct jump: merge and continue.
+          // Other constant-target indirect transfers (e.g. resolved jump
+          // tables) end the gadget normally — following them would turn
+          // gadgets into whole-program executions.
+          if (flow.kind == ir::JumpKind::Indirect && flow.is_ret &&
+              flow.target_expr != solver::kNoExpr &&
+              ctx_.is_const(flow.target_expr) &&
+              img_.in_code(ctx_.const_val(flow.target_expr))) {
+            p.has_direct = true;
+            p.rip = ctx_.const_val(flow.target_expr);
+            continue;
+          }
+          // Complete gadget.
+          Record r;
+          r.addr = addr;
+          r.len = p.first_run_len;
+          r.n_insts = static_cast<int>(p.steps.size());
+          if (flow.kind == ir::JumpKind::Syscall) {
+            r.end = EndKind::Syscall;
+          } else if (flow.is_ret) {
+            r.end = EndKind::Ret;
+          } else if (flow.is_call) {
+            r.end = EndKind::IndCall;
+          } else {
+            r.end = EndKind::IndJmp;
+          }
+          r.has_cond_jump = p.cond_jumps > 0;
+          r.has_direct_jump = p.has_direct;
+          r.next_rip = flow.target_expr;  // kNoExpr for syscall
+          r.precond = p.st.constraints;
+          r.writes = p.st.writes;
+          r.ind_reads = p.st.ind_reads;
+          r.stack_reads = p.st.stack_reads;
+          r.path = p.steps;
+          r.aliased_memory = p.st.assumed_no_alias;
+
+          for (int i = 0; i < x86::kNumRegs; ++i) {
+            const Reg reg = static_cast<Reg>(i);
+            const ExprRef final = p.st.regs[i];
+            r.final_regs[i] = final;
+            const ExprRef init = ctx_.var(sym::initial_reg_var(reg), 64);
+            if (final != init) r.clobbered |= reg_bit(reg);
+            if (final != init) {
+              // Controlled: a function of payload variables only.
+              // Settable: a function of payload variables and/or initial GP
+              // registers (register-transfer chaining can finish the job).
+              bool payload_only = true;
+              bool has_payload = false;
+              bool settable = true;
+              for (const ExprRef v : ctx_.variables(final)) {
+                const std::string& name = ctx_.var_name(v);
+                if (sym::parse_stack_var(name)) {
+                  has_payload = true;
+                  continue;
+                }
+                payload_only = false;
+                if (name.rfind("ind", 0) == 0) continue;  // POINTER dep
+                bool is_init_reg = false;
+                for (int k = 0; k < x86::kNumRegs; ++k)
+                  is_init_reg |=
+                      name == sym::initial_reg_var(static_cast<Reg>(k));
+                if (!is_init_reg) settable = false;
+              }
+              if (payload_only && has_payload) r.controlled |= reg_bit(reg);
+              if (settable) r.settable |= reg_bit(reg);
+            }
+          }
+
+          const auto rsp =
+              sym::split_base_offset(ctx_, p.st.regs[static_cast<int>(Reg::RSP)]);
+          const ExprRef rsp0 = ctx_.var(sym::initial_reg_var(Reg::RSP), 64);
+          if (rsp && rsp->base == rsp0) r.stack_delta = rsp->offset;
+
+          if (opts.drop_wild_stores) {
+            bool wild = false;
+            for (const auto& w : r.writes) {
+              const auto bo = sym::split_base_offset(ctx_, w.addr);
+              if (!bo || bo->base != rsp0) wild = true;
+            }
+            if (wild) {
+              dead = true;
+              break;
+            }
+          }
+
+          ++stats_.gadgets;
+          if (r.has_cond_jump) ++stats_.with_cond_jump;
+          if (r.has_direct_jump) ++stats_.with_direct_jump;
+          out.push_back(std::move(r));
+          ++emitted;
+          dead = true;  // path complete
+          break;
+        }
+      }
+    }
+  }
+}
+
+std::vector<Record> Extractor::extract(const ExtractOptions& opts) {
+  std::vector<Record> out;
+  const u64 base = img_.code_base();
+  const u64 end = img_.code_end();
+  for (u64 addr = base; addr < end;
+       addr += static_cast<u64>(opts.stride)) {
+    ++stats_.offsets_scanned;
+    explore(addr, opts, out);
+  }
+  return out;
+}
+
+Library::Library(std::vector<Record> records) : records_(std::move(records)) {
+  // Directly payload-controlled gadgets first (cheapest for the planner),
+  // register-transfer gadgets after; within each class, shorter first.
+  for (int pass = 0; pass < 2; ++pass) {
+    std::vector<u32> order(records_.size());
+    for (u32 i = 0; i < records_.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](u32 a, u32 b) {
+      if (records_[a].n_insts != records_[b].n_insts)
+        return records_[a].n_insts < records_[b].n_insts;
+      return records_[a].addr < records_[b].addr;
+    });
+    for (const u32 i : order) {
+      const Record& r = records_[i];
+      for (int reg = 0; reg < x86::kNumRegs; ++reg) {
+        const bool pure = r.controlled & reg_bit(static_cast<Reg>(reg));
+        const bool transfer =
+            (r.settable & reg_bit(static_cast<Reg>(reg))) && !pure;
+        if ((pass == 0 && pure) || (pass == 1 && transfer))
+          by_reg_[reg].push_back(i);
+      }
+    }
+  }
+  for (u32 i = 0; i < records_.size(); ++i)
+    if (records_[i].end == EndKind::Syscall) syscall_gadgets_.push_back(i);
+}
+
+}  // namespace gp::gadget

@@ -1,0 +1,137 @@
+// Gadget extraction (paper Sec. IV-B).
+//
+// The extractor decodes from EVERY byte offset of the code section
+// (unaligned starts included), follows execution symbolically, and produces
+// one Record (paper Table II) per complete path:
+//  - direct jumps are followed and merged into the same gadget;
+//  - conditional jumps fork the path (bounded); the branch decision becomes
+//    part of the gadget's pre-condition — the feature that lets
+//    Gadget-Planner use the CDJ/CIJ gadgets every baseline ignores;
+//  - paths end at ret / indirect jmp / indirect call / syscall.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "image/image.hpp"
+#include "solver/expr.hpp"
+#include "sym/exec.hpp"
+#include "x86/inst.hpp"
+
+namespace gp::gadget {
+
+/// Final control transfer of the gadget.
+enum class EndKind : u8 {
+  Ret,       // ret (target popped from the stack)
+  IndJmp,    // jmp reg / jmp [mem]
+  IndCall,   // call reg / call [mem]
+  Syscall,   // execution reaches a syscall instruction
+};
+const char* end_kind_name(EndKind k);
+
+/// One step of the recorded path (for re-execution during payload
+/// concretization).
+struct PathStep {
+  x86::Inst inst;
+  bool branch_taken = false;  // meaningful when inst is a Jcc
+};
+
+using RegMask = u16;
+constexpr RegMask reg_bit(x86::Reg r) {
+  return static_cast<RegMask>(1u << static_cast<unsigned>(r));
+}
+
+/// The paper's Table II record.
+struct Record {
+  u64 addr = 0;          // location: address of the first instruction
+  u32 len = 0;           // bytes spanned by the first run
+  int n_insts = 0;
+  EndKind end = EndKind::Ret;
+  bool has_cond_jump = false;    // path crossed a Jcc
+  bool has_direct_jump = false;  // path merged across a direct jmp
+  RegMask clobbered = 0;   // regs whose final value differs from initial
+  RegMask controlled = 0;  // regs whose final value is payload-determined
+  /// Regs whose final value is a function of payload slots and/or initial
+  /// GP registers (no unconstrained memory): the planner can establish
+  /// these by first gaining control of the source registers — the
+  /// register-transfer chaining that lets `mov rdi, rbx; ret` substitute
+  /// for a missing `pop rdi; ret`.
+  RegMask settable = 0;
+
+  std::array<solver::ExprRef, x86::kNumRegs> final_regs{};
+  std::vector<solver::ExprRef> precond;  // path condition conjuncts
+  solver::ExprRef next_rip = solver::kNoExpr;  // symbolic transfer target
+  /// rsp_final - rsp_initial when concrete; nullopt otherwise.
+  std::optional<i64> stack_delta;
+  std::vector<sym::MemWrite> writes;  // memory side effects
+  std::vector<sym::IndirectRead> ind_reads;  // POINTER-typed dependencies
+  std::vector<i64> stack_reads;       // payload offsets consumed
+  std::vector<PathStep> path;         // for re-execution
+  bool aliased_memory = false;        // no-alias assumption was used
+
+  bool controls(x86::Reg r) const { return controlled & reg_bit(r); }
+  bool clobbers(x86::Reg r) const { return clobbered & reg_bit(r); }
+  bool can_set(x86::Reg r) const { return settable & reg_bit(r); }
+};
+
+struct ExtractOptions {
+  int max_insts = 32;       // per path (allows call+return merges)
+  int max_cond_jumps = 2;   // fork bound per start offset
+  int max_paths = 4;        // gadget variants per start offset
+  /// Scan stride in bytes (1 = every offset, the paper's setting).
+  int stride = 1;
+  /// Skip gadgets that write through non-stack pointers (off by default:
+  /// the planner penalizes instead of excluding).
+  bool drop_wild_stores = false;
+};
+
+struct ExtractStats {
+  u64 offsets_scanned = 0;
+  u64 decode_failures = 0;
+  u64 gadgets = 0;
+  u64 with_cond_jump = 0;
+  u64 with_direct_jump = 0;
+};
+
+class Extractor {
+ public:
+  Extractor(solver::Context& ctx, const image::Image& img)
+      : ctx_(ctx), img_(img), exec_(ctx, &img) {}
+
+  std::vector<Record> extract(const ExtractOptions& opts = {});
+  const ExtractStats& stats() const { return stats_; }
+
+ private:
+  void explore(u64 addr, const ExtractOptions& opts,
+               std::vector<Record>& out);
+
+  solver::Context& ctx_;
+  const image::Image& img_;
+  sym::Executor exec_;
+  ExtractStats stats_;
+};
+
+/// Gadget library indexed by controlled register (paper Sec. V): the planner
+/// looks up "who can set rdi" in O(1).
+class Library {
+ public:
+  explicit Library(std::vector<Record> records);
+
+  const std::vector<Record>& all() const { return records_; }
+  /// Indices of gadgets that can establish register r (directly
+  /// payload-controlled gadgets first, register-transfer gadgets after).
+  const std::vector<u32>& controlling(x86::Reg r) const {
+    return by_reg_[static_cast<int>(r)];
+  }
+  /// Indices of syscall-terminated gadgets.
+  const std::vector<u32>& syscalls() const { return syscall_gadgets_; }
+  const Record& operator[](u32 i) const { return records_[i]; }
+  size_t size() const { return records_.size(); }
+
+ private:
+  std::vector<Record> records_;
+  std::array<std::vector<u32>, x86::kNumRegs> by_reg_;
+  std::vector<u32> syscall_gadgets_;
+};
+
+}  // namespace gp::gadget

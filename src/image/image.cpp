@@ -1,0 +1,17 @@
+#include "image/image.hpp"
+
+#include "support/str.hpp"
+
+namespace gp::image {
+
+std::string Image::symbolize(u64 addr) const {
+  const Symbol* best = nullptr;
+  for (const auto& s : symbols_) {
+    if (s.addr <= addr && (!best || s.addr > best->addr)) best = &s;
+  }
+  if (!best) return hex(addr);
+  const u64 off = addr - best->addr;
+  return off == 0 ? best->name : best->name + "+" + hex(off);
+}
+
+}  // namespace gp::image

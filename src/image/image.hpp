@@ -1,0 +1,75 @@
+// Flat binary image ("ELF-lite"): the executable artifact produced by the
+// mini-C code generator and consumed by the gadget scanner, the baselines and
+// the concrete emulator.
+//
+// Layout mirrors a small static ELF: one read-execute code section and one
+// read-write data section at fixed virtual addresses, an entry point, and a
+// symbol table for diagnostics.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace gp::image {
+
+constexpr u64 kCodeBase = 0x400000;
+constexpr u64 kDataBase = 0x600000;
+/// Initial stack pointer used by the emulator (stack grows down from here).
+constexpr u64 kStackTop = 0x7ffff000;
+/// Sentinel return address: the emulator halts when control reaches it.
+constexpr u64 kExitAddress = 0xdead0000;
+
+struct Symbol {
+  std::string name;
+  u64 addr = 0;
+};
+
+class Image {
+ public:
+  Image() = default;
+  Image(std::vector<u8> code, std::vector<u8> data, u64 entry)
+      : code_(std::move(code)), data_(std::move(data)), entry_(entry) {}
+
+  std::span<const u8> code() const { return code_; }
+  std::span<const u8> data() const { return data_; }
+  u64 code_base() const { return kCodeBase; }
+  u64 data_base() const { return kDataBase; }
+  u64 code_end() const { return kCodeBase + code_.size(); }
+  u64 entry() const { return entry_; }
+  void set_entry(u64 e) { entry_ = e; }
+
+  bool in_code(u64 addr) const {
+    return addr >= kCodeBase && addr < code_end();
+  }
+
+  /// Bytes of the code section starting at virtual address `addr`.
+  std::span<const u8> code_at(u64 addr) const {
+    GP_CHECK(in_code(addr), "code_at: address outside code section");
+    return std::span<const u8>(code_).subspan(addr - kCodeBase);
+  }
+
+  void add_symbol(std::string name, u64 addr) {
+    symbols_.push_back({std::move(name), addr});
+  }
+  const std::vector<Symbol>& symbols() const { return symbols_; }
+  std::optional<u64> find_symbol(const std::string& name) const {
+    for (const auto& s : symbols_)
+      if (s.name == name) return s.addr;
+    return std::nullopt;
+  }
+  /// Name of the closest symbol at or below `addr`, for diagnostics.
+  std::string symbolize(u64 addr) const;
+
+ private:
+  std::vector<u8> code_;
+  std::vector<u8> data_;
+  u64 entry_ = kCodeBase;
+  std::vector<Symbol> symbols_;
+};
+
+}  // namespace gp::image

@@ -1,0 +1,10 @@
+#include "ir/ir.hpp"
+
+namespace gp::ir {
+
+const char* flag_name(Flag f) {
+  static const char* names[] = {"zf", "sf", "cf", "of", "pf"};
+  return names[static_cast<unsigned>(f)];
+}
+
+}  // namespace gp::ir

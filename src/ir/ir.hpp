@@ -1,0 +1,92 @@
+// Micro-IR: the lifted form of one x86 instruction (the role VEX plays for
+// angr in the paper).
+//
+// A Lifted instruction is a short SSA program over temps:
+//   compute:  pure ops + loads, all reading the PRE-instruction machine
+//             state (registers, flags, memory);
+//   effects:  register/flag/memory writes applied atomically afterwards;
+//   jump:     what the instruction does to control flow.
+//
+// Both the symbolic executor (sym/) and the concrete emulator (emu/)
+// interpret this IR, so their semantics cannot drift apart — the property
+// test "symbolic post-state == concrete execution" pins them together.
+#pragma once
+
+#include <vector>
+
+#include "support/common.hpp"
+#include "x86/inst.hpp"
+
+namespace gp::ir {
+
+enum class Flag : u8 { ZF = 0, SF, CF, OF, PF };
+constexpr int kNumFlags = 5;
+const char* flag_name(Flag f);
+
+enum class IrOp : u8 {
+  Const,    // imm
+  GetReg,   // reg (always 64-bit read)
+  GetFlag,  // flag (width 1)
+  Load,     // [a], width bits
+  Add, Sub, Mul, And, Or, Xor,
+  Shl, LShr, AShr,
+  Not, Neg,
+  Eq, Ult, Slt,   // width 1 results
+  Ite,            // a ? b : c
+  ZExt, SExt,     // widen a to `width`
+  Trunc,          // low `width` bits of a
+};
+
+using TempId = u16;
+constexpr TempId kNoTemp = 0xffff;
+
+/// One SSA computation; dst is the index of the temp being defined.
+struct Compute {
+  IrOp op = IrOp::Const;
+  TempId dst = kNoTemp;
+  u8 width = 64;
+  TempId a = kNoTemp, b = kNoTemp, c = kNoTemp;
+  u64 imm = 0;
+  x86::Reg reg = x86::Reg::NONE;
+  Flag flag = Flag::ZF;
+};
+
+enum class EffectKind : u8 { PutReg, PutFlag, Store };
+
+struct Effect {
+  EffectKind kind = EffectKind::PutReg;
+  x86::Reg reg = x86::Reg::NONE;  // PutReg
+  Flag flag = Flag::ZF;           // PutFlag
+  TempId addr = kNoTemp;          // Store
+  TempId value = kNoTemp;         // all
+  u8 width = 64;                  // Store width
+};
+
+enum class JumpKind : u8 {
+  Fall,        // no control transfer; next = addr + len
+  Direct,      // unconditional, constant target
+  Indirect,    // unconditional, computed target (includes ret)
+  CondDirect,  // conditional, constant target, falls through otherwise
+  Syscall,     // execution leaves the program (the attack goal)
+};
+
+struct Jump {
+  JumpKind kind = JumpKind::Fall;
+  u64 target = 0;        // Direct / CondDirect taken-target
+  u64 fallthrough = 0;   // next sequential address
+  TempId target_temp = kNoTemp;  // Indirect
+  TempId cond = kNoTemp;         // CondDirect (width 1)
+  /// True when the Indirect target was produced by a `ret`-style stack pop
+  /// (used by gadget classification).
+  bool is_ret = false;
+  bool is_call = false;  // pushes a return address (direct or indirect call)
+};
+
+struct Lifted {
+  std::vector<Compute> compute;
+  std::vector<Effect> effects;
+  Jump jump;
+  u16 num_temps = 0;
+};
+
+}  // namespace gp::ir

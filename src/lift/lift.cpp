@@ -1,0 +1,462 @@
+#include "lift/lift.hpp"
+
+namespace gp::lift {
+
+using ir::Compute;
+using ir::Effect;
+using ir::EffectKind;
+using ir::Flag;
+using ir::IrOp;
+using ir::JumpKind;
+using ir::Lifted;
+using ir::TempId;
+using x86::Cond;
+using x86::Inst;
+using x86::MemRef;
+using x86::Mnemonic;
+using x86::Operand;
+using x86::Reg;
+
+namespace {
+
+/// Incremental builder for one Lifted instruction.
+class Builder {
+ public:
+  explicit Builder(const Inst& inst) : inst_(inst) {
+    out_.jump.fallthrough = inst.addr + inst.len;
+  }
+
+  TempId constant(u64 v, u8 w = 64) {
+    return push({.op = IrOp::Const, .width = w, .imm = v});
+  }
+  TempId get_reg(Reg r) { return push({.op = IrOp::GetReg, .reg = r}); }
+  TempId get_flag(Flag f) {
+    return push({.op = IrOp::GetFlag, .width = 1, .flag = f});
+  }
+  TempId load(TempId addr, u8 w) {
+    return push({.op = IrOp::Load, .width = w, .a = addr});
+  }
+  TempId bin(IrOp op, TempId a, TempId b, u8 w) {
+    return push({.op = op, .width = w, .a = a, .b = b});
+  }
+  TempId un(IrOp op, TempId a, u8 w) {
+    return push({.op = op, .width = w, .a = a});
+  }
+  TempId ite(TempId c, TempId t, TempId f, u8 w) {
+    return push({.op = IrOp::Ite, .width = w, .a = c, .b = t, .c = f});
+  }
+  TempId zext64(TempId a) { return push({.op = IrOp::ZExt, .width = 64, .a = a}); }
+  TempId trunc(TempId a, u8 w) {
+    return push({.op = IrOp::Trunc, .width = w, .a = a});
+  }
+  TempId eqz(TempId a, u8 w) {
+    return bin(IrOp::Eq, a, constant(0, w), 1);
+  }
+
+  void put_reg(Reg r, TempId v) {
+    out_.effects.push_back({.kind = EffectKind::PutReg, .reg = r, .value = v});
+  }
+  void put_flag(Flag f, TempId v) {
+    out_.effects.push_back(
+        {.kind = EffectKind::PutFlag, .flag = f, .value = v});
+  }
+  void store(TempId addr, TempId v, u8 w) {
+    out_.effects.push_back(
+        {.kind = EffectKind::Store, .addr = addr, .value = v, .width = w});
+  }
+
+  /// The address of a memory operand as a 64-bit temp.
+  TempId mem_addr(const MemRef& m) {
+    if (m.rip_relative) {
+      return constant(inst_.addr + inst_.len + static_cast<i64>(m.disp));
+    }
+    TempId acc = ir::kNoTemp;
+    if (m.base != Reg::NONE) acc = get_reg(m.base);
+    if (m.index != Reg::NONE) {
+      TempId idx = get_reg(m.index);
+      if (m.scale != 1) {
+        const u8 sh = m.scale == 2 ? 1 : m.scale == 4 ? 2 : 3;
+        idx = bin(IrOp::Shl, idx, constant(sh), 64);
+      }
+      acc = acc == ir::kNoTemp ? idx : bin(IrOp::Add, acc, idx, 64);
+    }
+    const TempId disp = constant(static_cast<u64>(static_cast<i64>(m.disp)));
+    return acc == ir::kNoTemp ? disp : bin(IrOp::Add, acc, disp, 64);
+  }
+
+  /// Read an operand at the instruction's operand size `w`.
+  TempId read(const Operand& op, u8 w) {
+    switch (op.kind) {
+      case x86::OperandKind::REG: {
+        TempId full = get_reg(op.reg);
+        return w == 64 ? full : trunc(full, w);
+      }
+      case x86::OperandKind::IMM:
+        return constant(truncate(static_cast<u64>(op.imm), w), w);
+      case x86::OperandKind::MEM:
+        return load(mem_addr(op.mem), w);
+      default:
+        fail("read of empty operand");
+    }
+  }
+
+  /// Write `v` (width w) to a register or memory operand. 32-bit register
+  /// writes zero-extend to 64 per the x86-64 rule.
+  void write(const Operand& op, TempId v, u8 w) {
+    if (op.is_reg()) {
+      put_reg(op.reg, w == 64 ? v : zext64(v));
+    } else {
+      GP_CHECK(op.is_mem(), "write to immediate");
+      store(mem_addr(op.mem), v, w);
+    }
+  }
+
+  /// Standard ZF/SF/PF from a result of width w.
+  void result_flags(TempId r, u8 w) {
+    put_flag(Flag::ZF, eqz(r, w));
+    put_flag(Flag::SF, bin(IrOp::Slt, r, constant(0, w), 1));
+    // PF: even parity of the low 8 bits.
+    TempId p = trunc(r, 8);
+    TempId acc = trunc(p, 1);
+    for (u8 i = 1; i < 8; ++i) {
+      TempId bit = trunc(bin(IrOp::LShr, p, constant(i, 8), 8), 1);
+      acc = bin(IrOp::Xor, acc, bit, 1);
+    }
+    put_flag(Flag::PF, un(IrOp::Not, acc, 1));
+  }
+
+  void zero_cf_of() {
+    const TempId zero = constant(0, 1);
+    put_flag(Flag::CF, zero);
+    put_flag(Flag::OF, zero);
+  }
+
+  /// Evaluate a condition code from the pre-instruction flags (width 1).
+  TempId cond(Cond c) {
+    switch (c) {
+      case Cond::O: return get_flag(Flag::OF);
+      case Cond::NO: return un(IrOp::Not, get_flag(Flag::OF), 1);
+      case Cond::B: return get_flag(Flag::CF);
+      case Cond::AE: return un(IrOp::Not, get_flag(Flag::CF), 1);
+      case Cond::E: return get_flag(Flag::ZF);
+      case Cond::NE: return un(IrOp::Not, get_flag(Flag::ZF), 1);
+      case Cond::BE:
+        return bin(IrOp::Or, get_flag(Flag::CF), get_flag(Flag::ZF), 1);
+      case Cond::A:
+        return un(IrOp::Not,
+                  bin(IrOp::Or, get_flag(Flag::CF), get_flag(Flag::ZF), 1),
+                  1);
+      case Cond::S: return get_flag(Flag::SF);
+      case Cond::NS: return un(IrOp::Not, get_flag(Flag::SF), 1);
+      case Cond::P: return get_flag(Flag::PF);
+      case Cond::NP: return un(IrOp::Not, get_flag(Flag::PF), 1);
+      case Cond::L:
+        return bin(IrOp::Xor, get_flag(Flag::SF), get_flag(Flag::OF), 1);
+      case Cond::GE:
+        return un(IrOp::Not,
+                  bin(IrOp::Xor, get_flag(Flag::SF), get_flag(Flag::OF), 1),
+                  1);
+      case Cond::LE:
+        return bin(IrOp::Or, get_flag(Flag::ZF),
+                   bin(IrOp::Xor, get_flag(Flag::SF), get_flag(Flag::OF), 1),
+                   1);
+      case Cond::G:
+        return un(
+            IrOp::Not,
+            bin(IrOp::Or, get_flag(Flag::ZF),
+                bin(IrOp::Xor, get_flag(Flag::SF), get_flag(Flag::OF), 1), 1),
+            1);
+    }
+    fail("bad condition code");
+  }
+
+  Lifted take() {
+    out_.num_temps = next_;
+    return std::move(out_);
+  }
+
+  Lifted out_;
+
+ private:
+  TempId push(Compute c) {
+    c.dst = next_++;
+    out_.compute.push_back(c);
+    return c.dst;
+  }
+  const Inst& inst_;
+  TempId next_ = 0;
+};
+
+}  // namespace
+
+ir::Lifted lift(const x86::Inst& inst) {
+  Builder b(inst);
+  const u8 w = inst.size;
+
+  switch (inst.mnemonic) {
+    case Mnemonic::NOP:
+    case Mnemonic::INT3:  // treated as a no-op marker; emulator stops on it
+      break;
+
+    case Mnemonic::MOV:
+    case Mnemonic::MOVABS: {
+      const TempId v = b.read(inst.src, w);
+      b.write(inst.dst, v, w);
+      break;
+    }
+
+    case Mnemonic::LEA: {
+      const TempId a = b.mem_addr(inst.src.mem);
+      const TempId v = w == 64 ? a : b.trunc(a, w);
+      b.write(inst.dst, v, w);
+      break;
+    }
+
+    case Mnemonic::MOVZX:
+    case Mnemonic::MOVSX: {
+      // Narrow read (8/16 bits) widened to the operand size. Memory reads
+      // use the narrow width; register sources take the low bits.
+      TempId narrow;
+      if (inst.src.is_mem()) {
+        narrow = b.load(b.mem_addr(inst.src.mem), inst.src_size);
+      } else {
+        narrow = b.trunc(b.get_reg(inst.src.reg), inst.src_size);
+      }
+      const TempId v = b.un(inst.mnemonic == Mnemonic::MOVZX ? IrOp::ZExt
+                                                             : IrOp::SExt,
+                            narrow, w);
+      b.write(inst.dst, v, w);
+      break;
+    }
+
+    case Mnemonic::CMOV: {
+      const TempId cond = b.cond(inst.cond);
+      const TempId cur = b.read(inst.dst, w);
+      const TempId alt = b.read(inst.src, w);
+      b.write(inst.dst, b.ite(cond, alt, cur, w), w);
+      break;
+    }
+
+    case Mnemonic::XCHG: {
+      const TempId x = b.read(inst.dst, w);
+      const TempId y = b.read(inst.src, w);
+      b.write(inst.dst, y, w);
+      b.write(inst.src, x, w);
+      break;
+    }
+
+    case Mnemonic::ADD: {
+      const TempId a = b.read(inst.dst, w);
+      const TempId c = b.read(inst.src, w);
+      const TempId r = b.bin(IrOp::Add, a, c, w);
+      b.write(inst.dst, r, w);
+      b.result_flags(r, w);
+      b.put_flag(Flag::CF, b.bin(IrOp::Ult, r, a, 1));
+      // OF: operands same sign, result different sign.
+      const TempId sa = b.bin(IrOp::Slt, a, b.constant(0, w), 1);
+      const TempId sc = b.bin(IrOp::Slt, c, b.constant(0, w), 1);
+      const TempId sr = b.bin(IrOp::Slt, r, b.constant(0, w), 1);
+      const TempId same = b.un(IrOp::Not, b.bin(IrOp::Xor, sa, sc, 1), 1);
+      b.put_flag(Flag::OF, b.bin(IrOp::And, same,
+                                 b.bin(IrOp::Xor, sa, sr, 1), 1));
+      break;
+    }
+
+    case Mnemonic::SUB:
+    case Mnemonic::CMP: {
+      const TempId a = b.read(inst.dst, w);
+      const TempId c = b.read(inst.src, w);
+      const TempId r = b.bin(IrOp::Sub, a, c, w);
+      if (inst.mnemonic == Mnemonic::SUB) b.write(inst.dst, r, w);
+      b.result_flags(r, w);
+      b.put_flag(Flag::CF, b.bin(IrOp::Ult, a, c, 1));
+      const TempId sa = b.bin(IrOp::Slt, a, b.constant(0, w), 1);
+      const TempId sc = b.bin(IrOp::Slt, c, b.constant(0, w), 1);
+      const TempId sr = b.bin(IrOp::Slt, r, b.constant(0, w), 1);
+      const TempId diff = b.bin(IrOp::Xor, sa, sc, 1);
+      b.put_flag(Flag::OF,
+                 b.bin(IrOp::And, diff, b.bin(IrOp::Xor, sa, sr, 1), 1));
+      break;
+    }
+
+    case Mnemonic::AND:
+    case Mnemonic::OR:
+    case Mnemonic::XOR:
+    case Mnemonic::TEST: {
+      const IrOp op = inst.mnemonic == Mnemonic::OR    ? IrOp::Or
+                      : inst.mnemonic == Mnemonic::XOR ? IrOp::Xor
+                                                       : IrOp::And;
+      const TempId a = b.read(inst.dst, w);
+      const TempId c = b.read(inst.src, w);
+      const TempId r = b.bin(op, a, c, w);
+      if (inst.mnemonic != Mnemonic::TEST) b.write(inst.dst, r, w);
+      b.result_flags(r, w);
+      b.zero_cf_of();
+      break;
+    }
+
+    case Mnemonic::NOT: {
+      const TempId a = b.read(inst.dst, w);
+      b.write(inst.dst, b.un(IrOp::Not, a, w), w);
+      break;  // NOT sets no flags
+    }
+
+    case Mnemonic::NEG: {
+      const TempId a = b.read(inst.dst, w);
+      const TempId r = b.un(IrOp::Neg, a, w);
+      b.write(inst.dst, r, w);
+      b.result_flags(r, w);
+      b.put_flag(Flag::CF, b.un(IrOp::Not, b.eqz(a, w), 1));
+      // OF: a == INT_MIN.
+      b.put_flag(Flag::OF,
+                 b.bin(IrOp::Eq, a,
+                       b.constant(u64{1} << (w - 1), w), 1));
+      break;
+    }
+
+    case Mnemonic::INC:
+    case Mnemonic::DEC: {
+      const TempId a = b.read(inst.dst, w);
+      const TempId one = b.constant(1, w);
+      const bool inc = inst.mnemonic == Mnemonic::INC;
+      const TempId r = b.bin(inc ? IrOp::Add : IrOp::Sub, a, one, w);
+      b.write(inst.dst, r, w);
+      b.result_flags(r, w);  // CF unchanged per x86
+      const TempId lim =
+          b.constant(inc ? (u64{1} << (w - 1)) - 1 : u64{1} << (w - 1), w);
+      b.put_flag(Flag::OF, b.bin(IrOp::Eq, a, lim, 1));
+      break;
+    }
+
+    case Mnemonic::IMUL: {
+      const TempId a = b.read(inst.dst, w);
+      const TempId c = b.read(inst.src, w);
+      const TempId r = b.bin(IrOp::Mul, a, c, w);
+      b.write(inst.dst, r, w);
+      b.result_flags(r, w);
+      b.zero_cf_of();  // in-universe simplification (see header)
+      break;
+    }
+
+    case Mnemonic::SHL:
+    case Mnemonic::SHR:
+    case Mnemonic::SAR: {
+      const IrOp op = inst.mnemonic == Mnemonic::SHL    ? IrOp::Shl
+                      : inst.mnemonic == Mnemonic::SHR ? IrOp::LShr
+                                                       : IrOp::AShr;
+      const TempId a = b.read(inst.dst, w);
+      TempId cnt = b.read(inst.src, w);
+      const u64 mask = w == 64 ? 63 : 31;
+      cnt = b.bin(IrOp::And, cnt, b.constant(mask, w), w);
+      const TempId r = b.bin(op, a, cnt, w);
+      b.write(inst.dst, r, w);
+      // Flags only change when count != 0; model precisely with ITEs.
+      const TempId cnt_zero = b.eqz(cnt, w);
+      auto keep = [&](Flag f, TempId new_v) {
+        b.put_flag(f, b.ite(cnt_zero, b.get_flag(f), new_v, 1));
+      };
+      keep(Flag::ZF, b.eqz(r, w));
+      keep(Flag::SF, b.bin(IrOp::Slt, r, b.constant(0, w), 1));
+      // CF = last bit shifted out.
+      TempId cf;
+      if (op == IrOp::Shl) {
+        // bit (w - cnt) of a
+        const TempId sh = b.bin(IrOp::Sub, b.constant(w, w), cnt, w);
+        cf = b.trunc(b.bin(IrOp::LShr, a, sh, w), 1);
+      } else {
+        const TempId sh = b.bin(IrOp::Sub, cnt, b.constant(1, w), w);
+        const TempId shifted = op == IrOp::AShr
+                                   ? b.bin(IrOp::AShr, a, sh, w)
+                                   : b.bin(IrOp::LShr, a, sh, w);
+        cf = b.trunc(shifted, 1);
+      }
+      keep(Flag::CF, cf);
+      keep(Flag::OF, b.constant(0, 1));  // in-universe simplification
+      keep(Flag::PF, b.constant(0, 1));  // PF recomputed cheaply as 0-model
+      break;
+    }
+
+    case Mnemonic::PUSH: {
+      const TempId v = b.read(inst.dst, 64);
+      const TempId rsp = b.get_reg(Reg::RSP);
+      const TempId nsp = b.bin(IrOp::Sub, rsp, b.constant(8), 64);
+      b.store(nsp, v, 64);
+      b.put_reg(Reg::RSP, nsp);
+      break;
+    }
+
+    case Mnemonic::POP: {
+      const TempId rsp = b.get_reg(Reg::RSP);
+      const TempId v = b.load(rsp, 64);
+      const TempId nsp = b.bin(IrOp::Add, rsp, b.constant(8), 64);
+      // Write the popped value first, then rsp — except for `pop rsp`,
+      // where the loaded value wins (x86 semantics).
+      b.put_reg(Reg::RSP, nsp);
+      b.write(inst.dst, v, 64);
+      break;
+    }
+
+    case Mnemonic::LEAVE: {
+      const TempId rbp = b.get_reg(Reg::RBP);
+      const TempId v = b.load(rbp, 64);
+      b.put_reg(Reg::RSP, b.bin(IrOp::Add, rbp, b.constant(8), 64));
+      b.put_reg(Reg::RBP, v);
+      break;
+    }
+
+    case Mnemonic::RET: {
+      const TempId rsp = b.get_reg(Reg::RSP);
+      const TempId target = b.load(rsp, 64);
+      const u64 extra = inst.dst.is_imm() ? static_cast<u64>(inst.dst.imm) : 0;
+      b.put_reg(Reg::RSP,
+                b.bin(IrOp::Add, rsp, b.constant(8 + extra), 64));
+      b.out_.jump.kind = JumpKind::Indirect;
+      b.out_.jump.target_temp = target;
+      b.out_.jump.is_ret = true;
+      break;
+    }
+
+    case Mnemonic::JMP: {
+      if (inst.dst.is_imm()) {
+        b.out_.jump.kind = JumpKind::Direct;
+        b.out_.jump.target = inst.direct_target();
+      } else {
+        b.out_.jump.kind = JumpKind::Indirect;
+        b.out_.jump.target_temp = b.read(inst.dst, 64);
+      }
+      break;
+    }
+
+    case Mnemonic::JCC: {
+      b.out_.jump.kind = JumpKind::CondDirect;
+      b.out_.jump.target = inst.direct_target();
+      b.out_.jump.cond = b.cond(inst.cond);
+      break;
+    }
+
+    case Mnemonic::CALL: {
+      const TempId ra = b.constant(inst.addr + inst.len);
+      const TempId rsp = b.get_reg(Reg::RSP);
+      const TempId nsp = b.bin(IrOp::Sub, rsp, b.constant(8), 64);
+      b.store(nsp, ra, 64);
+      b.put_reg(Reg::RSP, nsp);
+      if (inst.dst.is_imm()) {
+        b.out_.jump.kind = JumpKind::Direct;
+        b.out_.jump.target = inst.direct_target();
+      } else {
+        b.out_.jump.kind = JumpKind::Indirect;
+        b.out_.jump.target_temp = b.read(inst.dst, 64);
+      }
+      b.out_.jump.is_call = true;
+      break;
+    }
+
+    case Mnemonic::SYSCALL:
+      b.out_.jump.kind = JumpKind::Syscall;
+      break;
+  }
+
+  return b.take();
+}
+
+}  // namespace gp::lift

@@ -1,0 +1,21 @@
+// x86 -> micro-IR lifter. Produces the full flag semantics (ZF/SF/CF/OF/PF)
+// for the supported subset; the deliberate in-universe simplifications
+// (documented in DESIGN.md) are:
+//   - OF after shifts is defined as 0 (real x86 leaves it undefined for
+//     counts != 1);
+//   - CF/OF after two-operand IMUL are defined as 0 (real x86 sets them from
+//     the truncated product);
+// both engines interpret the same IR, so these choices are consistent
+// everywhere they could be observed.
+#pragma once
+
+#include "ir/ir.hpp"
+#include "x86/inst.hpp"
+
+namespace gp::lift {
+
+/// Lift one decoded instruction. Throws gp::Error on instructions outside
+/// the supported subset (decode() already filters those).
+ir::Lifted lift(const x86::Inst& inst);
+
+}  // namespace gp::lift

@@ -1,0 +1,939 @@
+#include "minic/minic.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "support/str.hpp"
+
+namespace gp::minic {
+namespace {
+
+using cfg::BlockId;
+using cfg::Function;
+using cfg::Instr;
+using cfg::Opcode;
+using cfg::Program;
+using cfg::Temp;
+using cfg::Terminator;
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+enum class Tok : u8 {
+  End, Ident, Num, Str,
+  KwInt, KwByte, KwIf, KwElse, KwWhile, KwReturn,
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Comma, Semi, Assign,
+  Plus, Minus, Star, Amp, Pipe, Caret, Tilde, Bang,
+  Shl, Shr, Lt, Le, Gt, Ge, EqEq, NotEq, AndAnd, OrOr,
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;
+  i64 value = 0;
+  int line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) { advance(); }
+
+  const Token& peek() const { return cur_; }
+  Token take() {
+    Token t = cur_;
+    advance();
+    return t;
+  }
+
+ private:
+  [[noreturn]] void err(const std::string& msg) {
+    fail("minic lex error (line " + std::to_string(line_) + "): " + msg);
+  }
+
+  char look(size_t k = 0) const {
+    return pos_ + k < src_.size() ? src_[pos_ + k] : '\0';
+  }
+
+  void advance() {
+    // Skip whitespace and comments.
+    for (;;) {
+      while (pos_ < src_.size() && std::isspace(static_cast<u8>(look()))) {
+        if (look() == '\n') ++line_;
+        ++pos_;
+      }
+      if (look() == '/' && look(1) == '/') {
+        while (pos_ < src_.size() && look() != '\n') ++pos_;
+        continue;
+      }
+      if (look() == '/' && look(1) == '*') {
+        pos_ += 2;
+        while (pos_ < src_.size() && !(look() == '*' && look(1) == '/')) {
+          if (look() == '\n') ++line_;
+          ++pos_;
+        }
+        pos_ += 2;
+        continue;
+      }
+      break;
+    }
+
+    cur_ = Token{};
+    cur_.line = line_;
+    if (pos_ >= src_.size()) {
+      cur_.kind = Tok::End;
+      return;
+    }
+
+    const char c = look();
+    if (std::isalpha(static_cast<u8>(c)) || c == '_') {
+      std::string id;
+      while (std::isalnum(static_cast<u8>(look())) || look() == '_')
+        id += src_[pos_++];
+      cur_.text = id;
+      if (id == "int") cur_.kind = Tok::KwInt;
+      else if (id == "byte") cur_.kind = Tok::KwByte;
+      else if (id == "if") cur_.kind = Tok::KwIf;
+      else if (id == "else") cur_.kind = Tok::KwElse;
+      else if (id == "while") cur_.kind = Tok::KwWhile;
+      else if (id == "return") cur_.kind = Tok::KwReturn;
+      else cur_.kind = Tok::Ident;
+      return;
+    }
+    if (std::isdigit(static_cast<u8>(c))) {
+      i64 v = 0;
+      if (c == '0' && (look(1) == 'x' || look(1) == 'X')) {
+        pos_ += 2;
+        while (std::isxdigit(static_cast<u8>(look()))) {
+          const char d = src_[pos_++];
+          v = v * 16 + (std::isdigit(static_cast<u8>(d))
+                            ? d - '0'
+                            : std::tolower(d) - 'a' + 10);
+        }
+      } else {
+        while (std::isdigit(static_cast<u8>(look())))
+          v = v * 10 + (src_[pos_++] - '0');
+      }
+      cur_.kind = Tok::Num;
+      cur_.value = v;
+      return;
+    }
+    if (c == '\'') {
+      ++pos_;
+      char v = look();
+      if (v == '\\') {
+        ++pos_;
+        const char e = look();
+        v = e == 'n' ? '\n' : e == 't' ? '\t' : e == '0' ? '\0' : e;
+      }
+      ++pos_;
+      if (look() != '\'') err("unterminated char literal");
+      ++pos_;
+      cur_.kind = Tok::Num;
+      cur_.value = static_cast<u8>(v);
+      return;
+    }
+    if (c == '"') {
+      ++pos_;
+      std::string s;
+      while (look() != '"') {
+        if (pos_ >= src_.size()) err("unterminated string");
+        char v = look();
+        if (v == '\\') {
+          ++pos_;
+          const char e = look();
+          v = e == 'n' ? '\n' : e == 't' ? '\t' : e == '0' ? '\0' : e;
+        }
+        s += v;
+        ++pos_;
+      }
+      ++pos_;
+      cur_.kind = Tok::Str;
+      cur_.text = s;
+      return;
+    }
+
+    auto two = [&](char a, char b, Tok t) {
+      if (c == a && look(1) == b) {
+        pos_ += 2;
+        cur_.kind = t;
+        return true;
+      }
+      return false;
+    };
+    if (two('<', '<', Tok::Shl) || two('>', '>', Tok::Shr) ||
+        two('<', '=', Tok::Le) || two('>', '=', Tok::Ge) ||
+        two('=', '=', Tok::EqEq) || two('!', '=', Tok::NotEq) ||
+        two('&', '&', Tok::AndAnd) || two('|', '|', Tok::OrOr))
+      return;
+
+    ++pos_;
+    switch (c) {
+      case '(': cur_.kind = Tok::LParen; return;
+      case ')': cur_.kind = Tok::RParen; return;
+      case '{': cur_.kind = Tok::LBrace; return;
+      case '}': cur_.kind = Tok::RBrace; return;
+      case '[': cur_.kind = Tok::LBracket; return;
+      case ']': cur_.kind = Tok::RBracket; return;
+      case ',': cur_.kind = Tok::Comma; return;
+      case ';': cur_.kind = Tok::Semi; return;
+      case '=': cur_.kind = Tok::Assign; return;
+      case '+': cur_.kind = Tok::Plus; return;
+      case '-': cur_.kind = Tok::Minus; return;
+      case '*': cur_.kind = Tok::Star; return;
+      case '&': cur_.kind = Tok::Amp; return;
+      case '|': cur_.kind = Tok::Pipe; return;
+      case '^': cur_.kind = Tok::Caret; return;
+      case '~': cur_.kind = Tok::Tilde; return;
+      case '!': cur_.kind = Tok::Bang; return;
+      case '<': cur_.kind = Tok::Lt; return;
+      case '>': cur_.kind = Tok::Gt; return;
+      default: err(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  const std::string& src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  Token cur_;
+};
+
+// ---------------------------------------------------------------------------
+// Symbols
+// ---------------------------------------------------------------------------
+
+struct VarInfo {
+  enum class Kind : u8 { LocalScalar, LocalArray, GlobalScalar, GlobalArray };
+  Kind kind;
+  bool is_byte = false;  // element width for arrays
+  Temp temp = cfg::kNoTemp;  // LocalScalar
+  i64 offset = 0;            // array frame/data offset; GlobalScalar data off
+};
+
+// ---------------------------------------------------------------------------
+// Parser + lowering (single pass, direct to CFG)
+// ---------------------------------------------------------------------------
+
+class Compiler {
+ public:
+  explicit Compiler(const std::string& src) : lex_(src) {}
+
+  Program run() {
+    // Pre-scan: collect function signatures so forward calls resolve. We do
+    // this by parsing twice; the first pass only records decls.
+    collect_signatures();
+    while (lex_.peek().kind != Tok::End) top_level();
+    GP_CHECK(prog_.main_index >= 0, "minic: no main function");
+    cfg::verify(prog_);
+    return std::move(prog_);
+  }
+
+ private:
+  [[noreturn]] void err(const std::string& msg) {
+    fail("minic error (line " + std::to_string(lex_.peek().line) +
+         "): " + msg);
+  }
+  Token expect(Tok k, const char* what) {
+    if (lex_.peek().kind != k) err(std::string("expected ") + what);
+    return lex_.take();
+  }
+  bool accept(Tok k) {
+    if (lex_.peek().kind == k) {
+      lex_.take();
+      return true;
+    }
+    return false;
+  }
+
+  void collect_signatures() {
+    // The grammar is LL(2) at top level: type ident then '(' => function.
+    // We cheat: run a fresh lexer over the same source counting functions.
+    // (Function indices are allocated in declaration order in both passes.)
+  }
+
+  // -- top level -----------------------------------------------------------
+
+  void top_level() {
+    const bool is_byte = lex_.peek().kind == Tok::KwByte;
+    if (!accept(Tok::KwInt) && !accept(Tok::KwByte))
+      err("expected 'int' or 'byte' at top level");
+    const Token name = expect(Tok::Ident, "name");
+    if (lex_.peek().kind == Tok::LParen) {
+      if (is_byte) err("functions return int");
+      function_def(name.text);
+      return;
+    }
+    // Global variable or array.
+    VarInfo info;
+    if (accept(Tok::LBracket)) {
+      const Token n = expect(Tok::Num, "array size");
+      expect(Tok::RBracket, "]");
+      info.kind = VarInfo::Kind::GlobalArray;
+      info.is_byte = is_byte;
+      const i64 bytes = is_byte ? (n.value + 7) & ~i64{7} : n.value * 8;
+      info.offset = prog_.add_data_zeros(static_cast<size_t>(bytes));
+    } else {
+      if (is_byte) err("scalar globals must be int");
+      info.kind = VarInfo::Kind::GlobalScalar;
+      info.offset = prog_.add_data_zeros(8);
+      if (accept(Tok::Assign)) {
+        const Token v = expect(Tok::Num, "initializer");
+        for (int i = 0; i < 8; ++i)
+          prog_.data[info.offset + i] = static_cast<u8>(v.value >> (8 * i));
+      }
+    }
+    expect(Tok::Semi, ";");
+    if (globals_.count(name.text)) err("duplicate global " + name.text);
+    globals_.emplace(name.text, info);
+  }
+
+  void function_def(const std::string& name) {
+    int fn_index = prog_.find_function(name);
+    if (fn_index < 0) {
+      fn_index = static_cast<int>(prog_.functions.size());
+      prog_.functions.emplace_back();
+      prog_.functions[fn_index].name = name;
+    } else if (!prog_.functions[fn_index].blocks.empty()) {
+      err("duplicate function " + name);
+    } else {
+      // Forward-reference placeholder: its arity guess is replaced by the
+      // real signature (cfg::verify re-checks every call site afterwards).
+      prog_.functions[fn_index].num_params = 0;
+      prog_.functions[fn_index].num_temps = 0;
+    }
+    fn_index_ = fn_index;
+    locals_.clear();
+    scopes_.clear();
+    scopes_.emplace_back();
+
+    expect(Tok::LParen, "(");
+    if (!accept(Tok::RParen)) {
+      do {
+        expect(Tok::KwInt, "int");
+        const Token p = expect(Tok::Ident, "param name");
+        const Temp t = fn()->new_temp();
+        if (declared_in_current_scope(p.text))
+          err("duplicate parameter " + p.text);
+        declare(p.text,
+                VarInfo{.kind = VarInfo::Kind::LocalScalar, .temp = t});
+        ++fn()->num_params;
+      } while (accept(Tok::Comma));
+      expect(Tok::RParen, ")");
+    }
+    GP_CHECK(fn()->num_params <= 6, "minic: more than 6 params");
+
+    cur_block_ = fn()->new_block();
+    fn()->entry = cur_block_;
+    expect(Tok::LBrace, "{");
+    while (!accept(Tok::RBrace)) statement();
+    // Implicit `return 0` if control can fall off the end.
+    const Temp zero = fn()->new_temp();
+    emit(Instr::constant(zero, 0));
+    set_term(Terminator::ret(zero));
+    if (name == "main") {
+      if (fn()->num_params != 0) err("main takes no parameters");
+      prog_.main_index = fn_index;
+    }
+  }
+
+  // -- statements ------------------------------------------------------------
+
+  void statement() {
+    switch (lex_.peek().kind) {
+      case Tok::KwInt:
+      case Tok::KwByte:
+        local_decl();
+        return;
+      case Tok::KwIf:
+        if_statement();
+        return;
+      case Tok::KwWhile:
+        while_statement();
+        return;
+      case Tok::KwReturn: {
+        lex_.take();
+        const Temp v = expression();
+        expect(Tok::Semi, ";");
+        set_term(Terminator::ret(v));
+        cur_block_ = fn()->new_block();  // unreachable continuation
+        return;
+      }
+      case Tok::LBrace: {
+        lex_.take();
+        push_scope();
+        while (!accept(Tok::RBrace)) statement();
+        pop_scope();
+        return;
+      }
+      default:
+        simple_statement();
+        return;
+    }
+  }
+
+  void local_decl() {
+    const bool is_byte = lex_.take().kind == Tok::KwByte;
+    const Token name = expect(Tok::Ident, "variable name");
+    if (declared_in_current_scope(name.text))
+      err("duplicate local " + name.text);
+    if (accept(Tok::LBracket)) {
+      const Token n = expect(Tok::Num, "array size");
+      expect(Tok::RBracket, "]");
+      expect(Tok::Semi, ";");
+      const i64 bytes = is_byte ? (n.value + 7) & ~i64{7} : n.value * 8;
+      declare(name.text, VarInfo{.kind = VarInfo::Kind::LocalArray,
+                                 .is_byte = is_byte,
+                                 .offset = fn()->frame_bytes});
+      fn()->frame_bytes += bytes;
+      return;
+    }
+    if (is_byte) err("scalar locals must be int");
+    const Temp t = fn()->new_temp();
+    declare(name.text,
+            VarInfo{.kind = VarInfo::Kind::LocalScalar, .temp = t});
+    if (accept(Tok::Assign)) {
+      const Temp v = expression();
+      emit(Instr::bin(Opcode::Copy, t, v, cfg::kNoTemp));
+    } else {
+      emit(Instr::constant(t, 0));
+    }
+    expect(Tok::Semi, ";");
+  }
+
+  void if_statement() {
+    lex_.take();
+    expect(Tok::LParen, "(");
+    const Temp cond = expression();
+    expect(Tok::RParen, ")");
+    const BlockId then_b = fn()->new_block();
+    const BlockId join_b = fn()->new_block();
+    BlockId else_b = join_b;
+
+    const BlockId head = cur_block_;
+    cur_block_ = then_b;
+    statement();
+    set_term(Terminator::jump(join_b));
+
+    if (lex_.peek().kind == Tok::KwElse) {
+      lex_.take();
+      else_b = fn()->new_block();
+      cur_block_ = else_b;
+      statement();
+      set_term(Terminator::jump(join_b));
+    }
+    fn()->blocks[head].term = Terminator::branch(cond, then_b, else_b);
+    cur_block_ = join_b;
+  }
+
+  void while_statement() {
+    lex_.take();
+    const BlockId head = fn()->new_block();
+    const BlockId body = fn()->new_block();
+    const BlockId exit = fn()->new_block();
+    set_term(Terminator::jump(head));
+
+    cur_block_ = head;
+    expect(Tok::LParen, "(");
+    const Temp cond = expression();
+    expect(Tok::RParen, ")");
+    set_term(Terminator::branch(cond, body, exit));
+
+    cur_block_ = body;
+    statement();
+    set_term(Terminator::jump(head));
+    cur_block_ = exit;
+  }
+
+  /// assignment / expression-statement.
+  void simple_statement() {
+    if (lex_.peek().kind == Tok::Ident) {
+      // Lookahead for `ident =` / `ident[ e ] =`.
+      const Token name = lex_.take();
+      if (lex_.peek().kind == Tok::Assign) {
+        lex_.take();
+        const Temp v = expression();
+        expect(Tok::Semi, ";");
+        const VarInfo& info = lookup(name.text);
+        if (info.kind != VarInfo::Kind::LocalScalar &&
+            info.kind != VarInfo::Kind::GlobalScalar)
+          err("cannot assign to array " + name.text);
+        if (info.kind == VarInfo::Kind::LocalScalar) {
+          emit(Instr::bin(Opcode::Copy, info.temp, v, cfg::kNoTemp));
+        } else {
+          const Temp addr = fn()->new_temp();
+          emit({.op = Opcode::GlobalAddr, .dst = addr, .imm = info.offset});
+          emit({.op = Opcode::Store, .a = addr, .b = v});
+        }
+        return;
+      }
+      if (lex_.peek().kind == Tok::LBracket) {
+        lex_.take();
+        const Temp index = expression();
+        expect(Tok::RBracket, "]");
+        if (lex_.peek().kind == Tok::Assign) {
+          lex_.take();
+          const Temp v = expression();
+          expect(Tok::Semi, ";");
+          const VarInfo& info = lookup(name.text);
+          const Temp addr = element_addr(info, name.text, index);
+          emit({.op = info.is_byte && is_array(info) ? Opcode::StoreB
+                                                     : Opcode::Store,
+                .a = addr, .b = v});
+          return;
+        }
+        // Not an assignment: it was an index expression statement; finish
+        // parsing it as an expression and discard.
+        const VarInfo& info = lookup(name.text);
+        const Temp addr = element_addr(info, name.text, index);
+        const Temp dst = fn()->new_temp();
+        emit({.op = info.is_byte && is_array(info) ? Opcode::LoadB
+                                                   : Opcode::Load,
+              .dst = dst, .a = addr});
+        (void)finish_expression(dst);
+        expect(Tok::Semi, ";");
+        return;
+      }
+      // Plain expression starting with an identifier (e.g. a call).
+      const Temp v = primary_with_ident(name);
+      (void)finish_expression(v);
+      expect(Tok::Semi, ";");
+      return;
+    }
+    (void)expression();
+    expect(Tok::Semi, ";");
+  }
+
+  // -- expressions ----------------------------------------------------------
+  // Recursive descent; each level returns the temp holding the value.
+
+  Temp expression() { return parse_or(); }
+
+  /// Continue parsing binary operators after an already-computed primary.
+  Temp finish_expression(Temp lhs) {
+    // Feed lhs through the whole precedence chain.
+    lhs = postfix_ops(lhs);
+    return parse_or_with(lhs);
+  }
+
+  Temp parse_or_with(Temp lhs) {
+    // Rebuild the precedence climb with an existing lhs: the clean way would
+    // be a full Pratt parser; for our grammar it is enough to handle the
+    // binary tail at each level.
+    lhs = mul_tail(lhs);
+    lhs = add_tail(lhs);
+    lhs = shift_tail(lhs);
+    lhs = rel_tail(lhs);
+    lhs = eq_tail(lhs);
+    lhs = band_tail(lhs);
+    lhs = bxor_tail(lhs);
+    lhs = bor_tail(lhs);
+    lhs = and_tail(lhs);
+    lhs = or_tail(lhs);
+    return lhs;
+  }
+
+  Temp parse_or() {
+    Temp l = parse_and();
+    return or_tail(l);
+  }
+  Temp or_tail(Temp l) {
+    while (lex_.peek().kind == Tok::OrOr) {
+      lex_.take();
+      const Temp r = parse_and();
+      l = logic_norm(Opcode::Or, l, r);
+    }
+    return l;
+  }
+  Temp parse_and() {
+    Temp l = parse_bor();
+    return and_tail(l);
+  }
+  Temp and_tail(Temp l) {
+    while (lex_.peek().kind == Tok::AndAnd) {
+      lex_.take();
+      const Temp r = parse_bor();
+      l = logic_norm(Opcode::And, l, r);
+    }
+    return l;
+  }
+  Temp parse_bor() {
+    Temp l = parse_bxor();
+    return bor_tail(l);
+  }
+  Temp bor_tail(Temp l) {
+    while (lex_.peek().kind == Tok::Pipe) {
+      lex_.take();
+      l = binop(Opcode::Or, l, parse_bxor());
+    }
+    return l;
+  }
+  Temp parse_bxor() {
+    Temp l = parse_band();
+    return bxor_tail(l);
+  }
+  Temp bxor_tail(Temp l) {
+    while (lex_.peek().kind == Tok::Caret) {
+      lex_.take();
+      l = binop(Opcode::Xor, l, parse_band());
+    }
+    return l;
+  }
+  Temp parse_band() {
+    Temp l = parse_eq();
+    return band_tail(l);
+  }
+  Temp band_tail(Temp l) {
+    while (lex_.peek().kind == Tok::Amp) {
+      lex_.take();
+      l = binop(Opcode::And, l, parse_eq());
+    }
+    return l;
+  }
+  Temp parse_eq() {
+    Temp l = parse_rel();
+    return eq_tail(l);
+  }
+  Temp eq_tail(Temp l) {
+    for (;;) {
+      if (lex_.peek().kind == Tok::EqEq) {
+        lex_.take();
+        l = binop(Opcode::CmpEq, l, parse_rel());
+      } else if (lex_.peek().kind == Tok::NotEq) {
+        lex_.take();
+        l = binop(Opcode::CmpNe, l, parse_rel());
+      } else {
+        return l;
+      }
+    }
+  }
+  Temp parse_rel() {
+    Temp l = parse_shift();
+    return rel_tail(l);
+  }
+  Temp rel_tail(Temp l) {
+    for (;;) {
+      Opcode op;
+      switch (lex_.peek().kind) {
+        case Tok::Lt: op = Opcode::CmpLt; break;
+        case Tok::Le: op = Opcode::CmpLe; break;
+        case Tok::Gt: op = Opcode::CmpGt; break;
+        case Tok::Ge: op = Opcode::CmpGe; break;
+        default: return l;
+      }
+      lex_.take();
+      l = binop(op, l, parse_shift());
+    }
+  }
+  Temp parse_shift() {
+    Temp l = parse_add();
+    return shift_tail(l);
+  }
+  Temp shift_tail(Temp l) {
+    for (;;) {
+      if (lex_.peek().kind == Tok::Shl) {
+        lex_.take();
+        l = binop(Opcode::Shl, l, parse_add());
+      } else if (lex_.peek().kind == Tok::Shr) {
+        lex_.take();
+        l = binop(Opcode::Sar, l, parse_add());
+      } else {
+        return l;
+      }
+    }
+  }
+  Temp parse_add() {
+    Temp l = parse_mul();
+    return add_tail(l);
+  }
+  Temp add_tail(Temp l) {
+    for (;;) {
+      if (lex_.peek().kind == Tok::Plus) {
+        lex_.take();
+        l = binop(Opcode::Add, l, parse_mul());
+      } else if (lex_.peek().kind == Tok::Minus) {
+        lex_.take();
+        l = binop(Opcode::Sub, l, parse_mul());
+      } else {
+        return l;
+      }
+    }
+  }
+  Temp parse_mul() {
+    Temp l = parse_unary();
+    return mul_tail(l);
+  }
+  Temp mul_tail(Temp l) {
+    while (lex_.peek().kind == Tok::Star) {
+      lex_.take();
+      l = binop(Opcode::Mul, l, parse_unary());
+    }
+    return l;
+  }
+
+  Temp parse_unary() {
+    switch (lex_.peek().kind) {
+      case Tok::Minus: {
+        lex_.take();
+        const Temp a = parse_unary();
+        const Temp dst = fn()->new_temp();
+        emit({.op = Opcode::Neg, .dst = dst, .a = a});
+        return dst;
+      }
+      case Tok::Tilde: {
+        lex_.take();
+        const Temp a = parse_unary();
+        const Temp dst = fn()->new_temp();
+        emit({.op = Opcode::Not, .dst = dst, .a = a});
+        return dst;
+      }
+      case Tok::Bang: {
+        lex_.take();
+        const Temp a = parse_unary();
+        const Temp zero = fn()->new_temp();
+        emit(Instr::constant(zero, 0));
+        return binop(Opcode::CmpEq, a, zero);
+      }
+      default:
+        return parse_postfix();
+    }
+  }
+
+  Temp parse_postfix() {
+    Temp v = parse_primary();
+    return postfix_ops(v);
+  }
+  Temp postfix_ops(Temp v) { return v; }  // indexing handled in primary
+
+  Temp parse_primary() {
+    const Token t = lex_.take();
+    switch (t.kind) {
+      case Tok::Num: {
+        const Temp dst = fn()->new_temp();
+        emit(Instr::constant(dst, t.value));
+        return dst;
+      }
+      case Tok::Str: {
+        const i64 off = prog_.add_data_string(t.text);
+        const Temp dst = fn()->new_temp();
+        emit({.op = Opcode::GlobalAddr, .dst = dst, .imm = off});
+        return dst;
+      }
+      case Tok::LParen: {
+        const Temp v = expression();
+        expect(Tok::RParen, ")");
+        return v;
+      }
+      case Tok::Ident:
+        return primary_with_ident(t);
+      default:
+        err("unexpected token in expression");
+    }
+  }
+
+  /// Identifier already consumed: variable, array index, or call.
+  Temp primary_with_ident(const Token& name) {
+    if (lex_.peek().kind == Tok::LParen) return call_or_builtin(name.text);
+
+    const VarInfo& info = lookup(name.text);
+    if (lex_.peek().kind == Tok::LBracket) {
+      lex_.take();
+      const Temp index = expression();
+      expect(Tok::RBracket, "]");
+      const Temp addr = element_addr(info, name.text, index);
+      const Temp dst = fn()->new_temp();
+      emit({.op = info.is_byte && is_array(info) ? Opcode::LoadB
+                                                 : Opcode::Load,
+            .dst = dst, .a = addr});
+      return dst;
+    }
+
+    switch (info.kind) {
+      case VarInfo::Kind::LocalScalar:
+        return info.temp;
+      case VarInfo::Kind::GlobalScalar: {
+        const Temp addr = fn()->new_temp();
+        emit({.op = Opcode::GlobalAddr, .dst = addr, .imm = info.offset});
+        const Temp dst = fn()->new_temp();
+        emit({.op = Opcode::Load, .dst = dst, .a = addr});
+        return dst;
+      }
+      case VarInfo::Kind::LocalArray: {
+        const Temp dst = fn()->new_temp();
+        emit({.op = Opcode::FrameAddr, .dst = dst, .imm = info.offset});
+        return dst;
+      }
+      case VarInfo::Kind::GlobalArray: {
+        const Temp dst = fn()->new_temp();
+        emit({.op = Opcode::GlobalAddr, .dst = dst, .imm = info.offset});
+        return dst;
+      }
+    }
+    err("unreachable variable kind");
+  }
+
+  Temp call_or_builtin(const std::string& name) {
+    expect(Tok::LParen, "(");
+    std::vector<Temp> args;
+    if (!accept(Tok::RParen)) {
+      do {
+        args.push_back(expression());
+      } while (accept(Tok::Comma));
+      expect(Tok::RParen, ")");
+    }
+
+    const Temp dst = fn()->new_temp();
+    auto need = [&](size_t n) {
+      if (args.size() != n) err(name + " expects " + std::to_string(n) +
+                                " argument(s)");
+    };
+    if (name == "out") {
+      need(1);
+      emit({.op = Opcode::Out, .a = args[0]});
+      emit(Instr::constant(dst, 0));
+      return dst;
+    }
+    if (name == "load") {
+      need(1);
+      emit({.op = Opcode::Load, .dst = dst, .a = args[0]});
+      return dst;
+    }
+    if (name == "loadb") {
+      need(1);
+      emit({.op = Opcode::LoadB, .dst = dst, .a = args[0]});
+      return dst;
+    }
+    if (name == "store") {
+      need(2);
+      emit({.op = Opcode::Store, .a = args[0], .b = args[1]});
+      emit(Instr::constant(dst, 0));
+      return dst;
+    }
+    if (name == "storeb") {
+      need(2);
+      emit({.op = Opcode::StoreB, .a = args[0], .b = args[1]});
+      emit(Instr::constant(dst, 0));
+      return dst;
+    }
+
+    int idx = prog_.find_function(name);
+    if (idx < 0) {
+      // Forward reference: create a placeholder signature now; definition
+      // fills in the body (arity checked by cfg::verify afterwards).
+      idx = static_cast<int>(prog_.functions.size());
+      prog_.functions.emplace_back();
+      prog_.functions[idx].name = name;
+      prog_.functions[idx].num_params = static_cast<int>(args.size());
+      prog_.functions[idx].num_temps = static_cast<int>(args.size());
+    }
+    emit({.op = Opcode::Call, .dst = dst, .imm = idx, .args = args});
+    return dst;
+  }
+
+  // -- helpers -----------------------------------------------------------
+
+  bool is_array(const VarInfo& v) const {
+    return v.kind == VarInfo::Kind::LocalArray ||
+           v.kind == VarInfo::Kind::GlobalArray;
+  }
+
+  Temp element_addr(const VarInfo& info, const std::string& name,
+                    Temp index) {
+    Temp base = fn()->new_temp();
+    switch (info.kind) {
+      case VarInfo::Kind::LocalArray:
+        emit({.op = Opcode::FrameAddr, .dst = base, .imm = info.offset});
+        break;
+      case VarInfo::Kind::GlobalArray:
+        emit({.op = Opcode::GlobalAddr, .dst = base, .imm = info.offset});
+        break;
+      case VarInfo::Kind::LocalScalar:
+        base = info.temp;  // pointer held in a variable: 8-byte elements
+        break;
+      case VarInfo::Kind::GlobalScalar: {
+        const Temp addr = fn()->new_temp();
+        emit({.op = Opcode::GlobalAddr, .dst = addr, .imm = info.offset});
+        emit({.op = Opcode::Load, .dst = base, .a = addr});
+        break;
+      }
+    }
+    (void)name;
+    Temp scaled = index;
+    if (!(is_array(info) && info.is_byte)) {
+      const Temp three = fn()->new_temp();
+      emit(Instr::constant(three, 3));
+      scaled = fn()->new_temp();
+      emit(Instr::bin(Opcode::Shl, scaled, index, three));
+    }
+    const Temp addr = fn()->new_temp();
+    emit(Instr::bin(Opcode::Add, addr, base, scaled));
+    return addr;
+  }
+
+  Temp binop(Opcode op, Temp a, Temp b) {
+    const Temp dst = fn()->new_temp();
+    emit(Instr::bin(op, dst, a, b));
+    return dst;
+  }
+
+  /// &&/||: normalize both sides to 0/1 and combine bitwise.
+  Temp logic_norm(Opcode op, Temp a, Temp b) {
+    const Temp zero = fn()->new_temp();
+    emit(Instr::constant(zero, 0));
+    const Temp na = binop(Opcode::CmpNe, a, zero);
+    const Temp nb = binop(Opcode::CmpNe, b, zero);
+    return binop(op, na, nb);
+  }
+
+  const VarInfo& lookup(const std::string& name) {
+    auto l = locals_.find(name);
+    if (l != locals_.end() && !l->second.empty()) return l->second.back();
+    auto g = globals_.find(name);
+    if (g != globals_.end()) return g->second;
+    err("undeclared identifier " + name);
+  }
+
+  // -- block scoping (C-like; inner declarations shadow outer ones) -------
+  void push_scope() { scopes_.emplace_back(); }
+  void pop_scope() {
+    for (const std::string& name : scopes_.back()) {
+      auto it = locals_.find(name);
+      it->second.pop_back();
+      if (it->second.empty()) locals_.erase(it);
+    }
+    scopes_.pop_back();
+  }
+  bool declared_in_current_scope(const std::string& name) const {
+    const auto& scope = scopes_.back();
+    return std::find(scope.begin(), scope.end(), name) != scope.end();
+  }
+  void declare(const std::string& name, VarInfo info) {
+    locals_[name].push_back(info);
+    scopes_.back().push_back(name);
+  }
+
+  void emit(Instr i) { fn()->blocks[cur_block_].instrs.push_back(std::move(i)); }
+  void set_term(Terminator t) { fn()->blocks[cur_block_].term = std::move(t); }
+
+  Lexer lex_;
+  Program prog_;
+  int fn_index_ = -1;
+  // Accessor: prog_.functions may reallocate when forward-reference
+  // placeholders are appended mid-parse, so never hold a Function pointer.
+  Function* fn() { return &prog_.functions[fn_index_]; }
+  BlockId cur_block_ = 0;
+  // Shadowing stack per name; scopes_ records declaration order for popping.
+  std::unordered_map<std::string, std::vector<VarInfo>> locals_;
+  std::vector<std::vector<std::string>> scopes_;
+  std::unordered_map<std::string, VarInfo> globals_;
+};
+
+}  // namespace
+
+cfg::Program compile_source(const std::string& source) {
+  return Compiler(source).run();
+}
+
+}  // namespace gp::minic

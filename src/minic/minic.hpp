@@ -1,0 +1,32 @@
+// Mini-C: the source language of the benchmark corpus (stand-in for the C
+// programs the paper obfuscates with Tigress / Obfuscator-LLVM).
+//
+// Language summary (all values are 64-bit ints):
+//   int f(int a, int b) { ... }      functions, <= 6 params
+//   int g; int tab[16]; byte buf[64];   globals (data section)
+//   int x; int x = e; int a[N]; byte b[N];   locals (frame)
+//   x = e;  a[i] = e;  b[i] = e;     assignment (byte arrays store bytes)
+//   if (e) {..} else {..}   while (e) {..}   return e;   out(e);  f(x);
+//   expressions: literals (incl. 'c' chars), identifiers, a[i], f(..),
+//     unary - ! ~, binary * + - << >> < <= > >= == != & ^ | && ||,
+//     string literals (evaluate to their data-section address),
+//   builtins: out(v), load(p), store(p, v), loadb(p), storeb(p, v).
+// An identifier declared as an array evaluates to its address; arrays decay
+// to pointers, and load/store/loadb/storeb give raw access for string-style
+// code. && and || evaluate both sides (no short circuit) — documented
+// divergence from C, irrelevant to the corpus which avoids effectful
+// conditions.
+#pragma once
+
+#include <string>
+
+#include "cfg/cfg.hpp"
+
+namespace gp::minic {
+
+/// Compile mini-C source to the CFG IR. Throws gp::Error with a
+/// line-numbered message on syntax/semantic errors. The result passes
+/// cfg::verify.
+cfg::Program compile_source(const std::string& source);
+
+}  // namespace gp::minic

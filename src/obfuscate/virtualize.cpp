@@ -1,0 +1,486 @@
+// Virtualization obfuscation (the Tigress-style pass the paper singles out
+// as the strongest): each function body is translated into a custom stack
+// bytecode stored in the data section, and the function is replaced by an
+// interpreter whose dispatch is a computed Switch — which the code generator
+// compiles to `jmp [table + op*8]`, one indirect jump per executed VM
+// instruction. That is exactly the structure that floods the binary with
+// indirect-jump gadgets in the paper's measurements.
+//
+// VM: 16 bytes per instruction (u64 opcode, u64 operand); operand stack and
+// virtual registers live in the function frame, so the machine-level
+// register pressure and calling convention are untouched.
+#include "obfuscate/obfuscate.hpp"
+
+namespace gp::obf {
+
+using cfg::Block;
+using cfg::BlockId;
+using cfg::Function;
+using cfg::Instr;
+using cfg::Opcode;
+using cfg::Program;
+using cfg::Temp;
+using cfg::Terminator;
+
+namespace {
+
+// Fixed VM opcodes; call-site opcodes are appended after kFirstCall.
+enum Vm : u64 {
+  VPUSHC = 0,  // push operand
+  VLD,         // push register[operand]
+  VST,         // register[operand] = pop
+  VADD, VSUB, VMUL, VAND, VOR, VXOR, VSHL, VSAR, VSHR,
+  VCMPEQ, VCMPNE, VCMPLT, VCMPLE, VCMPGT, VCMPGE,
+  VNOT, VNEG,
+  VLOAD,    // push *(pop + operand)
+  VLOADB,
+  VSTORE,   // b = pop (value), a = pop (addr): *(a + operand) = b
+  VSTOREB,
+  VFRAME,   // push frame_base + operand (original frame area)
+  VGLOBAL,  // push &data[operand]
+  VOUT,     // out(pop)
+  VJMP,     // pc = operand
+  VJZ,      // if (pop == 0) pc = operand
+  VRET,     // return pop
+  kFirstCall,  // kFirstCall + i = call site class i
+};
+
+constexpr i64 kVmStackSlots = 256;
+
+struct CallClass {
+  i64 callee = 0;
+  int nargs = 0;
+  bool operator==(const CallClass&) const = default;
+};
+
+/// Bytecode emitter with jump backpatching.
+class BytecodeBuilder {
+ public:
+  void op(u64 opcode, u64 operand = 0) {
+    words_.push_back(opcode);
+    words_.push_back(operand);
+  }
+  /// Emit a jump whose target block offset is patched later.
+  void jump_to_block(u64 opcode, BlockId target) {
+    fixups_.push_back({words_.size() + 1, target});
+    op(opcode, 0);
+  }
+  void mark_block(BlockId b) {
+    if (block_offsets_.size() <= static_cast<size_t>(b))
+      block_offsets_.resize(b + 1, 0);
+    block_offsets_[b] = byte_size();
+  }
+  u64 byte_size() const { return words_.size() * 8; }
+
+  std::vector<u8> finish() {
+    for (const auto& [word_index, target] : fixups_)
+      words_[word_index] = block_offsets_[target];
+    std::vector<u8> bytes;
+    bytes.reserve(words_.size() * 8);
+    for (const u64 w : words_)
+      for (int i = 0; i < 8; ++i) bytes.push_back(static_cast<u8>(w >> (8 * i)));
+    return bytes;
+  }
+
+ private:
+  std::vector<u64> words_;
+  std::vector<std::pair<size_t, BlockId>> fixups_;
+  std::vector<u64> block_offsets_;
+};
+
+u64 vm_binop(Opcode op) {
+  switch (op) {
+    case Opcode::Add: return VADD;
+    case Opcode::Sub: return VSUB;
+    case Opcode::Mul: return VMUL;
+    case Opcode::And: return VAND;
+    case Opcode::Or: return VOR;
+    case Opcode::Xor: return VXOR;
+    case Opcode::Shl: return VSHL;
+    case Opcode::Sar: return VSAR;
+    case Opcode::Shr: return VSHR;
+    case Opcode::CmpEq: return VCMPEQ;
+    case Opcode::CmpNe: return VCMPNE;
+    case Opcode::CmpLt: return VCMPLT;
+    case Opcode::CmpLe: return VCMPLE;
+    case Opcode::CmpGt: return VCMPGT;
+    case Opcode::CmpGe: return VCMPGE;
+    default: fail("vm_binop: not a binop");
+  }
+}
+
+class Virtualizer {
+ public:
+  Virtualizer(Program& prog, Function& f) : prog_(prog), f_(f) {}
+
+  void run() {
+    translate_body();
+    build_interpreter();
+  }
+
+ private:
+  // -- translation: CFG -> bytecode -------------------------------------
+
+  void translate_body() {
+    // The interpreter primes pc with the entry block's bytecode offset, so
+    // blocks can be laid out in index order.
+    for (BlockId b = 0; b < static_cast<BlockId>(f_.blocks.size()); ++b) {
+      bc_.mark_block(b);
+      translate_block(f_.blocks[b]);
+    }
+    bytecode_off_ = prog_.add_data(bc_.finish());
+    entry_pc_ = entry_offset_;
+  }
+
+  void translate_block(const Block& blk) {
+    if (&blk == &f_.blocks[f_.entry]) entry_offset_ = bc_.byte_size();
+    for (const Instr& in : blk.instrs) translate_instr(in);
+    translate_term(blk.term);
+  }
+
+  void translate_instr(const Instr& in) {
+    switch (in.op) {
+      case Opcode::Const:
+        bc_.op(VPUSHC, static_cast<u64>(in.imm));
+        bc_.op(VST, reg_index(in.dst));
+        break;
+      case Opcode::Copy:
+        bc_.op(VLD, reg_index(in.a));
+        bc_.op(VST, reg_index(in.dst));
+        break;
+      case Opcode::Not:
+      case Opcode::Neg:
+        bc_.op(VLD, reg_index(in.a));
+        bc_.op(in.op == Opcode::Not ? VNOT : VNEG);
+        bc_.op(VST, reg_index(in.dst));
+        break;
+      case Opcode::Load:
+      case Opcode::LoadB:
+        bc_.op(VLD, reg_index(in.a));
+        bc_.op(in.op == Opcode::Load ? VLOAD : VLOADB,
+               static_cast<u64>(in.imm));
+        bc_.op(VST, reg_index(in.dst));
+        break;
+      case Opcode::Store:
+      case Opcode::StoreB:
+        bc_.op(VLD, reg_index(in.a));
+        bc_.op(VLD, reg_index(in.b));
+        bc_.op(in.op == Opcode::Store ? VSTORE : VSTOREB,
+               static_cast<u64>(in.imm));
+        break;
+      case Opcode::FrameAddr:
+        bc_.op(VFRAME, static_cast<u64>(in.imm));
+        bc_.op(VST, reg_index(in.dst));
+        break;
+      case Opcode::GlobalAddr:
+        bc_.op(VGLOBAL, static_cast<u64>(in.imm));
+        bc_.op(VST, reg_index(in.dst));
+        break;
+      case Opcode::Out:
+        bc_.op(VLD, reg_index(in.a));
+        bc_.op(VOUT);
+        break;
+      case Opcode::Call: {
+        for (const Temp arg : in.args) bc_.op(VLD, reg_index(arg));
+        const CallClass cls{in.imm, static_cast<int>(in.args.size())};
+        size_t idx = 0;
+        for (; idx < call_classes_.size(); ++idx)
+          if (call_classes_[idx] == cls) break;
+        if (idx == call_classes_.size()) call_classes_.push_back(cls);
+        bc_.op(kFirstCall + idx);
+        bc_.op(VST, reg_index(in.dst));
+        break;
+      }
+      default:
+        GP_CHECK(cfg::is_binop(in.op), "virtualize: unexpected opcode");
+        bc_.op(VLD, reg_index(in.a));
+        bc_.op(VLD, reg_index(in.b));
+        bc_.op(vm_binop(in.op));
+        bc_.op(VST, reg_index(in.dst));
+    }
+  }
+
+  void translate_term(const Terminator& t) {
+    switch (t.kind) {
+      case Terminator::Kind::Jump:
+        bc_.jump_to_block(VJMP, t.target);
+        break;
+      case Terminator::Kind::Branch:
+        bc_.op(VLD, reg_index(t.cond));
+        bc_.jump_to_block(VJZ, t.fallthrough);
+        bc_.jump_to_block(VJMP, t.target);
+        break;
+      case Terminator::Kind::Ret:
+        bc_.op(VLD, reg_index(t.value));
+        bc_.op(VRET);
+        break;
+      case Terminator::Kind::Switch:
+        fail("virtualize: Switch input not supported (run before flatten)");
+    }
+  }
+
+  u64 reg_index(Temp t) const { return static_cast<u64>(t); }
+
+  // -- interpreter construction ------------------------------------------
+
+  // Frame layout of the rebuilt function:
+  //   [0, orig_frame)                      original FrameAddr area
+  //   [reg_area, reg_area + 8*orig_temps)  virtual registers
+  //   [stk_area, stk_area + 8*depth)       VM operand stack
+  i64 reg_area() const { return orig_frame_; }
+  i64 stk_area() const { return orig_frame_ + 8 * orig_temps_; }
+
+  void build_interpreter() {
+    orig_frame_ = f_.frame_bytes;
+    orig_temps_ = f_.num_temps;
+    const int params = f_.num_params;
+
+    Function nf;
+    nf.name = f_.name;
+    nf.num_params = params;
+    nf.num_temps = params;
+    nf.frame_bytes = orig_frame_ + 8 * orig_temps_ + 8 * kVmStackSlots;
+
+    // Working temps.
+    pc_ = nf.new_temp();
+    sp_ = nf.new_temp();
+    op_ = nf.new_temp();
+    arg_ = nf.new_temp();
+    x_ = nf.new_temp();
+    y_ = nf.new_temp();
+    addr_ = nf.new_temp();
+    scratch_ = nf.new_temp();
+
+    // Blocks: entry, loop, handlers.
+    const BlockId entry = nf.new_block();
+    loop_ = nf.new_block();
+    nf.entry = entry;
+
+    // entry: spill params into the register area, init pc and sp.
+    {
+      Block& e = nf.blocks[entry];
+      for (int i = 0; i < params; ++i) {
+        e.instrs.push_back({.op = Opcode::FrameAddr, .dst = addr_,
+                            .imm = reg_area() + 8 * i});
+        e.instrs.push_back({.op = Opcode::Store, .a = addr_, .b = i});
+      }
+      e.instrs.push_back(Instr::constant(pc_, static_cast<i64>(entry_pc_)));
+      e.instrs.push_back(Instr::constant(sp_, 0));
+      e.term = Terminator::jump(loop_);
+    }
+
+    // loop: fetch op/arg, advance pc, dispatch.
+    std::vector<BlockId> table;
+    {
+      Block& l = nf.blocks[loop_];
+      l.instrs.push_back({.op = Opcode::GlobalAddr, .dst = addr_,
+                          .imm = bytecode_off_});
+      l.instrs.push_back(Instr::bin(Opcode::Add, addr_, addr_, pc_));
+      l.instrs.push_back({.op = Opcode::Load, .dst = op_, .a = addr_});
+      l.instrs.push_back({.op = Opcode::Load, .dst = arg_, .a = addr_,
+                          .imm = 8});
+      l.instrs.push_back(Instr::constant(scratch_, 16));
+      l.instrs.push_back(Instr::bin(Opcode::Add, pc_, pc_, scratch_));
+      // Dispatch table filled below.
+    }
+
+    const u64 num_ops = kFirstCall + call_classes_.size();
+    for (u64 op = 0; op < num_ops; ++op) table.push_back(build_handler(nf, op));
+    nf.blocks[loop_].term = Terminator::make_switch(op_, table);
+
+    f_ = std::move(nf);
+  }
+
+  // Handler helpers: emit push/pop against the frame-resident VM stack.
+  void vm_push(Block& b, Function& nf, Temp value) {
+    b.instrs.push_back({.op = Opcode::FrameAddr, .dst = addr_,
+                        .imm = stk_area()});
+    b.instrs.push_back(Instr::bin(Opcode::Add, addr_, addr_, sp_));
+    b.instrs.push_back({.op = Opcode::Store, .a = addr_, .b = value});
+    const Temp eight = nf.new_temp();
+    b.instrs.push_back(Instr::constant(eight, 8));
+    b.instrs.push_back(Instr::bin(Opcode::Add, sp_, sp_, eight));
+  }
+  void vm_pop(Block& b, Function& nf, Temp into) {
+    const Temp eight = nf.new_temp();
+    b.instrs.push_back(Instr::constant(eight, 8));
+    b.instrs.push_back(Instr::bin(Opcode::Sub, sp_, sp_, eight));
+    b.instrs.push_back({.op = Opcode::FrameAddr, .dst = addr_,
+                        .imm = stk_area()});
+    b.instrs.push_back(Instr::bin(Opcode::Add, addr_, addr_, sp_));
+    b.instrs.push_back({.op = Opcode::Load, .dst = into, .a = addr_});
+  }
+  void vm_reg_addr(Block& b, Function& nf) {
+    // addr_ = &registers[arg_]  (arg_ is a temp index; slots are 8 bytes)
+    const Temp three = nf.new_temp();
+    b.instrs.push_back(Instr::constant(three, 3));
+    const Temp off = nf.new_temp();
+    b.instrs.push_back(Instr::bin(Opcode::Shl, off, arg_, three));
+    b.instrs.push_back({.op = Opcode::FrameAddr, .dst = addr_,
+                        .imm = reg_area()});
+    b.instrs.push_back(Instr::bin(Opcode::Add, addr_, addr_, off));
+  }
+
+  BlockId build_handler(Function& nf, u64 op) {
+    const BlockId hb = nf.new_block();
+    // NOTE: take the Block pointer fresh after any new_block call; here all
+    // blocks for this handler are created up front.
+    Block& b = nf.blocks[hb];
+    auto done = [&] { nf.blocks[hb].term = Terminator::jump(loop_); };
+
+    if (op >= kFirstCall) {
+      const CallClass cls = call_classes_[op - kFirstCall];
+      // Pop args (reverse order), call, push result.
+      std::vector<Temp> args(cls.nargs);
+      for (int i = 0; i < cls.nargs; ++i) args[i] = nf.new_temp();
+      for (int i = cls.nargs - 1; i >= 0; --i)
+        vm_pop(nf.blocks[hb], nf, args[i]);
+      nf.blocks[hb].instrs.push_back(
+          {.op = Opcode::Call, .dst = x_, .imm = cls.callee, .args = args});
+      vm_push(nf.blocks[hb], nf, x_);
+      done();
+      return hb;
+    }
+
+    switch (op) {
+      case VPUSHC:
+        vm_push(b, nf, arg_);
+        done();
+        break;
+      case VLD:
+        vm_reg_addr(b, nf);
+        nf.blocks[hb].instrs.push_back(
+            {.op = Opcode::Load, .dst = x_, .a = addr_});
+        vm_push(nf.blocks[hb], nf, x_);
+        done();
+        break;
+      case VST: {
+        vm_pop(b, nf, x_);
+        vm_reg_addr(nf.blocks[hb], nf);
+        nf.blocks[hb].instrs.push_back(
+            {.op = Opcode::Store, .a = addr_, .b = x_});
+        done();
+        break;
+      }
+      case VNOT:
+      case VNEG:
+        vm_pop(b, nf, x_);
+        nf.blocks[hb].instrs.push_back(
+            {.op = op == VNOT ? Opcode::Not : Opcode::Neg, .dst = x_,
+             .a = x_});
+        vm_push(nf.blocks[hb], nf, x_);
+        done();
+        break;
+      case VLOAD:
+      case VLOADB:
+        // pop address, fold the byte offset from arg_, load, push result.
+        vm_pop(b, nf, x_);
+        nf.blocks[hb].instrs.push_back(Instr::bin(Opcode::Add, x_, x_, arg_));
+        nf.blocks[hb].instrs.push_back(
+            {.op = op == VLOAD ? Opcode::Load : Opcode::LoadB, .dst = y_,
+             .a = x_});
+        vm_push(nf.blocks[hb], nf, y_);
+        done();
+        break;
+      case VSTORE:
+      case VSTOREB:
+        vm_pop(b, nf, y_);  // value
+        vm_pop(nf.blocks[hb], nf, x_);  // address
+        nf.blocks[hb].instrs.push_back(Instr::bin(Opcode::Add, x_, x_, arg_));
+        nf.blocks[hb].instrs.push_back(
+            {.op = op == VSTORE ? Opcode::Store : Opcode::StoreB, .a = x_,
+             .b = y_});
+        done();
+        break;
+      case VFRAME: {
+        nf.blocks[hb].instrs.push_back(
+            {.op = Opcode::FrameAddr, .dst = x_, .imm = 0});
+        nf.blocks[hb].instrs.push_back(Instr::bin(Opcode::Add, x_, x_, arg_));
+        vm_push(nf.blocks[hb], nf, x_);
+        done();
+        break;
+      }
+      case VGLOBAL: {
+        nf.blocks[hb].instrs.push_back(
+            {.op = Opcode::GlobalAddr, .dst = x_, .imm = 0});
+        nf.blocks[hb].instrs.push_back(Instr::bin(Opcode::Add, x_, x_, arg_));
+        vm_push(nf.blocks[hb], nf, x_);
+        done();
+        break;
+      }
+      case VOUT:
+        vm_pop(b, nf, x_);
+        nf.blocks[hb].instrs.push_back({.op = Opcode::Out, .a = x_});
+        done();
+        break;
+      case VJMP:
+        nf.blocks[hb].instrs.push_back(
+            Instr::bin(Opcode::Copy, pc_, arg_, cfg::kNoTemp));
+        done();
+        break;
+      case VJZ: {
+        vm_pop(b, nf, x_);
+        const BlockId take = nf.new_block();
+        nf.blocks[take].instrs.push_back(
+            Instr::bin(Opcode::Copy, pc_, arg_, cfg::kNoTemp));
+        nf.blocks[take].term = Terminator::jump(loop_);
+        nf.blocks[hb].term = Terminator::branch(x_, loop_, take);
+        return hb;  // custom terminator
+      }
+      case VRET:
+        vm_pop(b, nf, x_);
+        nf.blocks[hb].term = Terminator::ret(x_);
+        return hb;
+      default:
+        // Binary ALU / compare ops.
+        vm_pop(b, nf, y_);
+        vm_pop(nf.blocks[hb], nf, x_);
+        Opcode cop;
+        switch (op) {
+          case VADD: cop = Opcode::Add; break;
+          case VSUB: cop = Opcode::Sub; break;
+          case VMUL: cop = Opcode::Mul; break;
+          case VAND: cop = Opcode::And; break;
+          case VOR: cop = Opcode::Or; break;
+          case VXOR: cop = Opcode::Xor; break;
+          case VSHL: cop = Opcode::Shl; break;
+          case VSAR: cop = Opcode::Sar; break;
+          case VSHR: cop = Opcode::Shr; break;
+          case VCMPEQ: cop = Opcode::CmpEq; break;
+          case VCMPNE: cop = Opcode::CmpNe; break;
+          case VCMPLT: cop = Opcode::CmpLt; break;
+          case VCMPLE: cop = Opcode::CmpLe; break;
+          case VCMPGT: cop = Opcode::CmpGt; break;
+          case VCMPGE: cop = Opcode::CmpGe; break;
+          default: fail("bad VM opcode");
+        }
+        nf.blocks[hb].instrs.push_back(Instr::bin(cop, x_, x_, y_));
+        vm_push(nf.blocks[hb], nf, x_);
+        done();
+    }
+    return hb;
+  }
+
+  Program& prog_;
+  Function& f_;
+  BytecodeBuilder bc_;
+  std::vector<CallClass> call_classes_;
+  i64 bytecode_off_ = 0;
+  u64 entry_offset_ = 0;
+  u64 entry_pc_ = 0;
+  i64 orig_frame_ = 0;
+  int orig_temps_ = 0;
+  Temp pc_{}, sp_{}, op_{}, arg_{}, x_{}, y_{}, addr_{}, scratch_{};
+  BlockId loop_{};
+};
+
+}  // namespace
+
+void pass_virtualize(Program& prog, Rng& rng) {
+  (void)rng;
+  for (Function& f : prog.functions) {
+    Virtualizer(prog, f).run();
+  }
+}
+
+}  // namespace gp::obf

@@ -1,0 +1,103 @@
+// Attack goals, chain concretization and payload validation (paper Sec. II-B
+// goals + stage 4 "post-processing").
+//
+// A Goal names the syscall to reach and the register file it requires
+// (paper's POINTER-typed constraint language included: a register may be
+// required to point at attacker bytes placed inside the payload).
+//
+// concretize() takes an ORDERED gadget sequence (the linearized plan),
+// re-executes it symbolically as one composed trace, conjoins
+//   - each step's recorded branch decisions (path conditions),
+//   - inter-gadget linkage: step i's transfer target == address of step i+1,
+//   - the goal register constraints at the syscall,
+//   - payload placement for POINTER goals,
+// and asks the solver for a model, which becomes concrete payload bytes.
+//
+// validate() then proves the payload end-to-end: fresh emulator, payload on
+// the stack, rip = first gadget, random uncontrolled registers — the run
+// must stop at the goal syscall with the goal register file.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "emu/emu.hpp"
+#include "gadget/gadget.hpp"
+#include "solver/solver.hpp"
+
+namespace gp::payload {
+
+struct RegTarget {
+  x86::Reg reg;
+  enum class Kind : u8 { Const, PointerToBytes } kind = Kind::Const;
+  u64 value = 0;            // Const
+  std::vector<u8> bytes;    // PointerToBytes (<= 8 bytes, NUL-padded)
+};
+
+struct Goal {
+  std::string name;
+  u64 syscall_no = 0;
+  std::vector<RegTarget> regs;
+
+  /// execve("/bin/sh", 0, 0)
+  static Goal execve();
+  /// mprotect(page, 0x1000, PROT_READ|WRITE|EXEC)
+  static Goal mprotect();
+  /// mmap(0, 0x1000, RWX, MAP_PRIVATE|ANON, -1, 0) — needs r10/r8/r9.
+  static Goal mmap();
+  static const std::vector<Goal>& all();
+};
+
+/// A finished exploit chain.
+struct Chain {
+  std::string goal_name;
+  std::vector<u32> gadgets;   // library indices, execution order
+  std::vector<u8> payload;    // bytes placed at the hijacked rsp
+  u64 entry = 0;              // address written over the return address
+  // Metrics for Table V.
+  int total_insts = 0;
+  int ret_gadgets = 0, ij_gadgets = 0, dj_gadgets = 0, cj_gadgets = 0;
+  double avg_gadget_len() const {
+    return gadgets.empty() ? 0.0
+                           : static_cast<double>(total_insts) /
+                                 static_cast<double>(gadgets.size());
+  }
+};
+
+/// Failure accounting for concretize() (aggregated across calls when the
+/// same struct is passed repeatedly; used by planner stats and benches).
+struct ConcretizeStats {
+  u64 bad_flow = 0;      // inner gadget did not end in an indirect transfer
+  u64 negative_stack = 0;  // chain reads below the hijacked rsp
+  u64 unsat = 0;           // solver found no payload
+  u64 too_big = 0;         // payload exceeded max_payload
+  u64 validation_failed = 0;
+  u64 ok = 0;
+  /// Goal register whose composed value was a constant that contradicted
+  /// the goal outright in the most recent failed call (NONE otherwise).
+  /// The planner uses this to blame and demote the responsible provider.
+  x86::Reg last_mismatch_reg = x86::Reg::NONE;
+};
+
+struct ConcretizeOptions {
+  u64 stack_base = image::kStackTop - 0x2000;  // rsp at hijack (ASLR off)
+  size_t max_payload = 4096;
+  int validation_trials = 2;  // random uncontrolled-register trials
+  ConcretizeStats* stats = nullptr;
+};
+
+/// Compose, solve and validate. Returns nullopt if the sequence has no
+/// satisfying payload or fails emulator validation.
+std::optional<Chain> concretize(solver::Context& ctx,
+                                const gadget::Library& lib,
+                                const image::Image& img,
+                                const std::vector<u32>& ordered,
+                                const Goal& goal,
+                                const ConcretizeOptions& opts = {});
+
+/// Re-run a finished chain in a fresh emulator and check the goal (used by
+/// tests and the examples; concretize() already did this once).
+bool validate(const image::Image& img, const Chain& chain, const Goal& goal,
+              u64 stack_base, u64 reg_seed);
+
+}  // namespace gp::payload

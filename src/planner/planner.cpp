@@ -1,0 +1,548 @@
+#include "planner/planner.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "support/rng.hpp"
+#include <cstdlib>
+#include <cstdio>
+#include <queue>
+#include <set>
+
+namespace gp::planner {
+
+using gadget::EndKind;
+using gadget::Record;
+using gadget::reg_bit;
+using payload::Chain;
+using payload::Goal;
+using solver::ExprRef;
+using x86::Reg;
+
+bool Planner::admissible(const Record& g, const Options& opts) const {
+  if (!opts.use_cond_gadgets && g.has_cond_jump) return false;
+  if (!opts.use_direct_merged && g.has_direct_jump) return false;
+  if (!opts.use_indirect_gadgets && g.end != EndKind::Ret &&
+      g.end != EndKind::Syscall)
+    return false;
+  return true;
+}
+
+std::optional<std::vector<int>> Planner::linearize(const Plan& p) {
+  const int n = static_cast<int>(p.alpha.size());
+  std::vector<std::vector<int>> succ(n);
+  std::vector<int> indeg(n, 0);
+  std::set<std::pair<int, int>> seen;
+  for (const auto& [before, after] : p.beta) {
+    if (before == after) return std::nullopt;
+    if (!seen.insert({before, after}).second) continue;
+    succ[before].push_back(after);
+    ++indeg[after];
+  }
+  // Kahn; ties broken by insertion order (older steps first) to keep
+  // producer-before-consumer chains stable.
+  std::vector<int> order;
+  std::vector<int> ready;
+  for (int i = 0; i < n; ++i)
+    if (indeg[i] == 0) ready.push_back(i);
+  while (!ready.empty()) {
+    const int i = *std::min_element(ready.begin(), ready.end());
+    ready.erase(std::find(ready.begin(), ready.end(), i));
+    order.push_back(i);
+    for (const int j : succ[i])
+      if (--indeg[j] == 0) ready.push_back(j);
+  }
+  if (static_cast<int>(order.size()) != n) return std::nullopt;  // cycle
+  return order;
+}
+
+bool Planner::reg_usable(Reg reg, const Options& opts) {
+  auto it = usable_memo_.find(static_cast<int>(reg));
+  if (it != usable_memo_.end()) return it->second;
+  bool usable = false;
+  for (const u32 gi : lib_.controlling(reg)) {
+    const Record& g = lib_[gi];
+    if (!admissible(g, opts)) continue;
+    if (g.end == EndKind::Syscall) continue;
+    if (!g.stack_delta && g.end == EndKind::Ret &&
+        !g.can_set(x86::Reg::RSP))
+      continue;
+    if (g.next_rip != solver::kNoExpr && ctx_.is_const(g.next_rip)) continue;
+    const ExprRef fin = g.final_regs[static_cast<int>(reg)];
+    if (ctx_.is_const(fin)) {
+      bool match = false;
+      if (goal_)
+        for (const payload::RegTarget& t : goal_->regs)
+          if (t.reg == reg && t.kind == payload::RegTarget::Kind::Const &&
+              t.value == ctx_.const_val(fin))
+            match = true;
+      if (!match) continue;
+    }
+    usable = true;
+    break;
+  }
+  usable_memo_.emplace(static_cast<int>(reg), usable);
+  return usable;
+}
+
+std::vector<Planner::Plan> Planner::expand(const Plan& p,
+                                           const Options& opts) {
+  std::vector<Plan> out;
+  if (p.delta.empty() ||
+      static_cast<int>(p.alpha.size()) >= opts.max_plan_gadgets)
+    return out;
+
+  // Paper: pick an open pre-condition, find gadgets that can fulfil it.
+  const auto [reg, consumer] = p.delta.back();
+
+  // Rank candidates: fewest register dependencies first (a self-dependent
+  // setter like `add rax, rcx; ret` technically "sets" rax but re-opens the
+  // same goal — lowest priority), then shortest.
+  struct Scored {
+    u32 gi;
+    int score;
+  };
+  std::vector<Scored> ranked;
+  for (const u32 gi : lib_.controlling(reg)) {
+    const Record& g = lib_[gi];
+    int deps = 0;
+    bool self_loop = false;
+    {
+      // Walk the provided value's variables; POINTER (ind) variables count
+      // the registers of their load address (one level is enough to catch
+      // the `mov rbp, [rbp-x]` style self-regress).
+      std::vector<ExprRef> work =
+          ctx_.variables(g.final_regs[static_cast<int>(reg)]);
+      for (size_t wi = 0; wi < work.size() && wi < 64; ++wi) {
+        const std::string& name = ctx_.var_name(work[wi]);
+        if (sym::parse_stack_var(name)) continue;
+        if (name.rfind("ind", 0) == 0) {
+          for (const sym::IndirectRead& ir : g.ind_reads)
+            if (ir.var == work[wi])
+              for (const ExprRef av : ctx_.variables(ir.addr))
+                work.push_back(av);
+          continue;
+        }
+        ++deps;
+        if (name == sym::initial_reg_var(reg)) self_loop = true;
+      }
+    }
+    int clob_count = 0;
+    for (int rbit = 0; rbit < x86::kNumRegs; ++rbit)
+      clob_count += (g.clobbered >> rbit) & 1;
+    // A gadget whose own pointer side-effects constrain the very value it
+    // provides (e.g. `pop rax; add [rax], esp; ...`) can only serve
+    // pointer-valued goals; heavily deprioritize it.
+    bool value_is_pointer = false;
+    {
+      const auto provided_vars =
+          ctx_.variables(g.final_regs[static_cast<int>(reg)]);
+      for (const sym::IndirectRead& ir : g.ind_reads)
+        for (const ExprRef av : ctx_.variables(ir.addr))
+          for (const ExprRef pv : provided_vars)
+            value_is_pointer |= av == pv;
+    }
+    // Writes through non-rsp-relative pointers may alias the payload in
+    // ways the no-alias memory model cannot see; validation usually rejects
+    // such chains, so prefer gadgets without them.
+    int wild_writes = 0;
+    {
+      const ExprRef rsp0v = ctx_.var(sym::initial_reg_var(Reg::RSP), 64);
+      for (const auto& w : g.writes) {
+        const auto bo = sym::split_base_offset(ctx_, w.addr);
+        if (!bo || bo->base != rsp0v) ++wild_writes;
+      }
+    }
+    // Prefer clean ret gadgets with simple transfer targets; complex
+    // computed-jump targets (VM dispatch arithmetic) go last.
+    const int transfer_cost =
+        g.end == EndKind::Ret || g.next_rip == solver::kNoExpr
+            ? 0
+            : 30 + static_cast<int>(
+                       std::min<size_t>(ctx_.dag_size(g.next_rip), 40));
+    const auto fc = failure_count_.find(gi);
+    const int failure_cost =
+        fc == failure_count_.end() ? 0 : 12 * fc->second;
+    ranked.push_back({gi, (self_loop ? 2000 : 0) +
+                              (value_is_pointer ? 1500 : 0) +
+                              300 * wild_writes + 80 * deps +
+                              10 * static_cast<int>(g.precond.size()) +
+                              4 * clob_count + transfer_cost +
+                              failure_cost + g.n_insts});
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const Scored& a, const Scored& b) {
+                     return a.score < b.score;
+                   });
+  // Restart diversification: round 0 takes the ranking as-is; later rounds
+  // shuffle the top tier with a per-round seed so different provider
+  // combinations get tried.
+  if (rotation_ > 0 && ranked.size() > 1) {
+    // Shuffle only the reasonable tier: candidates whose score is within
+    // the self-loop/pointer-conflict penalty band stay put at the bottom.
+    size_t tier = 0;
+    while (tier < ranked.size() && tier < 16 && ranked[tier].score < 1000)
+      ++tier;
+    if (tier > 1) {
+      Rng rng(0x1234 + 7919u * static_cast<u64>(rotation_) +
+              static_cast<u64>(reg));
+      for (size_t i = tier - 1; i > 0; --i)
+        std::swap(ranked[i], ranked[rng.below(i + 1)]);
+    }
+  }
+
+  int taken = 0;
+  int f_adm = 0, f_sys = 0, f_sd = 0, f_const = 0, f_goalc = 0, f_dead = 0;
+  for (const auto& [gi, score] : ranked) {
+    if (taken >= opts.max_candidates_per_goal) break;
+    const Record& g = lib_[gi];
+    if (!admissible(g, opts)) { ++f_adm; continue; }
+    // A chain's inner gadget must transfer control onward to a place the
+    // payload can choose; a constant target (resolved jump table) would
+    // force a specific successor address.
+    if (g.end == EndKind::Syscall) { ++f_sys; continue; }
+    // Ret gadgets whose stack delta is symbolic are still usable when the
+    // final rsp is attacker-aimable (a stack pivot, e.g. lea rsp,[rbp-K]
+    // with a popped rbp); the composition solver aims the pivot into the
+    // payload.
+    if (!g.stack_delta && g.end == EndKind::Ret &&
+        !g.can_set(x86::Reg::RSP)) {
+      ++f_sd;
+      continue;
+    }
+    if (g.next_rip != solver::kNoExpr && ctx_.is_const(g.next_rip)) {
+      ++f_const;
+      continue;
+    }
+    // A constant-valued setter cannot be steered; it only ever serves a
+    // terminal goal whose target is that exact constant.
+    {
+      const ExprRef fin = g.final_regs[static_cast<int>(reg)];
+      if (ctx_.is_const(fin)) {
+        bool match = false;
+        if (consumer < 0 && goal_)
+          for (const payload::RegTarget& t : goal_->regs)
+            if (t.reg == reg && t.kind == payload::RegTarget::Kind::Const &&
+                t.value == ctx_.const_val(fin))
+              match = true;
+        if (!match) { ++f_goalc; continue; }
+      }
+    }
+
+    Plan base = p;
+    base.delta.pop_back();
+    const int self = static_cast<int>(base.alpha.size());
+    base.alpha.push_back({gi, reg, consumer});
+    base.n_constraints += static_cast<int>(g.precond.size()) +
+                          static_cast<int>(ctx_.dag_size(
+                              g.final_regs[static_cast<int>(reg)]));
+
+    // Causal ordering: this step before its consumer.
+    if (consumer >= 0) base.beta.push_back({self, consumer});
+
+    // Open pre-conditions of the new gadget: every initial register its
+    // path condition, indirect transfer target, or provided-value
+    // expression depends on must be put under control by some earlier
+    // gadget (register-transfer chaining).
+    bool needs_unmet = false;
+    std::vector<ExprRef> needs = g.precond;
+    if (g.next_rip != solver::kNoExpr) needs.push_back(g.next_rip);
+    if (reg != Reg::NONE)
+      needs.push_back(g.final_regs[static_cast<int>(reg)]);
+    for (size_t ni = 0; ni < needs.size(); ++ni) {
+      const ExprRef pc = needs[ni];
+      for (const ExprRef v : ctx_.variables(pc)) {
+        const std::string& name = ctx_.var_name(v);
+        if (sym::parse_stack_var(name)) continue;  // payload: solver's job
+        if (name.rfind("ind", 0) == 0) {
+          // POINTER dependency: the load's address registers must be
+          // controlled too.
+          for (const sym::IndirectRead& ir : g.ind_reads)
+            if (ir.var == v && needs.size() < 32) needs.push_back(ir.addr);
+          continue;
+        }
+        for (int r = 0; r < x86::kNumRegs; ++r) {
+          const Reg rr = static_cast<Reg>(r);
+          if (rr == Reg::RSP) continue;
+          if (name != sym::initial_reg_var(rr)) continue;
+          bool open = false;
+          for (const auto& [dreg, dcons] : base.delta)
+            open |= dreg == rr && dcons == self;
+          if (!open) {
+            if (!reg_usable(rr, opts)) {
+              // Unsatisfiable dependency: this candidate is a dead end.
+              needs_unmet = true;
+            } else {
+              base.delta.push_back({rr, self});
+            }
+          }
+        }
+      }
+    }
+
+    if (needs_unmet) {
+      ++stats_.dead_ends;
+      continue;
+    }
+    // Threat analysis (epsilon). A causal link (P provides r to C) is
+    // threatened by any other step B that clobbers r; the resolution is
+    // demotion (B before P) or promotion (C before B). Consumers of -1
+    // (the terminal syscall) admit only demotion — nothing runs after it.
+    struct Threat {
+      int clobberer, producer, consumer;
+    };
+    std::vector<Threat> threats;
+    auto link_of = [&](int step) {
+      return std::tuple<Reg, int>(base.alpha[step].provides,
+                                  base.alpha[step].consumer);
+    };
+    for (int b = 0; b < static_cast<int>(base.alpha.size()); ++b) {
+      const Record& bg = lib_[base.alpha[b].gadget];
+      for (int pstep = 0; pstep < static_cast<int>(base.alpha.size());
+           ++pstep) {
+        if (pstep == b) continue;
+        // Only threats involving the new step are new; older pairs were
+        // resolved in the parent plan.
+        if (b != self && pstep != self) continue;
+        const auto [r, cons] = link_of(pstep);
+        if (r == Reg::NONE || !bg.clobbers(r)) continue;
+        if (cons == b) continue;  // consumer may clobber after consuming
+        // A clobber is only a threat when the clobbering value cannot be
+        // steered: if B writes a payload-controllable (non-constant) value
+        // into r, the composition solver simply picks the value the
+        // consumer needs, and B acts as the new producer.
+        const ExprRef rv = bg.final_regs[static_cast<int>(r)];
+        if (bg.can_set(r) && !ctx_.is_const(rv)) continue;
+        threats.push_back({b, pstep, cons});
+      }
+    }
+
+    // Enumerate resolution combinations (bounded; plans are small).
+    std::vector<std::vector<std::pair<int, int>>> resolutions{{}};
+    for (const Threat& t : threats) {
+      std::vector<std::vector<std::pair<int, int>>> next;
+      for (const auto& partial : resolutions) {
+        auto demoted = partial;
+        demoted.push_back({t.clobberer, t.producer});
+        next.push_back(std::move(demoted));
+        if (t.consumer >= 0) {
+          auto promoted = partial;
+          promoted.push_back({t.consumer, t.clobberer});
+          next.push_back(std::move(promoted));
+        }
+      }
+      resolutions = std::move(next);
+      if (resolutions.size() > 4) resolutions.resize(4);
+    }
+    // Keep only the first acyclic resolution: beta variants almost always
+    // linearize to the same gadget sequence, and the restart rounds provide
+    // better diversity than threat-ordering permutations.
+    {
+      std::vector<std::vector<std::pair<int, int>>> pruned;
+      for (const auto& extra : resolutions) {
+        Plan probe = base;
+        for (const auto& e : extra) probe.beta.push_back(e);
+        if (linearize(probe)) {
+          pruned.push_back(extra);
+          break;
+        }
+      }
+      resolutions = std::move(pruned);
+    }
+
+    if (static_cast<int>(base.delta.size()) > opts.max_open_goals) {
+      ++stats_.dead_ends;
+      continue;
+    }
+    // A plan at the gadget cap with goals still open can never complete.
+    if (!base.delta.empty() &&
+        static_cast<int>(base.alpha.size()) >= opts.max_plan_gadgets) {
+      ++stats_.dead_ends;
+      continue;
+    }
+    bool produced = false;
+    for (const auto& extra : resolutions) {
+      Plan np = base;
+      for (const auto& e : extra) np.beta.push_back(e);
+      if (!linearize(np)) continue;
+      out.push_back(std::move(np));
+      produced = true;
+      if (out.size() > 64) break;  // successor cap per expansion
+    }
+    if (!produced) {
+      ++f_dead;
+      if (std::getenv("GP_DEBUG_PLAN") && f_dead <= 2) {
+        fprintf(stderr, "    dead cand g[%u] threats=%zu beta=%zu:", gi,
+                threats.size(), base.beta.size());
+        for (auto& t : threats)
+          fprintf(stderr, " (B%d,P%d,C%d)", t.clobberer, t.producer,
+                  t.consumer);
+        fprintf(stderr, " | beta:");
+        for (auto& [x, y] : base.beta) fprintf(stderr, " %d<%d", x, y);
+        fprintf(stderr, "\n");
+      }
+      ++stats_.dead_ends;
+      continue;
+    }
+    ++taken;
+    ++stats_.successors;
+  }
+  if (out.empty()) ++stats_.dead_ends;
+  if (out.empty() && std::getenv("GP_DEBUG_PLAN")) {
+    fprintf(stderr,
+            "  expand(%s/%d): ranked=%zu taken=%d adm=%d sys=%d sd=%d "
+            "const=%d goalc=%d dead=%d\n",
+            x86::reg_name(reg), consumer, ranked.size(), taken, f_adm, f_sys,
+            f_sd, f_const, f_goalc, f_dead);
+  }
+  return out;
+}
+
+std::vector<Chain> Planner::plan(const Goal& goal, const Options& opts) {
+  goal_ = &goal;
+  usable_memo_.clear();
+  std::vector<Chain> chains;
+  // Fail fast: if any goal register has no statically usable provider at
+  // all, no plan can ever complete.
+  for (const payload::RegTarget& t : goal.regs)
+    if (!reg_usable(t.reg, opts)) return chains;
+  std::set<std::vector<u32>> seen_sequences;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(opts.time_budget_seconds));
+  for (int round = 0; round < std::max(1, opts.restarts); ++round) {
+    rotation_ = round;
+    run_round(goal, opts, chains, seen_sequences, deadline);
+    if (static_cast<int>(chains.size()) >= opts.max_chains) break;
+    if (std::chrono::steady_clock::now() > deadline) break;
+  }
+  return chains;
+}
+
+void Planner::run_round(const Goal& goal, const Options& opts,
+                        std::vector<Chain>& chains,
+                        std::set<std::vector<u32>>& seen_sequences,
+                        std::chrono::steady_clock::time_point deadline) {
+  std::set<u64> visited_plans;
+
+  // Seed: one initial plan per syscall gadget (the terminal action).
+  std::priority_queue<Plan> queue;
+  for (const u32 si : lib_.syscalls()) {
+    const Record& s = lib_[si];
+    if (!admissible(s, opts)) continue;
+    Plan p;
+    p.terminal = si;
+    bool feasible = true;
+    for (const payload::RegTarget& t : goal.regs) {
+      // If the syscall gadget itself forces this register, it must either
+      // leave it alone (a producer will set it) or be able to establish it
+      // itself (payload slots / transferred registers). A constant final
+      // value is only viable when it matches the goal outright.
+      const ExprRef fin = s.final_regs[static_cast<int>(t.reg)];
+      if (s.clobbers(t.reg)) {
+        if (!s.can_set(t.reg)) feasible = false;
+        if (ctx_.is_const(fin) &&
+            !(t.kind == payload::RegTarget::Kind::Const &&
+              ctx_.const_val(fin) == t.value))
+          feasible = false;
+      }
+      p.delta.push_back({t.reg, -1});
+    }
+    if (!feasible) {
+      ++stats_.dead_ends;
+      continue;
+    }
+    queue.push(std::move(p));
+  }
+
+  int expansions = 0;
+  const int round_budget = std::max(64, opts.max_expansions /
+                                             std::max(1, opts.restarts));
+  while (!queue.empty() && expansions < round_budget &&
+         static_cast<int>(chains.size()) < opts.max_chains) {
+    if ((expansions & 0x3f) == 0 &&
+        std::chrono::steady_clock::now() > deadline)
+      break;
+    Plan best = queue.top();
+    queue.pop();
+    ++expansions;
+    ++stats_.expansions;
+    if (std::getenv("GP_DEBUG_PLAN") && expansions <= 80) {
+      fprintf(stderr, "pop #%d delta=%zu alpha=%zu ncon=%d [", expansions,
+              best.delta.size(), best.alpha.size(), best.n_constraints);
+      for (auto& [r, c] : best.delta)
+        fprintf(stderr, "%s/%d ", x86::reg_name(r), c);
+      fprintf(stderr, "]\n");
+    }
+
+    if (best.delta.empty()) {
+      // Complete plan: linearize and concretize.
+      const auto order = linearize(best);
+      if (!order) continue;
+      ++stats_.linearizations;
+      std::vector<u32> seq;
+      // Steps feeding the terminal goal run in topological order; the
+      // terminal syscall gadget is appended last.
+      for (const int i : *order) seq.push_back(best.alpha[i].gadget);
+      seq.push_back(best.terminal);
+      if (!seen_sequences.insert(seq).second) continue;
+      ++stats_.concretize_calls;
+      payload::ConcretizeStats local_cs;
+      payload::ConcretizeOptions copts = opts.concretize;
+      if (!copts.stats) copts.stats = &local_cs;
+      auto chain = payload::concretize(ctx_, lib_, img_, seq, goal, copts);
+      if (!chain && std::getenv("GP_DEBUG_CONC") &&
+          stats_.concretize_calls <= 3) {
+        fprintf(stderr, "--- failed sequence (%zu gadgets) ---\n", seq.size());
+        for (const u32 gi : seq) {
+          const Record& g = lib_[gi];
+          fprintf(stderr, "g[%u] addr=%llx end=%s n=%d\n", gi,
+                  (unsigned long long)g.addr, end_kind_name(g.end), g.n_insts);
+          for (const auto& ps : g.path)
+            fprintf(stderr, "    %s\n", x86::to_string(ps.inst).c_str());
+        }
+      }
+      if (chain) {
+        ++stats_.validated;
+        chains.push_back(std::move(*chain));
+      } else {
+        for (const u32 gi : seq) ++failure_count_[gi];
+        // When a provider's composed value was a flat-out wrong constant,
+        // demote that provider hard: it can never serve this goal.
+        const x86::Reg bad = copts.stats->last_mismatch_reg;
+        if (bad != Reg::NONE) {
+          for (const Step& s : best.alpha)
+            if (s.provides == bad && s.consumer < 0)
+              failure_count_[s.gadget] += 200;
+        }
+      }
+      continue;
+    }
+
+    for (Plan& np : expand(best, opts)) {
+      // Dedupe structurally identical plans (same gadgets, orderings and
+      // open goals) that different expansion orders keep regenerating.
+      // (per-round scope; rounds re-explore with rotated rankings)
+      // Order-independent fingerprint: the same gadget/role multiset found
+      // through different expansion orders is the same plan for our
+      // purposes (it linearizes to the same sequences).
+      u64 h = 0x9e3779b97f4a7c15ULL + np.terminal;
+      auto mix = [&h](u64 v) { h ^= v * 0x2545f4914f6cdd1dULL; };
+      for (const Step& s : np.alpha) {
+        const u64 consumer_gadget =
+            s.consumer < 0 ? ~u64{0} : np.alpha[s.consumer].gadget;
+        mix((static_cast<u64>(s.gadget) << 24) ^
+            (static_cast<u64>(s.provides) << 16) ^ consumer_gadget);
+      }
+      for (const auto& [r, c] : np.delta) {
+        const u64 consumer_gadget = c < 0 ? ~u64{0} : np.alpha[c].gadget;
+        mix(0xd00d ^ (static_cast<u64>(r) << 32) ^ consumer_gadget);
+      }
+      if (!visited_plans.insert(h).second) continue;
+      queue.push(std::move(np));
+    }
+  }
+}
+
+}  // namespace gp::planner

@@ -1,0 +1,115 @@
+// Partial-order planner (paper Sec. IV-D).
+//
+// The planner searches backward from the attack goal over the 5-tuple plan
+// state (alpha, beta, gamma, delta, epsilon):
+//   alpha  selected gadget instances,
+//   beta   ordering constraints "i must precede j",
+//   gamma  causal links: which step establishes which register for whom,
+//   delta  open pre-conditions (registers still needing a producer),
+//   epsilon threatened causal links, resolved by demotion orderings (a
+//           clobberer of a linked register is forced before its producer)
+//           or — when no consistent order exists — plan discard.
+// A greedy best-first queue is ordered by the paper's heuristics: fewest
+// open pre-conditions first, then fewest accumulated symbolic constraints.
+// Complete plans are linearized (topological sort of beta) and handed to
+// payload::concretize, whose solver + emulator validation is the final
+// arbiter; the planner keeps searching for more, diverse chains until the
+// budget or max_chains is reached.
+#pragma once
+
+#include <chrono>
+#include <set>
+#include <unordered_map>
+
+#include "gadget/gadget.hpp"
+#include "payload/payload.hpp"
+
+namespace gp::planner {
+
+struct Options {
+  int max_expansions = 4000;       // plans popped from the queue
+  int max_chains = 16;             // validated chains per goal
+  int max_candidates_per_goal = 10;
+  int max_plan_gadgets = 12;
+  int max_open_goals = 7;          // discard plans whose delta grows past this
+  double time_budget_seconds = 60.0;
+  /// Diversification: the search restarts this many times, rotating the
+  /// per-goal candidate preference each round (failed sequences stay
+  /// banned across rounds).
+  int restarts = 6;
+  payload::ConcretizeOptions concretize;
+  // Ablation switches (the paper's thesis: baselines lack these).
+  bool use_cond_gadgets = true;    // CDJ/CIJ paths
+  bool use_indirect_gadgets = true;
+  bool use_direct_merged = true;   // gadgets spanning direct jumps
+};
+
+struct Stats {
+  u64 expansions = 0;
+  u64 successors = 0;
+  u64 dead_ends = 0;        // unresolvable threats / empty candidate sets
+  u64 linearizations = 0;
+  u64 concretize_calls = 0;
+  u64 validated = 0;
+};
+
+class Planner {
+ public:
+  Planner(solver::Context& ctx, const gadget::Library& lib,
+          const image::Image& img)
+      : ctx_(ctx), lib_(lib), img_(img) {}
+
+  /// Find up to opts.max_chains validated chains for the goal.
+  std::vector<payload::Chain> plan(const payload::Goal& goal,
+                                   const Options& opts = {});
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Step {
+    u32 gadget;
+    x86::Reg provides;  // register this step was chosen to establish
+    int consumer;       // step index it feeds, or -1 for the terminal goal
+  };
+  struct Plan {
+    std::vector<Step> alpha;
+    std::vector<std::pair<int, int>> beta;  // (before, after)
+    std::vector<std::pair<x86::Reg, int>> delta;  // open (reg, consumer)
+    u32 terminal;       // syscall gadget index
+    int n_constraints = 0;
+
+    bool operator<(const Plan& o) const {  // priority: worse = later
+      // Paper heuristics: fewest open pre-conditions first; among equals,
+      // prefer the deeper plan (dive toward completion instead of flooding
+      // the frontier), then fewer accumulated constraints.
+      if (delta.size() != o.delta.size()) return delta.size() > o.delta.size();
+      if (alpha.size() != o.alpha.size()) return alpha.size() < o.alpha.size();
+      return n_constraints > o.n_constraints;
+    }
+  };
+
+  bool admissible(const gadget::Record& g, const Options& opts) const;
+  /// Is there any statically usable provider for `reg`? (memoized per
+  /// plan() call; terminal_const_ok allows exact-constant terminal matches)
+  bool reg_usable(x86::Reg reg, const Options& opts);
+  void run_round(const payload::Goal& goal, const Options& opts,
+                 std::vector<payload::Chain>& chains,
+                 std::set<std::vector<u32>>& seen_sequences,
+                 std::chrono::steady_clock::time_point deadline);
+  /// Topological order of alpha respecting beta; nullopt on cycle.
+  static std::optional<std::vector<int>> linearize(const Plan& p);
+  std::vector<Plan> expand(const Plan& p, const Options& opts);
+
+  solver::Context& ctx_;
+  const gadget::Library& lib_;
+  const image::Image& img_;
+  const payload::Goal* goal_ = nullptr;  // active goal during plan()
+  std::unordered_map<int, bool> usable_memo_;
+  /// Adaptive diversification: gadgets implicated in failed
+  /// concretizations are deprioritized in later candidate rankings.
+  std::unordered_map<u32, int> failure_count_;
+  int rotation_ = 0;  // current restart round (rotates candidate ranking)
+  Stats stats_;
+};
+
+}  // namespace gp::planner

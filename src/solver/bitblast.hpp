@@ -1,0 +1,61 @@
+// Tseitin bit-blaster: lowers bit-vector expressions onto the CDCL SAT core.
+// Adders are ripple-carry, multipliers shift-and-add, variable shifts barrel
+// shifters; gate outputs are cached so shared DAG nodes encode once.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "solver/expr.hpp"
+#include "solver/sat.hpp"
+
+namespace gp::solver {
+
+class BitBlaster {
+ public:
+  explicit BitBlaster(Context& ctx) : ctx_(ctx) {
+    // Reserve a literal that is constant true.
+    const u32 v = sat_.new_var();
+    true_lit_ = Lit::pos(v);
+    sat_.add_clause({true_lit_});
+  }
+
+  /// Assert that width-1 expression e is true.
+  void assert_true(ExprRef e);
+
+  SatResult solve(i64 conflict_budget = -1) {
+    return sat_.solve(conflict_budget);
+  }
+
+  /// After Sat: concrete value of any expression under the model.
+  u64 model_value(ExprRef e);
+
+  size_t num_clauses() const { return sat_.num_clauses(); }
+  u64 num_conflicts() const { return sat_.num_conflicts(); }
+
+ private:
+  using Bits = std::vector<Lit>;
+
+  Lit false_lit() const { return ~true_lit_; }
+  Lit lit_const(bool b) const { return b ? true_lit_ : false_lit(); }
+  bool is_const_lit(Lit l, bool* out) const;
+
+  Lit mk_and(Lit a, Lit b);
+  Lit mk_or(Lit a, Lit b);
+  Lit mk_xor(Lit a, Lit b);
+  Lit mk_mux(Lit sel, Lit t, Lit f);  // sel ? t : f
+  Lit mk_big_and(const std::vector<Lit>& ls);
+
+  Bits blast(ExprRef e);
+  Bits add_bits(const Bits& a, const Bits& b, Lit carry_in);
+  Lit ult_bits(const Bits& a, const Bits& b);
+
+  Context& ctx_;
+  Sat sat_;
+  Lit true_lit_{0};
+  std::unordered_map<ExprRef, Bits> cache_;
+  // Gate cache: (op, a.code, b.code) -> output literal.
+  std::unordered_map<u64, Lit> gates_;
+};
+
+}  // namespace gp::solver

@@ -1,0 +1,567 @@
+#include "solver/expr.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "support/str.hpp"
+
+namespace gp::solver {
+namespace {
+
+bool commutative(Op op) {
+  switch (op) {
+    case Op::Add: case Op::Mul: case Op::And: case Op::Or: case Op::Xor:
+    case Op::Eq:
+      return true;
+    default:
+      return false;
+  }
+}
+
+u64 all_ones(u8 width) { return truncate(~u64{0}, width); }
+
+}  // namespace
+
+size_t Context::NodeHash::operator()(const Node& n) const {
+  size_t h = static_cast<size_t>(n.op) * 0x9e3779b97f4a7c15ULL;
+  auto mix = [&h](u64 v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(n.width);
+  mix(n.aux);
+  mix(n.a);
+  mix(n.b);
+  mix(n.c);
+  mix(n.cval);
+  return h;
+}
+
+bool Context::NodeEq::operator()(const Node& x, const Node& y) const {
+  return x.op == y.op && x.width == y.width && x.aux == y.aux && x.a == y.a &&
+         x.b == y.b && x.c == y.c && x.cval == y.cval;
+}
+
+Context::Context() {
+  false_ = constant(0, 1);
+  true_ = constant(1, 1);
+}
+
+ExprRef Context::intern(Node n) {
+  auto it = interned_.find(n);
+  if (it != interned_.end()) return it->second;
+  const auto ref = static_cast<ExprRef>(nodes_.size());
+  nodes_.push_back(n);
+  interned_.emplace(n, ref);
+  return ref;
+}
+
+ExprRef Context::constant(u64 value, u8 width) {
+  GP_CHECK(width >= 1 && width <= 64, "bad width");
+  Node n;
+  n.op = Op::Const;
+  n.width = width;
+  n.cval = truncate(value, width);
+  return intern(n);
+}
+
+ExprRef Context::var(const std::string& name, u8 width) {
+  auto it = vars_by_name_.find(name);
+  if (it != vars_by_name_.end()) {
+    GP_CHECK(nodes_[it->second].width == width,
+             "variable re-declared with different width: " + name);
+    return it->second;
+  }
+  Node n;
+  n.op = Op::Var;
+  n.width = width;
+  n.cval = var_names_.size();
+  var_names_.push_back(name);
+  const ExprRef ref = intern(n);
+  vars_by_name_.emplace(name, ref);
+  return ref;
+}
+
+ExprRef Context::binary(Op op, ExprRef a, ExprRef b) {
+  // Canonical operand order for commutative ops: a constant always goes on
+  // the right (the (base + offset) normal form the memory model relies on);
+  // otherwise order by node index for hash-consing.
+  if (commutative(op)) {
+    if (nodes_[a].op == Op::Const && nodes_[b].op != Op::Const) {
+      std::swap(a, b);
+    } else if (nodes_[b].op != Op::Const && a > b) {
+      std::swap(a, b);
+    }
+  }
+  Node n;
+  n.op = op;
+  n.width = nodes_[a].width;
+  if (op == Op::Eq || op == Op::Ult || op == Op::Slt) n.width = 1;
+  n.a = a;
+  n.b = b;
+  return intern(n);
+}
+
+ExprRef Context::add(ExprRef a, ExprRef b) {
+  const Node& na = nodes_[a];
+  const Node& nb = nodes_[b];
+  GP_CHECK(na.width == nb.width, "add width mismatch");
+  const u8 w = na.width;
+  if (na.op == Op::Const && nb.op == Op::Const)
+    return constant(na.cval + nb.cval, w);
+  if (na.op == Op::Const && na.cval == 0) return b;
+  if (nb.op == Op::Const && nb.cval == 0) return a;
+  // Canonical form: the constant (if any) sits on the right, BEFORE the
+  // reassociation check below — otherwise 8 + (x + c) never collapses.
+  if (na.op == Op::Const) std::swap(a, b);
+  const Node& ra = nodes_[a];
+  const Node& rb = nodes_[b];
+  // (x + c1) + c2 -> x + (c1+c2); constants accumulate on the right.
+  if (rb.op == Op::Const && ra.op == Op::Add &&
+      nodes_[ra.b].op == Op::Const) {
+    return add(ra.a, constant(nodes_[ra.b].cval + rb.cval, w));
+  }
+  // (x + c1) + y -> (x + y) + c1: float inner constants outward so bases
+  // stay comparable for the memory model's (base, offset) normal form.
+  if (ra.op == Op::Add && nodes_[ra.b].op == Op::Const &&
+      rb.op != Op::Const) {
+    return add(add(ra.a, b), constant(nodes_[ra.b].cval, w));
+  }
+  if (rb.op == Op::Add && nodes_[rb.b].op == Op::Const) {
+    return add(add(a, rb.a), constant(nodes_[rb.b].cval, w));
+  }
+  return binary(Op::Add, a, b);
+}
+
+ExprRef Context::sub(ExprRef a, ExprRef b) {
+  if (a == b) return constant(0, nodes_[a].width);
+  return add(a, neg(b));
+}
+
+ExprRef Context::neg(ExprRef a) {
+  const Node& na = nodes_[a];
+  if (na.op == Op::Const) return constant(~na.cval + 1, na.width);
+  if (na.op == Op::Neg) return na.a;
+  Node n;
+  n.op = Op::Neg;
+  n.width = na.width;
+  n.a = a;
+  return intern(n);
+}
+
+ExprRef Context::mul(ExprRef a, ExprRef b) {
+  const Node& na = nodes_[a];
+  const Node& nb = nodes_[b];
+  GP_CHECK(na.width == nb.width, "mul width mismatch");
+  const u8 w = na.width;
+  if (na.op == Op::Const && nb.op == Op::Const)
+    return constant(na.cval * nb.cval, w);
+  if (na.op == Op::Const && na.cval == 0) return a;
+  if (nb.op == Op::Const && nb.cval == 0) return b;
+  if (na.op == Op::Const && na.cval == 1) return b;
+  if (nb.op == Op::Const && nb.cval == 1) return a;
+  return binary(Op::Mul, a, b);
+}
+
+ExprRef Context::band(ExprRef a, ExprRef b) {
+  const Node& na = nodes_[a];
+  const Node& nb = nodes_[b];
+  GP_CHECK(na.width == nb.width, "and width mismatch");
+  const u8 w = na.width;
+  if (na.op == Op::Const && nb.op == Op::Const)
+    return constant(na.cval & nb.cval, w);
+  if (a == b) return a;
+  if (na.op == Op::Const && na.cval == 0) return a;
+  if (nb.op == Op::Const && nb.cval == 0) return b;
+  if (na.op == Op::Const && na.cval == all_ones(w)) return b;
+  if (nb.op == Op::Const && nb.cval == all_ones(w)) return a;
+  return binary(Op::And, a, b);
+}
+
+ExprRef Context::bor(ExprRef a, ExprRef b) {
+  const Node& na = nodes_[a];
+  const Node& nb = nodes_[b];
+  GP_CHECK(na.width == nb.width, "or width mismatch");
+  const u8 w = na.width;
+  if (na.op == Op::Const && nb.op == Op::Const)
+    return constant(na.cval | nb.cval, w);
+  if (a == b) return a;
+  if (na.op == Op::Const && na.cval == 0) return b;
+  if (nb.op == Op::Const && nb.cval == 0) return a;
+  if (na.op == Op::Const && na.cval == all_ones(w)) return a;
+  if (nb.op == Op::Const && nb.cval == all_ones(w)) return b;
+  return binary(Op::Or, a, b);
+}
+
+ExprRef Context::bxor(ExprRef a, ExprRef b) {
+  const Node& na = nodes_[a];
+  const Node& nb = nodes_[b];
+  GP_CHECK(na.width == nb.width, "xor width mismatch");
+  const u8 w = na.width;
+  if (na.op == Op::Const && nb.op == Op::Const)
+    return constant(na.cval ^ nb.cval, w);
+  if (a == b) return constant(0, w);
+  if (na.op == Op::Const && na.cval == 0) return b;
+  if (nb.op == Op::Const && nb.cval == 0) return a;
+  if (na.op == Op::Const && na.cval == all_ones(w)) return bnot(b);
+  if (nb.op == Op::Const && nb.cval == all_ones(w)) return bnot(a);
+  return binary(Op::Xor, a, b);
+}
+
+ExprRef Context::bnot(ExprRef a) {
+  const Node& na = nodes_[a];
+  if (na.op == Op::Const) return constant(~na.cval, na.width);
+  if (na.op == Op::Not) return na.a;
+  // !(a == b) stays as Not(Eq); fine.
+  Node n;
+  n.op = Op::Not;
+  n.width = na.width;
+  n.a = a;
+  return intern(n);
+}
+
+ExprRef Context::shl(ExprRef a, ExprRef count) {
+  const Node& na = nodes_[a];
+  const Node& nc = nodes_[count];
+  const u8 w = na.width;
+  const u64 mask = w == 64 ? 63 : (w - 1);  // x86-style masking by width-1
+  if (nc.op == Op::Const) {
+    const u64 c = nc.cval & mask;
+    if (c == 0) return a;
+    if (na.op == Op::Const) return constant(na.cval << c, w);
+  }
+  if (na.op == Op::Const && na.cval == 0) return a;
+  return binary(Op::Shl, a, count);
+}
+
+ExprRef Context::lshr(ExprRef a, ExprRef count) {
+  const Node& na = nodes_[a];
+  const Node& nc = nodes_[count];
+  const u8 w = na.width;
+  const u64 mask = w == 64 ? 63 : (w - 1);
+  if (nc.op == Op::Const) {
+    const u64 c = nc.cval & mask;
+    if (c == 0) return a;
+    if (na.op == Op::Const) return constant(truncate(na.cval, w) >> c, w);
+  }
+  if (na.op == Op::Const && na.cval == 0) return a;
+  return binary(Op::LShr, a, count);
+}
+
+ExprRef Context::ashr(ExprRef a, ExprRef count) {
+  const Node& na = nodes_[a];
+  const Node& nc = nodes_[count];
+  const u8 w = na.width;
+  const u64 mask = w == 64 ? 63 : (w - 1);
+  if (nc.op == Op::Const) {
+    const u64 c = nc.cval & mask;
+    if (c == 0) return a;
+    if (na.op == Op::Const) {
+      const u64 s = sign_extend(na.cval, w);
+      return constant(static_cast<u64>(static_cast<i64>(s) >> c), w);
+    }
+  }
+  return binary(Op::AShr, a, count);
+}
+
+ExprRef Context::eq(ExprRef a, ExprRef b) {
+  GP_CHECK(nodes_[a].width == nodes_[b].width, "eq width mismatch");
+  if (a == b) return t();
+  const Node& na = nodes_[a];
+  const Node& nb = nodes_[b];
+  if (na.op == Op::Const && nb.op == Op::Const)
+    return na.cval == nb.cval ? t() : f();
+  if (na.width == 1) {
+    // Boolean equality: x == 1 -> x; x == 0 -> !x.
+    if (nb.op == Op::Const) return nb.cval ? a : bnot(a);
+    if (na.op == Op::Const) return na.cval ? b : bnot(b);
+  }
+  // (x + c1) == c2  ->  x == c2 - c1 (common from stack-offset arithmetic).
+  if (nb.op == Op::Const && na.op == Op::Add &&
+      nodes_[na.b].op == Op::Const) {
+    return eq(na.a, constant(nb.cval - nodes_[na.b].cval, na.width));
+  }
+  return binary(Op::Eq, a, b);
+}
+
+ExprRef Context::ult(ExprRef a, ExprRef b) {
+  const Node& na = nodes_[a];
+  const Node& nb = nodes_[b];
+  GP_CHECK(na.width == nb.width, "ult width mismatch");
+  if (a == b) return f();
+  if (na.op == Op::Const && nb.op == Op::Const)
+    return truncate(na.cval, na.width) < truncate(nb.cval, nb.width) ? t()
+                                                                     : f();
+  if (nb.op == Op::Const && nb.cval == 0) return f();  // x < 0 unsigned
+  return binary(Op::Ult, a, b);
+}
+
+ExprRef Context::slt(ExprRef a, ExprRef b) {
+  const Node& na = nodes_[a];
+  const Node& nb = nodes_[b];
+  GP_CHECK(na.width == nb.width, "slt width mismatch");
+  if (a == b) return f();
+  if (na.op == Op::Const && nb.op == Op::Const) {
+    const i64 x = static_cast<i64>(sign_extend(na.cval, na.width));
+    const i64 y = static_cast<i64>(sign_extend(nb.cval, nb.width));
+    return x < y ? t() : f();
+  }
+  return binary(Op::Slt, a, b);
+}
+
+ExprRef Context::ite(ExprRef cond, ExprRef then_e, ExprRef else_e) {
+  GP_CHECK(nodes_[cond].width == 1, "ite cond must be width 1");
+  GP_CHECK(nodes_[then_e].width == nodes_[else_e].width, "ite width mismatch");
+  if (cond == t()) return then_e;
+  if (cond == f()) return else_e;
+  if (then_e == else_e) return then_e;
+  // ite(c, 1, 0) == c for width-1 results.
+  if (nodes_[then_e].width == 1 && then_e == t() && else_e == f()) return cond;
+  if (nodes_[then_e].width == 1 && then_e == f() && else_e == t())
+    return bnot(cond);
+  Node n;
+  n.op = Op::Ite;
+  n.width = nodes_[then_e].width;
+  n.a = cond;
+  n.b = then_e;
+  n.c = else_e;
+  return intern(n);
+}
+
+ExprRef Context::zext(ExprRef a, u8 width) {
+  const Node& na = nodes_[a];
+  GP_CHECK(width >= na.width, "zext must widen");
+  if (width == na.width) return a;
+  if (na.op == Op::Const) return constant(truncate(na.cval, na.width), width);
+  Node n;
+  n.op = Op::ZExt;
+  n.width = width;
+  n.a = a;
+  return intern(n);
+}
+
+ExprRef Context::sext(ExprRef a, u8 width) {
+  const Node& na = nodes_[a];
+  GP_CHECK(width >= na.width, "sext must widen");
+  if (width == na.width) return a;
+  if (na.op == Op::Const)
+    return constant(sign_extend(na.cval, na.width), width);
+  Node n;
+  n.op = Op::SExt;
+  n.width = width;
+  n.a = a;
+  return intern(n);
+}
+
+ExprRef Context::extract(ExprRef a, u8 lo, u8 width) {
+  const Node& na = nodes_[a];
+  GP_CHECK(lo + width <= na.width, "extract out of range");
+  if (lo == 0 && width == na.width) return a;
+  if (na.op == Op::Const) return constant(na.cval >> lo, width);
+  // extract(zext(x)) where the slice lies inside x.
+  if (na.op == Op::ZExt && lo + width <= nodes_[na.a].width)
+    return extract(na.a, lo, width);
+  // extract of a concat resolves to one side when it doesn't straddle.
+  if (na.op == Op::Concat) {
+    const u8 lo_w = nodes_[na.b].width;
+    if (lo + width <= lo_w) return extract(na.b, lo, width);
+    if (lo >= lo_w) return extract(na.a, lo - lo_w, width);
+  }
+  Node n;
+  n.op = Op::Extract;
+  n.width = width;
+  n.aux = lo;
+  n.a = a;
+  return intern(n);
+}
+
+ExprRef Context::concat(ExprRef hi, ExprRef lo) {
+  const Node& nh = nodes_[hi];
+  const Node& nl = nodes_[lo];
+  GP_CHECK(nh.width + nl.width <= 64, "concat too wide");
+  if (nh.op == Op::Const && nl.op == Op::Const)
+    return constant((nh.cval << nl.width) | truncate(nl.cval, nl.width),
+                    nh.width + nl.width);
+  if (nh.op == Op::Const && nh.cval == 0) return zext(lo, nh.width + nl.width);
+  Node n;
+  n.op = Op::Concat;
+  n.width = nh.width + nl.width;
+  n.a = hi;
+  n.b = lo;
+  return intern(n);
+}
+
+ExprRef Context::substitute(ExprRef e, ExprRef v, ExprRef value) {
+  std::unordered_map<ExprRef, ExprRef> map{{v, value}};
+  return substitute(e, map);
+}
+
+ExprRef Context::substitute(
+    ExprRef e, const std::unordered_map<ExprRef, ExprRef>& map) {
+  std::unordered_map<ExprRef, ExprRef> memo;
+  std::function<ExprRef(ExprRef)> go = [&](ExprRef x) -> ExprRef {
+    auto hit = map.find(x);
+    if (hit != map.end()) return hit->second;
+    auto m = memo.find(x);
+    if (m != memo.end()) return m->second;
+    const Node n = nodes_[x];
+    ExprRef out = x;
+    switch (n.op) {
+      case Op::Const:
+      case Op::Var:
+        out = x;
+        break;
+      case Op::Add: out = add(go(n.a), go(n.b)); break;
+      case Op::Mul: out = mul(go(n.a), go(n.b)); break;
+      case Op::And: out = band(go(n.a), go(n.b)); break;
+      case Op::Or: out = bor(go(n.a), go(n.b)); break;
+      case Op::Xor: out = bxor(go(n.a), go(n.b)); break;
+      case Op::Shl: out = shl(go(n.a), go(n.b)); break;
+      case Op::LShr: out = lshr(go(n.a), go(n.b)); break;
+      case Op::AShr: out = ashr(go(n.a), go(n.b)); break;
+      case Op::Not: out = bnot(go(n.a)); break;
+      case Op::Neg: out = neg(go(n.a)); break;
+      case Op::Eq: out = eq(go(n.a), go(n.b)); break;
+      case Op::Ult: out = ult(go(n.a), go(n.b)); break;
+      case Op::Slt: out = slt(go(n.a), go(n.b)); break;
+      case Op::Ite: out = ite(go(n.a), go(n.b), go(n.c)); break;
+      case Op::ZExt: out = zext(go(n.a), n.width); break;
+      case Op::SExt: out = sext(go(n.a), n.width); break;
+      case Op::Extract: out = extract(go(n.a), n.aux, n.width); break;
+      case Op::Concat: out = concat(go(n.a), go(n.b)); break;
+    }
+    memo.emplace(x, out);
+    return out;
+  };
+  return go(e);
+}
+
+u64 Context::eval(ExprRef e,
+                  const std::unordered_map<ExprRef, u64>& env) const {
+  std::unordered_map<ExprRef, u64> memo;
+  std::function<u64(ExprRef)> go = [&](ExprRef x) -> u64 {
+    auto m = memo.find(x);
+    if (m != memo.end()) return m->second;
+    const Node& n = nodes_[x];
+    u64 out = 0;
+    const u8 w = n.width;
+    auto mask_count = [&](u64 c) { return c & (w == 64 ? 63 : w - 1); };
+    switch (n.op) {
+      case Op::Const: out = n.cval; break;
+      case Op::Var: {
+        auto it = env.find(x);
+        out = it == env.end() ? 0 : it->second;
+        break;
+      }
+      case Op::Add: out = go(n.a) + go(n.b); break;
+      case Op::Mul: out = go(n.a) * go(n.b); break;
+      case Op::And: out = go(n.a) & go(n.b); break;
+      case Op::Or: out = go(n.a) | go(n.b); break;
+      case Op::Xor: out = go(n.a) ^ go(n.b); break;
+      case Op::Shl: out = go(n.a) << mask_count(go(n.b)); break;
+      case Op::LShr: out = truncate(go(n.a), w) >> mask_count(go(n.b)); break;
+      case Op::AShr:
+        out = static_cast<u64>(
+            static_cast<i64>(sign_extend(go(n.a), w)) >>
+            mask_count(go(n.b)));
+        break;
+      case Op::Not: out = ~go(n.a); break;
+      case Op::Neg: out = ~go(n.a) + 1; break;
+      case Op::Eq:
+        out = truncate(go(n.a), nodes_[n.a].width) ==
+              truncate(go(n.b), nodes_[n.b].width);
+        break;
+      case Op::Ult:
+        out = truncate(go(n.a), nodes_[n.a].width) <
+              truncate(go(n.b), nodes_[n.b].width);
+        break;
+      case Op::Slt:
+        out = static_cast<i64>(sign_extend(go(n.a), nodes_[n.a].width)) <
+              static_cast<i64>(sign_extend(go(n.b), nodes_[n.b].width));
+        break;
+      case Op::Ite: out = go(n.a) ? go(n.b) : go(n.c); break;
+      case Op::ZExt: out = truncate(go(n.a), nodes_[n.a].width); break;
+      case Op::SExt: out = sign_extend(go(n.a), nodes_[n.a].width); break;
+      case Op::Extract: out = go(n.a) >> n.aux; break;
+      case Op::Concat:
+        out = (go(n.a) << nodes_[n.b].width) |
+              truncate(go(n.b), nodes_[n.b].width);
+        break;
+    }
+    out = truncate(out, w);
+    memo.emplace(x, out);
+    return out;
+  };
+  return go(e);
+}
+
+std::vector<ExprRef> Context::variables(ExprRef e) const {
+  std::vector<ExprRef> out;
+  std::unordered_map<ExprRef, bool> seen;
+  std::function<void(ExprRef)> go = [&](ExprRef x) {
+    if (seen.count(x)) return;
+    seen[x] = true;
+    const Node& n = nodes_[x];
+    if (n.op == Op::Var) {
+      out.push_back(x);
+      return;
+    }
+    if (n.a != kNoExpr) go(n.a);
+    if (n.b != kNoExpr) go(n.b);
+    if (n.c != kNoExpr) go(n.c);
+  };
+  go(e);
+  return out;
+}
+
+size_t Context::dag_size(ExprRef e) const {
+  std::unordered_map<ExprRef, bool> seen;
+  std::function<void(ExprRef)> go = [&](ExprRef x) {
+    if (seen.count(x)) return;
+    seen[x] = true;
+    const Node& n = nodes_[x];
+    if (n.op == Op::Const || n.op == Op::Var) return;
+    if (n.a != kNoExpr) go(n.a);
+    if (n.b != kNoExpr) go(n.b);
+    if (n.c != kNoExpr) go(n.c);
+  };
+  go(e);
+  return seen.size();
+}
+
+std::string Context::to_string(ExprRef e) const {
+  const Node& n = nodes_[e];
+  auto bin = [&](const char* op) {
+    return "(" + to_string(n.a) + " " + op + " " + to_string(n.b) + ")";
+  };
+  switch (n.op) {
+    case Op::Const: return hex(n.cval);
+    case Op::Var: return var_names_[n.cval];
+    case Op::Add: return bin("+");
+    case Op::Mul: return bin("*");
+    case Op::And: return bin("&");
+    case Op::Or: return bin("|");
+    case Op::Xor: return bin("^");
+    case Op::Shl: return bin("<<");
+    case Op::LShr: return bin(">>u");
+    case Op::AShr: return bin(">>s");
+    case Op::Not: return "~" + to_string(n.a);
+    case Op::Neg: return "-" + to_string(n.a);
+    case Op::Eq: return bin("==");
+    case Op::Ult: return bin("<u");
+    case Op::Slt: return bin("<s");
+    case Op::Ite:
+      return "ite(" + to_string(n.a) + ", " + to_string(n.b) + ", " +
+             to_string(n.c) + ")";
+    case Op::ZExt: return "zext" + std::to_string(n.width) + "(" +
+                          to_string(n.a) + ")";
+    case Op::SExt: return "sext" + std::to_string(n.width) + "(" +
+                          to_string(n.a) + ")";
+    case Op::Extract:
+      return to_string(n.a) + "[" + std::to_string(n.aux + n.width - 1) +
+             ":" + std::to_string(n.aux) + "]";
+    case Op::Concat: return bin("++");
+  }
+  return "<bad>";
+}
+
+}  // namespace gp::solver

@@ -1,0 +1,245 @@
+#include "solver/sat.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gp::solver {
+
+u32 Sat::new_var() {
+  const u32 v = static_cast<u32>(assign_.size());
+  assign_.push_back(2);
+  level_.push_back(0);
+  reason_.push_back(kNoReason);
+  activity_.push_back(0.0);
+  seen_.push_back(0);
+  polarity_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  return v;
+}
+
+bool Sat::add_clause(std::vector<Lit> lits) {
+  if (unsat_) return false;
+  GP_CHECK(trail_lim_.empty(), "add_clause only at decision level 0");
+
+  // Deduplicate; drop clauses containing both l and ~l (tautology) or
+  // literals already false at level 0.
+  std::sort(lits.begin(), lits.end(),
+            [](Lit a, Lit b) { return a.code < b.code; });
+  std::vector<Lit> out;
+  for (size_t i = 0; i < lits.size(); ++i) {
+    if (i + 1 < lits.size() && lits[i + 1].code == (lits[i].code ^ 1))
+      return true;  // tautology
+    if (i > 0 && lits[i] == lits[i - 1]) continue;
+    const i8 v = value(lits[i]);
+    if (v == 1) return true;  // already satisfied at level 0
+    if (v == 0) continue;     // already false: drop literal
+    out.push_back(lits[i]);
+  }
+
+  if (out.empty()) {
+    unsat_ = true;
+    return false;
+  }
+  if (out.size() == 1) {
+    enqueue(out[0], kNoReason);
+    if (propagate() != kNoReason) {
+      unsat_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  const u32 idx = static_cast<u32>(clauses_.size());
+  watches_[(~out[0]).code].push_back({idx, out[1]});
+  watches_[(~out[1]).code].push_back({idx, out[0]});
+  clauses_.push_back({std::move(out), false});
+  return true;
+}
+
+void Sat::enqueue(Lit l, u32 reason) {
+  GP_CHECK(value(l) == 2, "enqueue on assigned literal");
+  assign_[l.var()] = static_cast<i8>(!l.sign());
+  level_[l.var()] = static_cast<u32>(trail_lim_.size());
+  reason_[l.var()] = reason;
+  trail_.push_back(l);
+}
+
+u32 Sat::propagate() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];  // p became true; scan watches of p
+    auto& ws = watches_[p.code];
+    size_t keep = 0;
+    for (size_t i = 0; i < ws.size(); ++i) {
+      const Watch w = ws[i];
+      if (value(w.blocker) == 1) {
+        ws[keep++] = w;
+        continue;
+      }
+      Clause& c = clauses_[w.clause];
+      // Ensure the false literal (~p) is at position 1.
+      if (c.lits[0] == ~p) std::swap(c.lits[0], c.lits[1]);
+      if (value(c.lits[0]) == 1) {
+        ws[keep++] = {w.clause, c.lits[0]};
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool moved = false;
+      for (size_t k = 2; k < c.lits.size(); ++k) {
+        if (value(c.lits[k]) != 0) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[(~c.lits[1]).code].push_back({w.clause, c.lits[0]});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflict.
+      ws[keep++] = w;
+      if (value(c.lits[0]) == 0) {
+        // Conflict: copy the remaining watches and report.
+        for (size_t j = i + 1; j < ws.size(); ++j) ws[keep++] = ws[j];
+        ws.resize(keep);
+        qhead_ = trail_.size();
+        return w.clause;
+      }
+      enqueue(c.lits[0], w.clause);
+    }
+    ws.resize(keep);
+  }
+  return kNoReason;
+}
+
+void Sat::bump(u32 v) {
+  activity_[v] += activity_inc_;
+  if (activity_[v] > 1e100) {
+    for (auto& a : activity_) a *= 1e-100;
+    activity_inc_ *= 1e-100;
+  }
+}
+
+void Sat::decay() { activity_inc_ *= 1.0 / 0.95; }
+
+void Sat::analyze(u32 confl, std::vector<Lit>& learnt, u32& backtrack_level) {
+  learnt.clear();
+  learnt.push_back({0});  // placeholder for the asserting literal
+  int counter = 0;
+  Lit p{0};
+  bool first = true;
+  size_t index = trail_.size();
+  const u32 cur_level = static_cast<u32>(trail_lim_.size());
+
+  for (;;) {
+    const Clause& c = clauses_[confl];
+    for (size_t j = first ? 0 : 1; j < c.lits.size(); ++j) {
+      const Lit q = c.lits[j];
+      if (!seen_[q.var()] && level_[q.var()] > 0) {
+        seen_[q.var()] = 1;
+        bump(q.var());
+        if (level_[q.var()] >= cur_level) {
+          ++counter;
+        } else {
+          learnt.push_back(q);
+        }
+      }
+    }
+    // Walk the trail backwards to the next marked literal.
+    do {
+      --index;
+      p = trail_[index];
+    } while (!seen_[p.var()]);
+    seen_[p.var()] = 0;
+    --counter;
+    first = false;
+    if (counter == 0) break;
+    confl = reason_[p.var()];
+    GP_CHECK(confl != kNoReason, "analyze hit a decision without reason");
+  }
+  learnt[0] = ~p;
+
+  // Backtrack level: highest level among the other literals.
+  backtrack_level = 0;
+  size_t max_i = 1;
+  for (size_t i = 1; i < learnt.size(); ++i) {
+    if (level_[learnt[i].var()] > backtrack_level) {
+      backtrack_level = level_[learnt[i].var()];
+      max_i = i;
+    }
+  }
+  if (learnt.size() > 1) std::swap(learnt[1], learnt[max_i]);
+  for (const Lit l : learnt) seen_[l.var()] = 0;
+}
+
+void Sat::backtrack(u32 target) {
+  if (trail_lim_.size() <= target) return;
+  const size_t bound = trail_lim_[target];
+  for (size_t i = trail_.size(); i-- > bound;) {
+    const u32 v = trail_[i].var();
+    polarity_[v] = static_cast<u8>(assign_[v]);
+    assign_[v] = 2;
+    reason_[v] = kNoReason;
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(target);
+  qhead_ = bound;
+}
+
+Lit Sat::decide() {
+  u32 best = kNoReason;
+  double best_act = -1.0;
+  for (u32 v = 0; v < assign_.size(); ++v) {
+    if (assign_[v] == 2 && activity_[v] > best_act) {
+      best_act = activity_[v];
+      best = v;
+    }
+  }
+  if (best == kNoReason) return {kNoReason};
+  return polarity_[best] ? Lit::pos(best) : Lit::neg(best);
+}
+
+SatResult Sat::solve(i64 conflict_budget) {
+  if (unsat_) return SatResult::Unsat;
+  u64 restart_limit = 128;
+  u64 conflicts_since_restart = 0;
+
+  for (;;) {
+    const u32 confl = propagate();
+    if (confl != kNoReason) {
+      ++conflicts_;
+      ++conflicts_since_restart;
+      if (conflict_budget >= 0 &&
+          conflicts_ > static_cast<u64>(conflict_budget))
+        return SatResult::Unknown;
+      if (trail_lim_.empty()) return SatResult::Unsat;
+
+      std::vector<Lit> learnt;
+      u32 bt_level = 0;
+      analyze(confl, learnt, bt_level);
+      backtrack(bt_level);
+
+      if (learnt.size() == 1) {
+        enqueue(learnt[0], kNoReason);
+      } else {
+        const u32 idx = static_cast<u32>(clauses_.size());
+        watches_[(~learnt[0]).code].push_back({idx, learnt[1]});
+        watches_[(~learnt[1]).code].push_back({idx, learnt[0]});
+        const Lit assert_lit = learnt[0];
+        clauses_.push_back({std::move(learnt), true});
+        enqueue(assert_lit, idx);
+      }
+      decay();
+    } else {
+      if (conflicts_since_restart >= restart_limit) {
+        conflicts_since_restart = 0;
+        restart_limit = restart_limit + (restart_limit >> 1);
+        backtrack(0);
+      }
+      const Lit next = decide();
+      if (next.code == kNoReason) return SatResult::Sat;
+      trail_lim_.push_back(static_cast<u32>(trail_.size()));
+      enqueue(next, kNoReason);
+    }
+  }
+}
+
+}  // namespace gp::solver

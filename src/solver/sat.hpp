@@ -1,0 +1,90 @@
+// Small CDCL SAT solver: two-watched-literal propagation, 1-UIP clause
+// learning, VSIDS-style activity, geometric restarts. This is the decision
+// core underneath the bit-blaster (the role Z3's SAT engine plays for the
+// paper's constraint queries).
+#pragma once
+
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace gp::solver {
+
+/// Literal: variable index v with sign. Encoded as 2*v (positive) or 2*v+1
+/// (negated), matching the watch-list layout.
+struct Lit {
+  u32 code = 0;
+  static Lit pos(u32 v) { return {v << 1}; }
+  static Lit neg(u32 v) { return {(v << 1) | 1}; }
+  Lit operator~() const { return {code ^ 1}; }
+  u32 var() const { return code >> 1; }
+  bool sign() const { return code & 1; }  // true = negated
+  bool operator==(const Lit&) const = default;
+};
+
+enum class SatResult { Sat, Unsat, Unknown };
+
+class Sat {
+ public:
+  u32 new_var();
+  u32 num_vars() const { return static_cast<u32>(assign_.size()); }
+
+  /// Add a clause (disjunction). An empty clause makes the instance
+  /// trivially UNSAT. Returns false if the formula is already known UNSAT.
+  bool add_clause(std::vector<Lit> lits);
+
+  /// Solve. `conflict_budget` < 0 means unlimited.
+  SatResult solve(i64 conflict_budget = -1);
+
+  /// After Sat: the value assigned to var v.
+  bool model_value(u32 v) const {
+    GP_CHECK(v < assign_.size(), "model_value out of range");
+    return assign_[v] == 1;
+  }
+
+  u64 num_conflicts() const { return conflicts_; }
+  size_t num_clauses() const { return clauses_.size(); }
+
+ private:
+  static constexpr u32 kNoReason = 0xffffffff;
+
+  struct Clause {
+    std::vector<Lit> lits;
+    bool learned = false;
+  };
+  struct Watch {
+    u32 clause;
+    Lit blocker;
+  };
+
+  // assign_: 0 = false, 1 = true, 2 = unassigned.
+  i8 value(Lit l) const {
+    const i8 a = assign_[l.var()];
+    if (a == 2) return 2;
+    return static_cast<i8>(a ^ static_cast<i8>(l.sign()));
+  }
+  void enqueue(Lit l, u32 reason);
+  u32 propagate();  // returns conflicting clause index or kNoReason
+  void analyze(u32 confl, std::vector<Lit>& learnt, u32& backtrack_level);
+  void backtrack(u32 level);
+  Lit decide();
+  void bump(u32 v);
+  void decay();
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<Watch>> watches_;  // indexed by Lit.code
+  std::vector<i8> assign_;
+  std::vector<u32> level_;
+  std::vector<u32> reason_;
+  std::vector<Lit> trail_;
+  std::vector<u32> trail_lim_;
+  size_t qhead_ = 0;
+  std::vector<double> activity_;
+  double activity_inc_ = 1.0;
+  std::vector<u8> seen_;
+  std::vector<u8> polarity_;  // phase saving
+  u64 conflicts_ = 0;
+  bool unsat_ = false;
+};
+
+}  // namespace gp::solver

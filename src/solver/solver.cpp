@@ -1,0 +1,86 @@
+#include "solver/solver.hpp"
+
+#include <algorithm>
+
+namespace gp::solver {
+namespace {
+
+u64 key_of(const std::vector<ExprRef>& constraints) {
+  std::vector<ExprRef> sorted(constraints);
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  u64 h = 0x243f6a8885a308d3ULL;
+  for (const ExprRef e : sorted)
+    h ^= e + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+std::optional<Model> Solver::check_sat(
+    const std::vector<ExprRef>& constraints) {
+  ++queries_;
+  // Constant-only fast path.
+  bool all_const_true = true;
+  for (const ExprRef c : constraints) {
+    GP_CHECK(ctx_.width(c) == 1, "constraint must be width 1");
+    if (ctx_.is_const(c, 0)) {
+      memo_[key_of(constraints)] = Memo::Unsat;
+      return std::nullopt;
+    }
+    if (!ctx_.is_const(c)) all_const_true = false;
+  }
+  if (all_const_true) return Model{};
+
+  BitBlaster bb(ctx_);
+  std::vector<ExprRef> vars;
+  for (const ExprRef c : constraints) {
+    bb.assert_true(c);
+    for (const ExprRef v : ctx_.variables(c)) vars.push_back(v);
+  }
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  // Blast all variables before solving so model extraction never has to add
+  // clauses mid-model.
+  for (const ExprRef v : vars) (void)bb.model_value(v);
+
+  const SatResult r = bb.solve(conflict_budget_);
+  memo_[key_of(constraints)] = r == SatResult::Sat ? Memo::Sat : Memo::Unsat;
+  if (r != SatResult::Sat) return std::nullopt;
+
+  Model m;
+  for (const ExprRef v : vars) m[v] = bb.model_value(v);
+  return m;
+}
+
+bool Solver::is_sat(const std::vector<ExprRef>& constraints) {
+  const u64 key = key_of(constraints);
+  auto it = memo_.find(key);
+  if (it != memo_.end()) {
+    ++cache_hits_;
+    return it->second == Memo::Sat;
+  }
+  return check_sat(constraints).has_value();
+}
+
+bool Solver::prove_valid(ExprRef e) {
+  if (ctx_.is_const(e)) return ctx_.const_val(e) == 1;
+  return !is_sat({ctx_.bnot(e)});
+}
+
+bool Solver::prove_equal(ExprRef a, ExprRef b) {
+  if (a == b) return true;
+  if (ctx_.width(a) != ctx_.width(b)) return false;
+  if (ctx_.is_const(a) && ctx_.is_const(b))
+    return ctx_.const_val(a) == ctx_.const_val(b);
+  return !is_sat({ctx_.ne(a, b)});
+}
+
+bool Solver::prove_implies(ExprRef antecedent, ExprRef consequent) {
+  if (consequent == ctx_.t()) return true;
+  if (antecedent == ctx_.f()) return true;
+  if (antecedent == consequent) return true;
+  return !is_sat({antecedent, ctx_.bnot(consequent)});
+}
+
+}  // namespace gp::solver

@@ -1,0 +1,56 @@
+// Query facade over the expression DAG + bit-blaster: satisfiability with
+// model extraction, validity, equivalence and implication checks. One
+// BitBlaster (and SAT instance) is built per query; gadget-sized formulas
+// keep these small. Results are memoized per (query kind, operand refs).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "solver/bitblast.hpp"
+#include "solver/expr.hpp"
+
+namespace gp::solver {
+
+/// A satisfying assignment: variable ref -> 64-bit value.
+using Model = std::unordered_map<ExprRef, u64>;
+
+class Solver {
+ public:
+  explicit Solver(Context& ctx, i64 conflict_budget = 2'000'000)
+      : ctx_(ctx), conflict_budget_(conflict_budget) {}
+
+  /// Is the conjunction of `constraints` satisfiable? Returns a model when
+  /// it is; nullopt when UNSAT (or the conflict budget is exhausted, which
+  /// callers treat as "no usable answer" — sound for gadget filtering).
+  std::optional<Model> check_sat(const std::vector<ExprRef>& constraints);
+
+  /// Is `e` true under every assignment?
+  bool prove_valid(ExprRef e);
+
+  /// Are `a` and `b` equal under every assignment? Fast path: identical
+  /// interned refs (the smart constructors already canonicalized).
+  bool prove_equal(ExprRef a, ExprRef b);
+
+  /// Does `antecedent` imply `consequent` (both width 1)?
+  bool prove_implies(ExprRef antecedent, ExprRef consequent);
+
+  /// Is the conjunction satisfiable *given* that we only need a yes/no (no
+  /// model)? Uses the memo cache.
+  bool is_sat(const std::vector<ExprRef>& constraints);
+
+  u64 queries() const { return queries_; }
+  u64 cache_hits() const { return cache_hits_; }
+
+ private:
+  enum class Memo : u8 { Sat, Unsat };
+
+  Context& ctx_;
+  i64 conflict_budget_;
+  std::unordered_map<u64, Memo> memo_;
+  u64 queries_ = 0;
+  u64 cache_hits_ = 0;
+};
+
+}  // namespace gp::solver

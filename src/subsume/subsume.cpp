@@ -1,0 +1,185 @@
+#include "subsume/subsume.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/rng.hpp"
+
+namespace gp::subsume {
+
+using gadget::Record;
+using solver::ExprRef;
+
+namespace {
+
+/// Randomized refutation: try to falsify "pre -> claim" on sampled points.
+/// Returns true if a counterexample was found (so the implication is
+/// definitely false and the solver call can be skipped); false means
+/// "inconclusive, ask the solver". Obfuscated pools are dominated by pairs
+/// that differ, so this filter removes almost all bit-blasting.
+bool refuted_by_sampling(solver::Context& ctx, ExprRef pre, ExprRef claim) {
+  Rng rng(0x5eedULL ^ (static_cast<u64>(pre) << 32) ^ claim);
+  std::vector<ExprRef> vars = ctx.variables(pre);
+  for (const ExprRef v : ctx.variables(claim)) vars.push_back(v);
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  std::unordered_map<ExprRef, u64> env;
+  for (int trial = 0; trial < 12; ++trial) {
+    for (const ExprRef v : vars) {
+      // Mix small structured values with full-width noise.
+      switch (rng.below(4)) {
+        case 0: env[v] = rng.below(4); break;
+        case 1: env[v] = 0; break;
+        default: env[v] = rng.next(); break;
+      }
+    }
+    if (ctx.eval(pre, env) != 1) continue;  // sample misses the premise
+    if (ctx.eval(claim, env) != 1) return true;
+  }
+  return false;
+}
+
+/// Conjunction of a pre-condition list (width-1 expr).
+ExprRef conj(solver::Context& ctx, const std::vector<ExprRef>& cs) {
+  ExprRef acc = ctx.t();
+  for (const ExprRef c : cs) acc = ctx.band(acc, c);
+  return acc;
+}
+
+/// Cheap bucket fingerprint: gadgets in different buckets can never satisfy
+/// post_1 == post_2 (different transfer kind / touched registers / stack
+/// shape), so eq. 1 is only ever checked within a bucket.
+u64 fingerprint(const Record& r) {
+  u64 h = static_cast<u64>(r.end);
+  h = h * 1000003 + r.clobbered;
+  h = h * 1000003 + r.controlled;
+  h = h * 1000003 +
+      static_cast<u64>(r.stack_delta ? *r.stack_delta + 4096 : 0xffff);
+  h = h * 1000003 + r.writes.size();
+  return h;
+}
+
+/// Structural post-state equality: identical interned exprs for every
+/// clobbered register, the transfer target, and all memory writes.
+bool post_equal_structural(solver::Context& ctx, const Record& a,
+                           const Record& b) {
+  if (a.end != b.end) return false;
+  if (a.clobbered != b.clobbered) return false;
+  if (a.next_rip != b.next_rip) return false;
+  for (int i = 0; i < x86::kNumRegs; ++i)
+    if (a.final_regs[i] != b.final_regs[i]) return false;
+  if (a.writes.size() != b.writes.size()) return false;
+  for (size_t i = 0; i < a.writes.size(); ++i) {
+    if (a.writes[i].addr != b.writes[i].addr ||
+        a.writes[i].value != b.writes[i].value ||
+        a.writes[i].width != b.writes[i].width)
+      return false;
+  }
+  (void)ctx;
+  return true;
+}
+
+/// Solver-backed post-state equality under the joint pre-conditions.
+/// Checked component-by-component with the cheap structural test first, so
+/// a mismatch in any single register bails out after one small query — the
+/// difference between minutes and milliseconds on obfuscated pools.
+bool post_equal_solver(solver::Context& ctx, solver::Solver& solver,
+                       const Record& a, const Record& b) {
+  if (a.next_rip == solver::kNoExpr || b.next_rip == solver::kNoExpr) {
+    if (a.next_rip != b.next_rip) return false;
+  }
+  if (a.writes.size() != b.writes.size()) return false;
+  for (size_t i = 0; i < a.writes.size(); ++i)
+    if (a.writes[i].width != b.writes[i].width) return false;
+
+  const ExprRef pre = ctx.band(conj(ctx, a.precond), conj(ctx, b.precond));
+  auto equal_under_pre = [&](ExprRef x, ExprRef y) {
+    if (x == y) return true;  // interned: structurally identical
+    const ExprRef claim = ctx.eq(x, y);
+    if (refuted_by_sampling(ctx, pre, claim)) return false;
+    // Very large expression pairs that survive sampling are treated as
+    // unequal rather than bit-blasted (keeping both gadgets is sound).
+    if (ctx.dag_size(x) + ctx.dag_size(y) > 400) return false;
+    return solver.prove_implies(pre, claim);
+  };
+
+  for (int i = 0; i < x86::kNumRegs; ++i)
+    if (!equal_under_pre(a.final_regs[i], b.final_regs[i])) return false;
+  if (a.next_rip != solver::kNoExpr &&
+      !equal_under_pre(a.next_rip, b.next_rip))
+    return false;
+  for (size_t i = 0; i < a.writes.size(); ++i) {
+    if (!equal_under_pre(a.writes[i].addr, b.writes[i].addr)) return false;
+    if (!equal_under_pre(a.writes[i].value, b.writes[i].value)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool subsumes(solver::Context& ctx, solver::Solver& solver, const Record& g1,
+              const Record& g2) {
+  // pre_2 -> pre_1 (g1's pre-condition is no stronger than g2's).
+  const ExprRef pre1 = conj(ctx, g1.precond);
+  const ExprRef pre2 = conj(ctx, g2.precond);
+  if (pre1 != ctx.t()) {
+    if (refuted_by_sampling(ctx, pre2, pre1)) return false;
+    if (!solver.prove_implies(pre2, pre1)) return false;
+  }
+  if (post_equal_structural(ctx, g1, g2)) return true;
+  return post_equal_solver(ctx, solver, g1, g2);
+}
+
+std::vector<Record> minimize(solver::Context& ctx, std::vector<Record> pool,
+                             Stats* stats, u64 max_solver_checks) {
+  Stats local;
+  local.input = pool.size();
+  solver::Solver solver(ctx, /*conflict_budget=*/50'000);
+
+  std::unordered_map<u64, std::vector<Record>> buckets;
+  for (Record& r : pool) buckets[fingerprint(r)].push_back(std::move(r));
+
+  std::vector<Record> kept;
+  u64 checks = 0;
+  for (auto& [fp, group] : buckets) {
+    // Prefer shorter gadgets as representatives.
+    std::sort(group.begin(), group.end(),
+              [](const Record& a, const Record& b) {
+                if (a.n_insts != b.n_insts) return a.n_insts < b.n_insts;
+                return a.addr < b.addr;
+              });
+    std::vector<Record> reps;
+    for (Record& cand : group) {
+      bool redundant = false;
+      for (const Record& rep : reps) {
+        // Fast path first: identical interned post-state and trivially
+        // comparable pre-conditions.
+        if (post_equal_structural(ctx, rep, cand) &&
+            rep.precond == cand.precond) {
+          redundant = true;
+          ++local.structural_hits;
+          break;
+        }
+        if (checks >= max_solver_checks) continue;
+        ++checks;
+        ++local.solver_checks;
+        if (subsumes(ctx, solver, rep, cand)) {
+          redundant = true;
+          break;
+        }
+      }
+      if (redundant) {
+        ++local.removed;
+      } else {
+        reps.push_back(std::move(cand));
+      }
+    }
+    for (Record& r : reps) kept.push_back(std::move(r));
+  }
+
+  local.kept = kept.size();
+  if (stats) *stats = local;
+  return kept;
+}
+
+}  // namespace gp::subsume

@@ -1,0 +1,40 @@
+// Subsumption testing (paper Sec. IV-C): winnow the gadget pool to one
+// representative per functionality class by checking, for gadget pairs,
+//     (pre_2 -> pre_1) AND (post_1 == post_2)                    (eq. 1)
+// i.e. g1 does the same thing as g2 under a looser pre-condition, so g2 is
+// redundant. Ties (mutual subsumption) keep the shorter gadget.
+//
+// Pairwise solver checks over tens of thousands of gadgets would be
+// quadratic; candidates are first bucketed by a cheap semantic fingerprint
+// (end kind, clobber/control masks, stack delta) so the solver only ever
+// compares within a bucket — this is where the paper's observed ~3x pool
+// reduction comes from.
+#pragma once
+
+#include "gadget/gadget.hpp"
+#include "solver/solver.hpp"
+
+namespace gp::subsume {
+
+struct Stats {
+  u64 input = 0;
+  u64 kept = 0;
+  u64 removed = 0;
+  u64 solver_checks = 0;
+  u64 structural_hits = 0;  // removed without touching the solver
+  double reduction_factor() const {
+    return kept ? static_cast<double>(input) / static_cast<double>(kept) : 1.0;
+  }
+};
+
+/// Returns the minimized pool. `stats` (optional) receives counters.
+std::vector<gadget::Record> minimize(solver::Context& ctx,
+                                     std::vector<gadget::Record> pool,
+                                     Stats* stats = nullptr,
+                                     u64 max_solver_checks = 20'000);
+
+/// Does g1 subsume g2 (eq. 1)? Exposed for tests.
+bool subsumes(solver::Context& ctx, solver::Solver& solver,
+              const gadget::Record& g1, const gadget::Record& g2);
+
+}  // namespace gp::subsume

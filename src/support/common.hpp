@@ -1,0 +1,49 @@
+// Common scalar aliases and error handling used across the Gadget-Planner
+// reproduction. Fatal internal errors throw gp::Error; expected failures use
+// std::optional / status returns at the API boundary.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace gp {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Exception type for unrecoverable internal errors (broken invariants,
+/// malformed inputs the caller promised were well-formed).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string msg) : std::runtime_error(std::move(msg)) {}
+};
+
+[[noreturn]] inline void fail(const std::string& msg) { throw Error(msg); }
+
+/// GP_CHECK(cond, msg): invariant check that stays on in release builds.
+#define GP_CHECK(cond, msg)                                                  \
+  do {                                                                       \
+    if (!(cond)) ::gp::fail(std::string("check failed: ") + (msg));          \
+  } while (false)
+
+/// Truncate a value to `bits` bits (1..64).
+constexpr u64 truncate(u64 v, unsigned bits) {
+  return bits >= 64 ? v : (v & ((u64{1} << bits) - 1));
+}
+
+/// Sign-extend the low `bits` bits of v to 64 bits.
+constexpr u64 sign_extend(u64 v, unsigned bits) {
+  if (bits >= 64) return v;
+  const u64 m = u64{1} << (bits - 1);
+  v = truncate(v, bits);
+  return (v ^ m) - m;
+}
+
+}  // namespace gp

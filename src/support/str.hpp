@@ -1,0 +1,48 @@
+// Small string-formatting helpers (GCC 12 lacks <format>).
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace gp {
+
+inline std::string hex(u64 v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+inline std::string hex_byte(u8 v) {
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "%02x", v);
+  return buf;
+}
+
+template <typename T>
+std::string to_str(const T& v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+/// Join a range of strings with a separator.
+inline std::string join(const std::vector<std::string>& parts,
+                        const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+inline bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace gp

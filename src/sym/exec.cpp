@@ -1,0 +1,230 @@
+#include "sym/exec.hpp"
+
+#include "support/str.hpp"
+
+namespace gp::sym {
+
+using solver::ExprRef;
+using solver::kNoExpr;
+using solver::Op;
+
+std::string initial_reg_var(x86::Reg r) {
+  return std::string(x86::reg_name(r)) + "0";
+}
+std::string initial_flag_var(ir::Flag f) {
+  return std::string(ir::flag_name(f)) + "0";
+}
+std::string stack_var(i64 offset) {
+  return offset >= 0 ? "stk_" + std::to_string(offset)
+                     : "stk_m" + std::to_string(-offset);
+}
+std::optional<i64> parse_stack_var(const std::string& name) {
+  if (starts_with(name, "stk_m")) return -std::stoll(name.substr(5));
+  if (starts_with(name, "stk_")) return std::stoll(name.substr(4));
+  return std::nullopt;
+}
+
+std::optional<BaseOffset> split_base_offset(solver::Context& ctx,
+                                            ExprRef addr) {
+  const auto& n = ctx.node(addr);
+  if (n.op == Op::Const)
+    return BaseOffset{kNoExpr, static_cast<i64>(n.cval)};
+  if (n.op == Op::Add) {
+    // Smart constructors put the constant on the right.
+    if (ctx.node(n.b).op == Op::Const)
+      return BaseOffset{n.a, static_cast<i64>(ctx.node(n.b).cval)};
+    return BaseOffset{addr, 0};
+  }
+  return BaseOffset{addr, 0};
+}
+
+State Executor::initial_state() {
+  State st;
+  for (int i = 0; i < x86::kNumRegs; ++i)
+    st.regs[i] = ctx_.var(initial_reg_var(static_cast<x86::Reg>(i)), 64);
+  for (int i = 0; i < ir::kNumFlags; ++i)
+    st.flags[i] = ctx_.var(initial_flag_var(static_cast<ir::Flag>(i)), 1);
+  return st;
+}
+
+/// In-universe canonicalization: the simulated stack lives below 2^32
+/// (image::kStackTop = 0x7ffff000), so a 32-bit-truncated-then-zero-extended
+/// stack address equals the original. Undoing the truncation keeps rsp-based
+/// writes and reads comparable in the (base, offset) memory model.
+ExprRef Executor::canonical_addr(ExprRef addr) {
+  const auto& n = ctx_.node(addr);
+  if (n.op != Op::ZExt || n.width != 64) return addr;
+  const auto& inner = ctx_.node(n.a);
+  if (inner.op != Op::Extract || inner.aux != 0 || inner.width != 32)
+    return addr;
+  const ExprRef full = inner.a;
+  const auto bo = split_base_offset(ctx_, full);
+  const ExprRef rsp0 = ctx_.var(initial_reg_var(x86::Reg::RSP), 64);
+  if (bo && bo->base == rsp0) return full;
+  return addr;
+}
+
+ExprRef Executor::load(State& st, ExprRef addr, u8 width) {
+  addr = canonical_addr(addr);
+  const auto ref = split_base_offset(ctx_, addr);
+
+  // Scan the write history newest-to-oldest.
+  for (auto it = st.writes.rbegin(); it != st.writes.rend(); ++it) {
+    const auto w = split_base_offset(ctx_, it->addr);
+    if (ref && w && ref->base == w->base) {
+      if (ref->offset == w->offset && width == it->width) return it->value;
+      const i64 a0 = ref->offset, a1 = ref->offset + width / 8;
+      const i64 b0 = w->offset, b1 = w->offset + it->width / 8;
+      // Disjoint ranges: keep scanning.
+      if (a1 <= b0 || b1 <= a0) continue;
+      // Narrow read fully inside a wider write: slice the stored value.
+      if (b0 <= a0 && a1 <= b1) {
+        const u8 bit_off = static_cast<u8>((a0 - b0) * 8);
+        return ctx_.extract(it->value, bit_off, width);
+      }
+      // Other partial overlaps: the exact-match model gives up precision
+      // here (fresh variable below).
+      st.assumed_no_alias = true;
+      break;
+    }
+    // Different symbolic bases: assumed disjoint.
+    st.assumed_no_alias = true;
+  }
+
+  // Attacker-controlled stack read?
+  const ExprRef rsp0 = ctx_.var(initial_reg_var(x86::Reg::RSP), 64);
+  if (ref && ref->base == rsp0) {
+    if (width == 64) {
+      st.stack_reads.push_back(ref->offset);
+      return ctx_.var(stack_var(ref->offset), 64);
+    }
+    // Narrow reads slice the aligned 8-byte payload slot they fall in, when
+    // they don't straddle a slot boundary (straddling reads fall through to
+    // an unconstrained fresh variable).
+    const i64 slot = ref->offset & ~i64{7};
+    const unsigned bit_off = static_cast<unsigned>(ref->offset - slot) * 8;
+    if (bit_off + width <= 64) {
+      st.stack_reads.push_back(slot);
+      return ctx_.extract(ctx_.var(stack_var(slot), 64),
+                          static_cast<u8>(bit_off), width);
+    }
+  }
+
+  // Constant addresses read the image itself (jump tables, initialized
+  // globals); outside the image they read zero, matching the emulator's
+  // sparse memory. (Must come after the write-history scan above.)
+  if (ref && ref->base == solver::kNoExpr && img_) {
+    const u64 a = static_cast<u64>(ref->offset);
+    u64 value = 0;
+    for (unsigned i = 0; i < width / 8u; ++i) {
+      const u64 byte_addr = a + i;
+      u8 byte = 0;
+      if (img_->in_code(byte_addr)) {
+        byte = img_->code_at(byte_addr)[0];
+      } else if (byte_addr >= img_->data_base() &&
+                 byte_addr < img_->data_base() + img_->data().size()) {
+        byte = img_->data()[byte_addr - img_->data_base()];
+      }
+      value |= static_cast<u64>(byte) << (8 * i);
+    }
+    return ctx_.constant(value, width);
+  }
+
+  // The counter is process-global so different Executor instances sharing
+  // one Context never collide (names also carry the width, since
+  // hash-consed variables are width-unique).
+  static u64 global_counter = 0;
+  (void)fresh_counter_;
+
+  // Attacker-derivable pointer? If every variable in the address is a
+  // payload slot, an initial GP register, or a previously derived indirect
+  // value, a chain can steer this load into the payload (paper Sec. IV-B's
+  // POINTER-typed constraints). Return a tracked indirect-read variable.
+  bool derivable = true;
+  for (const ExprRef v : ctx_.variables(addr)) {
+    const std::string& name = ctx_.var_name(v);
+    if (parse_stack_var(name) || starts_with(name, "ind")) continue;
+    bool is_init_reg = false;
+    for (int k = 0; k < x86::kNumRegs; ++k)
+      is_init_reg |= name == initial_reg_var(static_cast<x86::Reg>(k));
+    if (!is_init_reg) derivable = false;
+  }
+  if (derivable) {
+    const ExprRef var =
+        ctx_.var("ind" + std::to_string(global_counter++) + "_" +
+                     std::to_string(width),
+                 width);
+    st.ind_reads.push_back({addr, var, width});
+    return var;
+  }
+
+  return ctx_.var("mem" + std::to_string(global_counter++) + "_" +
+                      std::to_string(width),
+                  width);
+}
+
+void Executor::store(State& st, ExprRef addr, ExprRef value, u8 width) {
+  st.writes.push_back({canonical_addr(addr), value, width});
+}
+
+Flow Executor::step(State& st, const ir::Lifted& l) {
+  using ir::IrOp;
+  std::vector<ExprRef> temps(l.num_temps, kNoExpr);
+
+  for (const auto& c : l.compute) {
+    ExprRef v = kNoExpr;
+    const u8 w = c.width;
+    switch (c.op) {
+      case IrOp::Const: v = ctx_.constant(c.imm, w); break;
+      case IrOp::GetReg: v = st.regs[static_cast<int>(c.reg)]; break;
+      case IrOp::GetFlag: v = st.flags[static_cast<int>(c.flag)]; break;
+      case IrOp::Load: v = load(st, temps[c.a], w); break;
+      case IrOp::Add: v = ctx_.add(temps[c.a], temps[c.b]); break;
+      case IrOp::Sub: v = ctx_.sub(temps[c.a], temps[c.b]); break;
+      case IrOp::Mul: v = ctx_.mul(temps[c.a], temps[c.b]); break;
+      case IrOp::And: v = ctx_.band(temps[c.a], temps[c.b]); break;
+      case IrOp::Or: v = ctx_.bor(temps[c.a], temps[c.b]); break;
+      case IrOp::Xor: v = ctx_.bxor(temps[c.a], temps[c.b]); break;
+      case IrOp::Shl: v = ctx_.shl(temps[c.a], temps[c.b]); break;
+      case IrOp::LShr: v = ctx_.lshr(temps[c.a], temps[c.b]); break;
+      case IrOp::AShr: v = ctx_.ashr(temps[c.a], temps[c.b]); break;
+      case IrOp::Not: v = ctx_.bnot(temps[c.a]); break;
+      case IrOp::Neg: v = ctx_.neg(temps[c.a]); break;
+      case IrOp::Eq: v = ctx_.eq(temps[c.a], temps[c.b]); break;
+      case IrOp::Ult: v = ctx_.ult(temps[c.a], temps[c.b]); break;
+      case IrOp::Slt: v = ctx_.slt(temps[c.a], temps[c.b]); break;
+      case IrOp::Ite: v = ctx_.ite(temps[c.a], temps[c.b], temps[c.c]); break;
+      case IrOp::ZExt: v = ctx_.zext(temps[c.a], w); break;
+      case IrOp::SExt: v = ctx_.sext(temps[c.a], w); break;
+      case IrOp::Trunc: v = ctx_.extract(temps[c.a], 0, w); break;
+    }
+    temps[c.dst] = v;
+  }
+
+  for (const auto& e : l.effects) {
+    switch (e.kind) {
+      case ir::EffectKind::PutReg:
+        st.regs[static_cast<int>(e.reg)] = temps[e.value];
+        break;
+      case ir::EffectKind::PutFlag:
+        st.flags[static_cast<int>(e.flag)] = temps[e.value];
+        break;
+      case ir::EffectKind::Store:
+        store(st, temps[e.addr], temps[e.value], e.width);
+        break;
+    }
+  }
+
+  Flow f;
+  f.kind = l.jump.kind;
+  f.target = l.jump.target;
+  f.fallthrough = l.jump.fallthrough;
+  f.is_ret = l.jump.is_ret;
+  f.is_call = l.jump.is_call;
+  if (l.jump.target_temp != ir::kNoTemp)
+    f.target_expr = temps[l.jump.target_temp];
+  if (l.jump.cond != ir::kNoTemp) f.cond = temps[l.jump.cond];
+  return f;
+}
+
+}  // namespace gp::sym

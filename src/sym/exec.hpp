@@ -1,0 +1,61 @@
+// Symbolic executor over the micro-IR. Shares the lifter with the concrete
+// emulator, so the two stay semantically aligned by construction (and by the
+// cross-validation property tests in tests/test_sym.cpp).
+#pragma once
+
+#include "image/image.hpp"
+#include "solver/expr.hpp"
+#include "sym/state.hpp"
+
+namespace gp::sym {
+
+/// Where control goes after one instruction, with symbolic components.
+struct Flow {
+  ir::JumpKind kind = ir::JumpKind::Fall;
+  u64 target = 0;                            // Direct / CondDirect
+  u64 fallthrough = 0;
+  solver::ExprRef target_expr = solver::kNoExpr;  // Indirect
+  solver::ExprRef cond = solver::kNoExpr;         // CondDirect (width 1)
+  bool is_ret = false;
+  bool is_call = false;
+};
+
+class Executor {
+ public:
+  /// `img` (optional) lets constant-address loads resolve to the image's
+  /// actual bytes — required for jump tables and initialized globals; loads
+  /// from constant addresses outside the image read as zero, matching the
+  /// emulator's sparse memory.
+  explicit Executor(solver::Context& ctx, const image::Image* img = nullptr)
+      : ctx_(ctx), img_(img) {}
+
+  /// A fresh state whose registers/flags are the shared initial variables.
+  State initial_state();
+
+  /// Execute one lifted instruction, mutating `st`. Returns the symbolic
+  /// control-flow outcome.
+  Flow step(State& st, const ir::Lifted& l);
+
+  solver::Context& ctx() { return ctx_; }
+
+ private:
+  solver::ExprRef canonical_addr(solver::ExprRef addr);
+  solver::ExprRef load(State& st, solver::ExprRef addr, u8 width);
+  void store(State& st, solver::ExprRef addr, solver::ExprRef value,
+             u8 width);
+
+  solver::Context& ctx_;
+  const image::Image* img_;
+  u64 fresh_counter_ = 0;
+};
+
+/// Normalize an address to (symbolic base, concrete byte offset).
+/// Constants normalize to (kNoExpr, value).
+struct BaseOffset {
+  solver::ExprRef base = solver::kNoExpr;
+  i64 offset = 0;
+};
+std::optional<BaseOffset> split_base_offset(solver::Context& ctx,
+                                            solver::ExprRef addr);
+
+}  // namespace gp::sym

@@ -1,0 +1,474 @@
+#include "x86/decoder.hpp"
+
+namespace gp::x86 {
+namespace {
+
+/// Byte cursor over the input with bounds-checked reads. All read_* return
+/// false / nullopt via the ok flag when the buffer runs out.
+class Cursor {
+ public:
+  explicit Cursor(std::span<const u8> bytes) : bytes_(bytes) {}
+
+  bool ok() const { return ok_; }
+  size_t pos() const { return pos_; }
+
+  u8 u8v() {
+    if (pos_ >= bytes_.size()) {
+      ok_ = false;
+      return 0;
+    }
+    return bytes_[pos_++];
+  }
+  u8 peek() const { return pos_ < bytes_.size() ? bytes_[pos_] : 0; }
+  bool at_end() const { return pos_ >= bytes_.size(); }
+
+  u16 u16v() {
+    u16 v = u8v();
+    v |= static_cast<u16>(u8v()) << 8;
+    return v;
+  }
+  u32 u32v() {
+    u32 v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<u32>(u8v()) << (8 * i);
+    return v;
+  }
+  u64 u64v() {
+    u64 v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<u64>(u8v()) << (8 * i);
+    return v;
+  }
+  i64 i8s() { return static_cast<i8>(u8v()); }
+  i64 i32s() { return static_cast<i32>(u32v()); }
+
+ private:
+  std::span<const u8> bytes_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+struct Rex {
+  bool present = false;
+  bool w = false, r = false, x = false, b = false;
+};
+
+Reg make_reg(u8 lo3, bool ext) {
+  return static_cast<Reg>(lo3 | (ext ? 8 : 0));
+}
+
+/// Decoded ModRM byte: reg field plus the r/m operand.
+struct ModRm {
+  u8 reg_field;
+  Reg reg;      // the register named by the reg field
+  Operand rm;   // the r/m operand (REG or MEM)
+};
+
+std::optional<ModRm> read_modrm(Cursor& c, const Rex& rex) {
+  const u8 modrm = c.u8v();
+  if (!c.ok()) return std::nullopt;
+  const u8 mod = modrm >> 6;
+  const u8 reg = (modrm >> 3) & 7;
+  const u8 rm = modrm & 7;
+
+  ModRm out;
+  out.reg_field = reg;
+  out.reg = make_reg(reg, rex.r);
+
+  if (mod == 3) {
+    out.rm = Operand::r(make_reg(rm, rex.b));
+    return out;
+  }
+
+  MemRef m;
+  if (rm == 4) {
+    // SIB byte follows.
+    const u8 sib = c.u8v();
+    if (!c.ok()) return std::nullopt;
+    const u8 scale_bits = sib >> 6;
+    const u8 index_bits = (sib >> 3) & 7;
+    const u8 base_bits = sib & 7;
+    m.scale = static_cast<u8>(1 << scale_bits);
+    // index=100 with REX.X=0 means "no index"; with REX.X=1 it is R12.
+    if (index_bits == 4 && !rex.x) {
+      m.index = Reg::NONE;
+      m.scale = 1;
+    } else {
+      m.index = make_reg(index_bits, rex.x);
+    }
+    if (base_bits == 5 && mod == 0) {
+      m.base = Reg::NONE;  // disp32 with no base
+      m.disp = static_cast<i32>(c.i32s());
+    } else {
+      m.base = make_reg(base_bits, rex.b);
+    }
+  } else if (rm == 5 && mod == 0) {
+    m.rip_relative = true;
+    m.disp = static_cast<i32>(c.i32s());
+  } else {
+    m.base = make_reg(rm, rex.b);
+  }
+
+  if (!m.rip_relative && !(rm == 4 && (modrm & 0xC7) == 0x04 &&
+                           m.base == Reg::NONE)) {
+    if (mod == 1) m.disp = static_cast<i32>(c.i8s());
+    if (mod == 2) m.disp = static_cast<i32>(c.i32s());
+  }
+  if (!c.ok()) return std::nullopt;
+  out.rm = Operand::m(m);
+  return out;
+}
+
+std::optional<Mnemonic> alu_from_ext(u8 ext) {
+  switch (ext) {
+    case 0: return Mnemonic::ADD;
+    case 1: return Mnemonic::OR;
+    case 4: return Mnemonic::AND;
+    case 5: return Mnemonic::SUB;
+    case 6: return Mnemonic::XOR;
+    case 7: return Mnemonic::CMP;
+    default: return std::nullopt;  // ADC(2)/SBB(3) unsupported
+  }
+}
+
+std::optional<Mnemonic> shift_from_ext(u8 ext) {
+  switch (ext) {
+    case 4: return Mnemonic::SHL;
+    case 5: return Mnemonic::SHR;
+    case 7: return Mnemonic::SAR;
+    default: return std::nullopt;
+  }
+}
+
+std::optional<Inst> decode_impl(Cursor& c) {
+  Inst inst;
+  Rex rex;
+
+  u8 op = c.u8v();
+  if (!c.ok()) return std::nullopt;
+  if ((op & 0xF0) == 0x40) {
+    rex.present = true;
+    rex.w = op & 8;
+    rex.r = op & 4;
+    rex.x = op & 2;
+    rex.b = op & 1;
+    op = c.u8v();
+    if (!c.ok()) return std::nullopt;
+    if ((op & 0xF0) == 0x40) return std::nullopt;  // double REX: reject
+  }
+  inst.size = rex.w ? 64 : 32;
+
+  auto with_modrm = [&](Mnemonic m, bool dst_is_rm,
+                        bool src_none = false) -> std::optional<Inst> {
+    auto mr = read_modrm(c, rex);
+    if (!mr) return std::nullopt;
+    inst.mnemonic = m;
+    if (src_none) {
+      inst.dst = mr->rm;
+    } else if (dst_is_rm) {
+      inst.dst = mr->rm;
+      inst.src = Operand::r(mr->reg);
+    } else {
+      inst.dst = Operand::r(mr->reg);
+      inst.src = mr->rm;
+    }
+    return inst;
+  };
+
+  switch (op) {
+    // -- ALU: op r/m, r and op r, r/m --------------------------------
+    case 0x01: return with_modrm(Mnemonic::ADD, true);
+    case 0x03: return with_modrm(Mnemonic::ADD, false);
+    case 0x09: return with_modrm(Mnemonic::OR, true);
+    case 0x0B: return with_modrm(Mnemonic::OR, false);
+    case 0x21: return with_modrm(Mnemonic::AND, true);
+    case 0x23: return with_modrm(Mnemonic::AND, false);
+    case 0x29: return with_modrm(Mnemonic::SUB, true);
+    case 0x2B: return with_modrm(Mnemonic::SUB, false);
+    case 0x31: return with_modrm(Mnemonic::XOR, true);
+    case 0x33: return with_modrm(Mnemonic::XOR, false);
+    case 0x39: return with_modrm(Mnemonic::CMP, true);
+    case 0x3B: return with_modrm(Mnemonic::CMP, false);
+    case 0x85: return with_modrm(Mnemonic::TEST, true);
+    case 0x87: return with_modrm(Mnemonic::XCHG, true);
+    case 0x89: return with_modrm(Mnemonic::MOV, true);
+    case 0x8B: return with_modrm(Mnemonic::MOV, false);
+    case 0x8D: {
+      auto r = with_modrm(Mnemonic::LEA, false);
+      if (!r || !r->src.is_mem()) return std::nullopt;
+      return r;
+    }
+
+    // -- imm ALU forms -------------------------------------------------
+    case 0x81: {
+      auto mr = read_modrm(c, rex);
+      if (!mr) return std::nullopt;
+      auto m = alu_from_ext(mr->reg_field);
+      if (!m) return std::nullopt;
+      inst.mnemonic = *m;
+      inst.dst = mr->rm;
+      inst.src = Operand::i(c.i32s());
+      if (!c.ok()) return std::nullopt;
+      return inst;
+    }
+    case 0x83: {
+      auto mr = read_modrm(c, rex);
+      if (!mr) return std::nullopt;
+      auto m = alu_from_ext(mr->reg_field);
+      if (!m) return std::nullopt;
+      inst.mnemonic = *m;
+      inst.dst = mr->rm;
+      inst.src = Operand::i(c.i8s());
+      if (!c.ok()) return std::nullopt;
+      return inst;
+    }
+
+    // -- mov imm --------------------------------------------------------
+    case 0xC7: {
+      auto mr = read_modrm(c, rex);
+      if (!mr || mr->reg_field != 0) return std::nullopt;
+      inst.mnemonic = Mnemonic::MOV;
+      inst.dst = mr->rm;
+      inst.src = Operand::i(c.i32s());
+      if (!c.ok()) return std::nullopt;
+      return inst;
+    }
+
+    // -- group F7: test/not/neg -----------------------------------------
+    case 0xF7: {
+      auto mr = read_modrm(c, rex);
+      if (!mr) return std::nullopt;
+      switch (mr->reg_field) {
+        case 0:
+          inst.mnemonic = Mnemonic::TEST;
+          inst.dst = mr->rm;
+          inst.src = Operand::i(c.i32s());
+          if (!c.ok()) return std::nullopt;
+          return inst;
+        case 2:
+          inst.mnemonic = Mnemonic::NOT;
+          inst.dst = mr->rm;
+          return inst;
+        case 3:
+          inst.mnemonic = Mnemonic::NEG;
+          inst.dst = mr->rm;
+          return inst;
+        default:
+          return std::nullopt;  // mul/imul/div/idiv 1-op forms unsupported
+      }
+    }
+
+    // -- shifts ----------------------------------------------------------
+    case 0xC1: {
+      auto mr = read_modrm(c, rex);
+      if (!mr) return std::nullopt;
+      auto m = shift_from_ext(mr->reg_field);
+      if (!m) return std::nullopt;
+      inst.mnemonic = *m;
+      inst.dst = mr->rm;
+      inst.src = Operand::i(static_cast<i64>(c.u8v()));
+      if (!c.ok()) return std::nullopt;
+      return inst;
+    }
+    case 0xD1: {
+      auto mr = read_modrm(c, rex);
+      if (!mr) return std::nullopt;
+      auto m = shift_from_ext(mr->reg_field);
+      if (!m) return std::nullopt;
+      inst.mnemonic = *m;
+      inst.dst = mr->rm;
+      inst.src = Operand::i(1);
+      return inst;
+    }
+    case 0xD3: {
+      auto mr = read_modrm(c, rex);
+      if (!mr) return std::nullopt;
+      auto m = shift_from_ext(mr->reg_field);
+      if (!m) return std::nullopt;
+      inst.mnemonic = *m;
+      inst.dst = mr->rm;
+      inst.src = Operand::r(Reg::RCX);
+      return inst;
+    }
+
+    // -- group FF: inc/dec/call/jmp/push ----------------------------------
+    case 0xFF: {
+      auto mr = read_modrm(c, rex);
+      if (!mr) return std::nullopt;
+      switch (mr->reg_field) {
+        case 0: inst.mnemonic = Mnemonic::INC; inst.dst = mr->rm; return inst;
+        case 1: inst.mnemonic = Mnemonic::DEC; inst.dst = mr->rm; return inst;
+        case 2:
+          inst.mnemonic = Mnemonic::CALL;
+          inst.dst = mr->rm;
+          inst.size = 64;
+          return inst;
+        case 4:
+          inst.mnemonic = Mnemonic::JMP;
+          inst.dst = mr->rm;
+          inst.size = 64;
+          return inst;
+        case 6:
+          inst.mnemonic = Mnemonic::PUSH;
+          inst.dst = mr->rm;
+          inst.size = 64;
+          return inst;
+        default: return std::nullopt;
+      }
+    }
+    case 0x8F: {
+      auto mr = read_modrm(c, rex);
+      if (!mr || mr->reg_field != 0) return std::nullopt;
+      inst.mnemonic = Mnemonic::POP;
+      inst.dst = mr->rm;
+      inst.size = 64;
+      return inst;
+    }
+
+    // -- push/pop reg ------------------------------------------------------
+    case 0x50: case 0x51: case 0x52: case 0x53:
+    case 0x54: case 0x55: case 0x56: case 0x57:
+      inst.mnemonic = Mnemonic::PUSH;
+      inst.dst = Operand::r(make_reg(op & 7, rex.b));
+      inst.size = 64;
+      return inst;
+    case 0x58: case 0x59: case 0x5A: case 0x5B:
+    case 0x5C: case 0x5D: case 0x5E: case 0x5F:
+      inst.mnemonic = Mnemonic::POP;
+      inst.dst = Operand::r(make_reg(op & 7, rex.b));
+      inst.size = 64;
+      return inst;
+    case 0x68:
+      inst.mnemonic = Mnemonic::PUSH;
+      inst.dst = Operand::i(c.i32s());
+      inst.size = 64;
+      if (!c.ok()) return std::nullopt;
+      return inst;
+
+    // -- mov reg, imm (B8+r) ------------------------------------------------
+    case 0xB8: case 0xB9: case 0xBA: case 0xBB:
+    case 0xBC: case 0xBD: case 0xBE: case 0xBF: {
+      const Reg r = make_reg(op & 7, rex.b);
+      if (rex.w) {
+        inst.mnemonic = Mnemonic::MOVABS;
+        inst.dst = Operand::r(r);
+        inst.src = Operand::i(static_cast<i64>(c.u64v()));
+      } else {
+        inst.mnemonic = Mnemonic::MOV;
+        inst.dst = Operand::r(r);
+        // Canonical imm representation is sign-extended-to-64 (matches the
+        // 0xC7 form); the 32-bit write zero-extends architecturally either
+        // way, which the lifter handles by operand size.
+        inst.src = Operand::i(static_cast<i64>(static_cast<i32>(c.u32v())));
+        inst.size = 32;
+      }
+      if (!c.ok()) return std::nullopt;
+      return inst;
+    }
+
+    // -- control flow ----------------------------------------------------
+    case 0xC3: inst.mnemonic = Mnemonic::RET; inst.size = 64; return inst;
+    case 0xC2:
+      inst.mnemonic = Mnemonic::RET;
+      inst.dst = Operand::i(static_cast<i64>(c.u16v()));
+      inst.size = 64;
+      if (!c.ok()) return std::nullopt;
+      return inst;
+    case 0xE8:
+      inst.mnemonic = Mnemonic::CALL;
+      inst.dst = Operand::i(c.i32s());
+      inst.size = 64;
+      if (!c.ok()) return std::nullopt;
+      return inst;
+    case 0xE9:
+      inst.mnemonic = Mnemonic::JMP;
+      inst.dst = Operand::i(c.i32s());
+      inst.size = 64;
+      if (!c.ok()) return std::nullopt;
+      return inst;
+    case 0xEB:
+      inst.mnemonic = Mnemonic::JMP;
+      inst.dst = Operand::i(c.i8s());
+      inst.size = 64;
+      if (!c.ok()) return std::nullopt;
+      return inst;
+
+    case 0x70: case 0x71: case 0x72: case 0x73:
+    case 0x74: case 0x75: case 0x76: case 0x77:
+    case 0x78: case 0x79: case 0x7A: case 0x7B:
+    case 0x7C: case 0x7D: case 0x7E: case 0x7F:
+      inst.mnemonic = Mnemonic::JCC;
+      inst.cond = static_cast<Cond>(op & 0xF);
+      inst.dst = Operand::i(c.i8s());
+      inst.size = 64;
+      if (!c.ok()) return std::nullopt;
+      return inst;
+
+    case 0xC9: inst.mnemonic = Mnemonic::LEAVE; inst.size = 64; return inst;
+    case 0x90: inst.mnemonic = Mnemonic::NOP; return inst;
+    case 0xCC: inst.mnemonic = Mnemonic::INT3; return inst;
+
+    // -- two-byte opcodes --------------------------------------------------
+    case 0x0F: {
+      const u8 op2 = c.u8v();
+      if (!c.ok()) return std::nullopt;
+      if (op2 == 0x05) {
+        inst.mnemonic = Mnemonic::SYSCALL;
+        return inst;
+      }
+      if (op2 == 0xAF) {
+        return with_modrm(Mnemonic::IMUL, false);
+      }
+      if (op2 == 0xB6 || op2 == 0xB7 || op2 == 0xBE || op2 == 0xBF) {
+        auto r = with_modrm(
+            op2 < 0xBE ? Mnemonic::MOVZX : Mnemonic::MOVSX, false);
+        if (!r) return std::nullopt;
+        r->src_size = (op2 & 1) ? 16 : 8;
+        return r;
+      }
+      if ((op2 & 0xF0) == 0x40) {  // cmovcc r, r/m
+        auto r = with_modrm(Mnemonic::CMOV, false);
+        if (!r) return std::nullopt;
+        r->cond = static_cast<Cond>(op2 & 0xF);
+        return r;
+      }
+      if ((op2 & 0xF0) == 0x80) {
+        inst.mnemonic = Mnemonic::JCC;
+        inst.cond = static_cast<Cond>(op2 & 0xF);
+        inst.dst = Operand::i(c.i32s());
+        inst.size = 64;
+        if (!c.ok()) return std::nullopt;
+        return inst;
+      }
+      return std::nullopt;
+    }
+
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::optional<Inst> decode(std::span<const u8> bytes, u64 addr) {
+  Cursor c(bytes);
+  auto inst = decode_impl(c);
+  if (!inst || !c.ok()) return std::nullopt;
+  inst->len = static_cast<u8>(c.pos());
+  inst->addr = addr;
+  return inst;
+}
+
+std::vector<Inst> decode_run(std::span<const u8> bytes, u64 addr,
+                             int max_insts) {
+  std::vector<Inst> out;
+  size_t off = 0;
+  for (int i = 0; i < max_insts && off < bytes.size(); ++i) {
+    auto inst = decode(bytes.subspan(off), addr + off);
+    if (!inst) break;
+    out.push_back(*inst);
+    off += inst->len;
+    if (inst->is_terminator()) break;
+  }
+  return out;
+}
+
+}  // namespace gp::x86

@@ -1,0 +1,30 @@
+// Length-correct x86-64 decoder for the supported subset.
+//
+// decode() consumes bytes at an arbitrary offset — exactly how gadget
+// scanners discover unaligned instruction streams — and returns std::nullopt
+// for any byte sequence outside the supported subset (a scanner then treats
+// that offset as not yielding a gadget, the same way real tools skip
+// instructions their disassembler rejects).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "x86/inst.hpp"
+
+namespace gp::x86 {
+
+/// Decode one instruction from `bytes` (which starts at virtual address
+/// `addr`). On success the returned Inst has len and addr filled in.
+std::optional<Inst> decode(std::span<const u8> bytes, u64 addr);
+
+/// Decode a straight-line run: instructions until (and including) the first
+/// terminator, or until decoding fails / `max_insts` is reached. Returns an
+/// empty vector if the first instruction fails to decode. If decoding fails
+/// mid-run or no terminator is found, the run is returned without one (the
+/// caller checks `back().is_terminator()`).
+std::vector<Inst> decode_run(std::span<const u8> bytes, u64 addr,
+                             int max_insts = 64);
+
+}  // namespace gp::x86

@@ -1,0 +1,532 @@
+#include "x86/encoder.hpp"
+
+#include "support/str.hpp"
+
+namespace gp::x86 {
+namespace {
+
+constexpr u8 kRexBase = 0x40;
+
+u8 lo3(Reg r) { return static_cast<u8>(r) & 7; }
+bool ext(Reg r) { return r != Reg::NONE && static_cast<u8>(r) >= 8; }
+
+void put_u16(std::vector<u8>& out, u16 v) {
+  out.push_back(static_cast<u8>(v));
+  out.push_back(static_cast<u8>(v >> 8));
+}
+void put_u32(std::vector<u8>& out, u32 v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+void put_u64(std::vector<u8>& out, u64 v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+bool fits_i8(i64 v) { return v >= -128 && v <= 127; }
+bool fits_i32(i64 v) {
+  return v >= INT32_MIN && v <= INT32_MAX;
+}
+
+/// Emit [REX] <opcode bytes> ModRM [SIB] [disp] encoding `reg_field` in
+/// ModRM.reg and `rm` (register or memory operand) in ModRM.rm.
+/// `wide` sets REX.W.
+void emit_modrm(std::vector<u8>& out, bool wide,
+                const std::vector<u8>& opcode, u8 reg_field, bool reg_ext,
+                const Operand& rm) {
+  u8 rex = kRexBase;
+  if (wide) rex |= 0x08;
+  if (reg_ext) rex |= 0x04;  // REX.R
+
+  if (rm.is_reg()) {
+    if (ext(rm.reg)) rex |= 0x01;  // REX.B
+    if (rex != kRexBase || wide) out.push_back(rex);
+    out.insert(out.end(), opcode.begin(), opcode.end());
+    out.push_back(static_cast<u8>(0xC0 | (reg_field << 3) | lo3(rm.reg)));
+    return;
+  }
+
+  GP_CHECK(rm.is_mem(), "emit_modrm: rm must be reg or mem");
+  const MemRef& m = rm.mem;
+  GP_CHECK(m.index != Reg::RSP, "rsp cannot be an index register");
+  GP_CHECK(m.scale == 1 || m.scale == 2 || m.scale == 4 || m.scale == 8,
+           "bad scale");
+
+  if (m.rip_relative) {
+    if (rex != kRexBase || wide) out.push_back(rex);
+    out.insert(out.end(), opcode.begin(), opcode.end());
+    out.push_back(static_cast<u8>((reg_field << 3) | 0x05));  // mod=00 rm=101
+    put_u32(out, static_cast<u32>(m.disp));
+    return;
+  }
+
+  const bool need_sib = m.index != Reg::NONE || m.base == Reg::NONE ||
+                        m.base == Reg::RSP || m.base == Reg::R12;
+
+  // mod: 00 (no disp), 01 (disp8), 10 (disp32). Base RBP/R13 cannot use
+  // mod 00 (that encoding means RIP-rel / disp32), so force disp8.
+  u8 mod;
+  bool base_needs_disp =
+      m.base == Reg::RBP || m.base == Reg::R13;
+  if (m.base == Reg::NONE) {
+    mod = 0;  // SIB with base=101 and disp32
+  } else if (m.disp == 0 && !base_needs_disp) {
+    mod = 0;
+  } else if (fits_i8(m.disp)) {
+    mod = 1;
+  } else {
+    mod = 2;
+  }
+
+  if (ext(m.base)) rex |= 0x01;   // REX.B
+  if (ext(m.index)) rex |= 0x02;  // REX.X
+  if (rex != kRexBase || wide) out.push_back(rex);
+  out.insert(out.end(), opcode.begin(), opcode.end());
+
+  if (need_sib) {
+    out.push_back(static_cast<u8>((mod << 6) | (reg_field << 3) | 0x04));
+    u8 scale_bits = m.scale == 1 ? 0 : m.scale == 2 ? 1 : m.scale == 4 ? 2 : 3;
+    u8 index_bits = m.index == Reg::NONE ? 4 : lo3(m.index);
+    u8 base_bits = m.base == Reg::NONE ? 5 : lo3(m.base);
+    out.push_back(static_cast<u8>((scale_bits << 6) | (index_bits << 3) |
+                                  base_bits));
+    if (m.base == Reg::NONE) {
+      put_u32(out, static_cast<u32>(m.disp));  // mod=00 base=101: disp32
+      return;
+    }
+  } else {
+    out.push_back(static_cast<u8>((mod << 6) | (reg_field << 3) |
+                                  lo3(m.base)));
+  }
+
+  if (mod == 1) out.push_back(static_cast<u8>(static_cast<i8>(m.disp)));
+  if (mod == 2) put_u32(out, static_cast<u32>(m.disp));
+}
+
+struct AluInfo {
+  u8 op_mr;   // op r/m, r
+  u8 op_rm;   // op r, r/m
+  u8 ext;     // /ext for the 0x81 / 0x83 imm forms
+};
+
+std::optional<AluInfo> alu_info(Mnemonic m) {
+  switch (m) {
+    case Mnemonic::ADD: return AluInfo{0x01, 0x03, 0};
+    case Mnemonic::OR: return AluInfo{0x09, 0x0B, 1};
+    case Mnemonic::AND: return AluInfo{0x21, 0x23, 4};
+    case Mnemonic::SUB: return AluInfo{0x29, 0x2B, 5};
+    case Mnemonic::XOR: return AluInfo{0x31, 0x33, 6};
+    case Mnemonic::CMP: return AluInfo{0x39, 0x3B, 7};
+    default: return std::nullopt;
+  }
+}
+
+u8 shift_ext(Mnemonic m) {
+  switch (m) {
+    case Mnemonic::SHL: return 4;
+    case Mnemonic::SHR: return 5;
+    case Mnemonic::SAR: return 7;
+    default: fail("not a shift");
+  }
+}
+
+}  // namespace
+
+std::vector<u8> encode(const Inst& inst) {
+  std::vector<u8> out;
+  const bool wide = inst.size == 64;
+  const Operand& d = inst.dst;
+  const Operand& s = inst.src;
+
+  switch (inst.mnemonic) {
+    case Mnemonic::MOV:
+      if (d.is_reg() && s.is_imm() && !wide) {
+        // B8+r imm32
+        if (ext(d.reg)) out.push_back(kRexBase | 0x01);
+        out.push_back(static_cast<u8>(0xB8 | lo3(d.reg)));
+        put_u32(out, static_cast<u32>(s.imm));
+        return out;
+      }
+      if ((d.is_reg() || d.is_mem()) && s.is_imm()) {
+        GP_CHECK(fits_i32(s.imm), "mov imm32 overflow; use MOVABS");
+        emit_modrm(out, wide, {0xC7}, 0, false, d);
+        put_u32(out, static_cast<u32>(s.imm));
+        return out;
+      }
+      if (s.is_reg()) {  // mov r/m, r
+        emit_modrm(out, wide, {0x89}, lo3(s.reg), ext(s.reg), d);
+        return out;
+      }
+      if (d.is_reg() && s.is_mem()) {  // mov r, r/m
+        emit_modrm(out, wide, {0x8B}, lo3(d.reg), ext(d.reg), s);
+        return out;
+      }
+      fail("bad mov operands");
+
+    case Mnemonic::MOVABS: {
+      GP_CHECK(d.is_reg() && s.is_imm(), "movabs needs reg, imm64");
+      u8 rex = kRexBase | 0x08;
+      if (ext(d.reg)) rex |= 0x01;
+      out.push_back(rex);
+      out.push_back(static_cast<u8>(0xB8 | lo3(d.reg)));
+      put_u64(out, static_cast<u64>(s.imm));
+      return out;
+    }
+
+    case Mnemonic::LEA:
+      GP_CHECK(d.is_reg() && s.is_mem(), "lea needs reg, mem");
+      emit_modrm(out, wide, {0x8D}, lo3(d.reg), ext(d.reg), s);
+      return out;
+
+    case Mnemonic::XCHG:
+      GP_CHECK(s.is_reg(), "xchg src must be reg");
+      emit_modrm(out, wide, {0x87}, lo3(s.reg), ext(s.reg), d);
+      return out;
+
+    case Mnemonic::MOVZX:
+    case Mnemonic::MOVSX: {
+      GP_CHECK(d.is_reg(), "movzx/movsx dst must be reg");
+      GP_CHECK(inst.src_size == 8 || inst.src_size == 16,
+               "movzx/movsx src_size must be 8 or 16");
+      const bool sx = inst.mnemonic == Mnemonic::MOVSX;
+      const u8 op2 = inst.src_size == 8 ? (sx ? 0xBE : 0xB6)
+                                        : (sx ? 0xBF : 0xB7);
+      emit_modrm(out, wide, {0x0F, op2}, lo3(d.reg), ext(d.reg), s);
+      return out;
+    }
+
+    case Mnemonic::CMOV:
+      GP_CHECK(d.is_reg(), "cmov dst must be reg");
+      emit_modrm(out, wide,
+                 {0x0F, static_cast<u8>(0x40 | static_cast<u8>(inst.cond))},
+                 lo3(d.reg), ext(d.reg), s);
+      return out;
+
+    case Mnemonic::ADD:
+    case Mnemonic::OR:
+    case Mnemonic::AND:
+    case Mnemonic::SUB:
+    case Mnemonic::XOR:
+    case Mnemonic::CMP: {
+      auto info = *alu_info(inst.mnemonic);
+      if (s.is_imm()) {
+        if (fits_i8(s.imm)) {
+          emit_modrm(out, wide, {0x83}, info.ext, false, d);
+          out.push_back(static_cast<u8>(static_cast<i8>(s.imm)));
+        } else {
+          GP_CHECK(fits_i32(s.imm), "alu imm32 overflow");
+          emit_modrm(out, wide, {0x81}, info.ext, false, d);
+          put_u32(out, static_cast<u32>(s.imm));
+        }
+        return out;
+      }
+      if (s.is_reg()) {  // op r/m, r
+        emit_modrm(out, wide, {info.op_mr}, lo3(s.reg), ext(s.reg), d);
+        return out;
+      }
+      GP_CHECK(d.is_reg() && s.is_mem(), "alu operands");
+      emit_modrm(out, wide, {info.op_rm}, lo3(d.reg), ext(d.reg), s);
+      return out;
+    }
+
+    case Mnemonic::TEST:
+      if (s.is_imm()) {
+        GP_CHECK(fits_i32(s.imm), "test imm32 overflow");
+        emit_modrm(out, wide, {0xF7}, 0, false, d);
+        put_u32(out, static_cast<u32>(s.imm));
+        return out;
+      }
+      GP_CHECK(s.is_reg(), "test src must be reg/imm");
+      emit_modrm(out, wide, {0x85}, lo3(s.reg), ext(s.reg), d);
+      return out;
+
+    case Mnemonic::NOT:
+      emit_modrm(out, wide, {0xF7}, 2, false, d);
+      return out;
+    case Mnemonic::NEG:
+      emit_modrm(out, wide, {0xF7}, 3, false, d);
+      return out;
+    case Mnemonic::INC:
+      emit_modrm(out, wide, {0xFF}, 0, false, d);
+      return out;
+    case Mnemonic::DEC:
+      emit_modrm(out, wide, {0xFF}, 1, false, d);
+      return out;
+
+    case Mnemonic::IMUL:
+      GP_CHECK(d.is_reg(), "imul dst must be reg");
+      emit_modrm(out, wide, {0x0F, 0xAF}, lo3(d.reg), ext(d.reg), s);
+      return out;
+
+    case Mnemonic::SHL:
+    case Mnemonic::SHR:
+    case Mnemonic::SAR: {
+      const u8 e = shift_ext(inst.mnemonic);
+      if (s.is_imm()) {
+        if (s.imm == 1) {
+          emit_modrm(out, wide, {0xD1}, e, false, d);
+        } else {
+          emit_modrm(out, wide, {0xC1}, e, false, d);
+          out.push_back(static_cast<u8>(s.imm));
+        }
+      } else {
+        GP_CHECK(s.is_reg() && s.reg == Reg::RCX, "shift count must be cl");
+        emit_modrm(out, wide, {0xD3}, e, false, d);
+      }
+      return out;
+    }
+
+    case Mnemonic::PUSH:
+      if (d.is_imm()) {
+        GP_CHECK(fits_i32(d.imm), "push imm32 overflow");
+        out.push_back(0x68);
+        put_u32(out, static_cast<u32>(d.imm));
+        return out;
+      }
+      if (d.is_reg()) {
+        if (ext(d.reg)) out.push_back(kRexBase | 0x01);
+        out.push_back(static_cast<u8>(0x50 | lo3(d.reg)));
+        return out;
+      }
+      emit_modrm(out, false, {0xFF}, 6, false, d);
+      return out;
+
+    case Mnemonic::POP:
+      if (d.is_reg()) {
+        if (ext(d.reg)) out.push_back(kRexBase | 0x01);
+        out.push_back(static_cast<u8>(0x58 | lo3(d.reg)));
+        return out;
+      }
+      emit_modrm(out, false, {0x8F}, 0, false, d);
+      return out;
+
+    case Mnemonic::RET:
+      if (d.is_imm() && d.imm != 0) {
+        out.push_back(0xC2);
+        put_u16(out, static_cast<u16>(d.imm));
+      } else {
+        out.push_back(0xC3);
+      }
+      return out;
+
+    case Mnemonic::JMP:
+      if (d.is_imm()) {
+        out.push_back(0xE9);
+        put_u32(out, static_cast<u32>(d.imm));
+        return out;
+      }
+      emit_modrm(out, false, {0xFF}, 4, false, d);
+      return out;
+
+    case Mnemonic::JCC:
+      GP_CHECK(d.is_imm(), "jcc must be direct");
+      out.push_back(0x0F);
+      out.push_back(static_cast<u8>(0x80 | static_cast<u8>(inst.cond)));
+      put_u32(out, static_cast<u32>(d.imm));
+      return out;
+
+    case Mnemonic::CALL:
+      if (d.is_imm()) {
+        out.push_back(0xE8);
+        put_u32(out, static_cast<u32>(d.imm));
+        return out;
+      }
+      emit_modrm(out, false, {0xFF}, 2, false, d);
+      return out;
+
+    case Mnemonic::SYSCALL:
+      out.push_back(0x0F);
+      out.push_back(0x05);
+      return out;
+    case Mnemonic::LEAVE:
+      out.push_back(0xC9);
+      return out;
+    case Mnemonic::NOP:
+      out.push_back(0x90);
+      return out;
+    case Mnemonic::INT3:
+      out.push_back(0xCC);
+      return out;
+  }
+  fail("unencodable instruction");
+}
+
+// ---------------------------------------------------------------------------
+// Assembler
+// ---------------------------------------------------------------------------
+
+void Assembler::bind(Label l) {
+  GP_CHECK(l >= 0 && static_cast<size_t>(l) < labels_.size(), "bad label");
+  GP_CHECK(labels_[l] == kUnbound, "label bound twice");
+  labels_[l] = static_cast<i64>(code_.size());
+}
+
+void Assembler::raw(const std::vector<u8>& bytes) {
+  code_.insert(code_.end(), bytes.begin(), bytes.end());
+}
+
+void Assembler::emit(const Inst& inst) { raw(encode(inst)); }
+
+void Assembler::mov(Reg dst, Reg src, u8 size) {
+  emit({.mnemonic = Mnemonic::MOV, .dst = Operand::r(dst),
+        .src = Operand::r(src), .size = size});
+}
+
+void Assembler::mov_imm(Reg dst, i64 imm) {
+  if (imm >= INT32_MIN && imm <= INT32_MAX) {
+    emit({.mnemonic = Mnemonic::MOV, .dst = Operand::r(dst),
+          .src = Operand::i(imm), .size = 64});
+  } else {
+    emit({.mnemonic = Mnemonic::MOVABS, .dst = Operand::r(dst),
+          .src = Operand::i(imm), .size = 64});
+  }
+}
+
+void Assembler::mov_load(Reg dst, MemRef src, u8 size) {
+  emit({.mnemonic = Mnemonic::MOV, .dst = Operand::r(dst),
+        .src = Operand::m(src), .size = size});
+}
+
+void Assembler::mov_store(MemRef dst, Reg src, u8 size) {
+  emit({.mnemonic = Mnemonic::MOV, .dst = Operand::m(dst),
+        .src = Operand::r(src), .size = size});
+}
+
+void Assembler::mov_store_imm(MemRef dst, i32 imm, u8 size) {
+  emit({.mnemonic = Mnemonic::MOV, .dst = Operand::m(dst),
+        .src = Operand::i(imm), .size = size});
+}
+
+void Assembler::lea(Reg dst, MemRef src) {
+  emit({.mnemonic = Mnemonic::LEA, .dst = Operand::r(dst),
+        .src = Operand::m(src), .size = 64});
+}
+
+void Assembler::alu(Mnemonic op, Reg dst, Reg src, u8 size) {
+  emit({.mnemonic = op, .dst = Operand::r(dst), .src = Operand::r(src),
+        .size = size});
+}
+
+void Assembler::alu_imm(Mnemonic op, Reg dst, i32 imm, u8 size) {
+  emit({.mnemonic = op, .dst = Operand::r(dst), .src = Operand::i(imm),
+        .size = size});
+}
+
+void Assembler::unary(Mnemonic op, Reg r, u8 size) {
+  emit({.mnemonic = op, .dst = Operand::r(r), .size = size});
+}
+
+void Assembler::imul(Reg dst, Reg src, u8 size) {
+  emit({.mnemonic = Mnemonic::IMUL, .dst = Operand::r(dst),
+        .src = Operand::r(src), .size = size});
+}
+
+void Assembler::movzx_load(Reg dst, MemRef src, u8 src_size) {
+  emit({.mnemonic = Mnemonic::MOVZX, .src_size = src_size,
+        .dst = Operand::r(dst), .src = Operand::m(src), .size = 64});
+}
+
+void Assembler::movsx_load(Reg dst, MemRef src, u8 src_size) {
+  emit({.mnemonic = Mnemonic::MOVSX, .src_size = src_size,
+        .dst = Operand::r(dst), .src = Operand::m(src), .size = 64});
+}
+
+void Assembler::cmov(Cond c, Reg dst, Reg src, u8 size) {
+  emit({.mnemonic = Mnemonic::CMOV, .cond = c, .dst = Operand::r(dst),
+        .src = Operand::r(src), .size = size});
+}
+
+void Assembler::shift_imm(Mnemonic op, Reg r, u8 amount, u8 size) {
+  emit({.mnemonic = op, .dst = Operand::r(r), .src = Operand::i(amount),
+        .size = size});
+}
+
+void Assembler::shift_cl(Mnemonic op, Reg r, u8 size) {
+  emit({.mnemonic = op, .dst = Operand::r(r), .src = Operand::r(Reg::RCX),
+        .size = size});
+}
+
+void Assembler::push(Reg r) {
+  emit({.mnemonic = Mnemonic::PUSH, .dst = Operand::r(r)});
+}
+void Assembler::push_imm(i32 imm) {
+  emit({.mnemonic = Mnemonic::PUSH, .dst = Operand::i(imm)});
+}
+void Assembler::pop(Reg r) {
+  emit({.mnemonic = Mnemonic::POP, .dst = Operand::r(r)});
+}
+void Assembler::ret() { emit({.mnemonic = Mnemonic::RET}); }
+void Assembler::ret_imm(u16 imm) {
+  emit({.mnemonic = Mnemonic::RET, .dst = Operand::i(imm)});
+}
+void Assembler::syscall() { emit({.mnemonic = Mnemonic::SYSCALL}); }
+void Assembler::nop() { emit({.mnemonic = Mnemonic::NOP}); }
+void Assembler::int3() { emit({.mnemonic = Mnemonic::INT3}); }
+void Assembler::leave() { emit({.mnemonic = Mnemonic::LEAVE}); }
+void Assembler::xchg(Reg a, Reg b, u8 size) {
+  emit({.mnemonic = Mnemonic::XCHG, .dst = Operand::r(a),
+        .src = Operand::r(b), .size = size});
+}
+
+void Assembler::branch_to(Label target, const char* kind) {
+  // The rel32 field was just emitted as a placeholder at code_.size()-4.
+  (void)kind;
+  fixups_.push_back({code_.size() - 4, target});
+}
+
+void Assembler::jmp(Label target) {
+  byte(0xE9);
+  for (int i = 0; i < 4; ++i) byte(0);
+  branch_to(target, "jmp");
+}
+
+void Assembler::jcc(Cond c, Label target) {
+  byte(0x0F);
+  byte(static_cast<u8>(0x80 | static_cast<u8>(c)));
+  for (int i = 0; i < 4; ++i) byte(0);
+  branch_to(target, "jcc");
+}
+
+void Assembler::call(Label target) {
+  byte(0xE8);
+  for (int i = 0; i < 4; ++i) byte(0);
+  branch_to(target, "call");
+}
+
+void Assembler::jmp_reg(Reg r) {
+  emit({.mnemonic = Mnemonic::JMP, .dst = Operand::r(r)});
+}
+void Assembler::call_reg(Reg r) {
+  emit({.mnemonic = Mnemonic::CALL, .dst = Operand::r(r)});
+}
+void Assembler::jmp_mem(MemRef m) {
+  emit({.mnemonic = Mnemonic::JMP, .dst = Operand::m(m)});
+}
+
+void Assembler::jmp_abs(u64 target) {
+  const i64 rel = static_cast<i64>(target) -
+                  static_cast<i64>(here() + 5);
+  GP_CHECK(rel >= INT32_MIN && rel <= INT32_MAX, "jmp_abs out of range");
+  emit({.mnemonic = Mnemonic::JMP, .dst = Operand::i(rel)});
+}
+
+void Assembler::call_abs(u64 target) {
+  const i64 rel = static_cast<i64>(target) -
+                  static_cast<i64>(here() + 5);
+  GP_CHECK(rel >= INT32_MIN && rel <= INT32_MAX, "call_abs out of range");
+  emit({.mnemonic = Mnemonic::CALL, .dst = Operand::i(rel)});
+}
+
+std::vector<u8> Assembler::finish() {
+  GP_CHECK(!finished_, "Assembler::finish called twice");
+  finished_ = true;
+  for (const Fixup& f : fixups_) {
+    GP_CHECK(labels_[f.label] != kUnbound, "unbound label at finish");
+    const i64 rel = labels_[f.label] - static_cast<i64>(f.pos + 4);
+    GP_CHECK(rel >= INT32_MIN && rel <= INT32_MAX, "fixup out of range");
+    const u32 v = static_cast<u32>(rel);
+    for (int i = 0; i < 4; ++i)
+      code_[f.pos + i] = static_cast<u8>(v >> (8 * i));
+  }
+  return std::move(code_);
+}
+
+}  // namespace gp::x86

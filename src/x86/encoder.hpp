@@ -1,0 +1,110 @@
+// x86-64 machine-code encoder for the supported subset.
+//
+// Two layers:
+//  - encode(Inst): pure function, one instruction -> bytes. Used for
+//    round-trip tests against the decoder.
+//  - Assembler: append-style code buffer with labels and rel32 fixups,
+//    used by the code generator and hand-written test snippets.
+#pragma once
+
+#include <vector>
+
+#include "x86/inst.hpp"
+
+namespace gp::x86 {
+
+/// Encode one instruction. The rel fields of direct branches are taken from
+/// dst.imm verbatim (caller computes displacement). Throws gp::Error on
+/// unencodable combinations.
+std::vector<u8> encode(const Inst& inst);
+
+class Assembler {
+ public:
+  /// Label handle. Labels are created unbound, bound once with bind(), and
+  /// may be referenced before or after binding.
+  using Label = int;
+
+  Label new_label() {
+    labels_.push_back(kUnbound);
+    return static_cast<Label>(labels_.size()) - 1;
+  }
+  void bind(Label l);
+
+  /// Raw emission.
+  void raw(const std::vector<u8>& bytes);
+  void byte(u8 b) { code_.push_back(b); }
+
+  /// Emit a fully-formed instruction (no label operands).
+  void emit(const Inst& inst);
+
+  // -- Convenience builders (the forms codegen uses) --------------------
+  void mov(Reg dst, Reg src, u8 size = 64);
+  void mov_imm(Reg dst, i64 imm);      // movabs if it does not fit in imm32
+  void mov_load(Reg dst, MemRef src, u8 size = 64);
+  void mov_store(MemRef dst, Reg src, u8 size = 64);
+  void mov_store_imm(MemRef dst, i32 imm, u8 size = 64);
+  void lea(Reg dst, MemRef src);
+  void alu(Mnemonic op, Reg dst, Reg src, u8 size = 64);  // ADD..CMP/TEST
+  void alu_imm(Mnemonic op, Reg dst, i32 imm, u8 size = 64);
+  void unary(Mnemonic op, Reg r, u8 size = 64);  // NOT/NEG/INC/DEC
+  void imul(Reg dst, Reg src, u8 size = 64);
+  void movzx_load(Reg dst, MemRef src, u8 src_size = 8);
+  void movsx_load(Reg dst, MemRef src, u8 src_size = 8);
+  void cmov(Cond c, Reg dst, Reg src, u8 size = 64);
+  void shift_imm(Mnemonic op, Reg r, u8 amount, u8 size = 64);
+  void shift_cl(Mnemonic op, Reg r, u8 size = 64);
+  void push(Reg r);
+  void push_imm(i32 imm);
+  void pop(Reg r);
+  void ret();
+  void ret_imm(u16 imm);
+  void syscall();
+  void nop();
+  void int3();
+  void leave();
+  void xchg(Reg a, Reg b, u8 size = 64);
+
+  // -- Control flow with labels -----------------------------------------
+  void jmp(Label target);
+  void jcc(Cond c, Label target);
+  void call(Label target);
+  void jmp_reg(Reg r);
+  void call_reg(Reg r);
+  void jmp_mem(MemRef m);
+
+  /// Direct branches to an absolute address (resolved immediately against
+  /// the assembler's base address).
+  void jmp_abs(u64 target);
+  void call_abs(u64 target);
+
+  /// Offset of a bound label within the code buffer (valid once bound).
+  i64 label_offset(Label l) const {
+    GP_CHECK(labels_[l] != kUnbound, "label_offset of unbound label");
+    return labels_[l];
+  }
+
+  void set_base(u64 base) { base_ = base; }
+  u64 base() const { return base_; }
+  u64 here() const { return base_ + code_.size(); }
+  size_t size() const { return code_.size(); }
+
+  /// Finalize: patch all fixups. Throws if any label is unbound.
+  std::vector<u8> finish();
+
+ private:
+  static constexpr i64 kUnbound = -1;
+  struct Fixup {
+    size_t pos;   // offset of the rel32 field
+    Label label;  // target
+  };
+
+  void branch_to(Label target, const char* kind);
+
+  std::vector<u8> code_;
+  std::vector<i64> labels_;  // bound offset or kUnbound
+  std::vector<Fixup> fixups_;
+  u64 base_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace gp::x86

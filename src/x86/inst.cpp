@@ -1,0 +1,124 @@
+#include "x86/inst.hpp"
+
+#include "support/str.hpp"
+
+namespace gp::x86 {
+
+const char* reg_name(Reg r, unsigned bits) {
+  static const char* k64[] = {"rax", "rcx", "rdx", "rbx", "rsp", "rbp",
+                              "rsi", "rdi", "r8",  "r9",  "r10", "r11",
+                              "r12", "r13", "r14", "r15"};
+  static const char* k32[] = {"eax",  "ecx",  "edx",  "ebx",  "esp",  "ebp",
+                              "esi",  "edi",  "r8d",  "r9d",  "r10d", "r11d",
+                              "r12d", "r13d", "r14d", "r15d"};
+  if (r == Reg::NONE) return "<none>";
+  const auto idx = static_cast<unsigned>(r);
+  return bits == 32 ? k32[idx] : k64[idx];
+}
+
+const char* cond_name(Cond c) {
+  static const char* names[] = {"o", "no", "b",  "ae", "e",  "ne", "be", "a",
+                                "s", "ns", "p",  "np", "l",  "ge", "le", "g"};
+  return names[static_cast<unsigned>(c)];
+}
+
+Cond negate(Cond c) {
+  // Condition codes pair up: even cc and odd cc+1 are complements.
+  return static_cast<Cond>(static_cast<u8>(c) ^ 1);
+}
+
+const char* mnemonic_name(Mnemonic m) {
+  switch (m) {
+    case Mnemonic::MOV: return "mov";
+    case Mnemonic::MOVABS: return "movabs";
+    case Mnemonic::LEA: return "lea";
+    case Mnemonic::XCHG: return "xchg";
+    case Mnemonic::MOVZX: return "movzx";
+    case Mnemonic::MOVSX: return "movsx";
+    case Mnemonic::CMOV: return "cmov";
+    case Mnemonic::ADD: return "add";
+    case Mnemonic::SUB: return "sub";
+    case Mnemonic::AND: return "and";
+    case Mnemonic::OR: return "or";
+    case Mnemonic::XOR: return "xor";
+    case Mnemonic::CMP: return "cmp";
+    case Mnemonic::TEST: return "test";
+    case Mnemonic::NOT: return "not";
+    case Mnemonic::NEG: return "neg";
+    case Mnemonic::INC: return "inc";
+    case Mnemonic::DEC: return "dec";
+    case Mnemonic::IMUL: return "imul";
+    case Mnemonic::SHL: return "shl";
+    case Mnemonic::SHR: return "shr";
+    case Mnemonic::SAR: return "sar";
+    case Mnemonic::PUSH: return "push";
+    case Mnemonic::POP: return "pop";
+    case Mnemonic::RET: return "ret";
+    case Mnemonic::JMP: return "jmp";
+    case Mnemonic::JCC: return "j";
+    case Mnemonic::CALL: return "call";
+    case Mnemonic::SYSCALL: return "syscall";
+    case Mnemonic::LEAVE: return "leave";
+    case Mnemonic::NOP: return "nop";
+    case Mnemonic::INT3: return "int3";
+  }
+  return "<bad>";
+}
+
+std::string to_string(const Operand& op, unsigned bits) {
+  switch (op.kind) {
+    case OperandKind::NONE:
+      return "";
+    case OperandKind::REG:
+      return reg_name(op.reg, bits);
+    case OperandKind::IMM:
+      return hex(static_cast<u64>(op.imm));
+    case OperandKind::MEM: {
+      std::string s = bits == 32 ? "dword ptr [" : "qword ptr [";
+      bool first = true;
+      if (op.mem.rip_relative) {
+        s += "rip";
+        first = false;
+      } else if (op.mem.base != Reg::NONE) {
+        s += reg_name(op.mem.base, 64);
+        first = false;
+      }
+      if (op.mem.index != Reg::NONE) {
+        if (!first) s += "+";
+        s += reg_name(op.mem.index, 64);
+        if (op.mem.scale != 1) s += "*" + std::to_string(op.mem.scale);
+        first = false;
+      }
+      if (op.mem.disp != 0 || first) {
+        if (!first && op.mem.disp >= 0) s += "+";
+        s += std::to_string(op.mem.disp);
+      }
+      s += "]";
+      return s;
+    }
+  }
+  return "<bad>";
+}
+
+std::string to_string(const Inst& inst) {
+  std::string s = mnemonic_name(inst.mnemonic);
+  if (inst.mnemonic == Mnemonic::JCC || inst.mnemonic == Mnemonic::CMOV)
+    s += cond_name(inst.cond);
+  const bool direct_branch =
+      (inst.mnemonic == Mnemonic::JMP || inst.mnemonic == Mnemonic::JCC ||
+       inst.mnemonic == Mnemonic::CALL) &&
+      inst.dst.is_imm();
+  if (direct_branch) {
+    return s + " " + hex(inst.direct_target());
+  }
+  if (inst.dst.kind != OperandKind::NONE) {
+    s += " " + to_string(inst.dst, inst.size);
+    if (inst.src.kind != OperandKind::NONE) {
+      // LEA's source is an address expression, always shown with 64-bit regs.
+      s += ", " + to_string(inst.src, inst.size);
+    }
+  }
+  return s;
+}
+
+}  // namespace gp::x86

@@ -1,0 +1,131 @@
+// x86-64 instruction model for the gadget-relevant subset.
+//
+// The subset covers the instructions that dominate compiled code and ROP/JOP
+// gadget bodies: data movement, integer ALU ops, stack ops, LEA, shifts,
+// compares/tests, all control transfers (ret / direct & indirect jmp & call /
+// conditional jumps), and syscall. Operand sizes are 32 and 64 bits (plus the
+// imm16 of `ret imm16`), which is what compilers emit for integer code.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "support/common.hpp"
+
+namespace gp::x86 {
+
+/// General-purpose registers, in x86 machine-encoding order.
+enum class Reg : u8 {
+  RAX = 0, RCX, RDX, RBX, RSP, RBP, RSI, RDI,
+  R8, R9, R10, R11, R12, R13, R14, R15,
+  NONE = 16,
+};
+
+constexpr int kNumRegs = 16;
+const char* reg_name(Reg r, unsigned bits = 64);
+
+/// Condition codes, in x86 encoding order (for 0x70+cc / 0x0F 0x80+cc).
+enum class Cond : u8 {
+  O = 0, NO, B, AE, E, NE, BE, A, S, NS, P, NP, L, GE, LE, G,
+};
+const char* cond_name(Cond c);
+/// The cc with the opposite truth value (E <-> NE, L <-> GE, ...).
+Cond negate(Cond c);
+
+enum class Mnemonic : u8 {
+  MOV, MOVABS, LEA, XCHG,
+  MOVZX, MOVSX,  // byte/word widening moves (src size in src_size)
+  CMOV,          // conditional move (cond field)
+  ADD, SUB, AND, OR, XOR, CMP, TEST,
+  NOT, NEG, INC, DEC, IMUL,  // IMUL is the two-operand 0F AF form
+  SHL, SHR, SAR,
+  PUSH, POP,
+  RET,       // ret / ret imm16 (imm in dst.imm)
+  JMP,       // direct (rel) or indirect (r/m)
+  JCC,       // conditional direct jump
+  CALL,      // direct (rel) or indirect (r/m)
+  SYSCALL,
+  LEAVE, NOP, INT3,
+};
+const char* mnemonic_name(Mnemonic m);
+
+enum class OperandKind : u8 { NONE, REG, IMM, MEM };
+
+/// Memory operand: [base + index*scale + disp]. base/index may be NONE.
+/// rip_relative marks the x86-64 RIP-relative form (disp32 off next insn).
+struct MemRef {
+  Reg base = Reg::NONE;
+  Reg index = Reg::NONE;
+  u8 scale = 1;  // 1, 2, 4 or 8
+  i32 disp = 0;
+  bool rip_relative = false;
+
+  bool operator==(const MemRef&) const = default;
+};
+
+struct Operand {
+  OperandKind kind = OperandKind::NONE;
+  Reg reg = Reg::NONE;  // REG
+  i64 imm = 0;          // IMM (sign-extended to 64)
+  MemRef mem;           // MEM
+
+  static Operand none() { return {}; }
+  static Operand r(Reg reg) {
+    Operand o;
+    o.kind = OperandKind::REG;
+    o.reg = reg;
+    return o;
+  }
+  static Operand i(i64 v) {
+    Operand o;
+    o.kind = OperandKind::IMM;
+    o.imm = v;
+    return o;
+  }
+  static Operand m(MemRef ref) {
+    Operand o;
+    o.kind = OperandKind::MEM;
+    o.mem = ref;
+    return o;
+  }
+
+  bool is_reg() const { return kind == OperandKind::REG; }
+  bool is_imm() const { return kind == OperandKind::IMM; }
+  bool is_mem() const { return kind == OperandKind::MEM; }
+  bool operator==(const Operand&) const = default;
+};
+
+/// A decoded instruction. `size` is the operand size in bits (32 or 64 for
+/// everything except `ret imm16`). `len` is the encoded length in bytes.
+struct Inst {
+  Mnemonic mnemonic = Mnemonic::NOP;
+  Cond cond = Cond::O;  // JCC / CMOV
+  u8 src_size = 0;      // MOVZX/MOVSX: source width in bits (8 or 16)
+  Operand dst;          // also the single operand of 1-op forms
+  Operand src;
+  u8 size = 64;
+  u8 len = 0;
+  u64 addr = 0;  // address this instruction was decoded at
+
+  bool is_terminator() const {
+    switch (mnemonic) {
+      case Mnemonic::RET:
+      case Mnemonic::JMP:
+      case Mnemonic::JCC:
+      case Mnemonic::CALL:
+      case Mnemonic::SYSCALL:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  /// For direct JMP/JCC/CALL: the absolute target (addr + len + rel).
+  u64 direct_target() const { return addr + len + static_cast<u64>(dst.imm); }
+};
+
+/// Render an instruction in Intel syntax (e.g. "pop rax", "jne 0x401234").
+std::string to_string(const Inst& inst);
+std::string to_string(const Operand& op, unsigned bits);
+
+}  // namespace gp::x86

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "cfg/cfg.hpp"
+
+namespace gp::cfg {
+namespace {
+
+Program minimal() {
+  Program p;
+  p.functions.emplace_back();
+  auto& f = p.functions[0];
+  f.name = "main";
+  const Temp t = f.new_temp();
+  const BlockId b = f.new_block();
+  f.entry = b;
+  f.blocks[b].instrs.push_back(Instr::constant(t, 7));
+  f.blocks[b].term = Terminator::ret(t);
+  p.main_index = 0;
+  return p;
+}
+
+TEST(CfgVerify, AcceptsMinimalProgram) {
+  auto p = minimal();
+  EXPECT_NO_THROW(verify(p));
+}
+
+TEST(CfgVerify, RejectsMissingMain) {
+  auto p = minimal();
+  p.main_index = -1;
+  EXPECT_THROW(verify(p), Error);
+  p.main_index = 5;
+  EXPECT_THROW(verify(p), Error);
+}
+
+TEST(CfgVerify, RejectsMainWithParams) {
+  auto p = minimal();
+  p.functions[0].num_params = 1;
+  EXPECT_THROW(verify(p), Error);
+}
+
+TEST(CfgVerify, RejectsTempOutOfRange) {
+  auto p = minimal();
+  p.functions[0].blocks[0].instrs.push_back(
+      Instr::constant(99, 1));  // temp 99 not allocated
+  EXPECT_THROW(verify(p), Error);
+  auto q = minimal();
+  q.functions[0].blocks[0].instrs.push_back(Instr::constant(-1, 1));
+  EXPECT_THROW(verify(q), Error);
+}
+
+TEST(CfgVerify, RejectsBadBlockTargets) {
+  auto p = minimal();
+  p.functions[0].blocks[0].term = Terminator::jump(42);
+  EXPECT_THROW(verify(p), Error);
+
+  auto q = minimal();
+  q.functions[0].blocks[0].term =
+      Terminator::branch(0, 0, 42);
+  EXPECT_THROW(verify(q), Error);
+
+  auto r = minimal();
+  r.functions[0].blocks[0].term = Terminator::make_switch(0, {0, 42});
+  EXPECT_THROW(verify(r), Error);
+
+  auto s = minimal();
+  s.functions[0].blocks[0].term = Terminator::make_switch(0, {});
+  EXPECT_THROW(verify(s), Error);
+}
+
+TEST(CfgVerify, RejectsBadCallArity) {
+  auto p = minimal();
+  auto& f = p.functions[0];
+  // Call main itself (0 params) with one arg.
+  f.blocks[0].instrs.push_back(
+      {.op = Opcode::Call, .dst = 0, .imm = 0, .args = {0}});
+  EXPECT_THROW(verify(p), Error);
+}
+
+TEST(CfgVerify, RejectsFrameAndGlobalOutOfRange) {
+  auto p = minimal();
+  p.functions[0].blocks[0].instrs.push_back(
+      {.op = Opcode::FrameAddr, .dst = 0, .imm = 4096});
+  EXPECT_THROW(verify(p), Error);
+
+  auto q = minimal();
+  q.functions[0].blocks[0].instrs.push_back(
+      {.op = Opcode::GlobalAddr, .dst = 0, .imm = 8});
+  EXPECT_THROW(verify(q), Error);  // data section is empty
+}
+
+TEST(CfgProgram, DataHelpers) {
+  Program p;
+  const i64 a = p.add_data({1, 2, 3});
+  const i64 b = p.add_data_string("hi");
+  const i64 c = p.add_data_zeros(5);
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 3);
+  EXPECT_EQ(c, 6);  // "hi\0" is 3 bytes
+  EXPECT_EQ(p.data.size(), 11u);
+  EXPECT_EQ(p.data[3], 'h');
+  EXPECT_EQ(p.data[5], 0);
+  EXPECT_EQ(p.data[10], 0);
+}
+
+TEST(CfgProgram, FindFunction) {
+  auto p = minimal();
+  EXPECT_EQ(p.find_function("main"), 0);
+  EXPECT_EQ(p.find_function("ghost"), -1);
+}
+
+TEST(CfgPrint, DumpsEveryTerminatorKind) {
+  Program p;
+  p.functions.emplace_back();
+  auto& f = p.functions[0];
+  f.name = "main";
+  const Temp t = f.new_temp();
+  const BlockId b0 = f.new_block(), b1 = f.new_block(), b2 = f.new_block(),
+                b3 = f.new_block();
+  f.entry = b0;
+  f.blocks[b0].instrs.push_back(Instr::constant(t, 1));
+  f.blocks[b0].term = Terminator::branch(t, b1, b2);
+  f.blocks[b1].term = Terminator::jump(b3);
+  f.blocks[b2].term = Terminator::make_switch(t, {b1, b3});
+  f.blocks[b3].term = Terminator::ret(t);
+  p.main_index = 0;
+  const std::string s = to_string(p);
+  EXPECT_NE(s.find("branch"), std::string::npos);
+  EXPECT_NE(s.find("jump"), std::string::npos);
+  EXPECT_NE(s.find("switch"), std::string::npos);
+  EXPECT_NE(s.find("ret"), std::string::npos);
+}
+
+TEST(CfgOpcode, Predicates) {
+  EXPECT_TRUE(is_binop(Opcode::Add));
+  EXPECT_TRUE(is_binop(Opcode::CmpLe));
+  EXPECT_FALSE(is_binop(Opcode::Not));
+  EXPECT_FALSE(is_binop(Opcode::Load));
+  EXPECT_TRUE(is_cmp(Opcode::CmpEq));
+  EXPECT_FALSE(is_cmp(Opcode::Add));
+  EXPECT_STREQ(opcode_name(Opcode::FrameAddr), "frameaddr");
+}
+
+}  // namespace
+}  // namespace gp::cfg

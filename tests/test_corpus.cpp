@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "codegen/codegen.hpp"
+#include "corpus/corpus.hpp"
+#include "emu/emu.hpp"
+#include "minic/minic.hpp"
+#include "obfuscate/obfuscate.hpp"
+
+namespace gp::corpus {
+namespace {
+
+struct RunOutcome {
+  u64 exit_status = 0;
+  std::string output;
+  emu::StopReason reason = emu::StopReason::Running;
+  u64 steps = 0;
+};
+
+RunOutcome run(const cfg::Program& prog, u64 max_steps = 300'000'000) {
+  auto img = codegen::compile(prog);
+  emu::Emulator e(img);
+  auto r = e.run(max_steps);
+  return {r.exit_status, e.output_str(), r.reason, r.steps};
+}
+
+/// Every corpus program must compile, terminate, and emit output.
+class CorpusProgramTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CorpusProgramTest, CompilesAndRuns) {
+  const auto& p = by_name(GetParam());
+  auto prog = minic::compile_source(p.source);
+  cfg::verify(prog);
+  const auto o = run(prog);
+  EXPECT_EQ(o.reason, emu::StopReason::Exit) << p.name;
+  EXPECT_FALSE(o.output.empty()) << p.name << " must produce output";
+  EXPECT_GT(o.steps, 100u) << p.name << " should do real work";
+}
+
+TEST_P(CorpusProgramTest, ObfuscationPreservesBehaviour) {
+  const auto& p = by_name(GetParam());
+  auto base = minic::compile_source(p.source);
+  const auto expected = run(base);
+  ASSERT_EQ(expected.reason, emu::StopReason::Exit);
+
+  for (const auto& opts :
+       {obf::Options::llvm_obf(11), obf::Options::tigress(11)}) {
+    auto prog = minic::compile_source(p.source);
+    obf::obfuscate(prog, opts);
+    const auto o = run(prog);
+    EXPECT_EQ(o.reason, emu::StopReason::Exit)
+        << p.name << " under " << opts.name();
+    EXPECT_EQ(o.exit_status, expected.exit_status)
+        << p.name << " under " << opts.name();
+    EXPECT_EQ(o.output, expected.output)
+        << p.name << " under " << opts.name();
+  }
+}
+
+std::vector<std::string> all_names() {
+  std::vector<std::string> names;
+  for (const auto& p : benchmark()) names.push_back(p.name);
+  for (const auto& p : spec()) names.push_back(p.name);
+  names.push_back(netperf().name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, CorpusProgramTest,
+                         ::testing::ValuesIn(all_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(Corpus, SuitesHaveExpectedSizes) {
+  EXPECT_EQ(benchmark().size(), 12u);
+  EXPECT_EQ(spec().size(), 4u);
+  EXPECT_THROW(by_name("no_such_program"), Error);
+}
+
+TEST(Corpus, NetperfParsesItsSimulatedCommandLine) {
+  auto prog = minic::compile_source(netperf().source);
+  const auto o = run(prog);
+  ASSERT_EQ(o.reason, emu::StopReason::Exit);
+  // out(local_rate)=16, out(remote_rate)=32 as 8-byte LE words.
+  ASSERT_GE(o.output.size(), 16u);
+  EXPECT_EQ(static_cast<u8>(o.output[0]), 16);
+  EXPECT_EQ(static_cast<u8>(o.output[8]), 32);
+}
+
+}  // namespace
+}  // namespace gp::corpus

@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include "emu/emu.hpp"
+#include "image/image.hpp"
+#include "support/rng.hpp"
+#include "x86/encoder.hpp"
+
+namespace gp::emu {
+namespace {
+
+using x86::Assembler;
+using x86::Cond;
+using x86::MemRef;
+using x86::Mnemonic;
+using x86::Reg;
+
+image::Image make_image(Assembler& a) {
+  return image::Image(a.finish(), {}, image::kCodeBase);
+}
+
+TEST(Emulator, MovAndArithmetic) {
+  Assembler a;
+  a.mov_imm(Reg::RAX, 40);
+  a.mov_imm(Reg::RBX, 2);
+  a.alu(Mnemonic::ADD, Reg::RAX, Reg::RBX);
+  a.ret();
+  auto img = make_image(a);
+  Emulator e(img);
+  auto r = e.run();
+  EXPECT_EQ(r.reason, StopReason::Exit);
+  EXPECT_EQ(e.reg(Reg::RAX), 42u);
+  EXPECT_EQ(r.exit_status, 42u);  // ret-to-exit reports rax
+}
+
+TEST(Emulator, ThirtyTwoBitWritesZeroUpperHalf) {
+  Assembler a;
+  a.mov_imm(Reg::RAX, -1);  // all ones
+  a.alu(Mnemonic::XOR, Reg::RAX, Reg::RAX, 32);  // xor eax, eax
+  a.ret();
+  auto img = make_image(a);
+  Emulator e(img);
+  e.run();
+  EXPECT_EQ(e.reg(Reg::RAX), 0u);
+
+  Assembler b;
+  b.mov_imm(Reg::RCX, -1);
+  b.emit({.mnemonic = Mnemonic::MOV, .dst = x86::Operand::r(Reg::RCX),
+          .src = x86::Operand::i(5), .size = 32});  // mov ecx, 5
+  b.ret();
+  auto img2 = make_image(b);
+  Emulator e2(img2);
+  e2.run();
+  EXPECT_EQ(e2.reg(Reg::RCX), 5u);  // upper 32 bits cleared
+}
+
+TEST(Emulator, PushPopRoundTrip) {
+  Assembler a;
+  a.mov_imm(Reg::RAX, 0x1122334455667788LL);
+  a.push(Reg::RAX);
+  a.pop(Reg::RBX);
+  a.ret();
+  auto img = make_image(a);
+  Emulator e(img);
+  const u64 rsp0 = e.reg(Reg::RSP);
+  e.run();
+  EXPECT_EQ(e.reg(Reg::RBX), 0x1122334455667788ULL);
+  EXPECT_EQ(e.reg(Reg::RSP), rsp0 + 8);  // ret consumed the exit address
+}
+
+TEST(Emulator, FlagsAndConditionalJump) {
+  // if (rdi == 7) rax = 1 else rax = 2
+  Assembler a;
+  auto eq = a.new_label();
+  auto end = a.new_label();
+  a.alu_imm(Mnemonic::CMP, Reg::RDI, 7);
+  a.jcc(Cond::E, eq);
+  a.mov_imm(Reg::RAX, 2);
+  a.jmp(end);
+  a.bind(eq);
+  a.mov_imm(Reg::RAX, 1);
+  a.bind(end);
+  a.ret();
+  auto img = make_image(a);
+
+  Emulator e1(img);
+  e1.set_reg(Reg::RDI, 7);
+  e1.run();
+  EXPECT_EQ(e1.reg(Reg::RAX), 1u);
+
+  Emulator e2(img);
+  e2.set_reg(Reg::RDI, 8);
+  e2.run();
+  EXPECT_EQ(e2.reg(Reg::RAX), 2u);
+}
+
+TEST(Emulator, SignedComparisons) {
+  // rax = (rdi < rsi signed) ? 1 : 0, with negative rdi.
+  Assembler a;
+  auto lt = a.new_label();
+  auto end = a.new_label();
+  a.alu(Mnemonic::CMP, Reg::RDI, Reg::RSI);
+  a.jcc(Cond::L, lt);
+  a.mov_imm(Reg::RAX, 0);
+  a.jmp(end);
+  a.bind(lt);
+  a.mov_imm(Reg::RAX, 1);
+  a.bind(end);
+  a.ret();
+  auto img = make_image(a);
+
+  Emulator e(img);
+  e.set_reg(Reg::RDI, static_cast<u64>(-5));
+  e.set_reg(Reg::RSI, 3);
+  e.run();
+  EXPECT_EQ(e.reg(Reg::RAX), 1u);  // -5 < 3 signed
+
+  Emulator e2(img);
+  e2.set_reg(Reg::RDI, static_cast<u64>(-5));
+  e2.set_reg(Reg::RSI, static_cast<u64>(-6));
+  e2.run();
+  EXPECT_EQ(e2.reg(Reg::RAX), 0u);
+}
+
+TEST(Emulator, LoopComputesFactorial) {
+  // rax = 5! via a dec loop.
+  Assembler a;
+  a.mov_imm(Reg::RAX, 1);
+  a.mov_imm(Reg::RCX, 5);
+  auto top = a.new_label();
+  a.bind(top);
+  a.imul(Reg::RAX, Reg::RCX);
+  a.unary(Mnemonic::DEC, Reg::RCX);
+  a.jcc(Cond::NE, top);
+  a.ret();
+  auto img = make_image(a);
+  Emulator e(img);
+  auto r = e.run();
+  EXPECT_EQ(r.reason, StopReason::Exit);
+  EXPECT_EQ(e.reg(Reg::RAX), 120u);
+}
+
+TEST(Emulator, MemoryLoadStore) {
+  Assembler a;
+  a.mov_imm(Reg::RAX, 0xabcdef);
+  a.mov_store(MemRef{.base = Reg::RSP, .disp = -16}, Reg::RAX);
+  a.mov_load(Reg::RBX, MemRef{.base = Reg::RSP, .disp = -16});
+  a.ret();
+  auto img = make_image(a);
+  Emulator e(img);
+  e.run();
+  EXPECT_EQ(e.reg(Reg::RBX), 0xabcdefu);
+}
+
+TEST(Emulator, CallAndReturn) {
+  Assembler a;
+  auto fn = a.new_label();
+  a.call(fn);
+  a.alu_imm(Mnemonic::ADD, Reg::RAX, 1);
+  a.ret();
+  a.bind(fn);
+  a.mov_imm(Reg::RAX, 10);
+  a.ret();
+  auto img = make_image(a);
+  Emulator e(img);
+  auto r = e.run();
+  EXPECT_EQ(r.reason, StopReason::Exit);
+  EXPECT_EQ(e.reg(Reg::RAX), 11u);
+}
+
+TEST(Emulator, IndirectJumpThroughRegister) {
+  Assembler a;
+  // movabs rax, <target>; jmp rax; int3; target: mov rbx, 9; ret
+  const u64 target = image::kCodeBase + 10 + 2 + 1;  // movabs+jmp+int3
+  a.emit({.mnemonic = Mnemonic::MOVABS, .dst = x86::Operand::r(Reg::RAX),
+          .src = x86::Operand::i(static_cast<i64>(target)), .size = 64});
+  a.jmp_reg(Reg::RAX);
+  a.int3();
+  a.mov_imm(Reg::RBX, 9);
+  a.ret();
+  auto img = make_image(a);
+  Emulator e(img);
+  auto r = e.run();
+  EXPECT_EQ(r.reason, StopReason::Exit);
+  EXPECT_EQ(e.reg(Reg::RBX), 9u);
+}
+
+TEST(Emulator, WriteSyscallCapturesOutput) {
+  // Write 3 bytes from the data section.
+  std::vector<u8> data{'h', 'i', '!'};
+  Assembler a;
+  a.mov_imm(Reg::RAX, 1);
+  a.mov_imm(Reg::RDI, 1);
+  a.mov_imm(Reg::RSI, static_cast<i64>(image::kDataBase));
+  a.mov_imm(Reg::RDX, 3);
+  a.syscall();
+  a.mov_imm(Reg::RAX, 60);
+  a.mov_imm(Reg::RDI, 0);
+  a.syscall();
+  image::Image img(a.finish(), data, image::kCodeBase);
+  Emulator e(img);
+  auto r = e.run();
+  EXPECT_EQ(r.reason, StopReason::Exit);
+  EXPECT_EQ(r.exit_status, 0u);
+  EXPECT_EQ(e.output_str(), "hi!");
+}
+
+TEST(Emulator, ExecveSyscallStopsAsAttackGoal) {
+  Assembler a;
+  a.mov_imm(Reg::RAX, 59);
+  a.syscall();
+  auto img = make_image(a);
+  Emulator e(img);
+  auto r = e.run();
+  EXPECT_EQ(r.reason, StopReason::Syscall);
+  EXPECT_EQ(r.syscall_no, 59u);
+}
+
+TEST(Emulator, BadFetchOutsideCode) {
+  Assembler a;
+  a.mov_imm(Reg::RAX, 0x123456);
+  a.jmp_reg(Reg::RAX);
+  auto img = make_image(a);
+  Emulator e(img);
+  auto r = e.run();
+  EXPECT_EQ(r.reason, StopReason::BadFetch);
+  EXPECT_EQ(r.rip, 0x123456u);
+}
+
+TEST(Emulator, MaxStepsOnInfiniteLoop) {
+  Assembler a;
+  auto top = a.new_label();
+  a.bind(top);
+  a.jmp(top);
+  auto img = make_image(a);
+  Emulator e(img);
+  auto r = e.run(1000);
+  EXPECT_EQ(r.reason, StopReason::MaxSteps);
+}
+
+TEST(Emulator, PopRspLoadedValueWins) {
+  Assembler a;
+  a.mov_imm(Reg::RAX, static_cast<i64>(image::kStackTop - 0x800));
+  a.push(Reg::RAX);
+  a.pop(Reg::RSP);
+  a.mov(Reg::RBX, Reg::RSP);
+  a.int3();
+  auto img = make_image(a);
+  Emulator e(img);
+  auto r = e.run();
+  EXPECT_EQ(r.reason, StopReason::Int3);
+  EXPECT_EQ(e.reg(Reg::RBX), image::kStackTop - 0x800);
+}
+
+TEST(Emulator, LeaveRestoresFrame) {
+  Assembler a;
+  a.push(Reg::RBP);
+  a.mov(Reg::RBP, Reg::RSP);
+  a.alu_imm(Mnemonic::SUB, Reg::RSP, 0x40);
+  a.mov_imm(Reg::RAX, 7);
+  a.leave();
+  a.ret();
+  auto img = make_image(a);
+  Emulator e(img);
+  const u64 rbp0 = 0xdeadbeefULL;
+  e.set_reg(Reg::RBP, rbp0);
+  auto r = e.run();
+  EXPECT_EQ(r.reason, StopReason::Exit);
+  EXPECT_EQ(e.reg(Reg::RBP), rbp0);
+}
+
+TEST(Memory, SparseZeroFill) {
+  Memory m;
+  EXPECT_EQ(m.read(0x123456789, 8), 0u);
+  m.write(0x123456789, 0xcafe, 2);
+  EXPECT_EQ(m.read(0x123456789, 2), 0xcafeu);
+  EXPECT_EQ(m.read8(0x123456789), 0xfeu);
+  EXPECT_EQ(m.read8(0x12345678a), 0xcau);
+  // Cross-page write.
+  m.write(0x1fff, 0x11223344, 4);
+  EXPECT_EQ(m.read(0x1fff, 4), 0x11223344u);
+}
+
+}  // namespace
+}  // namespace gp::emu

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "image/image.hpp"
+
+namespace gp::image {
+namespace {
+
+Image make() {
+  std::vector<u8> code(64, 0x90);
+  std::vector<u8> data{1, 2, 3, 4};
+  Image img(std::move(code), std::move(data), kCodeBase + 8);
+  img.add_symbol("main", kCodeBase + 8);
+  img.add_symbol("helper", kCodeBase + 32);
+  return img;
+}
+
+TEST(Image, Layout) {
+  auto img = make();
+  EXPECT_EQ(img.code_base(), kCodeBase);
+  EXPECT_EQ(img.data_base(), kDataBase);
+  EXPECT_EQ(img.code_end(), kCodeBase + 64);
+  EXPECT_EQ(img.entry(), kCodeBase + 8);
+  EXPECT_EQ(img.code().size(), 64u);
+  EXPECT_EQ(img.data().size(), 4u);
+}
+
+TEST(Image, InCodeBounds) {
+  auto img = make();
+  EXPECT_TRUE(img.in_code(kCodeBase));
+  EXPECT_TRUE(img.in_code(kCodeBase + 63));
+  EXPECT_FALSE(img.in_code(kCodeBase + 64));
+  EXPECT_FALSE(img.in_code(kCodeBase - 1));
+  EXPECT_FALSE(img.in_code(0));
+  EXPECT_FALSE(img.in_code(kDataBase));
+}
+
+TEST(Image, CodeAtSlicesFromAddress) {
+  auto img = make();
+  auto span = img.code_at(kCodeBase + 10);
+  EXPECT_EQ(span.size(), 54u);
+  EXPECT_EQ(span[0], 0x90);
+  EXPECT_THROW(img.code_at(kCodeBase + 64), Error);
+}
+
+TEST(Image, Symbols) {
+  auto img = make();
+  EXPECT_EQ(img.find_symbol("main").value(), kCodeBase + 8);
+  EXPECT_EQ(img.find_symbol("helper").value(), kCodeBase + 32);
+  EXPECT_FALSE(img.find_symbol("nope").has_value());
+}
+
+TEST(Image, SymbolizeFindsClosestBelow) {
+  auto img = make();
+  EXPECT_EQ(img.symbolize(kCodeBase + 8), "main");
+  EXPECT_EQ(img.symbolize(kCodeBase + 12), "main+0x4");
+  EXPECT_EQ(img.symbolize(kCodeBase + 40), "helper+0x8");
+  // Below every symbol: falls back to hex.
+  EXPECT_EQ(img.symbolize(kCodeBase)[0], '0');
+}
+
+TEST(Image, AddressConstantsAreSane) {
+  // The emulator/planner assumptions baked into the address plan.
+  EXPECT_LT(kCodeBase, kDataBase);
+  EXPECT_LT(kDataBase, kStackTop);
+  EXPECT_LT(kStackTop, u64{1} << 32);  // the zext canonicalization invariant
+  EXPECT_GT(kExitAddress, kStackTop);
+}
+
+}  // namespace
+}  // namespace gp::image

@@ -1,0 +1,281 @@
+// Instruction-level semantic tests: every flag-producing instruction family
+// checked against hand-computed x86-64 results through the concrete
+// emulator (which interprets the lifted IR, so these pin the lifter).
+#include <gtest/gtest.h>
+
+#include "emu/emu.hpp"
+#include "image/image.hpp"
+#include "support/rng.hpp"
+#include "x86/encoder.hpp"
+
+namespace gp::lift {
+namespace {
+
+using emu::Emulator;
+using emu::StopReason;
+using ir::Flag;
+using x86::Assembler;
+using x86::Cond;
+using x86::MemRef;
+using x86::Mnemonic;
+using x86::Operand;
+using x86::Reg;
+
+/// Run `build(a)` with given initial rax/rbx and return the emulator.
+template <typename F>
+Emulator run(F build, u64 rax = 0, u64 rbx = 0) {
+  Assembler a;
+  build(a);
+  a.int3();
+  static std::vector<image::Image> keep_alive;  // Emulator holds a reference
+  keep_alive.emplace_back(a.finish(), std::vector<u8>{}, image::kCodeBase);
+  Emulator e(keep_alive.back());
+  e.set_reg(Reg::RAX, rax);
+  e.set_reg(Reg::RBX, rbx);
+  EXPECT_EQ(e.run().reason, StopReason::Int3);
+  return e;
+}
+
+struct FlagCase {
+  u64 a, b;
+  bool zf, sf, cf, of;
+};
+
+TEST(LiftFlags, AddCases) {
+  const FlagCase cases[] = {
+      {1, 2, false, false, false, false},
+      {0, 0, true, false, false, false},
+      {0xffffffffffffffffULL, 1, true, false, true, false},  // wrap to 0
+      {0x7fffffffffffffffULL, 1, false, true, false, true},  // signed ovf
+      {0x8000000000000000ULL, 0x8000000000000000ULL, true, false, true,
+       true},  // -min + -min
+  };
+  for (const auto& c : cases) {
+    auto e = run([&](Assembler& a) { a.alu(Mnemonic::ADD, Reg::RAX, Reg::RBX); },
+                 c.a, c.b);
+    EXPECT_EQ(e.reg(Reg::RAX), c.a + c.b);
+    EXPECT_EQ(e.flag(Flag::ZF), c.zf) << c.a << "+" << c.b;
+    EXPECT_EQ(e.flag(Flag::SF), c.sf) << c.a << "+" << c.b;
+    EXPECT_EQ(e.flag(Flag::CF), c.cf) << c.a << "+" << c.b;
+    EXPECT_EQ(e.flag(Flag::OF), c.of) << c.a << "+" << c.b;
+  }
+}
+
+TEST(LiftFlags, SubCases) {
+  const FlagCase cases[] = {
+      {5, 3, false, false, false, false},
+      {3, 3, true, false, false, false},
+      {3, 5, false, true, true, false},                      // borrow
+      {0x8000000000000000ULL, 1, false, false, false, true}, // min - 1
+  };
+  for (const auto& c : cases) {
+    auto e = run([&](Assembler& a) { a.alu(Mnemonic::SUB, Reg::RAX, Reg::RBX); },
+                 c.a, c.b);
+    EXPECT_EQ(e.reg(Reg::RAX), c.a - c.b);
+    EXPECT_EQ(e.flag(Flag::ZF), c.zf);
+    EXPECT_EQ(e.flag(Flag::SF), c.sf);
+    EXPECT_EQ(e.flag(Flag::CF), c.cf) << c.a << "-" << c.b;
+    EXPECT_EQ(e.flag(Flag::OF), c.of) << c.a << "-" << c.b;
+  }
+}
+
+TEST(LiftFlags, IncDecPreserveCarry) {
+  // CF must survive inc/dec (x86 rule); ZF/SF update.
+  auto e = run([&](Assembler& a) {
+    a.alu(Mnemonic::ADD, Reg::RAX, Reg::RBX);  // sets CF
+    a.unary(Mnemonic::INC, Reg::RCX);
+  }, ~u64{0}, 2);
+  EXPECT_TRUE(e.flag(Flag::CF));  // carry from the add survived the inc
+  EXPECT_EQ(e.reg(Reg::RCX), 1u);
+
+  auto e2 = run([&](Assembler& a) {
+    a.alu(Mnemonic::ADD, Reg::RAX, Reg::RBX);
+    a.unary(Mnemonic::DEC, Reg::RCX);
+  }, ~u64{0}, 2);
+  EXPECT_TRUE(e2.flag(Flag::CF));
+}
+
+TEST(LiftFlags, IncOverflow) {
+  auto e = run([&](Assembler& a) { a.unary(Mnemonic::INC, Reg::RAX); },
+               0x7fffffffffffffffULL);
+  EXPECT_TRUE(e.flag(Flag::OF));
+  EXPECT_TRUE(e.flag(Flag::SF));
+}
+
+TEST(LiftFlags, NegSetsCarryUnlessZero) {
+  auto e = run([&](Assembler& a) { a.unary(Mnemonic::NEG, Reg::RAX); }, 5);
+  EXPECT_TRUE(e.flag(Flag::CF));
+  EXPECT_EQ(e.reg(Reg::RAX), static_cast<u64>(-5));
+  auto e2 = run([&](Assembler& a) { a.unary(Mnemonic::NEG, Reg::RAX); }, 0);
+  EXPECT_FALSE(e2.flag(Flag::CF));
+  EXPECT_TRUE(e2.flag(Flag::ZF));
+}
+
+TEST(LiftFlags, LogicalClearCarryOverflow) {
+  for (auto m : {Mnemonic::AND, Mnemonic::OR, Mnemonic::XOR, Mnemonic::TEST}) {
+    auto e = run([&](Assembler& a) {
+      a.alu(Mnemonic::ADD, Reg::RCX, Reg::RCX);  // scramble flags first
+      a.alu(m, Reg::RAX, Reg::RBX);
+    }, 0xf0f0, 0x0ff0);
+    EXPECT_FALSE(e.flag(Flag::CF));
+    EXPECT_FALSE(e.flag(Flag::OF));
+  }
+}
+
+TEST(LiftFlags, ShiftCarryIsLastBitOut) {
+  // shl rax, 1 with MSB set -> CF = 1.
+  auto e = run([&](Assembler& a) { a.shift_imm(Mnemonic::SHL, Reg::RAX, 1); },
+               0x8000000000000000ULL);
+  EXPECT_TRUE(e.flag(Flag::CF));
+  EXPECT_EQ(e.reg(Reg::RAX), 0u);
+  EXPECT_TRUE(e.flag(Flag::ZF));
+  // shr rax, 4 with bit 3 set -> CF = 1.
+  auto e2 = run([&](Assembler& a) { a.shift_imm(Mnemonic::SHR, Reg::RAX, 4); },
+                0x18);
+  EXPECT_TRUE(e2.flag(Flag::CF));
+  EXPECT_EQ(e2.reg(Reg::RAX), 1u);
+  // Count 0 leaves all flags alone.
+  auto e3 = run([&](Assembler& a) {
+    a.alu(Mnemonic::CMP, Reg::RAX, Reg::RAX);  // ZF=1
+    a.mov_imm(Reg::RCX, 0);
+    a.shift_cl(Mnemonic::SHL, Reg::RBX);
+  }, 7, 9);
+  EXPECT_TRUE(e3.flag(Flag::ZF));
+}
+
+TEST(LiftFlags, SarKeepsSign) {
+  auto e = run([&](Assembler& a) { a.shift_imm(Mnemonic::SAR, Reg::RAX, 8); },
+               static_cast<u64>(-4096));
+  EXPECT_EQ(static_cast<i64>(e.reg(Reg::RAX)), -16);
+  EXPECT_TRUE(e.flag(Flag::SF));
+}
+
+TEST(LiftFlags, ParityOfLowByte) {
+  // 0x03 has two set bits -> PF=1; 0x01 -> PF=0.
+  auto even = run([&](Assembler& a) { a.alu(Mnemonic::ADD, Reg::RAX, Reg::RBX); },
+                  1, 2);
+  EXPECT_TRUE(even.flag(Flag::PF));
+  auto odd = run([&](Assembler& a) { a.alu(Mnemonic::ADD, Reg::RAX, Reg::RBX); },
+                 1, 0);
+  EXPECT_FALSE(odd.flag(Flag::PF));
+}
+
+/// All sixteen condition codes against a cmp whose outcome is known.
+TEST(LiftCond, AllSixteenCodes) {
+  struct Case {
+    u64 a, b;
+    Cond cc;
+    bool taken;
+  };
+  const Case cases[] = {
+      {5, 5, Cond::E, true},    {5, 6, Cond::E, false},
+      {5, 6, Cond::NE, true},   {5, 5, Cond::NE, false},
+      {3, 5, Cond::B, true},    {5, 3, Cond::B, false},
+      {5, 3, Cond::A, true},    {3, 5, Cond::A, false},
+      {5, 5, Cond::AE, true},   {3, 5, Cond::AE, false},
+      {3, 5, Cond::BE, true},   {5, 3, Cond::BE, false},
+      {static_cast<u64>(-2), 1, Cond::L, true},
+      {1, static_cast<u64>(-2), Cond::L, false},
+      {1, static_cast<u64>(-2), Cond::G, true},
+      {static_cast<u64>(-2), 1, Cond::G, false},
+      {5, 5, Cond::GE, true},   {5, 5, Cond::LE, true},
+      {static_cast<u64>(-1), 1, Cond::S, true},  // -1 - 1 < 0
+      {5, 1, Cond::NS, true},
+      {3, 1, Cond::NP, true},   // 3-1=2: one bit -> odd parity
+      {5, 2, Cond::P, true},    // 5-2=3: two bits -> even parity
+      {0x8000000000000000ULL, 1, Cond::O, true},
+      {5, 1, Cond::NO, true},
+  };
+  for (const auto& c : cases) {
+    auto e = run([&](Assembler& a) {
+      auto yes = a.new_label();
+      a.alu(Mnemonic::CMP, Reg::RAX, Reg::RBX);
+      a.mov_imm(Reg::RDX, 0);
+      a.jcc(c.cc, yes);
+      a.mov_imm(Reg::RDX, 1);  // not taken
+      a.bind(yes);
+    }, c.a, c.b);
+    EXPECT_EQ(e.reg(Reg::RDX) == 0, c.taken)
+        << c.a << " cmp " << c.b << " " << x86::cond_name(c.cc);
+  }
+}
+
+TEST(LiftWidening, MovzxMovsx) {
+  // Byte 0x80 at [rsp-8]: movzx -> 0x80, movsx -> sign-extended.
+  auto e = run([&](Assembler& a) {
+    a.mov_imm(Reg::RCX, 0x1234567890ABCD80LL);
+    a.mov_store(MemRef{.base = Reg::RSP, .disp = -8}, Reg::RCX);
+    a.movzx_load(Reg::RAX, MemRef{.base = Reg::RSP, .disp = -8}, 8);
+    a.movsx_load(Reg::RBX, MemRef{.base = Reg::RSP, .disp = -8}, 8);
+    a.movzx_load(Reg::RDX, MemRef{.base = Reg::RSP, .disp = -8}, 16);
+    a.movsx_load(Reg::RSI, MemRef{.base = Reg::RSP, .disp = -8}, 16);
+  });
+  EXPECT_EQ(e.reg(Reg::RAX), 0x80u);
+  EXPECT_EQ(e.reg(Reg::RBX), 0xffffffffffffff80ULL);
+  EXPECT_EQ(e.reg(Reg::RDX), 0xcd80u);
+  EXPECT_EQ(e.reg(Reg::RSI), 0xffffffffffffcd80ULL);
+}
+
+TEST(LiftWidening, MovzxRegisterSource) {
+  auto e = run([&](Assembler& a) {
+    a.emit({.mnemonic = Mnemonic::MOVZX, .src_size = 8,
+            .dst = x86::Operand::r(Reg::RAX),
+            .src = x86::Operand::r(Reg::RBX), .size = 64});
+  }, 0, 0x1ff);
+  EXPECT_EQ(e.reg(Reg::RAX), 0xffu);
+}
+
+TEST(LiftCmov, TakenAndNotTaken) {
+  auto taken = run([&](Assembler& a) {
+    a.alu(Mnemonic::CMP, Reg::RAX, Reg::RBX);  // 5 == 5 -> ZF
+    a.mov_imm(Reg::RCX, 111);
+    a.mov_imm(Reg::RDX, 222);
+    a.cmov(Cond::E, Reg::RCX, Reg::RDX);
+  }, 5, 5);
+  EXPECT_EQ(taken.reg(Reg::RCX), 222u);
+
+  auto not_taken = run([&](Assembler& a) {
+    a.alu(Mnemonic::CMP, Reg::RAX, Reg::RBX);
+    a.mov_imm(Reg::RCX, 111);
+    a.mov_imm(Reg::RDX, 222);
+    a.cmov(Cond::E, Reg::RCX, Reg::RDX);
+  }, 5, 6);
+  EXPECT_EQ(not_taken.reg(Reg::RCX), 111u);
+}
+
+TEST(LiftCmov, ThirtyTwoBitZeroExtendsOnMove) {
+  // cmov with 32-bit operand size zero-extends when it moves.
+  auto e = run([&](Assembler& a) {
+    a.mov_imm(Reg::RCX, -1);
+    a.alu(Mnemonic::CMP, Reg::RAX, Reg::RBX);
+    a.cmov(Cond::E, Reg::RCX, Reg::RDX, 32);
+  }, 5, 5);
+  EXPECT_EQ(e.reg(Reg::RCX), 0u);  // edx=0 moved, upper bits cleared
+}
+
+TEST(LiftMem, PushPopRoundTripPreservesRsp) {
+  auto e = run([&](Assembler& a) {
+    a.push(Reg::RAX);
+    a.push(Reg::RBX);
+    a.pop(Reg::RCX);
+    a.pop(Reg::RDX);
+  }, 0xaaaa, 0xbbbb);
+  EXPECT_EQ(e.reg(Reg::RCX), 0xbbbbu);
+  EXPECT_EQ(e.reg(Reg::RDX), 0xaaaau);
+}
+
+TEST(LiftMem, RetImmPopsExtra) {
+  Assembler a;
+  a.ret_imm(0x20);
+  static std::vector<image::Image> keep;
+  keep.emplace_back(a.finish(), std::vector<u8>{}, image::kCodeBase);
+  Emulator e(keep.back());
+  const u64 rsp0 = e.reg(Reg::RSP);
+  e.memory().write(rsp0, image::kExitAddress, 8);
+  auto r = e.run();
+  EXPECT_EQ(r.reason, StopReason::Exit);
+  EXPECT_EQ(e.reg(Reg::RSP), rsp0 + 8 + 0x20);
+}
+
+}  // namespace
+}  // namespace gp::lift

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include "codegen/codegen.hpp"
+#include "emu/emu.hpp"
+#include "minic/minic.hpp"
+
+namespace gp::minic {
+namespace {
+
+/// Compile, run in the emulator, and return (exit_status, output bytes as
+/// u64 little-endian chunks).
+struct RunOutcome {
+  u64 exit_status = 0;
+  std::vector<u64> out;
+  emu::StopReason reason = emu::StopReason::Running;
+};
+
+RunOutcome run_source(const std::string& src, u64 max_steps = 10'000'000) {
+  auto prog = compile_source(src);
+  auto img = codegen::compile(prog);
+  emu::Emulator e(img);
+  auto r = e.run(max_steps);
+  RunOutcome o;
+  o.reason = r.reason;
+  o.exit_status = r.exit_status;
+  const auto& bytes = e.output();
+  for (size_t i = 0; i + 8 <= bytes.size(); i += 8) {
+    u64 v = 0;
+    for (int k = 0; k < 8; ++k) v |= static_cast<u64>(bytes[i + k]) << (8 * k);
+    o.out.push_back(v);
+  }
+  return o;
+}
+
+u64 run_main(const std::string& body) {
+  auto o = run_source("int main() { " + body + " }");
+  EXPECT_EQ(o.reason, emu::StopReason::Exit);
+  return o.exit_status;
+}
+
+TEST(MiniC, ReturnLiteral) { EXPECT_EQ(run_main("return 42;"), 42u); }
+
+TEST(MiniC, Arithmetic) {
+  EXPECT_EQ(run_main("return 2 + 3 * 4;"), 14u);
+  EXPECT_EQ(run_main("return (2 + 3) * 4;"), 20u);
+  EXPECT_EQ(run_main("return 10 - 2 - 3;"), 5u);  // left assoc
+  EXPECT_EQ(run_main("return 7 & 12;"), 4u);
+  EXPECT_EQ(run_main("return 5 | 9;"), 13u);
+  EXPECT_EQ(run_main("return 6 ^ 3;"), 5u);
+  EXPECT_EQ(run_main("return 1 << 10;"), 1024u);
+  EXPECT_EQ(run_main("return 1024 >> 3;"), 128u);
+  EXPECT_EQ(run_main("return -5 + 3;"), static_cast<u64>(-2));
+  EXPECT_EQ(run_main("return ~0;"), static_cast<u64>(-1));
+  EXPECT_EQ(run_main("return !5;"), 0u);
+  EXPECT_EQ(run_main("return !0;"), 1u);
+}
+
+TEST(MiniC, HexAndCharLiterals) {
+  EXPECT_EQ(run_main("return 0xff;"), 255u);
+  EXPECT_EQ(run_main("return 'A';"), 65u);
+  EXPECT_EQ(run_main("return '\\n';"), 10u);
+}
+
+TEST(MiniC, Comparisons) {
+  EXPECT_EQ(run_main("return 3 < 5;"), 1u);
+  EXPECT_EQ(run_main("return 5 < 3;"), 0u);
+  EXPECT_EQ(run_main("return -1 < 0;"), 1u);  // signed compare
+  EXPECT_EQ(run_main("return 3 <= 3;"), 1u);
+  EXPECT_EQ(run_main("return 4 > 3;"), 1u);
+  EXPECT_EQ(run_main("return 3 >= 4;"), 0u);
+  EXPECT_EQ(run_main("return 3 == 3;"), 1u);
+  EXPECT_EQ(run_main("return 3 != 3;"), 0u);
+}
+
+TEST(MiniC, LogicalOps) {
+  EXPECT_EQ(run_main("return 2 && 3;"), 1u);
+  EXPECT_EQ(run_main("return 2 && 0;"), 0u);
+  EXPECT_EQ(run_main("return 0 || 7;"), 1u);
+  EXPECT_EQ(run_main("return 0 || 0;"), 0u);
+}
+
+TEST(MiniC, VariablesAndAssignment) {
+  EXPECT_EQ(run_main("int x = 5; int y = x * 2; x = y + 1; return x;"), 11u);
+  EXPECT_EQ(run_main("int x; return x;"), 0u);  // zero-initialized
+}
+
+TEST(MiniC, IfElse) {
+  EXPECT_EQ(run_main("int x = 5; if (x > 3) { return 1; } return 0;"), 1u);
+  EXPECT_EQ(run_main("int x = 2; if (x > 3) { return 1; } else { return 2; }"),
+            2u);
+  EXPECT_EQ(run_main("int x = 2; if (x > 3) return 1; else if (x > 1) "
+                     "return 2; else return 3;"),
+            2u);
+}
+
+TEST(MiniC, WhileLoop) {
+  EXPECT_EQ(run_main("int i = 0; int s = 0; "
+                     "while (i < 10) { s = s + i; i = i + 1; } return s;"),
+            45u);
+}
+
+TEST(MiniC, NestedLoops) {
+  EXPECT_EQ(run_main("int i = 0; int s = 0; while (i < 5) { int j = 0; "
+                     "while (j < 5) { s = s + 1; j = j + 1; } i = i + 1; } "
+                     "return s;"),
+            25u);
+}
+
+TEST(MiniC, LocalArrays) {
+  EXPECT_EQ(run_main("int a[10]; int i = 0; "
+                     "while (i < 10) { a[i] = i * i; i = i + 1; } "
+                     "return a[7];"),
+            49u);
+}
+
+TEST(MiniC, ByteArrays) {
+  EXPECT_EQ(run_main("byte b[16]; b[3] = 0x1ff; return b[3];"), 0xffu);
+  EXPECT_EQ(run_main("byte b[16]; b[0] = 65; b[1] = 66; "
+                     "return b[0] * 1000 + b[1];"),
+            65066u);
+}
+
+TEST(MiniC, GlobalVariables) {
+  auto o = run_source("int g = 7; int h; "
+                      "int main() { h = g + 1; g = h * 2; return g + h; }");
+  EXPECT_EQ(o.exit_status, 24u);
+}
+
+TEST(MiniC, GlobalArrays) {
+  auto o = run_source("int tab[4]; "
+                      "int main() { tab[0] = 3; tab[3] = tab[0] + 4; "
+                      "return tab[3]; }");
+  EXPECT_EQ(o.exit_status, 7u);
+}
+
+TEST(MiniC, FunctionsAndCalls) {
+  auto o = run_source(
+      "int add(int a, int b) { return a + b; } "
+      "int main() { return add(add(1, 2), add(3, 4)); }");
+  EXPECT_EQ(o.exit_status, 10u);
+}
+
+TEST(MiniC, Recursion) {
+  auto o = run_source(
+      "int fib(int n) { if (n < 2) return n; "
+      "return fib(n - 1) + fib(n - 2); } "
+      "int main() { return fib(15); }");
+  EXPECT_EQ(o.exit_status, 610u);
+}
+
+TEST(MiniC, ForwardCalls) {
+  auto o = run_source(
+      "int main() { return helper(20); } "
+      "int helper(int n) { return n + 2; }");
+  EXPECT_EQ(o.exit_status, 22u);
+}
+
+TEST(MiniC, OutBuiltin) {
+  auto o = run_source("int main() { out(111); out(222); return 0; }");
+  ASSERT_EQ(o.out.size(), 2u);
+  EXPECT_EQ(o.out[0], 111u);
+  EXPECT_EQ(o.out[1], 222u);
+}
+
+TEST(MiniC, StringLiteralsAndLoadb) {
+  auto o = run_source(
+      "int main() { int s = \"AB\"; return loadb(s) * 1000 + loadb(s + 1); }");
+  EXPECT_EQ(o.exit_status, 65066u);
+}
+
+TEST(MiniC, RawLoadStore) {
+  auto o = run_source(
+      "int scratch[4]; "
+      "int main() { int p = scratch; store(p + 8, 77); "
+      "storeb(p, 0x41); return load(p + 8) * 1000 + loadb(p); }");
+  EXPECT_EQ(o.exit_status, 77065u);
+}
+
+TEST(MiniC, PointerIndexing) {
+  auto o = run_source(
+      "int a[4]; "
+      "int main() { int p = a; a[2] = 9; return p[2]; }");
+  EXPECT_EQ(o.exit_status, 9u);
+}
+
+TEST(MiniC, SixParams) {
+  auto o = run_source(
+      "int f(int a, int b, int c, int d, int e, int g) "
+      "{ return a + 2*b + 3*c + 4*d + 5*e + 6*g; } "
+      "int main() { return f(1, 1, 1, 1, 1, 1); }");
+  EXPECT_EQ(o.exit_status, 21u);
+}
+
+TEST(MiniC, CommentsIgnored) {
+  EXPECT_EQ(run_main("// line comment\n /* block\ncomment */ return 1;"), 1u);
+}
+
+TEST(MiniC, Errors) {
+  EXPECT_THROW(compile_source("int main() { return x; }"), Error);
+  EXPECT_THROW(compile_source("int main() { int x = 1; int x = 2; }"), Error);
+  EXPECT_THROW(compile_source("int f() { return 0; }"), Error);  // no main
+  EXPECT_THROW(compile_source("int main() { undefined_fn(1); }"), Error);
+  EXPECT_THROW(compile_source("int main() { return 1 + ; }"), Error);
+  EXPECT_THROW(compile_source("int main(int x) { return 0; }"), Error);
+}
+
+TEST(MiniC, CfgVerifiesAndPrints) {
+  auto prog = compile_source(
+      "int sq(int x) { return x * x; } int main() { return sq(6); }");
+  cfg::verify(prog);
+  const std::string dump = cfg::to_string(prog);
+  EXPECT_NE(dump.find("func sq"), std::string::npos);
+  EXPECT_NE(dump.find("call"), std::string::npos);
+}
+
+TEST(MiniC, SwitchTerminatorCodegen) {
+  // Build a CFG with a Switch directly (the frontend never emits one, but
+  // flattening and virtualization do).
+  cfg::Program prog;
+  prog.functions.emplace_back();
+  auto& f = prog.functions[0];
+  f.name = "main";
+  const auto sel = f.new_temp();
+  const auto ret = f.new_temp();
+  const auto b0 = f.new_block();
+  const auto c0 = f.new_block();
+  const auto c1 = f.new_block();
+  const auto c2 = f.new_block();
+  f.entry = b0;
+  f.blocks[b0].instrs.push_back(cfg::Instr::constant(sel, 1));
+  f.blocks[b0].term = cfg::Terminator::make_switch(sel, {c0, c1, c2});
+  for (auto [blk, v] : {std::pair{c0, 10}, {c1, 20}, {c2, 30}}) {
+    f.blocks[blk].instrs.push_back(cfg::Instr::constant(ret, v));
+    f.blocks[blk].term = cfg::Terminator::ret(ret);
+  }
+  prog.main_index = 0;
+  auto img = codegen::compile(prog);
+  emu::Emulator e(img);
+  auto r = e.run();
+  EXPECT_EQ(r.reason, emu::StopReason::Exit);
+  EXPECT_EQ(r.exit_status, 20u);
+}
+
+TEST(MiniC, BubbleSortEndToEnd) {
+  auto o = run_source(R"(
+    int a[8];
+    int main() {
+      a[0] = 5; a[1] = 2; a[2] = 7; a[3] = 1;
+      a[4] = 9; a[5] = 3; a[6] = 8; a[7] = 0;
+      int i = 0;
+      while (i < 8) {
+        int j = 0;
+        while (j < 7 - i) {
+          if (a[j] > a[j + 1]) {
+            int t = a[j]; a[j] = a[j + 1]; a[j + 1] = t;
+          }
+          j = j + 1;
+        }
+        i = i + 1;
+      }
+      int k = 0;
+      while (k < 8) { out(a[k]); k = k + 1; }
+      return a[0];
+    }
+  )");
+  EXPECT_EQ(o.reason, emu::StopReason::Exit);
+  ASSERT_EQ(o.out.size(), 8u);
+  for (size_t i = 0; i + 1 < o.out.size(); ++i)
+    EXPECT_LE(o.out[i], o.out[i + 1]);
+}
+
+TEST(MiniC, FunctionSymbolsInImage) {
+  auto prog = compile_source(
+      "int helper(int x) { return x; } int main() { return helper(3); }");
+  auto img = codegen::compile(prog);
+  EXPECT_TRUE(img.find_symbol("main").has_value());
+  EXPECT_TRUE(img.find_symbol("helper").has_value());
+}
+
+}  // namespace
+}  // namespace gp::minic

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include "planner/planner.hpp"
+#include "subsume/subsume.hpp"
+#include "x86/encoder.hpp"
+
+namespace gp::planner {
+namespace {
+
+using gadget::Extractor;
+using gadget::Library;
+using payload::Chain;
+using payload::Goal;
+using solver::Context;
+using x86::Assembler;
+using x86::Cond;
+using x86::Mnemonic;
+using x86::Reg;
+
+struct Scenario {
+  Context ctx;
+  image::Image img;
+  Library lib;
+
+  explicit Scenario(Assembler& a, bool minimize_pool = true)
+      : img(a.finish(), {}, image::kCodeBase), lib(make_lib(minimize_pool)) {}
+
+ private:
+  Library make_lib(bool minimize_pool) {
+    Extractor ex(ctx, img);
+    auto pool = ex.extract({});
+    if (minimize_pool) pool = subsume::minimize(ctx, pool);
+    return Library(std::move(pool));
+  }
+};
+
+/// Classic ROP scenario: pop gadgets for every syscall argument register.
+Assembler classic_rop() {
+  Assembler a;
+  a.pop(Reg::RAX);
+  a.ret();
+  a.pop(Reg::RDI);
+  a.ret();
+  a.pop(Reg::RSI);
+  a.ret();
+  a.pop(Reg::RDX);
+  a.ret();
+  a.pop(Reg::R10);
+  a.ret();
+  a.pop(Reg::R8);
+  a.ret();
+  a.pop(Reg::R9);
+  a.ret();
+  a.syscall();
+  return a;
+}
+
+TEST(Planner, BuildsValidatedExecveChain) {
+  Assembler a = classic_rop();
+  Scenario s(a);
+  Planner planner(s.ctx, s.lib, s.img);
+  auto chains = planner.plan(Goal::execve(), {});
+  ASSERT_FALSE(chains.empty());
+  const Chain& c = chains.front();
+  EXPECT_EQ(c.goal_name, "execve");
+  EXPECT_GE(c.gadgets.size(), 5u);  // 4 pops + syscall
+  EXPECT_FALSE(c.payload.empty());
+  // Payload embeds "/bin/sh".
+  const std::string p(c.payload.begin(), c.payload.end());
+  EXPECT_NE(p.find("/bin/sh"), std::string::npos);
+  // Independent re-validation with a different register seed.
+  EXPECT_TRUE(payload::validate(s.img, c, Goal::execve(),
+                                image::kStackTop - 0x2000, 0x1234567));
+  EXPECT_GT(planner.stats().validated, 0u);
+}
+
+TEST(Planner, BuildsMprotectAndMmapChains) {
+  Assembler a = classic_rop();
+  Scenario s(a);
+  Planner planner(s.ctx, s.lib, s.img);
+  EXPECT_FALSE(planner.plan(Goal::mprotect(), {}).empty());
+  EXPECT_FALSE(planner.plan(Goal::mmap(), {}).empty());
+}
+
+TEST(Planner, FailsWithoutSyscallGadget) {
+  Assembler a;
+  a.pop(Reg::RAX);
+  a.ret();
+  a.pop(Reg::RDI);
+  a.ret();
+  Scenario s(a);
+  Planner planner(s.ctx, s.lib, s.img);
+  EXPECT_TRUE(planner.plan(Goal::execve(), {}).empty());
+}
+
+TEST(Planner, FailsWhenArgRegisterUncontrollable) {
+  Assembler a;
+  a.pop(Reg::RAX);
+  a.ret();
+  a.pop(Reg::RSI);
+  a.ret();
+  a.pop(Reg::RDX);
+  a.ret();
+  a.syscall();  // no way to set rdi
+  Scenario s(a);
+  Planner planner(s.ctx, s.lib, s.img);
+  EXPECT_TRUE(planner.plan(Goal::execve(), {}).empty());
+}
+
+TEST(Planner, UsesConditionalGadgetWhenPopIsMissing) {
+  // The paper's Fig. 6 situation: no plain `pop rsi; ret` exists, but a
+  // conditional-jump gadget controls rsi when its precondition (on rax)
+  // holds — the planner must chain a rax-setter before it.
+  Assembler a;
+  a.pop(Reg::RAX);
+  a.ret();
+  a.pop(Reg::RDI);
+  a.ret();
+  a.pop(Reg::RDX);
+  a.ret();
+  // The only rsi-setter sits BEFORE a conditional jump (like Fig. 6's
+  // Gadget 1), so no pure suffix of it controls rsi:
+  //   pop rsi; test rax, rax; jne trap; ret
+  auto trap = a.new_label();
+  a.pop(Reg::RSI);
+  a.alu(Mnemonic::TEST, Reg::RAX, Reg::RAX);
+  a.jcc(Cond::NE, trap);
+  a.ret();
+  a.bind(trap);
+  a.int3();
+  a.syscall();
+  Scenario s(a);
+
+  Planner planner(s.ctx, s.lib, s.img);
+  Options opts;
+  auto chains = planner.plan(Goal::execve(), opts);
+  ASSERT_FALSE(chains.empty());
+  bool used_cond = false;
+  for (const Chain& c : chains)
+    used_cond |= c.cj_gadgets > 0;
+  EXPECT_TRUE(used_cond);
+
+  // Ablation (the baselines' restriction): with conditional gadgets
+  // disabled, no chain exists.
+  Options no_cond = opts;
+  no_cond.use_cond_gadgets = false;
+  Planner p2(s.ctx, s.lib, s.img);
+  EXPECT_TRUE(p2.plan(Goal::execve(), no_cond).empty());
+}
+
+TEST(Planner, UsesJopGadgetMixedWithRet) {
+  // rsi is only settable via a jmp-rax gadget (JOP): pop rsi; jmp rax.
+  // The chain needs rax to hold the next gadget's address — which also
+  // conflicts with rax = 59 for execve, so the planner must order the
+  // rax-setting pop AFTER the JOP step. Exercises threat resolution.
+  Assembler a;
+  a.pop(Reg::RAX);
+  a.ret();
+  a.pop(Reg::RDI);
+  a.ret();
+  a.pop(Reg::RDX);
+  a.ret();
+  a.pop(Reg::RSI);
+  a.jmp_reg(Reg::RAX);
+  a.syscall();
+  Scenario s(a);
+  Planner planner(s.ctx, s.lib, s.img);
+  auto chains = planner.plan(Goal::execve(), {});
+  ASSERT_FALSE(chains.empty());
+  bool used_jop = false;
+  for (const Chain& c : chains) used_jop |= c.ij_gadgets > 0;
+  EXPECT_TRUE(used_jop);
+}
+
+TEST(Planner, DirectJumpMergedGadgetsUsable) {
+  Assembler a;
+  a.pop(Reg::RAX);
+  a.ret();
+  a.pop(Reg::RSI);
+  a.ret();
+  a.pop(Reg::RDX);
+  a.ret();
+  // pop rdi; jmp L ... L: ret
+  auto l = a.new_label();
+  a.pop(Reg::RDI);
+  a.jmp(l);
+  a.int3();
+  a.bind(l);
+  a.ret();
+  a.syscall();
+  Scenario s(a);
+  Planner planner(s.ctx, s.lib, s.img);
+  auto chains = planner.plan(Goal::execve(), {});
+  ASSERT_FALSE(chains.empty());
+
+  Options no_dj;
+  no_dj.use_direct_merged = false;
+  Planner p2(s.ctx, s.lib, s.img);
+  EXPECT_TRUE(p2.plan(Goal::execve(), no_dj).empty());
+}
+
+TEST(Planner, MultipleDiverseChains) {
+  // Several alternative rdi-setters should yield several distinct chains.
+  Assembler a = classic_rop();
+  a.pop(Reg::RDI);
+  a.nop();
+  a.nop();
+  a.ret();
+  a.pop(Reg::RDI);
+  a.pop(Reg::RBX);
+  a.ret();
+  Scenario s(a, /*minimize_pool=*/false);
+  Planner planner(s.ctx, s.lib, s.img);
+  Options opts;
+  opts.max_chains = 8;
+  auto chains = planner.plan(Goal::execve(), opts);
+  EXPECT_GE(chains.size(), 2u);
+  std::set<std::vector<u32>> unique;
+  for (const Chain& c : chains) unique.insert(c.gadgets);
+  EXPECT_EQ(unique.size(), chains.size());  // no duplicates
+}
+
+TEST(Planner, ChainMetricsConsistent) {
+  Assembler a = classic_rop();
+  Scenario s(a);
+  Planner planner(s.ctx, s.lib, s.img);
+  auto chains = planner.plan(Goal::execve(), {});
+  ASSERT_FALSE(chains.empty());
+  for (const Chain& c : chains) {
+    EXPECT_GT(c.total_insts, 0);
+    EXPECT_GT(c.avg_gadget_len(), 0.0);
+    EXPECT_LE(static_cast<size_t>(c.ret_gadgets + c.ij_gadgets +
+                                  c.cj_gadgets),
+              c.gadgets.size() + 1);
+  }
+}
+
+TEST(Payload, ValidateRejectsCorruptPayload) {
+  Assembler a = classic_rop();
+  Scenario s(a);
+  Planner planner(s.ctx, s.lib, s.img);
+  auto chains = planner.plan(Goal::execve(), {});
+  ASSERT_FALSE(chains.empty());
+  Chain bad = chains.front();
+  // Corrupt a payload slot: validation must fail.
+  for (size_t i = 0; i + 8 <= bad.payload.size(); i += 8) bad.payload[i] ^= 0xff;
+  EXPECT_FALSE(payload::validate(s.img, bad, Goal::execve(),
+                                 image::kStackTop - 0x2000, 1));
+}
+
+TEST(Payload, GoalDefinitions) {
+  EXPECT_EQ(Goal::execve().syscall_no, 59u);
+  EXPECT_EQ(Goal::mprotect().syscall_no, 10u);
+  EXPECT_EQ(Goal::mmap().syscall_no, 9u);
+  EXPECT_EQ(Goal::all().size(), 3u);
+  // execve's rdi target carries the shell path.
+  const auto g = Goal::execve();
+  bool has_path = false;
+  for (const auto& t : g.regs)
+    if (t.kind == payload::RegTarget::Kind::PointerToBytes)
+      has_path = std::string(t.bytes.begin(), t.bytes.end() - 1) == "/bin/sh";
+  EXPECT_TRUE(has_path);
+}
+
+}  // namespace
+}  // namespace gp::planner

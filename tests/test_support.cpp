@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/common.hpp"
+#include "support/rng.hpp"
+#include "support/str.hpp"
+
+namespace gp {
+namespace {
+
+TEST(BitUtil, TruncateMasksHighBits) {
+  EXPECT_EQ(truncate(0xffffffffffffffffULL, 8), 0xffu);
+  EXPECT_EQ(truncate(0x1234, 4), 0x4u);
+  EXPECT_EQ(truncate(0xdeadbeef, 64), 0xdeadbeefULL);
+  EXPECT_EQ(truncate(0xdeadbeef, 32), 0xdeadbeefULL);
+  EXPECT_EQ(truncate(0x1, 1), 1u);
+}
+
+TEST(BitUtil, SignExtend) {
+  EXPECT_EQ(sign_extend(0xff, 8), 0xffffffffffffffffULL);
+  EXPECT_EQ(sign_extend(0x7f, 8), 0x7fULL);
+  EXPECT_EQ(sign_extend(0x80000000ULL, 32), 0xffffffff80000000ULL);
+  EXPECT_EQ(sign_extend(0x7fffffffULL, 32), 0x7fffffffULL);
+  EXPECT_EQ(sign_extend(1, 1), 0xffffffffffffffffULL);
+  EXPECT_EQ(sign_extend(0, 1), 0u);
+}
+
+TEST(BitUtil, SignExtendIdempotentAt64) {
+  EXPECT_EQ(sign_extend(0xdeadbeefcafef00dULL, 64), 0xdeadbeefcafef00dULL);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(9);
+  std::set<i64> seen;
+  for (int i = 0; i < 500; ++i) {
+    i64 v = r.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Str, Hex) {
+  EXPECT_EQ(hex(0), "0x0");
+  EXPECT_EQ(hex(0x401000), "0x401000");
+  EXPECT_EQ(hex_byte(0x0f), "0f");
+}
+
+TEST(Str, Join) {
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"a"}, ","), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(Error, CheckThrows) {
+  EXPECT_THROW(GP_CHECK(false, "boom"), Error);
+  EXPECT_NO_THROW(GP_CHECK(true, "fine"));
+}
+
+}  // namespace
+}  // namespace gp

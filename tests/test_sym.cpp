@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include "emu/emu.hpp"
+#include "lift/lift.hpp"
+#include "support/rng.hpp"
+#include "support/str.hpp"
+#include "sym/exec.hpp"
+#include "x86/decoder.hpp"
+#include "x86/encoder.hpp"
+
+namespace gp::sym {
+namespace {
+
+using solver::Context;
+using solver::ExprRef;
+using x86::Assembler;
+using x86::Cond;
+using x86::MemRef;
+using x86::Mnemonic;
+using x86::Reg;
+
+/// Symbolically execute assembled straight-line code from the initial state.
+struct SymRun {
+  Context ctx;
+  Executor exec{ctx};
+  State st;
+  Flow last;
+
+  explicit SymRun(const std::vector<u8>& code) : st(exec.initial_state()) {
+    auto insts = x86::decode_run(code, image::kCodeBase, 128);
+    for (const auto& inst : insts) {
+      last = exec.step(st, lift::lift(inst));
+    }
+  }
+  ExprRef reg(Reg r) { return st.regs[static_cast<int>(r)]; }
+};
+
+TEST(SymExec, PopProducesStackVariable) {
+  Assembler a;
+  a.pop(Reg::RDI);
+  a.ret();
+  SymRun run(a.finish());
+  // rdi := stk_0; ret target := stk_8; rsp := rsp0 + 16.
+  EXPECT_EQ(run.ctx.to_string(run.reg(Reg::RDI)), "stk_0");
+  EXPECT_EQ(run.ctx.to_string(run.last.target_expr), "stk_8");
+  EXPECT_TRUE(run.last.is_ret);
+  EXPECT_EQ(run.reg(Reg::RSP),
+            run.ctx.add(run.ctx.var("rsp0", 64), run.ctx.constant(16, 64)));
+}
+
+TEST(SymExec, RegisterDataflow) {
+  Assembler a;
+  a.mov(Reg::RAX, Reg::RBX);
+  a.alu_imm(Mnemonic::ADD, Reg::RAX, 5);
+  a.ret();
+  SymRun run(a.finish());
+  EXPECT_EQ(run.reg(Reg::RAX),
+            run.ctx.add(run.ctx.var("rbx0", 64), run.ctx.constant(5, 64)));
+}
+
+TEST(SymExec, PushThenPopResolvesFromWriteHistory) {
+  Assembler a;
+  a.push(Reg::RCX);
+  a.pop(Reg::RDX);
+  a.ret();
+  SymRun run(a.finish());
+  EXPECT_EQ(run.reg(Reg::RDX), run.ctx.var("rcx0", 64));
+  // Net rsp change: -8 +8 +8 (ret) = +8.
+  EXPECT_EQ(run.reg(Reg::RSP),
+            run.ctx.add(run.ctx.var("rsp0", 64), run.ctx.constant(8, 64)));
+}
+
+TEST(SymExec, ConditionalJumpExposesFlagCondition) {
+  Assembler a;
+  a.alu(Mnemonic::CMP, Reg::RDX, Reg::RBX);
+  auto inst = x86::decode(a.finish(), image::kCodeBase);
+  ASSERT_TRUE(inst);
+
+  Context ctx;
+  Executor ex(ctx);
+  State st = ex.initial_state();
+  ex.step(st, lift::lift(*inst));
+
+  // After cmp rdx, rbx: ZF == (rdx0 - rbx0 == 0), i.e. rdx0 == rbx0.
+  const ExprRef zf = st.flags[static_cast<int>(ir::Flag::ZF)];
+  const ExprRef expect =
+      ctx.eq(ctx.sub(ctx.var("rdx0", 64), ctx.var("rbx0", 64)),
+             ctx.constant(0, 64));
+  EXPECT_EQ(zf, expect);
+}
+
+TEST(SymExec, PointerReadThroughRegisterIsTracked) {
+  // A load through an attacker-derivable pointer (initial rdi) becomes a
+  // tracked indirect read — the paper's POINTER-typed constraint.
+  Assembler a;
+  a.mov_load(Reg::RAX, MemRef{.base = Reg::RDI});
+  a.ret();
+  SymRun run(a.finish());
+  EXPECT_TRUE(run.ctx.is_var(run.reg(Reg::RAX)));
+  EXPECT_TRUE(starts_with(run.ctx.var_name(run.reg(Reg::RAX)),
+                          std::string("ind")));
+  ASSERT_EQ(run.st.ind_reads.size(), 1u);
+  EXPECT_EQ(run.st.ind_reads[0].addr, run.ctx.var("rdi0", 64));
+  EXPECT_EQ(run.st.ind_reads[0].var, run.reg(Reg::RAX));
+}
+
+TEST(SymExec, UnderivableMemoryReadIsUnconstrained) {
+  // Address depends on memory contents (double indirection through an
+  // unknown): falls back to a plain unconstrained variable.
+  Assembler a;
+  a.mov_load(Reg::RAX, MemRef{.base = Reg::RDI});
+  a.mov_load(Reg::RBX, MemRef{.base = Reg::RAX});
+  a.mov_load(Reg::RCX, MemRef{.base = Reg::RBX});
+  a.ret();
+  SymRun run(a.finish());
+  // rbx came from an ind-read (derivable chain), so the final load is still
+  // derivable; truly unknown bases only arise from "mem" vars, which this
+  // chain never produces. Verify the chain stayed derivable:
+  EXPECT_TRUE(starts_with(run.ctx.var_name(run.reg(Reg::RCX)),
+                          std::string("ind")));
+}
+
+TEST(SymExec, StoreLoadSameAddressForwards) {
+  Assembler a;
+  a.mov_store(MemRef{.base = Reg::RDI, .disp = 8}, Reg::RBX);
+  a.mov_load(Reg::RAX, MemRef{.base = Reg::RDI, .disp = 8});
+  a.ret();
+  SymRun run(a.finish());
+  EXPECT_EQ(run.reg(Reg::RAX), run.ctx.var("rbx0", 64));
+}
+
+TEST(SymExec, NarrowStackReadSlicesPayloadSlot) {
+  Assembler a;
+  a.mov_load(Reg::RAX, MemRef{.base = Reg::RSP, .disp = 4}, 32);
+  a.ret();
+  SymRun run(a.finish());
+  // 32-bit load at rsp+4 = bits [63:32] of payload slot stk_0, zero-extended.
+  const ExprRef slot = run.ctx.var("stk_0", 64);
+  EXPECT_EQ(run.reg(Reg::RAX),
+            run.ctx.zext(run.ctx.extract(slot, 32, 32), 64));
+}
+
+TEST(SplitBaseOffset, Forms) {
+  Context ctx;
+  const ExprRef x = ctx.var("x", 64);
+  auto c = split_base_offset(ctx, ctx.constant(0x1000, 64));
+  ASSERT_TRUE(c);
+  EXPECT_EQ(c->base, solver::kNoExpr);
+  EXPECT_EQ(c->offset, 0x1000);
+
+  auto v = split_base_offset(ctx, x);
+  ASSERT_TRUE(v);
+  EXPECT_EQ(v->base, x);
+  EXPECT_EQ(v->offset, 0);
+
+  auto s = split_base_offset(ctx, ctx.add(x, ctx.constant(-16, 64)));
+  ASSERT_TRUE(s);
+  EXPECT_EQ(s->base, x);
+  EXPECT_EQ(s->offset, -16);
+}
+
+TEST(StackVarNames, RoundTrip) {
+  EXPECT_EQ(stack_var(0), "stk_0");
+  EXPECT_EQ(stack_var(24), "stk_24");
+  EXPECT_EQ(stack_var(-8), "stk_m8");
+  EXPECT_EQ(parse_stack_var("stk_24").value(), 24);
+  EXPECT_EQ(parse_stack_var("stk_m8").value(), -8);
+  EXPECT_FALSE(parse_stack_var("mem3").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Differential property test: symbolic execution evaluated on concrete
+// inputs must match the concrete emulator, instruction family by instruction
+// family, over randomized straight-line programs.
+// ---------------------------------------------------------------------------
+
+class DifferentialTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(DifferentialTest, SymbolicMatchesConcrete) {
+  Rng rng(GetParam());
+  // Registers we mutate freely (leave RSP managed).
+  const Reg pool[] = {Reg::RAX, Reg::RBX, Reg::RCX, Reg::RDX,
+                      Reg::RSI, Reg::RDI, Reg::R8,  Reg::R9,
+                      Reg::R10, Reg::R11, Reg::R12, Reg::R13};
+  auto rnd_reg = [&] { return pool[rng.below(std::size(pool))]; };
+
+  for (int iter = 0; iter < 40; ++iter) {
+    Assembler a;
+    const int n = 3 + static_cast<int>(rng.below(10));
+    int pushes = 0;
+    for (int i = 0; i < n; ++i) {
+      switch (rng.below(13)) {
+        case 0: a.mov(rnd_reg(), rnd_reg(), rng.chance(0.5) ? 64 : 32); break;
+        case 1: a.mov_imm(rnd_reg(), static_cast<i64>(rng.next())); break;
+        case 2:
+          a.alu(static_cast<Mnemonic>(
+                    static_cast<int>(Mnemonic::ADD) + rng.below(5)),
+                rnd_reg(), rnd_reg(), rng.chance(0.5) ? 64 : 32);
+          break;
+        case 3:
+          a.alu_imm(Mnemonic::ADD, rnd_reg(),
+                    static_cast<i32>(rng.next()), 64);
+          break;
+        case 4:
+          a.push(rnd_reg());
+          ++pushes;
+          break;
+        case 5:
+          a.unary(static_cast<Mnemonic>(
+                      static_cast<int>(Mnemonic::NOT) + rng.below(4)),
+                  rnd_reg(), 64);
+          break;
+        case 6:
+          a.shift_imm(rng.chance(0.5) ? Mnemonic::SHL : Mnemonic::SAR,
+                      rnd_reg(), static_cast<u8>(1 + rng.below(63)), 64);
+          break;
+        case 7: a.imul(rnd_reg(), rnd_reg(), 64); break;
+        case 8:
+          a.lea(rnd_reg(), MemRef{.base = rnd_reg(), .index = rnd_reg(),
+                                  .scale = static_cast<u8>(1 << rng.below(4)),
+                                  .disp = static_cast<i32>(rng.next())});
+          break;
+        case 9:
+          a.mov_load(rnd_reg(),
+                     MemRef{.base = Reg::RSP,
+                            .disp = static_cast<i32>(8 * rng.below(8))});
+          break;
+        case 10:
+          a.cmov(static_cast<Cond>(rng.below(16)), rnd_reg(), rnd_reg(),
+                 rng.chance(0.5) ? 64 : 32);
+          break;
+        case 11:
+          a.movzx_load(rnd_reg(),
+                       MemRef{.base = Reg::RSP,
+                              .disp = static_cast<i32>(8 * rng.below(8))},
+                       rng.chance(0.5) ? 8 : 16);
+          break;
+        case 12:
+          a.movsx_load(rnd_reg(),
+                       MemRef{.base = Reg::RSP,
+                              .disp = static_cast<i32>(8 * rng.below(8))},
+                       rng.chance(0.5) ? 8 : 16);
+          break;
+      }
+    }
+    a.alu(Mnemonic::CMP, rnd_reg(), rnd_reg());  // exercise flags at the end
+    // Rebalance the stack so the final ret consumes the exit sentinel.
+    if (pushes > 0) a.alu_imm(Mnemonic::ADD, Reg::RSP, 8 * pushes);
+    a.ret();
+    const auto code = a.finish();
+
+    // Concrete run.
+    image::Image img(code, {}, image::kCodeBase);
+    emu::Emulator emu(img);
+    std::unordered_map<int, u64> init;
+    for (const Reg r : pool) {
+      const u64 v = rng.next();
+      emu.set_reg(r, v);
+      init[static_cast<int>(r)] = v;
+    }
+    const u64 rsp0 = emu.reg(Reg::RSP);
+    // Random payload on the stack (above and below rsp for push room).
+    std::vector<u64> stack_content(16);
+    for (size_t i = 0; i < stack_content.size(); ++i) {
+      stack_content[i] = rng.next();
+      emu.memory().write(rsp0 + 8 * i, stack_content[i], 8);
+    }
+    // The emulator's exit sentinel lives at [rsp0]; keep it.
+    emu.memory().write(rsp0, image::kExitAddress, 8);
+    stack_content[0] = image::kExitAddress;
+    auto result = emu.run(1000);
+    ASSERT_EQ(result.reason, emu::StopReason::Exit) << iter;
+
+    // Symbolic run over the same instructions.
+    Context ctx;
+    Executor ex(ctx);
+    State st = ex.initial_state();
+    for (const auto& inst : x86::decode_run(code, image::kCodeBase, 64)) {
+      ex.step(st, lift::lift(inst));
+    }
+
+    // Environment: initial registers, flags (all 0 at reset), stack slots.
+    std::unordered_map<ExprRef, u64> env;
+    for (const Reg r : pool)
+      env[ctx.var(initial_reg_var(r), 64)] = init[static_cast<int>(r)];
+    env[ctx.var("rsp0", 64)] = rsp0;
+    env[ctx.var("rbp0", 64)] = 0;
+    for (size_t i = 0; i < stack_content.size(); ++i)
+      env[ctx.var(stack_var(static_cast<i64>(8 * i)), 64)] =
+          stack_content[i];
+
+    for (const Reg r : pool) {
+      const ExprRef e = st.regs[static_cast<int>(r)];
+      EXPECT_EQ(ctx.eval(e, env), emu.reg(r))
+          << "iter " << iter << " reg " << x86::reg_name(r) << " = "
+          << ctx.to_string(e);
+    }
+    for (int f = 0; f < ir::kNumFlags; ++f) {
+      const ExprRef e = st.flags[f];
+      EXPECT_EQ(ctx.eval(e, env),
+                static_cast<u64>(emu.flag(static_cast<ir::Flag>(f))))
+          << "iter " << iter << " flag "
+          << ir::flag_name(static_cast<ir::Flag>(f));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 101, 202, 303));
+
+}  // namespace
+}  // namespace gp::sym

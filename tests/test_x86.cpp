@@ -1,0 +1,384 @@
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+#include "x86/decoder.hpp"
+#include "x86/encoder.hpp"
+
+namespace gp::x86 {
+namespace {
+
+Inst roundtrip(const Inst& in) {
+  auto bytes = encode(in);
+  auto out = decode(bytes, 0x1000);
+  EXPECT_TRUE(out.has_value()) << to_string(in);
+  EXPECT_EQ(out->len, bytes.size()) << to_string(in);
+  return out.value_or(Inst{});
+}
+
+void expect_same(const Inst& in) {
+  Inst out = roundtrip(in);
+  EXPECT_EQ(out.mnemonic, in.mnemonic) << to_string(in);
+  EXPECT_EQ(out.dst, in.dst) << to_string(in) << " vs " << to_string(out);
+  EXPECT_EQ(out.src, in.src) << to_string(in) << " vs " << to_string(out);
+  if (in.mnemonic == Mnemonic::JCC || in.mnemonic == Mnemonic::CMOV) {
+    EXPECT_EQ(out.cond, in.cond);
+  }
+  if (in.mnemonic == Mnemonic::MOVZX || in.mnemonic == Mnemonic::MOVSX) {
+    EXPECT_EQ(out.src_size, in.src_size);
+  }
+}
+
+TEST(Encoder, KnownBytes) {
+  // Spot-check against independently assembled encodings.
+  EXPECT_EQ(encode({.mnemonic = Mnemonic::RET}), (std::vector<u8>{0xC3}));
+  EXPECT_EQ(encode({.mnemonic = Mnemonic::SYSCALL}),
+            (std::vector<u8>{0x0F, 0x05}));
+  EXPECT_EQ(encode({.mnemonic = Mnemonic::POP, .dst = Operand::r(Reg::RAX)}),
+            (std::vector<u8>{0x58}));
+  EXPECT_EQ(encode({.mnemonic = Mnemonic::POP, .dst = Operand::r(Reg::R8)}),
+            (std::vector<u8>{0x41, 0x58}));
+  EXPECT_EQ(encode({.mnemonic = Mnemonic::PUSH, .dst = Operand::r(Reg::RDI)}),
+            (std::vector<u8>{0x57}));
+  // mov rax, rbx -> 48 89 d8
+  EXPECT_EQ(encode({.mnemonic = Mnemonic::MOV, .dst = Operand::r(Reg::RAX),
+                    .src = Operand::r(Reg::RBX), .size = 64}),
+            (std::vector<u8>{0x48, 0x89, 0xD8}));
+  // xor eax, eax -> 31 c0
+  EXPECT_EQ(encode({.mnemonic = Mnemonic::XOR, .dst = Operand::r(Reg::RAX),
+                    .src = Operand::r(Reg::RAX), .size = 32}),
+            (std::vector<u8>{0x31, 0xC0}));
+  // add rsp, 8 -> 48 83 c4 08
+  EXPECT_EQ(encode({.mnemonic = Mnemonic::ADD, .dst = Operand::r(Reg::RSP),
+                    .src = Operand::i(8), .size = 64}),
+            (std::vector<u8>{0x48, 0x83, 0xC4, 0x08}));
+  // mov rax, [rsp+0x10] -> 48 8b 44 24 10
+  EXPECT_EQ(encode({.mnemonic = Mnemonic::MOV, .dst = Operand::r(Reg::RAX),
+                    .src = Operand::m({.base = Reg::RSP, .disp = 0x10}),
+                    .size = 64}),
+            (std::vector<u8>{0x48, 0x8B, 0x44, 0x24, 0x10}));
+  // jmp rax -> ff e0
+  EXPECT_EQ(encode({.mnemonic = Mnemonic::JMP, .dst = Operand::r(Reg::RAX)}),
+            (std::vector<u8>{0xFF, 0xE0}));
+  // call rbx -> ff d3
+  EXPECT_EQ(encode({.mnemonic = Mnemonic::CALL, .dst = Operand::r(Reg::RBX)}),
+            (std::vector<u8>{0xFF, 0xD3}));
+  // movabs rax, 0x1122334455667788
+  EXPECT_EQ(encode({.mnemonic = Mnemonic::MOVABS, .dst = Operand::r(Reg::RAX),
+                    .src = Operand::i(0x1122334455667788LL), .size = 64}),
+            (std::vector<u8>{0x48, 0xB8, 0x88, 0x77, 0x66, 0x55, 0x44, 0x33,
+                             0x22, 0x11}));
+  // lea rdi, [rip+0x100] -> 48 8d 3d 00 01 00 00
+  EXPECT_EQ(
+      encode({.mnemonic = Mnemonic::LEA, .dst = Operand::r(Reg::RDI),
+              .src = Operand::m({.disp = 0x100, .rip_relative = true}),
+              .size = 64}),
+      (std::vector<u8>{0x48, 0x8D, 0x3D, 0x00, 0x01, 0x00, 0x00}));
+}
+
+TEST(Decoder, KnownSequences) {
+  // pop rdi; ret
+  const u8 bytes[] = {0x5F, 0xC3};
+  auto run = decode_run(bytes, 0x400000);
+  ASSERT_EQ(run.size(), 2u);
+  EXPECT_EQ(to_string(run[0]), "pop rdi");
+  EXPECT_EQ(to_string(run[1]), "ret");
+  EXPECT_EQ(run[1].addr, 0x400001u);
+}
+
+TEST(Decoder, RejectsUnsupported) {
+  const u8 fpu[] = {0xD8, 0xC0};  // fadd st(0) — outside subset
+  EXPECT_FALSE(decode(fpu, 0).has_value());
+  const u8 empty[] = {0xE9};  // truncated jmp rel32
+  EXPECT_FALSE(decode(std::span<const u8>(empty, 1), 0).has_value());
+  EXPECT_FALSE(decode(std::span<const u8>{}, 0).has_value());
+}
+
+TEST(Decoder, UnalignedView) {
+  // movabs rax, imm64 whose immediate bytes decode as pop rdi; ret.
+  Assembler a;
+  a.mov_imm(Reg::RAX, static_cast<i64>(0x0101010101C35FULL));
+  auto code = a.finish();
+  // Aligned decode: one movabs.
+  auto aligned = decode(code, 0x400000);
+  ASSERT_TRUE(aligned);
+  EXPECT_EQ(aligned->mnemonic, Mnemonic::MOVABS);
+  // Offset 2 lands inside the immediate: pop rdi; ret appears.
+  auto run = decode_run(std::span<const u8>(code).subspan(2), 0x400002);
+  ASSERT_GE(run.size(), 2u);
+  EXPECT_EQ(to_string(run[0]), "pop rdi");
+  EXPECT_EQ(run[1].mnemonic, Mnemonic::RET);
+}
+
+TEST(Decoder, RipRelative) {
+  const u8 bytes[] = {0x48, 0x8B, 0x05, 0x10, 0x00, 0x00, 0x00};  // mov rax,[rip+0x10]
+  auto inst = decode(bytes, 0x400000);
+  ASSERT_TRUE(inst);
+  EXPECT_EQ(inst->mnemonic, Mnemonic::MOV);
+  EXPECT_TRUE(inst->src.is_mem());
+  EXPECT_TRUE(inst->src.mem.rip_relative);
+  EXPECT_EQ(inst->src.mem.disp, 0x10);
+  EXPECT_EQ(inst->len, 7);
+}
+
+TEST(Decoder, DirectTarget) {
+  Inst jmp{.mnemonic = Mnemonic::JMP, .dst = Operand::i(0x10)};
+  auto bytes = encode(jmp);
+  auto out = decode(bytes, 0x400000);
+  ASSERT_TRUE(out);
+  EXPECT_EQ(out->direct_target(), 0x400000u + bytes.size() + 0x10);
+}
+
+TEST(Decoder, NegativeBranch) {
+  Inst jcc{.mnemonic = Mnemonic::JCC, .cond = Cond::NE,
+           .dst = Operand::i(-32)};
+  auto out = decode(encode(jcc), 0x401000);
+  ASSERT_TRUE(out);
+  EXPECT_EQ(out->cond, Cond::NE);
+  EXPECT_EQ(out->direct_target(), 0x401000u + 6 - 32);
+}
+
+TEST(Cond, NegatePairs) {
+  EXPECT_EQ(negate(Cond::E), Cond::NE);
+  EXPECT_EQ(negate(Cond::NE), Cond::E);
+  EXPECT_EQ(negate(Cond::L), Cond::GE);
+  EXPECT_EQ(negate(Cond::A), Cond::BE);
+  for (int i = 0; i < 16; ++i) {
+    auto c = static_cast<Cond>(i);
+    EXPECT_EQ(negate(negate(c)), c);
+  }
+}
+
+TEST(Assembler, LabelsResolveForwardAndBackward) {
+  Assembler a;
+  a.set_base(0x400000);
+  auto top = a.new_label();
+  auto end = a.new_label();
+  a.bind(top);
+  a.alu_imm(Mnemonic::SUB, Reg::RCX, 1);
+  a.jcc(Cond::NE, top);   // backward
+  a.jmp(end);             // forward
+  a.int3();
+  a.bind(end);
+  a.ret();
+  auto code = a.finish();
+  auto run = decode_run(code, 0x400000, 16);
+  ASSERT_GE(run.size(), 2u);
+  EXPECT_EQ(run[1].mnemonic, Mnemonic::JCC);
+  EXPECT_EQ(run[1].direct_target(), 0x400000u);  // back to top
+  // Follow the forward jmp.
+  auto jmp = decode(std::span<const u8>(code).subspan(run[0].len + run[1].len),
+                    0x400000 + run[0].len + run[1].len);
+  ASSERT_TRUE(jmp);
+  const u64 after_jmp = jmp->direct_target() - 0x400000;
+  EXPECT_EQ(code[after_jmp], 0xC3);  // lands on ret, skipping int3
+}
+
+TEST(Assembler, UnboundLabelFails) {
+  Assembler a;
+  auto l = a.new_label();
+  a.jmp(l);
+  EXPECT_THROW(a.finish(), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip property sweep: encode -> decode == identity over the operand
+// grid for each mnemonic family.
+// ---------------------------------------------------------------------------
+
+class RoundTripRegReg : public ::testing::TestWithParam<Mnemonic> {};
+
+TEST_P(RoundTripRegReg, AllRegisterPairsBothSizes) {
+  for (int d = 0; d < kNumRegs; ++d) {
+    for (int s = 0; s < kNumRegs; ++s) {
+      for (u8 size : {u8{32}, u8{64}}) {
+        expect_same({.mnemonic = GetParam(),
+                     .dst = Operand::r(static_cast<Reg>(d)),
+                     .src = Operand::r(static_cast<Reg>(s)),
+                     .size = size});
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AluOps, RoundTripRegReg,
+                         ::testing::Values(Mnemonic::MOV, Mnemonic::ADD,
+                                           Mnemonic::SUB, Mnemonic::AND,
+                                           Mnemonic::OR, Mnemonic::XOR,
+                                           Mnemonic::CMP, Mnemonic::TEST,
+                                           Mnemonic::XCHG, Mnemonic::IMUL));
+
+class RoundTripUnary : public ::testing::TestWithParam<Mnemonic> {};
+
+TEST_P(RoundTripUnary, AllRegistersBothSizes) {
+  for (int d = 0; d < kNumRegs; ++d) {
+    for (u8 size : {u8{32}, u8{64}}) {
+      expect_same({.mnemonic = GetParam(),
+                   .dst = Operand::r(static_cast<Reg>(d)),
+                   .size = size});
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(UnaryOps, RoundTripUnary,
+                         ::testing::Values(Mnemonic::NOT, Mnemonic::NEG,
+                                           Mnemonic::INC, Mnemonic::DEC));
+
+TEST(RoundTrip, PushPopAllRegs) {
+  for (int d = 0; d < kNumRegs; ++d) {
+    expect_same({.mnemonic = Mnemonic::PUSH,
+                 .dst = Operand::r(static_cast<Reg>(d)), .size = 64});
+    expect_same({.mnemonic = Mnemonic::POP,
+                 .dst = Operand::r(static_cast<Reg>(d)), .size = 64});
+  }
+}
+
+TEST(RoundTrip, ImmediateForms) {
+  for (i64 imm : {i64{0}, i64{1}, i64{-1}, i64{127}, i64{-128}, i64{128},
+                  i64{0x7fffffff}, i64{-0x80000000LL}}) {
+    for (auto m : {Mnemonic::ADD, Mnemonic::SUB, Mnemonic::AND, Mnemonic::OR,
+                   Mnemonic::XOR, Mnemonic::CMP}) {
+      expect_same({.mnemonic = m, .dst = Operand::r(Reg::RDX),
+                   .src = Operand::i(imm), .size = 64});
+      expect_same({.mnemonic = m, .dst = Operand::r(Reg::R13),
+                   .src = Operand::i(imm), .size = 32});
+    }
+  }
+  expect_same({.mnemonic = Mnemonic::MOVABS, .dst = Operand::r(Reg::R9),
+               .src = Operand::i(static_cast<i64>(0xdeadbeefcafef00dULL)),
+               .size = 64});
+}
+
+TEST(RoundTrip, ShiftForms) {
+  for (auto m : {Mnemonic::SHL, Mnemonic::SHR, Mnemonic::SAR}) {
+    for (u8 amt : {u8{1}, u8{2}, u8{31}, u8{63}}) {
+      expect_same({.mnemonic = m, .dst = Operand::r(Reg::RSI),
+                   .src = Operand::i(amt), .size = 64});
+    }
+    expect_same({.mnemonic = m, .dst = Operand::r(Reg::RBX),
+                 .src = Operand::r(Reg::RCX), .size = 64});
+  }
+}
+
+/// Exhaustive-ish memory operand grid: bases x indexes x scales x disps.
+TEST(RoundTrip, MemoryOperandGrid) {
+  int checked = 0;
+  for (int b = 0; b <= kNumRegs; ++b) {  // kNumRegs == NONE
+    const Reg base = b == kNumRegs ? Reg::NONE : static_cast<Reg>(b);
+    for (int x : {-1, 0, 1, 3, 5, 12, 15}) {
+      const Reg index = x < 0 ? Reg::NONE : static_cast<Reg>(x);
+      if (index == Reg::RSP) continue;
+      for (u8 scale : {u8{1}, u8{4}, u8{8}}) {
+        if (index == Reg::NONE && scale != 1) continue;
+        for (i32 disp : {0, 8, -8, 0x1000, -0x1000}) {
+          MemRef m{.base = base, .index = index, .scale = scale, .disp = disp};
+          expect_same({.mnemonic = Mnemonic::MOV, .dst = Operand::r(Reg::RAX),
+                       .src = Operand::m(m), .size = 64});
+          expect_same({.mnemonic = Mnemonic::MOV, .dst = Operand::m(m),
+                       .src = Operand::r(Reg::R11), .size = 32});
+          ++checked;
+        }
+      }
+    }
+  }
+  EXPECT_GT(checked, 300);
+}
+
+class RoundTripWidening : public ::testing::TestWithParam<Mnemonic> {};
+
+TEST_P(RoundTripWidening, AllRegistersBothSourceSizes) {
+  for (int d = 0; d < kNumRegs; ++d) {
+    for (int s = 0; s < kNumRegs; ++s) {
+      for (u8 src_size : {u8{8}, u8{16}}) {
+        expect_same({.mnemonic = GetParam(), .src_size = src_size,
+                     .dst = Operand::r(static_cast<Reg>(d)),
+                     .src = Operand::r(static_cast<Reg>(s)), .size = 64});
+      }
+    }
+    expect_same({.mnemonic = GetParam(), .src_size = 8,
+                 .dst = Operand::r(static_cast<Reg>(d)),
+                 .src = Operand::m({.base = Reg::RSI, .disp = 0x40}),
+                 .size = 32});
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widening, RoundTripWidening,
+                         ::testing::Values(Mnemonic::MOVZX,
+                                           Mnemonic::MOVSX));
+
+TEST(RoundTrip, CmovAllConditions) {
+  for (int cc = 0; cc < 16; ++cc) {
+    expect_same({.mnemonic = Mnemonic::CMOV, .cond = static_cast<Cond>(cc),
+                 .dst = Operand::r(Reg::RAX), .src = Operand::r(Reg::R14),
+                 .size = 64});
+    expect_same({.mnemonic = Mnemonic::CMOV, .cond = static_cast<Cond>(cc),
+                 .dst = Operand::r(Reg::R9),
+                 .src = Operand::m({.base = Reg::RBP, .disp = -24}),
+                 .size = 32});
+  }
+}
+
+TEST(RoundTrip, ControlFlow) {
+  for (i64 rel : {i64{0}, i64{5}, i64{-5}, i64{0x1000}, i64{-0x1000}}) {
+    expect_same({.mnemonic = Mnemonic::JMP, .dst = Operand::i(rel),
+                 .size = 64});
+    expect_same({.mnemonic = Mnemonic::CALL, .dst = Operand::i(rel),
+                 .size = 64});
+    for (int cc = 0; cc < 16; ++cc) {
+      expect_same({.mnemonic = Mnemonic::JCC,
+                   .cond = static_cast<Cond>(cc),
+                   .dst = Operand::i(rel), .size = 64});
+    }
+  }
+  for (int r = 0; r < kNumRegs; ++r) {
+    expect_same({.mnemonic = Mnemonic::JMP,
+                 .dst = Operand::r(static_cast<Reg>(r)), .size = 64});
+    expect_same({.mnemonic = Mnemonic::CALL,
+                 .dst = Operand::r(static_cast<Reg>(r)), .size = 64});
+  }
+  expect_same({.mnemonic = Mnemonic::RET, .size = 64});
+  expect_same({.mnemonic = Mnemonic::RET, .dst = Operand::i(0x10),
+               .size = 64});
+}
+
+/// Fuzz: the decoder must terminate and stay in-bounds on random bytes, and
+/// any successful decode must report a length within the buffer.
+TEST(Decoder, FuzzNeverOverreads) {
+  Rng rng(0xf00d);
+  for (int iter = 0; iter < 20000; ++iter) {
+    u8 buf[16];
+    const size_t n = 1 + rng.below(sizeof buf);
+    for (size_t i = 0; i < n; ++i) buf[i] = static_cast<u8>(rng.next());
+    auto inst = decode(std::span<const u8>(buf, n), 0x400000);
+    if (inst) {
+      EXPECT_GE(inst->len, 1u);
+      EXPECT_LE(inst->len, n);
+      // Re-encoding a decoded instruction must reproduce its length class.
+      auto s = to_string(*inst);
+      EXPECT_FALSE(s.empty());
+    }
+  }
+}
+
+/// Semantic round trip on fuzzed bytes: whatever the decoder accepts, the
+/// encoder must re-encode (possibly in a different canonical length), and
+/// decoding the re-encoding must yield the same operation and operands.
+TEST(Decoder, FuzzSemanticRoundTrip) {
+  Rng rng(0xbeef);
+  for (int iter = 0; iter < 20000; ++iter) {
+    u8 buf[16];
+    for (auto& b : buf) b = static_cast<u8>(rng.next());
+    auto inst = decode(buf, 0x400000);
+    if (!inst) continue;
+    auto bytes = encode(*inst);
+    auto again = decode(bytes, 0x400000);
+    ASSERT_TRUE(again.has_value()) << to_string(*inst);
+    EXPECT_EQ(again->mnemonic, inst->mnemonic) << to_string(*inst);
+    EXPECT_EQ(again->dst, inst->dst)
+        << to_string(*inst) << " vs " << to_string(*again);
+    EXPECT_EQ(again->src, inst->src)
+        << to_string(*inst) << " vs " << to_string(*again);
+  }
+}
+
+}  // namespace
+}  // namespace gp::x86
