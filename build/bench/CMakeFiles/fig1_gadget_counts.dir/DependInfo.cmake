@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig1_gadget_counts.cpp" "bench/CMakeFiles/fig1_gadget_counts.dir/fig1_gadget_counts.cpp.o" "gcc" "bench/CMakeFiles/fig1_gadget_counts.dir/fig1_gadget_counts.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/gp_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/gp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/planner/CMakeFiles/gp_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/subsume/CMakeFiles/gp_subsume.dir/DependInfo.cmake"
+  "/root/repo/build/src/payload/CMakeFiles/gp_payload.dir/DependInfo.cmake"
+  "/root/repo/build/src/gadget/CMakeFiles/gp_gadget.dir/DependInfo.cmake"
+  "/root/repo/build/src/sym/CMakeFiles/gp_sym.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/gp_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/gp_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/lift/CMakeFiles/gp_lift.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/obfuscate/CMakeFiles/gp_obfuscate.dir/DependInfo.cmake"
+  "/root/repo/build/src/minic/CMakeFiles/gp_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/gp_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/gp_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/gp_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/gp_cfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_payload.dir/payload.cpp.o"
+  "CMakeFiles/gp_payload.dir/payload.cpp.o.d"
+  "libgp_payload.a"
+  "libgp_payload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_payload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_x86[1]_include.cmake")
+include("/root/repo/build/tests/test_solver[1]_include.cmake")
+include("/root/repo/build/tests/test_emu[1]_include.cmake")
+include("/root/repo/build/tests/test_sym[1]_include.cmake")
+include("/root/repo/build/tests/test_minic[1]_include.cmake")
+include("/root/repo/build/tests/test_obfuscate[1]_include.cmake")
+include("/root/repo/build/tests/test_gadget[1]_include.cmake")
+include("/root/repo/build/tests/test_planner[1]_include.cmake")
+include("/root/repo/build/tests/test_corpus[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_lift[1]_include.cmake")
+include("/root/repo/build/tests/test_payload[1]_include.cmake")
+include("/root/repo/build/tests/test_image[1]_include.cmake")
+include("/root/repo/build/tests/test_cfg[1]_include.cmake")
