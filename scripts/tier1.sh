@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then the concurrency tests
+# again under ThreadSanitizer (catches data races the functional suite
+# can't). Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build + full test suite =="
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+echo "== tier-1: concurrency tests under ThreadSanitizer =="
+cmake --preset tsan
+cmake --build build-tsan -j --target test_support test_parallel
+(cd build-tsan && ctest -R 'ThreadPool|Parallel' --output-on-failure)
+
+echo "== tier-1: OK =="

@@ -1,8 +1,10 @@
 #include "gadget/gadget.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "lift/lift.hpp"
+#include "support/thread_pool.hpp"
 #include "x86/decoder.hpp"
 
 namespace gp::gadget {
@@ -34,19 +36,23 @@ struct Path {
   u32 first_run_len = 0;
 };
 
-}  // namespace
-
-void Extractor::explore(u64 addr, const ExtractOptions& opts,
-                        std::vector<Record>& out) {
+/// Explore every path from one start offset, appending completed gadget
+/// records to `out`. A free function so it runs identically against the
+/// extractor's main context (sequential) or a worker's private context
+/// (parallel shards).
+void explore_offset(solver::Context& ctx, sym::Executor& exec,
+                    const image::Image& img, u64 addr,
+                    const ExtractOptions& opts, std::vector<Record>& out,
+                    ExtractStats& stats) {
   // Quick pre-filter: must decode at all from this offset.
-  auto first = x86::decode(img_.code_at(addr), addr);
+  auto first = x86::decode(img.code_at(addr), addr);
   if (!first) {
-    ++stats_.decode_failures;
+    ++stats.decode_failures;
     return;
   }
 
   std::vector<Path> frontier;
-  frontier.push_back({exec_.initial_state(), {}, addr, 0, false, 0});
+  frontier.push_back({exec.initial_state(), {}, addr, 0, false, 0});
   int emitted = 0;
 
   while (!frontier.empty() && emitted < opts.max_paths) {
@@ -59,16 +65,23 @@ void Extractor::explore(u64 addr, const ExtractOptions& opts,
         dead = true;
         break;
       }
-      if (!img_.in_code(p.rip)) {
+      if (!img.in_code(p.rip)) {
         dead = true;
         break;
       }
-      auto inst = x86::decode(img_.code_at(p.rip), p.rip);
-      if (!inst || inst->mnemonic == Mnemonic::INT3) {
+      auto inst = x86::decode(img.code_at(p.rip), p.rip);
+      if (!inst) {
+        // A path that walks into undecodable bytes is a decode failure
+        // too — only counting the first-offset case undercounts.
+        ++stats.decode_failures;
         dead = true;
         break;
       }
-      const sym::Flow flow = exec_.step(p.st, lift::lift(*inst));
+      if (inst->mnemonic == Mnemonic::INT3) {
+        dead = true;
+        break;
+      }
+      const sym::Flow flow = exec.step(p.st, lift::lift(*inst));
       p.steps.push_back({*inst, false});
       // `len` reports the contiguous byte run from the start address; it
       // stops growing once a direct-jump merge leaves the run.
@@ -107,7 +120,7 @@ void Extractor::explore(u64 addr, const ExtractOptions& opts,
           taken.has_direct = true;
           frontier.push_back(std::move(taken));
 
-          p.st.constraints.push_back(ctx_.bnot(flow.cond));
+          p.st.constraints.push_back(ctx.bnot(flow.cond));
           p.rip = flow.fallthrough;
           continue;
         }
@@ -122,10 +135,10 @@ void Extractor::explore(u64 addr, const ExtractOptions& opts,
           // gadgets into whole-program executions.
           if (flow.kind == ir::JumpKind::Indirect && flow.is_ret &&
               flow.target_expr != solver::kNoExpr &&
-              ctx_.is_const(flow.target_expr) &&
-              img_.in_code(ctx_.const_val(flow.target_expr))) {
+              ctx.is_const(flow.target_expr) &&
+              img.in_code(ctx.const_val(flow.target_expr))) {
             p.has_direct = true;
-            p.rip = ctx_.const_val(flow.target_expr);
+            p.rip = ctx.const_val(flow.target_expr);
             continue;
           }
           // Complete gadget.
@@ -156,7 +169,7 @@ void Extractor::explore(u64 addr, const ExtractOptions& opts,
             const Reg reg = static_cast<Reg>(i);
             const ExprRef final = p.st.regs[i];
             r.final_regs[i] = final;
-            const ExprRef init = ctx_.var(sym::initial_reg_var(reg), 64);
+            const ExprRef init = ctx.var(sym::initial_reg_var(reg), 64);
             if (final != init) r.clobbered |= reg_bit(reg);
             if (final != init) {
               // Controlled: a function of payload variables only.
@@ -165,8 +178,8 @@ void Extractor::explore(u64 addr, const ExtractOptions& opts,
               bool payload_only = true;
               bool has_payload = false;
               bool settable = true;
-              for (const ExprRef v : ctx_.variables(final)) {
-                const std::string& name = ctx_.var_name(v);
+              for (const ExprRef v : ctx.variables(final)) {
+                const std::string& name = ctx.var_name(v);
                 if (sym::parse_stack_var(name)) {
                   has_payload = true;
                   continue;
@@ -185,14 +198,14 @@ void Extractor::explore(u64 addr, const ExtractOptions& opts,
           }
 
           const auto rsp =
-              sym::split_base_offset(ctx_, p.st.regs[static_cast<int>(Reg::RSP)]);
-          const ExprRef rsp0 = ctx_.var(sym::initial_reg_var(Reg::RSP), 64);
+              sym::split_base_offset(ctx, p.st.regs[static_cast<int>(Reg::RSP)]);
+          const ExprRef rsp0 = ctx.var(sym::initial_reg_var(Reg::RSP), 64);
           if (rsp && rsp->base == rsp0) r.stack_delta = rsp->offset;
 
           if (opts.drop_wild_stores) {
             bool wild = false;
             for (const auto& w : r.writes) {
-              const auto bo = sym::split_base_offset(ctx_, w.addr);
+              const auto bo = sym::split_base_offset(ctx, w.addr);
               if (!bo || bo->base != rsp0) wild = true;
             }
             if (wild) {
@@ -201,9 +214,9 @@ void Extractor::explore(u64 addr, const ExtractOptions& opts,
             }
           }
 
-          ++stats_.gadgets;
-          if (r.has_cond_jump) ++stats_.with_cond_jump;
-          if (r.has_direct_jump) ++stats_.with_direct_jump;
+          ++stats.gadgets;
+          if (r.has_cond_jump) ++stats.with_cond_jump;
+          if (r.has_direct_jump) ++stats.with_direct_jump;
           out.push_back(std::move(r));
           ++emitted;
           dead = true;  // path complete
@@ -214,14 +227,101 @@ void Extractor::explore(u64 addr, const ExtractOptions& opts,
   }
 }
 
+void validate_options(const ExtractOptions& o) {
+  // A stride of 0 would scan the first offset forever; negative strides
+  // walk off the front of the section. Reject both up front.
+  GP_CHECK(o.stride >= 1, "ExtractOptions::stride must be >= 1");
+  GP_CHECK(o.max_insts >= 0, "ExtractOptions::max_insts must be >= 0");
+  GP_CHECK(o.max_paths >= 0, "ExtractOptions::max_paths must be >= 0");
+  GP_CHECK(o.max_cond_jumps >= 0,
+           "ExtractOptions::max_cond_jumps must be >= 0");
+}
+
+/// Remap a record produced in a worker context into the main context.
+Record import_record(solver::Importer& imp, Record r) {
+  for (auto& e : r.final_regs) e = imp.import(e);
+  for (auto& e : r.precond) e = imp.import(e);
+  r.next_rip = imp.import(r.next_rip);
+  for (auto& w : r.writes) {
+    w.addr = imp.import(w.addr);
+    w.value = imp.import(w.value);
+  }
+  for (auto& ir : r.ind_reads) {
+    ir.addr = imp.import(ir.addr);
+    ir.var = imp.import(ir.var);
+  }
+  return r;
+}
+
+}  // namespace
+
 std::vector<Record> Extractor::extract(const ExtractOptions& opts) {
-  std::vector<Record> out;
+  validate_options(opts);
   const u64 base = img_.code_base();
   const u64 end = img_.code_end();
-  for (u64 addr = base; addr < end;
-       addr += static_cast<u64>(opts.stride)) {
+  const u64 stride = static_cast<u64>(opts.stride);
+  const u64 total = base < end ? (end - base + stride - 1) / stride : 0;
+
+  const int threads = ThreadPool::resolve(opts.threads);
+  if (threads > 1 && total > 1) return extract_parallel(opts, threads);
+
+  std::vector<Record> out;
+  for (u64 k = 0; k < total; ++k) {
+    const u64 addr = base + k * stride;
     ++stats_.offsets_scanned;
-    explore(addr, opts, out);
+    exec_.begin_origin(addr);
+    explore_offset(ctx_, exec_, img_, addr, opts, out, stats_);
+  }
+  return out;
+}
+
+std::vector<Record> Extractor::extract_parallel(const ExtractOptions& opts,
+                                                int threads) {
+  const u64 base = img_.code_base();
+  const u64 stride = static_cast<u64>(opts.stride);
+  const u64 total = (img_.code_end() - base + stride - 1) / stride;
+
+  // Shard the scan into more chunks than lanes so uneven exploration costs
+  // balance via the pool's dynamic item claiming; chunks stay large enough
+  // to amortize each worker context's warm-up interning.
+  const u64 target = static_cast<u64>(threads) * 8;
+  const u64 chunk = std::max<u64>(u64{32}, (total + target - 1) / target);
+  const u64 nchunks = (total + chunk - 1) / chunk;
+
+  // Each chunk explores its offsets in a private context (the expression
+  // interner is the shared-state bottleneck) with a private executor and
+  // stats block; nothing is shared across chunks until the merge below.
+  struct Shard {
+    std::unique_ptr<solver::Context> ctx;
+    std::vector<Record> records;
+    ExtractStats stats;
+  };
+  std::vector<Shard> shards(nchunks);
+
+  ThreadPool::shared().run(
+      nchunks,
+      [&](int /*lane*/, u64 ci) {
+        Shard& s = shards[ci];
+        s.ctx = std::make_unique<solver::Context>();
+        sym::Executor exec(*s.ctx, &img_);
+        const u64 hi = std::min((ci + 1) * chunk, total);
+        for (u64 k = ci * chunk; k < hi; ++k) {
+          const u64 addr = base + k * stride;
+          ++s.stats.offsets_scanned;
+          exec.begin_origin(addr);
+          explore_offset(*s.ctx, exec, img_, addr, opts, s.records, s.stats);
+        }
+      },
+      threads);
+
+  // Deterministic merge: remap every shard's records into the main context
+  // in chunk (= offset) order, so the pool matches the sequential scan.
+  std::vector<Record> out;
+  for (Shard& s : shards) {
+    solver::Importer imp(*s.ctx, ctx_);
+    for (Record& r : s.records) out.push_back(import_record(imp, std::move(r)));
+    stats_ += s.stats;
+    s.ctx.reset();  // drop the worker interner as soon as it is remapped
   }
   return out;
 }

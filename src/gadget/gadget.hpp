@@ -79,18 +79,37 @@ struct ExtractOptions {
   int max_cond_jumps = 2;   // fork bound per start offset
   int max_paths = 4;        // gadget variants per start offset
   /// Scan stride in bytes (1 = every offset, the paper's setting).
+  /// Must be >= 1; extract() rejects anything else.
   int stride = 1;
   /// Skip gadgets that write through non-stack pointers (off by default:
   /// the planner penalizes instead of excluding).
   bool drop_wild_stores = false;
+  /// Worker threads for the offset scan. 0 = the GP_THREADS env knob
+  /// (default hardware_concurrency); 1 = the exact sequential path.
+  /// Any value yields the same gadget pool: workers explore disjoint
+  /// offset shards in private solver contexts and the results are remapped
+  /// into the main context in offset order.
+  int threads = 0;
 };
 
 struct ExtractStats {
   u64 offsets_scanned = 0;
+  /// Decode-failure events: offsets whose first instruction does not
+  /// decode, plus mid-path failures (a path walked into undecodable
+  /// bytes). Both are counted so the stat reconciles with offsets scanned.
   u64 decode_failures = 0;
   u64 gadgets = 0;
   u64 with_cond_jump = 0;
   u64 with_direct_jump = 0;
+
+  ExtractStats& operator+=(const ExtractStats& o) {
+    offsets_scanned += o.offsets_scanned;
+    decode_failures += o.decode_failures;
+    gadgets += o.gadgets;
+    with_cond_jump += o.with_cond_jump;
+    with_direct_jump += o.with_direct_jump;
+    return *this;
+  }
 };
 
 class Extractor {
@@ -102,8 +121,8 @@ class Extractor {
   const ExtractStats& stats() const { return stats_; }
 
  private:
-  void explore(u64 addr, const ExtractOptions& opts,
-               std::vector<Record>& out);
+  std::vector<Record> extract_parallel(const ExtractOptions& opts,
+                                       int threads);
 
   solver::Context& ctx_;
   const image::Image& img_;

@@ -564,4 +564,38 @@ std::string Context::to_string(ExprRef e) const {
   return "<bad>";
 }
 
+ExprRef Importer::import(ExprRef e) {
+  if (e == kNoExpr) return kNoExpr;
+  auto hit = memo_.find(e);
+  if (hit != memo_.end()) return hit->second;
+  const Node n = src_.node(e);
+  ExprRef out = kNoExpr;
+  switch (n.op) {
+    case Op::Const: out = dst_.constant(n.cval, n.width); break;
+    case Op::Var: out = dst_.var(src_.var_name(e), n.width); break;
+    case Op::Add: out = dst_.add(import(n.a), import(n.b)); break;
+    case Op::Mul: out = dst_.mul(import(n.a), import(n.b)); break;
+    case Op::And: out = dst_.band(import(n.a), import(n.b)); break;
+    case Op::Or: out = dst_.bor(import(n.a), import(n.b)); break;
+    case Op::Xor: out = dst_.bxor(import(n.a), import(n.b)); break;
+    case Op::Shl: out = dst_.shl(import(n.a), import(n.b)); break;
+    case Op::LShr: out = dst_.lshr(import(n.a), import(n.b)); break;
+    case Op::AShr: out = dst_.ashr(import(n.a), import(n.b)); break;
+    case Op::Not: out = dst_.bnot(import(n.a)); break;
+    case Op::Neg: out = dst_.neg(import(n.a)); break;
+    case Op::Eq: out = dst_.eq(import(n.a), import(n.b)); break;
+    case Op::Ult: out = dst_.ult(import(n.a), import(n.b)); break;
+    case Op::Slt: out = dst_.slt(import(n.a), import(n.b)); break;
+    case Op::Ite:
+      out = dst_.ite(import(n.a), import(n.b), import(n.c));
+      break;
+    case Op::ZExt: out = dst_.zext(import(n.a), n.width); break;
+    case Op::SExt: out = dst_.sext(import(n.a), n.width); break;
+    case Op::Extract: out = dst_.extract(import(n.a), n.aux, n.width); break;
+    case Op::Concat: out = dst_.concat(import(n.a), import(n.b)); break;
+  }
+  memo_.emplace(e, out);
+  return out;
+}
+
 }  // namespace gp::solver

@@ -119,6 +119,13 @@ class Context {
 
   std::string to_string(ExprRef e) const;
 
+  /// Deep copy. The clone owns identical nodes under identical refs, so
+  /// expressions built in `this` remain valid (read-only) in the clone; new
+  /// terms interned afterwards diverge. This is the cheap way to hand a
+  /// worker thread a private interner over an existing pool of expressions
+  /// (the subsumption stage's per-worker scratch contexts).
+  Context clone() const { return *this; }
+
  private:
   ExprRef intern(Node n);
   ExprRef binary(Op op, ExprRef a, ExprRef b);
@@ -135,6 +142,25 @@ class Context {
   std::vector<std::string> var_names_;
   std::unordered_map<std::string, ExprRef> vars_by_name_;
   ExprRef true_ = kNoExpr, false_ = kNoExpr;
+};
+
+/// Rebuilds expressions from one Context inside another: variables map by
+/// name, constants by value, everything else re-runs the destination's
+/// smart constructors (so imported terms re-canonicalize and intern like
+/// natively built ones). This is how worker-local extraction results are
+/// remapped into the main analysis context. One Importer per (src, dst)
+/// pair; the memo makes repeated imports of a shared sub-DAG O(1).
+class Importer {
+ public:
+  Importer(const Context& src, Context& dst) : src_(src), dst_(dst) {}
+
+  /// Translate `e` (owned by src) into dst. kNoExpr passes through.
+  ExprRef import(ExprRef e);
+
+ private:
+  const Context& src_;
+  Context& dst_;
+  std::unordered_map<ExprRef, ExprRef> memo_;
 };
 
 }  // namespace gp::solver

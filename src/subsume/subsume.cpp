@@ -1,9 +1,12 @@
 #include "subsume/subsume.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <unordered_map>
 
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace gp::subsume {
 
@@ -130,51 +133,136 @@ bool subsumes(solver::Context& ctx, solver::Solver& solver, const Record& g1,
   return post_equal_solver(ctx, solver, g1, g2);
 }
 
-std::vector<Record> minimize(solver::Context& ctx, std::vector<Record> pool,
-                             Stats* stats, u64 max_solver_checks) {
-  Stats local;
-  local.input = pool.size();
+namespace {
+
+/// Claim one unit of the shared solver-check budget. Lock-free so worker
+/// lanes split one budget without coordination.
+bool acquire_check(std::atomic<u64>& checks, u64 max_solver_checks) {
+  u64 cur = checks.load(std::memory_order_relaxed);
+  while (cur < max_solver_checks) {
+    if (checks.compare_exchange_weak(cur, cur + 1,
+                                     std::memory_order_relaxed))
+      return true;
+  }
+  return false;
+}
+
+/// Winnow one fingerprint bucket to its representatives. `ctx` is the main
+/// context in sequential mode or a worker lane's clone in parallel mode
+/// (record refs are valid in either; new terms from solver queries land in
+/// whichever context is passed). `keep[i]` receives whether the i-th
+/// candidate of the (sorted) group survived.
+void winnow_group(solver::Context& ctx, std::vector<Record>& group,
+                  std::atomic<u64>& checks, u64 max_solver_checks,
+                  Stats& stats, std::vector<u8>& keep) {
   solver::Solver solver(ctx, /*conflict_budget=*/50'000);
-
-  std::unordered_map<u64, std::vector<Record>> buckets;
-  for (Record& r : pool) buckets[fingerprint(r)].push_back(std::move(r));
-
-  std::vector<Record> kept;
-  u64 checks = 0;
-  for (auto& [fp, group] : buckets) {
-    // Prefer shorter gadgets as representatives.
-    std::sort(group.begin(), group.end(),
-              [](const Record& a, const Record& b) {
-                if (a.n_insts != b.n_insts) return a.n_insts < b.n_insts;
-                return a.addr < b.addr;
-              });
-    std::vector<Record> reps;
-    for (Record& cand : group) {
-      bool redundant = false;
-      for (const Record& rep : reps) {
-        // Fast path first: identical interned post-state and trivially
-        // comparable pre-conditions.
-        if (post_equal_structural(ctx, rep, cand) &&
-            rep.precond == cand.precond) {
-          redundant = true;
-          ++local.structural_hits;
-          break;
-        }
-        if (checks >= max_solver_checks) continue;
-        ++checks;
-        ++local.solver_checks;
-        if (subsumes(ctx, solver, rep, cand)) {
-          redundant = true;
-          break;
-        }
+  // Prefer shorter gadgets as representatives.
+  std::sort(group.begin(), group.end(),
+            [](const Record& a, const Record& b) {
+              if (a.n_insts != b.n_insts) return a.n_insts < b.n_insts;
+              return a.addr < b.addr;
+            });
+  keep.assign(group.size(), 0);
+  // Cleared the first time the budget runs out: from then on this group is
+  // winnowed structurally only, with no per-pair budget polling.
+  bool solver_ok = max_solver_checks > 0;
+  std::vector<const Record*> reps;
+  for (size_t i = 0; i < group.size(); ++i) {
+    Record& cand = group[i];
+    bool redundant = false;
+    for (const Record* rep : reps) {
+      // Fast path first: identical interned post-state and trivially
+      // comparable pre-conditions.
+      if (post_equal_structural(ctx, *rep, cand) &&
+          rep->precond == cand.precond) {
+        redundant = true;
+        ++stats.structural_hits;
+        break;
       }
-      if (redundant) {
-        ++local.removed;
-      } else {
-        reps.push_back(std::move(cand));
+      if (!solver_ok) continue;  // structural-only mode
+      if (!acquire_check(checks, max_solver_checks)) {
+        // Budget exhausted: short-circuit to structural-only mode for the
+        // rest of this group instead of spinning over every remaining
+        // representative re-testing the budget.
+        solver_ok = false;
+        stats.budget_exhausted = true;
+        continue;
+      }
+      ++stats.solver_checks;
+      if (subsumes(ctx, solver, *rep, cand)) {
+        redundant = true;
+        break;
       }
     }
-    for (Record& r : reps) kept.push_back(std::move(r));
+    if (redundant) {
+      ++stats.removed;
+    } else {
+      keep[i] = 1;
+      reps.push_back(&cand);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Record> minimize(solver::Context& ctx, std::vector<Record> pool,
+                             Stats* stats, u64 max_solver_checks,
+                             int threads) {
+  Stats local;
+  local.input = pool.size();
+
+  std::unordered_map<u64, std::vector<Record>> buckets;
+  std::vector<u64> order;  // insertion (= pool) order of fingerprints
+  for (Record& r : pool) {
+    const u64 fp = fingerprint(r);
+    auto [it, fresh] = buckets.try_emplace(fp);
+    if (fresh) order.push_back(fp);
+    it->second.push_back(std::move(r));
+  }
+  std::vector<std::vector<Record>*> groups;
+  for (const u64 fp : order) groups.push_back(&buckets[fp]);
+
+  std::atomic<u64> checks{0};
+  std::vector<std::vector<u8>> keeps(groups.size());
+
+  const int nthreads = ThreadPool::resolve(threads);
+  if (nthreads <= 1 || groups.size() <= 1) {
+    for (size_t gi = 0; gi < groups.size(); ++gi)
+      winnow_group(ctx, *groups[gi], checks, max_solver_checks, local,
+                   keeps[gi]);
+  } else {
+    // Work on the biggest buckets first (the pool claims items in index
+    // order) so one giant bucket doesn't trail every small one.
+    std::vector<u32> by_size(groups.size());
+    for (u32 gi = 0; gi < by_size.size(); ++gi) by_size[gi] = gi;
+    std::stable_sort(by_size.begin(), by_size.end(), [&](u32 a, u32 b) {
+      return groups[a]->size() > groups[b]->size();
+    });
+    // One context clone per lane (identical refs, private interner), one
+    // Solver per bucket, one shared atomic budget across all lanes.
+    std::vector<std::unique_ptr<solver::Context>> lane_ctx(
+        static_cast<size_t>(nthreads));
+    std::vector<Stats> lane_stats(static_cast<size_t>(nthreads));
+    ThreadPool::shared().run(
+        groups.size(),
+        [&](int lane, u64 item) {
+          const u32 gi = by_size[item];
+          auto& lc = lane_ctx[static_cast<size_t>(lane)];
+          if (!lc) lc = std::make_unique<solver::Context>(ctx.clone());
+          winnow_group(*lc, *groups[gi], checks, max_solver_checks,
+                       lane_stats[static_cast<size_t>(lane)], keeps[gi]);
+        },
+        nthreads);
+    for (const Stats& s : lane_stats) local += s;
+  }
+
+  // Deterministic assembly: groups in pool order, survivors in each
+  // group's sorted order — the same output order as the sequential scan.
+  std::vector<Record> kept;
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    std::vector<Record>& group = *groups[gi];
+    for (size_t i = 0; i < group.size(); ++i)
+      if (keeps[gi][i]) kept.push_back(std::move(group[i]));
   }
 
   local.kept = kept.size();

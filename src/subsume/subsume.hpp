@@ -22,16 +22,40 @@ struct Stats {
   u64 removed = 0;
   u64 solver_checks = 0;
   u64 structural_hits = 0;  // removed without touching the solver
+  /// The solver-check budget ran out: the remainder of the pool was
+  /// winnowed in structural-only mode (sound — keeping both gadgets of an
+  /// unchecked pair just leaves the pool larger).
+  bool budget_exhausted = false;
   double reduction_factor() const {
     return kept ? static_cast<double>(input) / static_cast<double>(kept) : 1.0;
+  }
+
+  Stats& operator+=(const Stats& o) {
+    input += o.input;
+    kept += o.kept;
+    removed += o.removed;
+    solver_checks += o.solver_checks;
+    structural_hits += o.structural_hits;
+    budget_exhausted |= o.budget_exhausted;
+    return *this;
   }
 };
 
 /// Returns the minimized pool. `stats` (optional) receives counters.
+///
+/// `threads`: 0 = the GP_THREADS env knob, 1 = the exact sequential path.
+/// Parallel mode processes fingerprint buckets concurrently — each worker
+/// lane owns a clone of `ctx` (identical refs, private interner) and each
+/// bucket its own Solver — and splits `max_solver_checks` across lanes via
+/// an atomic counter. Results are identical to the sequential run whenever
+/// the budget is not exhausted; once it is, which pairs got a solver check
+/// before the cutoff depends on scheduling (the surviving pool is sound
+/// either way, at worst slightly larger).
 std::vector<gadget::Record> minimize(solver::Context& ctx,
                                      std::vector<gadget::Record> pool,
                                      Stats* stats = nullptr,
-                                     u64 max_solver_checks = 20'000);
+                                     u64 max_solver_checks = 20'000,
+                                     int threads = 0);
 
 /// Does g1 subsume g2 (eq. 1)? Exposed for tests.
 bool subsumes(solver::Context& ctx, solver::Solver& solver,

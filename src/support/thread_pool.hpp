@@ -1,0 +1,86 @@
+// Work-stealing thread pool shared by the gadget pipeline's parallel
+// stages (extraction sharding, subsumption buckets).
+//
+// Design: N worker threads, each with its own deque. New tasks round-robin
+// across the deques; a worker pops from the back of its own deque (LIFO,
+// cache-warm) and steals from the front of a victim's (FIFO, oldest first).
+// `run()` is the only user-facing entry point: it executes `items` work
+// items with bounded parallelism, the calling thread participating as one
+// of the lanes, and it rethrows the first exception any item raised.
+//
+// Thread-count policy (the GP_THREADS knob):
+//  - env_threads() reads GP_THREADS, defaulting to hardware_concurrency;
+//  - resolve(n) maps an options/parameter value (0 = "use the env knob")
+//    to a concrete count;
+//  - callers with a resolved count of 1 must take their sequential path and
+//    never touch the pool — that is what restores the exact single-threaded
+//    pipeline.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace gp {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` background threads (0 is valid: run() then executes
+  /// everything on the calling thread).
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+  /// Execute `fn(lane, item)` for every item in [0, items). At most
+  /// `max_lanes` items run concurrently (the caller counts as one lane);
+  /// lane ids are dense in [0, lanes) so callers can keep per-lane scratch
+  /// state (e.g. a cloned solver context) without locking. Items are
+  /// claimed dynamically from a shared counter, so uneven item costs
+  /// balance automatically. Blocks until every item completed; rethrows
+  /// the first exception thrown by any item.
+  void run(u64 items, const std::function<void(int lane, u64 item)>& fn,
+           int max_lanes);
+
+  /// The GP_THREADS environment knob: a positive integer caps/raises the
+  /// default parallelism; unset (or unparsable) means hardware_concurrency.
+  static int env_threads();
+  /// Resolve a per-call threads parameter: 0 -> env_threads(); otherwise
+  /// clamped to >= 1.
+  static int resolve(int threads);
+  /// The process-wide pool. Sized generously (at least 3 workers even on
+  /// small hosts) so explicit thread requests from tests keep real
+  /// parallelism; an idle worker costs only a sleeping thread.
+  static ThreadPool& shared();
+
+ private:
+  using Task = std::function<void()>;
+  struct Queue {
+    std::mutex m;
+    std::deque<Task> q;
+  };
+
+  void submit(Task t);
+  bool try_run_one(int self);
+  void worker_loop(int idx);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> threads_;
+  std::mutex sleep_m_;
+  std::condition_variable wake_cv_;
+  std::atomic<u64> pending_{0};
+  std::atomic<u64> rr_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace gp

@@ -1,5 +1,7 @@
 #include "sym/exec.hpp"
 
+#include <atomic>
+
 #include "support/str.hpp"
 
 namespace gp::sym {
@@ -130,12 +132,6 @@ ExprRef Executor::load(State& st, ExprRef addr, u8 width) {
     return ctx_.constant(value, width);
   }
 
-  // The counter is process-global so different Executor instances sharing
-  // one Context never collide (names also carry the width, since
-  // hash-consed variables are width-unique).
-  static u64 global_counter = 0;
-  (void)fresh_counter_;
-
   // Attacker-derivable pointer? If every variable in the address is a
   // payload slot, an initial GP register, or a previously derived indirect
   // value, a chain can steer this load into the payload (paper Sec. IV-B's
@@ -150,17 +146,27 @@ ExprRef Executor::load(State& st, ExprRef addr, u8 width) {
     if (!is_init_reg) derivable = false;
   }
   if (derivable) {
-    const ExprRef var =
-        ctx_.var("ind" + std::to_string(global_counter++) + "_" +
-                     std::to_string(width),
-                 width);
+    const ExprRef var = ctx_.var(fresh_name("ind", width), width);
     st.ind_reads.push_back({addr, var, width});
     return var;
   }
 
-  return ctx_.var("mem" + std::to_string(global_counter++) + "_" +
-                      std::to_string(width),
-                  width);
+  return ctx_.var(fresh_name("mem", width), width);
+}
+
+std::string Executor::fresh_name(const char* prefix, u8 width) {
+  // Inside an origin scope names are a pure function of (tag, ordinal),
+  // so concurrent extractors mint identical names for identical loads.
+  if (use_origin_)
+    return std::string(prefix) + "@" + hex(origin_tag_) + "." +
+           std::to_string(origin_count_++) + "_" + std::to_string(width);
+  // Otherwise the counter is process-global (and atomic: Executors on
+  // different threads may share it) so Executor instances sharing one
+  // Context never collide. Names also carry the width, since hash-consed
+  // variables are width-unique.
+  static std::atomic<u64> global_counter{0};
+  return std::string(prefix) + std::to_string(global_counter.fetch_add(1)) +
+         "_" + std::to_string(width);
 }
 
 void Executor::store(State& st, ExprRef addr, ExprRef value, u8 width) {

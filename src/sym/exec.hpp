@@ -36,6 +36,19 @@ class Executor {
   /// control-flow outcome.
   Flow step(State& st, const ir::Lifted& l);
 
+  /// Enter a deterministic fresh-variable scope: until the next call, fresh
+  /// memory variables are named `ind@<tag>.<n>_<w>` / `mem@<tag>.<n>_<w>`
+  /// instead of drawing from the process-global counter. The extractor tags
+  /// each scan offset with its address, which makes fresh names a function
+  /// of (offset, load order within the offset) only — independent of how
+  /// offsets are interleaved across threads, so parallel and sequential
+  /// extraction mint identical variables.
+  void begin_origin(u64 tag) {
+    origin_tag_ = tag;
+    origin_count_ = 0;
+    use_origin_ = true;
+  }
+
   solver::Context& ctx() { return ctx_; }
 
  private:
@@ -43,10 +56,13 @@ class Executor {
   solver::ExprRef load(State& st, solver::ExprRef addr, u8 width);
   void store(State& st, solver::ExprRef addr, solver::ExprRef value,
              u8 width);
+  std::string fresh_name(const char* prefix, u8 width);
 
   solver::Context& ctx_;
   const image::Image* img_;
-  u64 fresh_counter_ = 0;
+  u64 origin_tag_ = 0;
+  u64 origin_count_ = 0;
+  bool use_origin_ = false;
 };
 
 /// Normalize an address to (symbolic base, concrete byte offset).

@@ -184,6 +184,43 @@ TEST(Extractor, TakenBranchVariantAlsoEmitted) {
   EXPECT_TRUE(found_taken);
 }
 
+TEST(Extractor, RejectsInvalidOptions) {
+  // Regression: stride = 0 used to loop on the first offset forever.
+  Assembler a;
+  a.ret();
+  auto img = make_image(a);
+  Context ctx;
+  Extractor ex(ctx, img);
+  ExtractOptions opts;
+  opts.stride = 0;
+  EXPECT_THROW(ex.extract(opts), Error);
+  opts.stride = -4;
+  EXPECT_THROW(ex.extract(opts), Error);
+  opts = {};
+  opts.max_insts = -1;
+  EXPECT_THROW(ex.extract(opts), Error);
+  opts = {};
+  opts.max_paths = -1;
+  EXPECT_THROW(ex.extract(opts), Error);
+  opts = {};
+  opts.max_cond_jumps = -1;
+  EXPECT_THROW(ex.extract(opts), Error);
+}
+
+TEST(Extractor, MidPathDecodeFailureCounted) {
+  // nop; <undecodable 0x06>. Offset 0 decodes the nop and then walks into
+  // the bad byte (mid-path failure); offset 1 fails at the first
+  // instruction. Both must show up in decode_failures so the stat
+  // reconciles with offsets_scanned.
+  image::Image img({0x90, 0x06}, {}, image::kCodeBase);
+  Context ctx;
+  Extractor ex(ctx, img);
+  auto pool = ex.extract({});
+  EXPECT_TRUE(pool.empty());
+  EXPECT_EQ(ex.stats().offsets_scanned, 2u);
+  EXPECT_EQ(ex.stats().decode_failures, 2u);
+}
+
 TEST(Extractor, StatsPopulated) {
   Assembler a;
   for (int i = 0; i < 4; ++i) {
@@ -303,6 +340,65 @@ TEST(Subsumption, DifferentFunctionalityKept) {
   }
   EXPECT_TRUE(rax);
   EXPECT_TRUE(rbx);
+}
+
+TEST(Subsumption, BudgetExhaustionShortCircuitsToStructural) {
+  // One bucket with three gadgets: an unconditional pop rax; ret plus two
+  // conditional variants with distinct preconditions. Each non-identical
+  // pair costs one unit of the solver-check budget, so a budget of 1 runs
+  // out after the first candidate and the rest of the bucket must be
+  // winnowed structurally (kept, sound) with budget_exhausted recorded.
+  Context ctx;
+  Assembler a1;
+  a1.pop(Reg::RAX);
+  a1.ret();
+  auto img1 = make_image(a1);
+  auto p1 = extract(img1, ctx);
+  const Record* g1 = at(p1, image::kCodeBase);
+  ASSERT_NE(g1, nullptr);
+
+  auto make_cond = [&](Reg lhs, Reg rhs) {
+    Assembler a;
+    auto trap = a.new_label();
+    a.alu(Mnemonic::CMP, lhs, rhs);
+    a.jcc(Cond::NE, trap);
+    a.pop(Reg::RAX);
+    a.ret();
+    a.bind(trap);
+    a.int3();
+    auto img = make_image(a);
+    auto p = extract(img, ctx);
+    for (const Record& r : p)
+      if (r.addr == image::kCodeBase && r.has_cond_jump &&
+          r.controls(Reg::RAX))
+        return r;
+    ADD_FAILURE() << "conditional gadget not extracted";
+    return Record{};
+  };
+  std::vector<Record> pool = {*g1, make_cond(Reg::RDX, Reg::RBX),
+                              make_cond(Reg::RCX, Reg::RSI)};
+
+  // Ample budget: both conditional gadgets are subsumed by g1.
+  subsume::Stats full;
+  auto kept = subsume::minimize(ctx, pool, &full);
+  EXPECT_EQ(kept.size(), 1u);
+  EXPECT_FALSE(full.budget_exhausted);
+  EXPECT_EQ(full.solver_checks, 2u);
+
+  // Budget of 1: the first conditional gadget consumes it; the second is
+  // kept without polling the budget again.
+  subsume::Stats st;
+  kept = subsume::minimize(ctx, pool, &st, /*max_solver_checks=*/1);
+  EXPECT_EQ(kept.size(), 2u);
+  EXPECT_TRUE(st.budget_exhausted);
+  EXPECT_EQ(st.solver_checks, 1u);
+
+  // Budget of 0: structural-only from the start; never "exhausted".
+  subsume::Stats zero;
+  kept = subsume::minimize(ctx, pool, &zero, /*max_solver_checks=*/0);
+  EXPECT_EQ(kept.size(), 3u);
+  EXPECT_FALSE(zero.budget_exhausted);
+  EXPECT_EQ(zero.solver_checks, 0u);
 }
 
 TEST(Subsumption, PreservesCapability) {

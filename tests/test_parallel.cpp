@@ -1,0 +1,212 @@
+// Determinism of the parallel pipeline: extraction and subsumption must
+// yield the same gadget pool at any thread count. Workers explore offset
+// shards in private solver contexts, so equality across runs is checked
+// with a canonical cross-context expression form (commutative operand
+// order in an interned DAG depends on context-local ref numbering).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "codegen/codegen.hpp"
+#include "gadget/gadget.hpp"
+#include "minic/minic.hpp"
+#include "obfuscate/obfuscate.hpp"
+#include "subsume/subsume.hpp"
+
+namespace gp::gadget {
+namespace {
+
+const char* kSource = R"(
+int scale(int x, int k) { return x * k + 3; }
+int clamp(int v, int lo, int hi) { if (v < lo) return lo; if (v > hi) return hi; return v; }
+int a[16];
+int main() {
+  int i = 0;
+  while (i < 16) { a[i] = clamp(scale(i, 37), 5, 900) & 0xff; i = i + 1; }
+  int j = 0; int best = 0;
+  while (j < 16) { if (a[j] > best) best = a[j]; j = j + 1; }
+  out(best); return best;
+})";
+
+const image::Image& obfuscated_image() {
+  static const image::Image img = [] {
+    auto prog = minic::compile_source(kSource);
+    obf::obfuscate(prog, obf::Options::llvm_obf(7));
+    return codegen::compile(prog);
+  }();
+  return img;
+}
+
+using Memo = std::unordered_map<solver::ExprRef, std::string>;
+
+/// Canonical string form of an expression, independent of the owning
+/// context's ref numbering: commutative operand lists are re-sorted by
+/// canonical form and constants always print their width.
+std::string canon(const solver::Context& ctx, solver::ExprRef e, Memo& memo) {
+  if (e == solver::kNoExpr) return "-";
+  auto it = memo.find(e);
+  if (it != memo.end()) return it->second;
+  const solver::Node& n = ctx.node(e);
+  std::string s;
+  switch (n.op) {
+    case solver::Op::Const:
+      s = "c" + std::to_string(n.cval) + "w" + std::to_string(n.width);
+      break;
+    case solver::Op::Var:
+      s = "v" + ctx.var_name(e) + "w" + std::to_string(n.width);
+      break;
+    default: {
+      std::vector<std::string> ops;
+      if (n.a != solver::kNoExpr) ops.push_back(canon(ctx, n.a, memo));
+      if (n.b != solver::kNoExpr) ops.push_back(canon(ctx, n.b, memo));
+      if (n.c != solver::kNoExpr) ops.push_back(canon(ctx, n.c, memo));
+      switch (n.op) {
+        case solver::Op::Add:
+        case solver::Op::Mul:
+        case solver::Op::And:
+        case solver::Op::Or:
+        case solver::Op::Xor:
+        case solver::Op::Eq:
+          std::sort(ops.begin(), ops.end());
+          break;
+        default:
+          break;
+      }
+      s = "(" + std::to_string(static_cast<int>(n.op)) + "w" +
+          std::to_string(n.width) + "x" + std::to_string(n.aux);
+      for (const std::string& o : ops) s += " " + o;
+      s += ")";
+    }
+  }
+  memo.emplace(e, s);
+  return s;
+}
+
+/// Full content signature of a record (context-independent).
+std::string sig(const solver::Context& ctx, const Record& r, Memo& memo) {
+  std::string s = std::to_string(r.addr) + "|" + std::to_string(r.len) + "|" +
+                  std::to_string(r.n_insts) + "|" +
+                  std::to_string(static_cast<int>(r.end)) + "|" +
+                  std::to_string(r.has_cond_jump) +
+                  std::to_string(r.has_direct_jump) +
+                  std::to_string(r.aliased_memory) + "|" +
+                  std::to_string(r.clobbered) + "," +
+                  std::to_string(r.controlled) + "," +
+                  std::to_string(r.settable) + "|" +
+                  (r.stack_delta ? std::to_string(*r.stack_delta) : "-");
+  s += "|regs";
+  for (const solver::ExprRef e : r.final_regs) s += ";" + canon(ctx, e, memo);
+  s += "|pre";
+  for (const solver::ExprRef e : r.precond) s += ";" + canon(ctx, e, memo);
+  s += "|rip;" + canon(ctx, r.next_rip, memo);
+  s += "|wr";
+  for (const auto& w : r.writes)
+    s += ";" + canon(ctx, w.addr, memo) + ":" + canon(ctx, w.value, memo) +
+         ":" + std::to_string(w.width);
+  s += "|ind";
+  for (const auto& ir : r.ind_reads)
+    s += ";" + canon(ctx, ir.addr, memo) + ":" + canon(ctx, ir.var, memo);
+  s += "|stk";
+  for (const i64 off : r.stack_reads) s += ";" + std::to_string(off);
+  s += "|path" + std::to_string(r.path.size());
+  return s;
+}
+
+std::vector<std::string> sigs(const solver::Context& ctx,
+                              const std::vector<Record>& pool) {
+  Memo memo;
+  std::vector<std::string> out;
+  out.reserve(pool.size());
+  for (const Record& r : pool) out.push_back(sig(ctx, r, memo));
+  return out;
+}
+
+void expect_stats_equal(const ExtractStats& a, const ExtractStats& b) {
+  EXPECT_EQ(a.offsets_scanned, b.offsets_scanned);
+  EXPECT_EQ(a.decode_failures, b.decode_failures);
+  EXPECT_EQ(a.gadgets, b.gadgets);
+  EXPECT_EQ(a.with_cond_jump, b.with_cond_jump);
+  EXPECT_EQ(a.with_direct_jump, b.with_direct_jump);
+}
+
+TEST(Parallel, ExtractionMatchesSequential) {
+  const image::Image& img = obfuscated_image();
+
+  solver::Context c1;
+  Extractor e1(c1, img);
+  ExtractOptions o1;
+  o1.threads = 1;
+  auto p1 = e1.extract(o1);
+  ASSERT_GT(p1.size(), 100u);
+
+  for (const int threads : {2, 4}) {
+    solver::Context cn;
+    Extractor en(cn, img);
+    ExtractOptions on;
+    on.threads = threads;
+    auto pn = en.extract(on);
+
+    expect_stats_equal(e1.stats(), en.stats());
+    ASSERT_EQ(p1.size(), pn.size()) << "threads=" << threads;
+    // The chunk-ordered merge reproduces the sequential scan order exactly,
+    // so the pools match record-for-record, not just as sets.
+    EXPECT_EQ(sigs(c1, p1), sigs(cn, pn)) << "threads=" << threads;
+  }
+}
+
+TEST(Parallel, MinimizeMatchesSequential) {
+  const image::Image& img = obfuscated_image();
+  solver::Context ctx;
+  Extractor ex(ctx, img);
+  ExtractOptions opts;
+  opts.threads = 1;
+  auto pool = ex.extract(opts);
+  ASSERT_GT(pool.size(), 100u);
+
+  subsume::Stats s1;
+  auto k1 = subsume::minimize(ctx, pool, &s1, /*max_solver_checks=*/100'000'000,
+                              /*threads=*/1);
+  ASSERT_FALSE(s1.budget_exhausted);  // precondition for exact equality
+
+  for (const int threads : {2, 4}) {
+    subsume::Stats sn;
+    auto kn = subsume::minimize(ctx, pool, &sn, /*max_solver_checks=*/100'000'000,
+                                threads);
+    EXPECT_EQ(s1.input, sn.input);
+    EXPECT_EQ(s1.kept, sn.kept);
+    EXPECT_EQ(s1.removed, sn.removed);
+    EXPECT_EQ(s1.solver_checks, sn.solver_checks);
+    EXPECT_EQ(s1.structural_hits, sn.structural_hits);
+    EXPECT_FALSE(sn.budget_exhausted);
+    ASSERT_EQ(k1.size(), kn.size()) << "threads=" << threads;
+    EXPECT_EQ(sigs(ctx, k1), sigs(ctx, kn)) << "threads=" << threads;
+  }
+}
+
+TEST(Parallel, EnvKnobDrivesPipeline) {
+  const image::Image& img = obfuscated_image();
+
+  solver::Context c1;
+  Extractor e1(c1, img);
+  ExtractOptions o1;
+  o1.threads = 1;
+  auto p1 = e1.extract(o1);
+
+  // threads = 0 defers to GP_THREADS.
+  setenv("GP_THREADS", "3", 1);
+  solver::Context ce;
+  Extractor ee(ce, img);
+  auto pe = ee.extract({});
+  unsetenv("GP_THREADS");
+
+  expect_stats_equal(e1.stats(), ee.stats());
+  ASSERT_EQ(p1.size(), pe.size());
+  EXPECT_EQ(sigs(c1, p1), sigs(ce, pe));
+}
+
+}  // namespace
+}  // namespace gp::gadget

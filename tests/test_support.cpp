@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <set>
+#include <vector>
 
 #include "support/common.hpp"
 #include "support/rng.hpp"
 #include "support/str.hpp"
+#include "support/thread_pool.hpp"
 
 namespace gp {
 namespace {
@@ -82,6 +86,89 @@ TEST(Str, Join) {
 TEST(Error, CheckThrows) {
   EXPECT_THROW(GP_CHECK(false, "boom"), Error);
   EXPECT_NO_THROW(GP_CHECK(true, "fine"));
+}
+
+TEST(ThreadPool, RunsEveryItemExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.run(
+      hits.size(), [&](int, u64 i) { hits[i].fetch_add(1); }, 4);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, LaneIdsAreDenseAndBounded) {
+  ThreadPool pool(7);
+  const int max_lanes = 3;
+  std::atomic<u32> lane_mask{0};
+  std::atomic<int> active{0}, peak{0};
+  pool.run(
+      200,
+      [&](int lane, u64) {
+        EXPECT_GE(lane, 0);
+        EXPECT_LT(lane, max_lanes);
+        lane_mask.fetch_or(1u << lane);
+        int now = active.fetch_add(1) + 1;
+        int p = peak.load();
+        while (now > p && !peak.compare_exchange_weak(p, now)) {
+        }
+        active.fetch_sub(1);
+      },
+      max_lanes);
+  EXPECT_LE(peak.load(), max_lanes);
+  EXPECT_NE(lane_mask.load(), 0u);
+}
+
+TEST(ThreadPool, CallerParticipatesWithZeroWorkers) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.workers(), 0);
+  std::atomic<int> n{0};
+  pool.run(
+      64, [&](int lane, u64) {
+        EXPECT_EQ(lane, 0);
+        n.fetch_add(1);
+      },
+      8);
+  EXPECT_EQ(n.load(), 64);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run(
+                   100,
+                   [&](int, u64 i) {
+                     if (i == 17) fail("boom");
+                   },
+                   4),
+               Error);
+}
+
+TEST(ThreadPool, NestedRunDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> n{0};
+  pool.run(
+      4,
+      [&](int, u64) {
+        pool.run(
+            8, [&](int, u64) { n.fetch_add(1); }, 2);
+      },
+      3);
+  EXPECT_EQ(n.load(), 32);
+}
+
+TEST(ThreadPool, ResolvePolicy) {
+  EXPECT_EQ(ThreadPool::resolve(5), 5);
+  EXPECT_GE(ThreadPool::resolve(0), 1);  // env / hardware fallback
+  EXPECT_GE(ThreadPool::env_threads(), 1);
+  EXPECT_GE(ThreadPool::shared().workers(), 3);
+}
+
+TEST(ThreadPool, EnvKnobControlsResolve) {
+  setenv("GP_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::env_threads(), 3);
+  EXPECT_EQ(ThreadPool::resolve(0), 3);
+  setenv("GP_THREADS", "junk", 1);  // unparsable: hardware fallback
+  EXPECT_GE(ThreadPool::env_threads(), 1);
+  unsetenv("GP_THREADS");
 }
 
 }  // namespace
