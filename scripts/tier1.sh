@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + test suite, then the concurrency tests
 # again under ThreadSanitizer (catches data races the functional suite
-# can't). Run from the repo root.
+# can't), then the robustness/fault-injection suite under ASan+UBSan
+# (catches memory errors on the degradation paths, which by design unwind
+# through partially-built state). Run from the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,5 +16,12 @@ echo "== tier-1: concurrency tests under ThreadSanitizer =="
 cmake --preset tsan
 cmake --build build-tsan -j --target test_support test_parallel
 (cd build-tsan && ctest -R 'ThreadPool|Parallel' --output-on-failure)
+
+echo "== tier-1: robustness + fault-injection tests under ASan/UBSan =="
+cmake --preset asan
+cmake --build build-asan -j --target test_governor test_robustness
+(cd build-asan && ctest -R \
+  'Fault|UnknownSoundness|GovernorDegradation|DecoderFuzz|PipelineUnderFault|PlannerDeadline' \
+  --output-on-failure)
 
 echo "== tier-1: OK =="

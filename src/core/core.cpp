@@ -5,6 +5,7 @@
 
 #include "codegen/codegen.hpp"
 #include "minic/minic.hpp"
+#include "support/fault.hpp"
 
 namespace gp::core {
 
@@ -32,22 +33,37 @@ u64 current_rss_mb() {
 
 GadgetPlanner::GadgetPlanner(const image::Image& img,
                              const PipelineOptions& opts)
-    : img_(img), opts_(opts), ctx_(std::make_unique<solver::Context>()) {
+    : img_(img),
+      opts_(opts),
+      gov_(std::make_unique<Governor>(opts.governor)),
+      ctx_(std::make_unique<solver::Context>()) {
+  // Deterministic fault injection (GP_FAULT) is armed once per process; a
+  // malformed spec aborts here — before any stage — rather than silently
+  // running an un-faulted experiment.
+  fault::configure_from_env();
+  ctx_->set_governor(gov_.get());
+
   auto t0 = Clock::now();
   gadget::Extractor extractor(*ctx_, img_);
-  auto pool = extractor.extract(opts_.extract);
+  gadget::ExtractOptions eopts = opts_.extract;
+  if (!eopts.governor) eopts.governor = gov_.get();
+  auto pool = extractor.extract(eopts);
   extract_stats_ = extractor.stats();
   report_.extract_seconds = secs_since(t0);
   report_.pool_raw = pool.size();
   report_.rss_mb_after_extract = current_rss_mb();
+  report_.extract_status = extract_stats_.status;
 
   auto t1 = Clock::now();
   if (opts_.run_subsumption) {
-    pool = subsume::minimize(*ctx_, std::move(pool), &subsume_stats_);
+    pool = subsume::minimize(*ctx_, std::move(pool), &subsume_stats_,
+                             /*max_solver_checks=*/20'000, /*threads=*/0,
+                             gov_.get());
   }
   report_.subsume_seconds = secs_since(t1);
   report_.pool_minimized = pool.size();
   report_.rss_mb_after_subsume = current_rss_mb();
+  report_.subsume_status = subsume_stats_.status;
 
   lib_ = std::make_unique<gadget::Library>(std::move(pool));
 }
@@ -56,7 +72,9 @@ std::vector<payload::Chain> GadgetPlanner::find_chains(
     const payload::Goal& goal) {
   auto t0 = Clock::now();
   planner::Planner planner(*ctx_, *lib_, img_);
-  auto chains = planner.plan(goal, opts_.plan);
+  planner::Options popts = opts_.plan;
+  if (!popts.governor) popts.governor = gov_.get();
+  auto chains = planner.plan(goal, popts);
   report_.plan_seconds += secs_since(t0);
   report_.rss_mb_after_plan = current_rss_mb();
   const auto& s = planner.stats();
@@ -66,6 +84,9 @@ std::vector<payload::Chain> GadgetPlanner::find_chains(
   planner_stats_.linearizations += s.linearizations;
   planner_stats_.concretize_calls += s.concretize_calls;
   planner_stats_.validated += s.validated;
+  planner_stats_.deadline_cuts += s.deadline_cuts;
+  planner_stats_.status.merge(s.status);
+  report_.plan_status = planner_stats_.status;
   return chains;
 }
 

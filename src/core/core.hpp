@@ -24,6 +24,12 @@ struct PipelineOptions {
   gadget::ExtractOptions extract;
   bool run_subsumption = true;  // ablation hook (DESIGN.md #1)
   planner::Options plan;
+  /// Resource limits for the whole pipeline. The GadgetPlanner owns one
+  /// Governor built from these and threads it through every stage
+  /// (extraction, subsumption, planning, concretization); by default they
+  /// are read from the environment (GP_DEADLINE_MS, GP_SOLVER_CHECKS,
+  /// GP_SYM_STEPS, GP_EXPR_NODES), all unlimited when unset.
+  GovernorOptions governor = GovernorOptions::from_env();
 };
 
 /// Wall-clock and size accounting per pipeline stage (Table VII).
@@ -36,6 +42,13 @@ struct StageReport {
   u64 rss_mb_after_extract = 0;
   u64 rss_mb_after_subsume = 0;
   u64 rss_mb_after_plan = 0;
+  /// Degradation accounting: Ok for a clean run of the stage, otherwise
+  /// the first reason (deadline, cancellation, budget, injected fault)
+  /// that stage ran degraded. A degraded stage still yields usable —
+  /// merely smaller — results; nothing here is an error.
+  Status extract_status;
+  Status subsume_status;
+  Status plan_status;
 };
 
 /// Resident set size of this process in MiB (0 when /proc is unavailable).
@@ -58,10 +71,14 @@ class GadgetPlanner {
   const planner::Stats& planner_stats() const { return planner_stats_; }
   const gadget::ExtractStats& extract_stats() const { return extract_stats_; }
   const subsume::Stats& subsume_stats() const { return subsume_stats_; }
+  /// The pipeline's governor (never null). Cancel it from another thread
+  /// to stop the pipeline cooperatively at the next poll point.
+  Governor& governor() { return *gov_; }
 
  private:
   const image::Image& img_;
   PipelineOptions opts_;
+  std::unique_ptr<Governor> gov_;
   std::unique_ptr<solver::Context> ctx_;
   std::unique_ptr<gadget::Library> lib_;
   StageReport report_;

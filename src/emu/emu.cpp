@@ -1,6 +1,7 @@
 #include "emu/emu.hpp"
 
 #include "lift/lift.hpp"
+#include "support/fault.hpp"
 #include "x86/decoder.hpp"
 
 namespace gp::emu {
@@ -43,6 +44,10 @@ void Emulator::reset() {
 StopReason Emulator::step() {
   if (rip_ == image::kExitAddress) return StopReason::Exit;
   if (!img_.in_code(rip_)) return StopReason::BadFetch;
+  // Injected emulator trap (GP_FAULT emu=<rate>): the run stops as if it
+  // hit an int3, which every consumer already treats as a failed run.
+  if (fault::enabled() && fault::should_fire(fault::Point::Emu))
+    return StopReason::Int3;
 
   auto cached = lift_cache_.find(rip_);
   if (cached == lift_cache_.end()) {

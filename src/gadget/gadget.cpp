@@ -52,13 +52,22 @@ void explore_offset(solver::Context& ctx, sym::Executor& exec,
   }
 
   std::vector<Path> frontier;
-  frontier.push_back({exec.initial_state(), {}, addr, 0, false, 0});
+  try {
+    frontier.push_back({exec.initial_state(), {}, addr, 0, false, 0});
+  } catch (const ResourceExhausted& e) {
+    // Even the initial register file can exceed a (tiny) node budget; treat
+    // it like any other cut path so the scan degrades instead of unwinding.
+    ++stats.paths_cut;
+    stats.status.merge(e.status());
+    return;
+  }
   int emitted = 0;
 
   while (!frontier.empty() && emitted < opts.max_paths) {
     Path p = std::move(frontier.back());
     frontier.pop_back();
 
+    try {
     bool dead = false;
     while (!dead) {
       if (static_cast<int>(p.steps.size()) >= opts.max_insts) {
@@ -224,6 +233,15 @@ void explore_offset(solver::Context& ctx, sym::Executor& exec,
         }
       }
     }
+    } catch (const ResourceExhausted& e) {
+      // This path's symbolic summary was cut (step/node budget or an
+      // injected allocation fault): drop it with a recorded reason and
+      // abandon the offset — sibling paths draw from the same exhausted
+      // budgets. The pool stays sound, at worst smaller.
+      ++stats.paths_cut;
+      stats.status.merge(e.status());
+      return;
+    }
   }
 }
 
@@ -235,6 +253,25 @@ void validate_options(const ExtractOptions& o) {
   GP_CHECK(o.max_paths >= 0, "ExtractOptions::max_paths must be >= 0");
   GP_CHECK(o.max_cond_jumps >= 0,
            "ExtractOptions::max_cond_jumps must be >= 0");
+}
+
+/// True when a governed scan should stop before touching another offset:
+/// the deadline passed, the cancel token fired, or a global symbolic budget
+/// already ran dry (every further path would be cut on its first step, so
+/// pressing on would only burn decode time). Records the reason.
+bool scan_stopped(Governor* gov, ExtractStats& stats) {
+  if (!gov) return false;
+  const Status s = gov->poll();
+  if (!s.ok()) {
+    stats.status.merge(s);
+    return true;
+  }
+  if (gov->sym_steps().exhausted() || gov->expr_nodes().exhausted()) {
+    stats.status.merge(
+        Status::budget_exhausted("symbolic step/node budget"));
+    return true;
+  }
+  return false;
 }
 
 /// Remap a record produced in a worker context into the main context.
@@ -265,8 +302,13 @@ std::vector<Record> Extractor::extract(const ExtractOptions& opts) {
   const int threads = ThreadPool::resolve(opts.threads);
   if (threads > 1 && total > 1) return extract_parallel(opts, threads);
 
+  exec_.set_governor(opts.governor);
   std::vector<Record> out;
   for (u64 k = 0; k < total; ++k) {
+    if (scan_stopped(opts.governor, stats_)) {
+      stats_.offsets_skipped += total - k;
+      break;
+    }
     const u64 addr = base + k * stride;
     ++stats_.offsets_scanned;
     exec_.begin_origin(addr);
@@ -303,9 +345,19 @@ std::vector<Record> Extractor::extract_parallel(const ExtractOptions& opts,
       [&](int /*lane*/, u64 ci) {
         Shard& s = shards[ci];
         s.ctx = std::make_unique<solver::Context>();
+        // The shared governor reaches every worker lane: the shard context
+        // draws on the same (atomic) node budget and the per-offset poll
+        // below observes the same deadline/cancel token, so cancellation
+        // propagates to thread-pool workers within one offset.
+        s.ctx->set_governor(opts.governor);
         sym::Executor exec(*s.ctx, &img_);
+        exec.set_governor(opts.governor);
         const u64 hi = std::min((ci + 1) * chunk, total);
         for (u64 k = ci * chunk; k < hi; ++k) {
+          if (scan_stopped(opts.governor, s.stats)) {
+            s.stats.offsets_skipped += hi - k;
+            break;
+          }
           const u64 addr = base + k * stride;
           ++s.stats.offsets_scanned;
           exec.begin_origin(addr);
@@ -319,7 +371,19 @@ std::vector<Record> Extractor::extract_parallel(const ExtractOptions& opts,
   std::vector<Record> out;
   for (Shard& s : shards) {
     solver::Importer imp(*s.ctx, ctx_);
-    for (Record& r : s.records) out.push_back(import_record(imp, std::move(r)));
+    try {
+      for (Record& r : s.records)
+        out.push_back(import_record(imp, std::move(r)));
+    } catch (const ResourceExhausted& e) {
+      // The main context's node budget ran out mid-merge: the remaining
+      // records of this shard (and later shards) are dropped with a
+      // recorded reason rather than imported over budget.
+      stats_.paths_cut += 1;
+      stats_.status.merge(e.status());
+      stats_ += s.stats;
+      s.ctx.reset();
+      break;
+    }
     stats_ += s.stats;
     s.ctx.reset();  // drop the worker interner as soon as it is remapped
   }

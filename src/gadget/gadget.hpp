@@ -15,6 +15,8 @@
 
 #include "image/image.hpp"
 #include "solver/expr.hpp"
+#include "support/governor.hpp"
+#include "support/status.hpp"
 #include "sym/exec.hpp"
 #include "x86/inst.hpp"
 
@@ -90,6 +92,13 @@ struct ExtractOptions {
   /// offset shards in private solver contexts and the results are remapped
   /// into the main context in offset order.
   int threads = 0;
+  /// Shared resource governor (optional; must outlive the call). The scan
+  /// polls its deadline/cancel token at every offset — on all worker lanes
+  /// — and the symbolic executor consumes its step budget. Exhaustion
+  /// degrades to a partial pool: unexplored offsets are counted in
+  /// ExtractStats::offsets_skipped, cut summaries in paths_cut, and the
+  /// reason lands in ExtractStats::status.
+  Governor* governor = nullptr;
 };
 
 struct ExtractStats {
@@ -101,6 +110,16 @@ struct ExtractStats {
   u64 gadgets = 0;
   u64 with_cond_jump = 0;
   u64 with_direct_jump = 0;
+  /// Offsets the governed scan never explored (deadline, cancellation or a
+  /// global budget ran out first). offsets_scanned + offsets_skipped
+  /// reconciles with the section's offset count.
+  u64 offsets_skipped = 0;
+  /// Paths whose symbolic summary was cut mid-flight (step/node budget or
+  /// an injected allocation fault) and dropped with this recorded reason —
+  /// the degradation ladder's "drop, don't crash" rung.
+  u64 paths_cut = 0;
+  /// Ok for a complete scan; otherwise the first degradation reason.
+  Status status;
 
   ExtractStats& operator+=(const ExtractStats& o) {
     offsets_scanned += o.offsets_scanned;
@@ -108,6 +127,9 @@ struct ExtractStats {
     gadgets += o.gadgets;
     with_cond_jump += o.with_cond_jump;
     with_direct_jump += o.with_direct_jump;
+    offsets_skipped += o.offsets_skipped;
+    paths_cut += o.paths_cut;
+    status.merge(o.status);
     return *this;
   }
 };

@@ -101,7 +101,12 @@ std::optional<Chain> concretize(solver::Context& ctx,
   ConcretizeStats& cs = opts.stats ? *opts.stats : local;
   cs.last_mismatch_reg = x86::Reg::NONE;
 
+  // Everything below builds expressions and steps the symbolic executor,
+  // any of which can exhaust a governed budget; the catch at the end turns
+  // that into a failed (never partial) concretization.
+  try {
   sym::Executor exec(ctx, &img);
+  exec.set_governor(opts.governor);
   sym::State st = exec.initial_state();
   std::vector<ExprRef> constraints;
   const bool dbg = std::getenv("GP_DEBUG_CONC2") != nullptr;
@@ -329,9 +334,15 @@ std::optional<Chain> concretize(solver::Context& ctx,
     constraints.push_back(ctx.bnot(fv));
   }
 
-  solver::Solver solver(ctx, /*conflict_budget=*/500'000);
+  solver::Solver solver(ctx, /*conflict_budget=*/500'000, opts.governor);
   const auto model = solver.check_sat(constraints);
   if (!model) {
+    // An UNKNOWN answer (budget, deadline, injected fault) is a failure —
+    // but not an UNSAT: the sequence might work with more budget.
+    if (solver.last_unknown()) {
+      ++cs.solver_unknown;
+      return std::nullopt;
+    }
     ++cs.unsat;
     if (std::getenv("GP_DEBUG_CONC2") && cs.unsat <= 5) {
       fprintf(stderr, "=== UNSAT constraint set (%zu) ===\n",
@@ -399,6 +410,10 @@ std::optional<Chain> concretize(solver::Context& ctx,
   }
   ++cs.ok;
   return chain;
+  } catch (const ResourceExhausted&) {
+    ++cs.resource_cut;
+    return std::nullopt;
+  }
 }
 
 bool validate(const image::Image& img, const Chain& chain, const Goal& goal,

@@ -70,6 +70,14 @@ struct ConcretizeStats {
   u64 bad_flow = 0;      // inner gadget did not end in an indirect transfer
   u64 negative_stack = 0;  // chain reads below the hijacked rsp
   u64 unsat = 0;           // solver found no payload
+  /// The composition query came back UNKNOWN (conflict budget, governed
+  /// deadline/solver-check budget, or an injected solver fault).
+  /// Inconclusive is a failure — a chain is only emitted on a real model.
+  u64 solver_unknown = 0;
+  /// Calls cut by an exhausted step/node budget or cancellation while
+  /// re-executing the composed trace; the chain is dropped, never emitted
+  /// half-solved.
+  u64 resource_cut = 0;
   u64 too_big = 0;         // payload exceeded max_payload
   u64 validation_failed = 0;
   u64 ok = 0;
@@ -84,6 +92,11 @@ struct ConcretizeOptions {
   size_t max_payload = 4096;
   int validation_trials = 2;  // random uncontrolled-register trials
   ConcretizeStats* stats = nullptr;
+  /// Shared resource governor (optional; must outlive the call): bounds
+  /// the composition re-execution (sym steps / expr nodes) and the payload
+  /// solve (solver checks, deadline watchdog). Exhaustion fails the call
+  /// (nullopt + a stats counter) — never a crash, never a partial chain.
+  Governor* governor = nullptr;
 };
 
 /// Compose, solve and validate. Returns nullopt if the sequence has no

@@ -407,15 +407,18 @@ std::vector<Chain> Planner::plan(const Goal& goal, const Options& opts) {
   for (const payload::RegTarget& t : goal.regs)
     if (!reg_usable(t.reg, opts)) return chains;
   std::set<std::vector<u32>> seen_sequences;
-  const auto deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-          std::chrono::duration<double>(opts.time_budget_seconds));
+  // The round deadline is the tighter of the local time budget and the
+  // governor's global deadline; either one expiring (or a cancellation)
+  // stops the search at the next queue pop with best-so-far chains.
+  Deadline deadline = Deadline::after_seconds(opts.time_budget_seconds);
+  if (opts.governor)
+    deadline = Deadline::earlier(deadline, opts.governor->deadline());
   for (int round = 0; round < std::max(1, opts.restarts); ++round) {
     rotation_ = round;
     run_round(goal, opts, chains, seen_sequences, deadline);
     if (static_cast<int>(chains.size()) >= opts.max_chains) break;
-    if (std::chrono::steady_clock::now() > deadline) break;
+    if (deadline.expired()) break;
+    if (opts.governor && opts.governor->should_stop()) break;
   }
   return chains;
 }
@@ -423,7 +426,7 @@ std::vector<Chain> Planner::plan(const Goal& goal, const Options& opts) {
 void Planner::run_round(const Goal& goal, const Options& opts,
                         std::vector<Chain>& chains,
                         std::set<std::vector<u32>>& seen_sequences,
-                        std::chrono::steady_clock::time_point deadline) {
+                        const Deadline& deadline) {
   std::set<u64> visited_plans;
 
   // Seed: one initial plan per syscall gadget (the terminal action).
@@ -459,11 +462,25 @@ void Planner::run_round(const Goal& goal, const Options& opts,
   int expansions = 0;
   const int round_budget = std::max(64, opts.max_expansions /
                                              std::max(1, opts.restarts));
+  try {
   while (!queue.empty() && expansions < round_budget &&
          static_cast<int>(chains.size()) < opts.max_chains) {
-    if ((expansions & 0x3f) == 0 &&
-        std::chrono::steady_clock::now() > deadline)
+    // Deadline/cancellation is enforced at EVERY pop, not on a sampled
+    // stride: one expansion can hide a slow concretize call, so a sampled
+    // check could overshoot the budget by orders of magnitude.
+    if (deadline.expired()) {
+      ++stats_.deadline_cuts;
+      stats_.status.merge(Status::deadline_exceeded("planner deadline"));
       break;
+    }
+    if (opts.governor) {
+      const Status s = opts.governor->poll();
+      if (!s.ok()) {
+        ++stats_.deadline_cuts;
+        stats_.status.merge(s);
+        break;
+      }
+    }
     Plan best = queue.top();
     queue.pop();
     ++expansions;
@@ -491,6 +508,7 @@ void Planner::run_round(const Goal& goal, const Options& opts,
       payload::ConcretizeStats local_cs;
       payload::ConcretizeOptions copts = opts.concretize;
       if (!copts.stats) copts.stats = &local_cs;
+      if (!copts.governor) copts.governor = opts.governor;
       auto chain = payload::concretize(ctx_, lib_, img_, seq, goal, copts);
       if (!chain && std::getenv("GP_DEBUG_CONC") &&
           stats_.concretize_calls <= 3) {
@@ -542,6 +560,12 @@ void Planner::run_round(const Goal& goal, const Options& opts,
       if (!visited_plans.insert(h).second) continue;
       queue.push(std::move(np));
     }
+  }
+  } catch (const ResourceExhausted& e) {
+    // The expr-node budget ran out mid-expansion: end the round with the
+    // chains found so far rather than letting the exception escape plan().
+    ++stats_.deadline_cuts;
+    stats_.status.merge(e.status());
   }
 }
 

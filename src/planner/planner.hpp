@@ -37,6 +37,12 @@ struct Options {
   /// per-goal candidate preference each round (failed sequences stay
   /// banned across rounds).
   int restarts = 6;
+  /// Shared resource governor (optional; must outlive the call). Its
+  /// deadline is combined with time_budget_seconds — whichever expires
+  /// first stops the search at the next queue pop — and it is handed down
+  /// to concretize so solver calls inside validation are governed too.
+  /// Expiry always returns the best-so-far chains, never throws.
+  Governor* governor = nullptr;
   payload::ConcretizeOptions concretize;
   // Ablation switches (the paper's thesis: baselines lack these).
   bool use_cond_gadgets = true;    // CDJ/CIJ paths
@@ -51,6 +57,12 @@ struct Stats {
   u64 linearizations = 0;
   u64 concretize_calls = 0;
   u64 validated = 0;
+  /// Search rounds cut short by the deadline / governor (checked at every
+  /// queue pop) or by an exhausted global budget mid-expansion. The chains
+  /// found before the cut are still returned.
+  u64 deadline_cuts = 0;
+  /// Ok for an uncut search; otherwise the first degradation reason.
+  Status status;
 };
 
 class Planner {
@@ -95,7 +107,7 @@ class Planner {
   void run_round(const payload::Goal& goal, const Options& opts,
                  std::vector<payload::Chain>& chains,
                  std::set<std::vector<u32>>& seen_sequences,
-                 std::chrono::steady_clock::time_point deadline);
+                 const Deadline& deadline);
   /// Topological order of alpha respecting beta; nullopt on cycle.
   static std::optional<std::vector<int>> linearize(const Plan& p);
   std::vector<Plan> expand(const Plan& p, const Options& opts);

@@ -23,8 +23,9 @@ class BitBlaster {
   /// Assert that width-1 expression e is true.
   void assert_true(ExprRef e);
 
-  SatResult solve(i64 conflict_budget = -1) {
-    return sat_.solve(conflict_budget);
+  SatResult solve(i64 conflict_budget = -1,
+                  const Governor* governor = nullptr) {
+    return sat_.solve(conflict_budget, governor);
   }
 
   /// After Sat: concrete value of any expression under the model.

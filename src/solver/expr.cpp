@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "support/fault.hpp"
+#include "support/governor.hpp"
 #include "support/str.hpp"
 
 namespace gp::solver {
@@ -49,6 +51,15 @@ Context::Context() {
 ExprRef Context::intern(Node n) {
   auto it = interned_.find(n);
   if (it != interned_.end()) return it->second;
+  // Only genuinely fresh nodes count against the governor's node budget (a
+  // hash-cons hit allocates nothing); exhaustion surfaces as a
+  // ResourceExhausted unwound to the nearest stage boundary.
+  if (governor_ && !governor_->expr_nodes().try_consume())
+    throw ResourceExhausted(
+        Status::budget_exhausted("expression-node budget"));
+  if (fault::enabled() && fault::should_fire(fault::Point::Alloc))
+    throw ResourceExhausted(
+        Status::fault_injected("expr-node allocation fault"));
   const auto ref = static_cast<ExprRef>(nodes_.size());
   nodes_.push_back(n);
   interned_.emplace(n, ref);
@@ -113,21 +124,27 @@ ExprRef Context::add(ExprRef a, ExprRef b) {
   // Canonical form: the constant (if any) sits on the right, BEFORE the
   // reassociation check below — otherwise 8 + (x + c) never collapses.
   if (na.op == Op::Const) std::swap(a, b);
-  const Node& ra = nodes_[a];
-  const Node& rb = nodes_[b];
+  // Value copies, not references: the recursive add()/constant() calls
+  // below can grow nodes_ and a reallocation would leave references
+  // dangling (the call arguments have no fixed evaluation order).
+  const Node ra = nodes_[a];
+  const Node rb = nodes_[b];
   // (x + c1) + c2 -> x + (c1+c2); constants accumulate on the right.
   if (rb.op == Op::Const && ra.op == Op::Add &&
       nodes_[ra.b].op == Op::Const) {
-    return add(ra.a, constant(nodes_[ra.b].cval + rb.cval, w));
+    const u64 c1 = nodes_[ra.b].cval;
+    return add(ra.a, constant(c1 + rb.cval, w));
   }
   // (x + c1) + y -> (x + y) + c1: float inner constants outward so bases
   // stay comparable for the memory model's (base, offset) normal form.
   if (ra.op == Op::Add && nodes_[ra.b].op == Op::Const &&
       rb.op != Op::Const) {
-    return add(add(ra.a, b), constant(nodes_[ra.b].cval, w));
+    const u64 c1 = nodes_[ra.b].cval;
+    return add(add(ra.a, b), constant(c1, w));
   }
   if (rb.op == Op::Add && nodes_[rb.b].op == Op::Const) {
-    return add(add(a, rb.a), constant(nodes_[rb.b].cval, w));
+    const u64 c1 = nodes_[rb.b].cval;
+    return add(add(a, rb.a), constant(c1, w));
   }
   return binary(Op::Add, a, b);
 }
@@ -266,8 +283,9 @@ ExprRef Context::ashr(ExprRef a, ExprRef count) {
 ExprRef Context::eq(ExprRef a, ExprRef b) {
   GP_CHECK(nodes_[a].width == nodes_[b].width, "eq width mismatch");
   if (a == b) return t();
-  const Node& na = nodes_[a];
-  const Node& nb = nodes_[b];
+  // Value copies: the recursive eq()/constant() below can grow nodes_.
+  const Node na = nodes_[a];
+  const Node nb = nodes_[b];
   if (na.op == Op::Const && nb.op == Op::Const)
     return na.cval == nb.cval ? t() : f();
   if (na.width == 1) {
@@ -278,7 +296,8 @@ ExprRef Context::eq(ExprRef a, ExprRef b) {
   // (x + c1) == c2  ->  x == c2 - c1 (common from stack-offset arithmetic).
   if (nb.op == Op::Const && na.op == Op::Add &&
       nodes_[na.b].op == Op::Const) {
-    return eq(na.a, constant(nb.cval - nodes_[na.b].cval, na.width));
+    const u64 c1 = nodes_[na.b].cval;
+    return eq(na.a, constant(nb.cval - c1, na.width));
   }
   return binary(Op::Eq, a, b);
 }

@@ -15,6 +15,10 @@
 
 #include "support/common.hpp"
 
+namespace gp {
+class Governor;
+}
+
 namespace gp::solver {
 
 enum class Op : u8 {
@@ -123,8 +127,17 @@ class Context {
   /// expressions built in `this` remain valid (read-only) in the clone; new
   /// terms interned afterwards diverge. This is the cheap way to hand a
   /// worker thread a private interner over an existing pool of expressions
-  /// (the subsumption stage's per-worker scratch contexts).
+  /// (the subsumption stage's per-worker scratch contexts). The governor
+  /// attachment is copied too: lanes cloned from a governed context share
+  /// its (atomic) node budget.
   Context clone() const { return *this; }
+
+  /// Attach a resource governor (nullptr detaches). Fresh node interning
+  /// then consumes the governor's expr-node budget; exhaustion throws
+  /// ResourceExhausted for the nearest stage boundary to convert to a
+  /// Status. The governor must outlive the context.
+  void set_governor(Governor* g) { governor_ = g; }
+  Governor* governor() const { return governor_; }
 
  private:
   ExprRef intern(Node n);
@@ -137,6 +150,7 @@ class Context {
     bool operator()(const Node& x, const Node& y) const;
   };
 
+  Governor* governor_ = nullptr;
   std::vector<Node> nodes_;
   std::unordered_map<Node, ExprRef, NodeHash, NodeEq> interned_;
   std::vector<std::string> var_names_;

@@ -197,12 +197,21 @@ Lit Sat::decide() {
   return polarity_[best] ? Lit::pos(best) : Lit::neg(best);
 }
 
-SatResult Sat::solve(i64 conflict_budget) {
+SatResult Sat::solve(i64 conflict_budget, const Governor* governor) {
   if (unsat_) return SatResult::Unsat;
   u64 restart_limit = 128;
   u64 conflicts_since_restart = 0;
+  // Deadline/cancel watchdog stride: one steady_clock read per 128
+  // propagate+decide rounds keeps the poll cost invisible next to unit
+  // propagation while bounding overshoot to a few milliseconds.
+  constexpr u64 kGovernorStride = 128;
+  u64 since_poll = 0;
 
   for (;;) {
+    if (governor && ++since_poll >= kGovernorStride) {
+      since_poll = 0;
+      if (governor->should_stop()) return SatResult::Unknown;
+    }
     const u32 confl = propagate();
     if (confl != kNoReason) {
       ++conflicts_;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "support/common.hpp"
+#include "support/governor.hpp"
 
 namespace gp::solver {
 
@@ -33,8 +34,12 @@ class Sat {
   /// trivially UNSAT. Returns false if the formula is already known UNSAT.
   bool add_clause(std::vector<Lit> lits);
 
-  /// Solve. `conflict_budget` < 0 means unlimited.
-  SatResult solve(i64 conflict_budget = -1);
+  /// Solve. `conflict_budget` < 0 means unlimited. When a governor is
+  /// given, the propagation/decision loop polls its deadline and cancel
+  /// token (every kGovernorStride iterations) and returns Unknown once it
+  /// should stop — the watchdog that keeps a pathological query from
+  /// out-living the pipeline's wall-clock budget.
+  SatResult solve(i64 conflict_budget = -1, const Governor* governor = nullptr);
 
   /// After Sat: the value assigned to var v.
   bool model_value(u32 v) const {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/fault.hpp"
+
 namespace gp::solver {
 namespace {
 
@@ -17,20 +19,40 @@ u64 key_of(const std::vector<ExprRef>& constraints) {
 
 }  // namespace
 
-std::optional<Model> Solver::check_sat(
-    const std::vector<ExprRef>& constraints) {
+SatResult Solver::check_impl(const std::vector<ExprRef>& constraints,
+                             std::optional<Model>* model) {
   ++queries_;
-  // Constant-only fast path.
+  last_unknown_ = false;
+
+  // Constant-only fast path (free: no budget consumed, always conclusive).
   bool all_const_true = true;
   for (const ExprRef c : constraints) {
     GP_CHECK(ctx_.width(c) == 1, "constraint must be width 1");
     if (ctx_.is_const(c, 0)) {
       memo_[key_of(constraints)] = Memo::Unsat;
-      return std::nullopt;
+      return SatResult::Unsat;
     }
     if (!ctx_.is_const(c)) all_const_true = false;
   }
-  if (all_const_true) return Model{};
+  if (all_const_true) {
+    if (model) *model = Model{};
+    return SatResult::Sat;
+  }
+
+  auto unknown = [&] {
+    last_unknown_ = true;
+    ++unknowns_;
+    return SatResult::Unknown;
+  };
+  // Governed exhaustion and injected solver timeouts both surface as
+  // UNKNOWN before any bit-blasting happens; UNKNOWN is never memoized, so
+  // a later run with budget left can still answer.
+  if (governor_) {
+    if (governor_->should_stop()) return unknown();
+    if (!governor_->solver_checks().try_consume()) return unknown();
+  }
+  if (fault::enabled() && fault::should_fire(fault::Point::Solver))
+    return unknown();
 
   BitBlaster bb(ctx_);
   std::vector<ExprRef> vars;
@@ -44,28 +66,44 @@ std::optional<Model> Solver::check_sat(
   // clauses mid-model.
   for (const ExprRef v : vars) (void)bb.model_value(v);
 
-  const SatResult r = bb.solve(conflict_budget_);
+  const SatResult r = bb.solve(conflict_budget_, governor_);
+  if (r == SatResult::Unknown) return unknown();
   memo_[key_of(constraints)] = r == SatResult::Sat ? Memo::Sat : Memo::Unsat;
-  if (r != SatResult::Sat) return std::nullopt;
-
-  Model m;
-  for (const ExprRef v : vars) m[v] = bb.model_value(v);
-  return m;
+  if (r == SatResult::Sat && model) {
+    Model m;
+    for (const ExprRef v : vars) m[v] = bb.model_value(v);
+    *model = std::move(m);
+  }
+  return r;
 }
 
-bool Solver::is_sat(const std::vector<ExprRef>& constraints) {
+std::optional<Model> Solver::check_sat(
+    const std::vector<ExprRef>& constraints) {
+  std::optional<Model> model;
+  check_impl(constraints, &model);
+  return model;
+}
+
+SatResult Solver::check(const std::vector<ExprRef>& constraints) {
   const u64 key = key_of(constraints);
   auto it = memo_.find(key);
   if (it != memo_.end()) {
     ++cache_hits_;
-    return it->second == Memo::Sat;
+    last_unknown_ = false;
+    return it->second == Memo::Sat ? SatResult::Sat : SatResult::Unsat;
   }
-  return check_sat(constraints).has_value();
+  return check_impl(constraints, nullptr);
+}
+
+bool Solver::is_sat(const std::vector<ExprRef>& constraints) {
+  return check(constraints) == SatResult::Sat;
 }
 
 bool Solver::prove_valid(ExprRef e) {
   if (ctx_.is_const(e)) return ctx_.const_val(e) == 1;
-  return !is_sat({ctx_.bnot(e)});
+  // Proven valid only when the negation is conclusively UNSAT; an UNKNOWN
+  // refutation attempt proves nothing.
+  return check({ctx_.bnot(e)}) == SatResult::Unsat;
 }
 
 bool Solver::prove_equal(ExprRef a, ExprRef b) {
@@ -73,14 +111,14 @@ bool Solver::prove_equal(ExprRef a, ExprRef b) {
   if (ctx_.width(a) != ctx_.width(b)) return false;
   if (ctx_.is_const(a) && ctx_.is_const(b))
     return ctx_.const_val(a) == ctx_.const_val(b);
-  return !is_sat({ctx_.ne(a, b)});
+  return check({ctx_.ne(a, b)}) == SatResult::Unsat;
 }
 
 bool Solver::prove_implies(ExprRef antecedent, ExprRef consequent) {
   if (consequent == ctx_.t()) return true;
   if (antecedent == ctx_.f()) return true;
   if (antecedent == consequent) return true;
-  return !is_sat({antecedent, ctx_.bnot(consequent)});
+  return check({antecedent, ctx_.bnot(consequent)}) == SatResult::Unsat;
 }
 
 }  // namespace gp::solver

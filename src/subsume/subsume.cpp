@@ -154,8 +154,8 @@ bool acquire_check(std::atomic<u64>& checks, u64 max_solver_checks) {
 /// candidate of the (sorted) group survived.
 void winnow_group(solver::Context& ctx, std::vector<Record>& group,
                   std::atomic<u64>& checks, u64 max_solver_checks,
-                  Stats& stats, std::vector<u8>& keep) {
-  solver::Solver solver(ctx, /*conflict_budget=*/50'000);
+                  Stats& stats, std::vector<u8>& keep, Governor* governor) {
+  solver::Solver solver(ctx, /*conflict_budget=*/50'000, governor);
   // Prefer shorter gadgets as representatives.
   std::sort(group.begin(), group.end(),
             [](const Record& a, const Record& b) {
@@ -169,6 +169,18 @@ void winnow_group(solver::Context& ctx, std::vector<Record>& group,
   std::vector<const Record*> reps;
   for (size_t i = 0; i < group.size(); ++i) {
     Record& cand = group[i];
+    // The governor is polled once per candidate on every lane, so a
+    // deadline/cancellation reaches thread-pool workers promptly. Expiry
+    // demotes the rest of the group to structural-only mode — never an
+    // incorrect removal, at worst a larger surviving pool.
+    if (solver_ok && governor) {
+      const Status s = governor->poll();
+      if (!s.ok()) {
+        solver_ok = false;
+        stats.budget_exhausted = true;
+        stats.status.merge(s);
+      }
+    }
     bool redundant = false;
     for (const Record* rep : reps) {
       // Fast path first: identical interned post-state and trivially
@@ -189,7 +201,19 @@ void winnow_group(solver::Context& ctx, std::vector<Record>& group,
         continue;
       }
       ++stats.solver_checks;
-      if (subsumes(ctx, solver, *rep, cand)) {
+      const u64 unknowns_before = solver.unknowns();
+      bool did_subsume = false;
+      try {
+        did_subsume = subsumes(ctx, solver, *rep, cand);
+      } catch (const ResourceExhausted& e) {
+        // The expr-node budget died while building the query terms:
+        // inconclusive, so keep the candidate and go structural-only.
+        solver_ok = false;
+        stats.status.merge(e.status());
+        break;
+      }
+      if (solver.unknowns() > unknowns_before) ++stats.solver_unknown;
+      if (did_subsume) {
         redundant = true;
         break;
       }
@@ -207,7 +231,7 @@ void winnow_group(solver::Context& ctx, std::vector<Record>& group,
 
 std::vector<Record> minimize(solver::Context& ctx, std::vector<Record> pool,
                              Stats* stats, u64 max_solver_checks,
-                             int threads) {
+                             int threads, Governor* governor) {
   Stats local;
   local.input = pool.size();
 
@@ -229,7 +253,7 @@ std::vector<Record> minimize(solver::Context& ctx, std::vector<Record> pool,
   if (nthreads <= 1 || groups.size() <= 1) {
     for (size_t gi = 0; gi < groups.size(); ++gi)
       winnow_group(ctx, *groups[gi], checks, max_solver_checks, local,
-                   keeps[gi]);
+                   keeps[gi], governor);
   } else {
     // Work on the biggest buckets first (the pool claims items in index
     // order) so one giant bucket doesn't trail every small one.
@@ -250,7 +274,8 @@ std::vector<Record> minimize(solver::Context& ctx, std::vector<Record> pool,
           auto& lc = lane_ctx[static_cast<size_t>(lane)];
           if (!lc) lc = std::make_unique<solver::Context>(ctx.clone());
           winnow_group(*lc, *groups[gi], checks, max_solver_checks,
-                       lane_stats[static_cast<size_t>(lane)], keeps[gi]);
+                       lane_stats[static_cast<size_t>(lane)], keeps[gi],
+                       governor);
         },
         nthreads);
     for (const Stats& s : lane_stats) local += s;

@@ -26,6 +26,13 @@ struct Stats {
   /// winnowed in structural-only mode (sound — keeping both gadgets of an
   /// unchecked pair just leaves the pool larger).
   bool budget_exhausted = false;
+  /// Pairs whose solver query came back UNKNOWN (conflict budget, governed
+  /// deadline, or an injected solver fault). Inconclusive means "not
+  /// subsumed": both gadgets stay in the pool.
+  u64 solver_unknown = 0;
+  /// Ok for a full winnow; otherwise the first degradation reason
+  /// (deadline, cancellation, or an exhausted global budget).
+  Status status;
   double reduction_factor() const {
     return kept ? static_cast<double>(input) / static_cast<double>(kept) : 1.0;
   }
@@ -37,6 +44,8 @@ struct Stats {
     solver_checks += o.solver_checks;
     structural_hits += o.structural_hits;
     budget_exhausted |= o.budget_exhausted;
+    solver_unknown += o.solver_unknown;
+    status.merge(o.status);
     return *this;
   }
 };
@@ -51,11 +60,17 @@ struct Stats {
 /// the budget is not exhausted; once it is, which pairs got a solver check
 /// before the cutoff depends on scheduling (the surviving pool is sound
 /// either way, at worst slightly larger).
+///
+/// `governor` (optional; must outlive the call) is polled per candidate on
+/// every lane: deadline expiry or cancellation drops the stage into
+/// structural-only mode (never an incorrect removal), UNKNOWN solver
+/// answers keep both gadgets, and the reason lands in Stats::status.
 std::vector<gadget::Record> minimize(solver::Context& ctx,
                                      std::vector<gadget::Record> pool,
                                      Stats* stats = nullptr,
                                      u64 max_solver_checks = 20'000,
-                                     int threads = 0);
+                                     int threads = 0,
+                                     Governor* governor = nullptr);
 
 /// Does g1 subsume g2 (eq. 1)? Exposed for tests.
 bool subsumes(solver::Context& ctx, solver::Solver& solver,

@@ -1,0 +1,135 @@
+// Error taxonomy for the pipeline's long-running stages. Resource
+// exhaustion (deadline, cancellation, counted budgets, injected faults) is
+// an expected *result* of analyzing obfuscated binaries, not an internal
+// error: every stage records a Status instead of throwing, and degraded
+// output (a partial gadget pool, an inconclusive subsumption check, a
+// best-so-far chain list) stays usable.
+//
+// gp::Error (support/common.hpp) remains the channel for broken invariants;
+// ResourceExhausted below is an internal control-flow exception that deep
+// allocation/step sites raise and stage boundaries convert to a Status —
+// it must never escape a public stage API.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "support/common.hpp"
+
+namespace gp {
+
+enum class StatusCode : u8 {
+  Ok = 0,
+  DeadlineExceeded,  // shared wall-clock deadline passed
+  Cancelled,         // CancelToken fired (caller gave up)
+  BudgetExhausted,   // a counted budget (solver checks, sym steps, nodes) hit 0
+  FaultInjected,     // a GP_FAULT injection point fired
+  Internal,          // converted gp::Error (should not happen in steady state)
+};
+
+const char* status_code_name(StatusCode c);
+
+/// Cheap value-type status: Ok statuses carry no allocation.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // Ok
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status deadline_exceeded(std::string msg) {
+    return {StatusCode::DeadlineExceeded, std::move(msg)};
+  }
+  static Status cancelled(std::string msg) {
+    return {StatusCode::Cancelled, std::move(msg)};
+  }
+  static Status budget_exhausted(std::string msg) {
+    return {StatusCode::BudgetExhausted, std::move(msg)};
+  }
+  static Status fault_injected(std::string msg) {
+    return {StatusCode::FaultInjected, std::move(msg)};
+  }
+  static Status internal(std::string msg) {
+    return {StatusCode::Internal, std::move(msg)};
+  }
+
+  bool ok() const { return code_ == StatusCode::Ok; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const {
+    std::string s = status_code_name(code_);
+    if (!message_.empty()) s += ": " + message_;
+    return s;
+  }
+
+  /// Merge for aggregated stats blocks: the first non-Ok status wins (a
+  /// stage that degraded in any lane reports as degraded).
+  Status& merge(const Status& other) {
+    if (ok() && !other.ok()) *this = other;
+    return *this;
+  }
+
+  bool operator==(const Status& o) const { return code_ == o.code_; }
+
+ private:
+  StatusCode code_ = StatusCode::Ok;
+  std::string message_;
+};
+
+/// Value-or-status return type for APIs whose failure is expected and
+/// data-free (e.g. parsing a GP_FAULT spec).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    GP_CHECK(!status_.ok(), "Result constructed from an Ok status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+  const T& value() const {
+    GP_CHECK(ok(), "Result::value() on error: " + status_.to_string());
+    return *value_;
+  }
+  T& value() {
+    GP_CHECK(ok(), "Result::value() on error: " + status_.to_string());
+    return *value_;
+  }
+  const T& value_or(const T& fallback) const {
+    return ok() ? *value_ : fallback;
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Internal control-flow exception for exhaustion raised deep inside
+/// expression interning or symbolic stepping, where a status return cannot
+/// be threaded through. Stage boundaries (extractor offset loop, subsume
+/// bucket winnow, concretize, planner round) catch it and record the
+/// Status; it never crosses a public API.
+class ResourceExhausted {
+ public:
+  explicit ResourceExhausted(Status status) : status_(std::move(status)) {}
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+inline const char* status_code_name(StatusCode c) {
+  switch (c) {
+    case StatusCode::Ok: return "ok";
+    case StatusCode::DeadlineExceeded: return "deadline-exceeded";
+    case StatusCode::Cancelled: return "cancelled";
+    case StatusCode::BudgetExhausted: return "budget-exhausted";
+    case StatusCode::FaultInjected: return "fault-injected";
+    case StatusCode::Internal: return "internal";
+  }
+  return "<bad>";
+}
+
+}  // namespace gp

@@ -175,6 +175,9 @@ void Executor::store(State& st, ExprRef addr, ExprRef value, u8 width) {
 
 Flow Executor::step(State& st, const ir::Lifted& l) {
   using ir::IrOp;
+  if (governor_ && !governor_->sym_steps().try_consume())
+    throw ResourceExhausted(
+        Status::budget_exhausted("symbolic-step budget"));
   std::vector<ExprRef> temps(l.num_temps, kNoExpr);
 
   for (const auto& c : l.compute) {

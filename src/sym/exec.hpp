@@ -5,6 +5,7 @@
 
 #include "image/image.hpp"
 #include "solver/expr.hpp"
+#include "support/governor.hpp"
 #include "sym/state.hpp"
 
 namespace gp::sym {
@@ -33,8 +34,16 @@ class Executor {
   State initial_state();
 
   /// Execute one lifted instruction, mutating `st`. Returns the symbolic
-  /// control-flow outcome.
+  /// control-flow outcome. Under a governor, each step consumes one
+  /// symbolic-execution budget unit; exhaustion throws ResourceExhausted
+  /// for the calling stage (extractor offset loop, concretize) to convert
+  /// into a degraded result.
   Flow step(State& st, const ir::Lifted& l);
+
+  /// Attach a resource governor (nullptr detaches); it must outlive the
+  /// executor. The context's expr-node budget is governed separately via
+  /// Context::set_governor.
+  void set_governor(Governor* g) { governor_ = g; }
 
   /// Enter a deterministic fresh-variable scope: until the next call, fresh
   /// memory variables are named `ind@<tag>.<n>_<w>` / `mem@<tag>.<n>_<w>`
@@ -60,6 +69,7 @@ class Executor {
 
   solver::Context& ctx_;
   const image::Image* img_;
+  Governor* governor_ = nullptr;
   u64 origin_tag_ = 0;
   u64 origin_count_ = 0;
   bool use_origin_ = false;

@@ -1,5 +1,7 @@
 #include "x86/decoder.hpp"
 
+#include "support/fault.hpp"
+
 namespace gp::x86 {
 namespace {
 
@@ -449,6 +451,11 @@ std::optional<Inst> decode_impl(Cursor& c) {
 }  // namespace
 
 std::optional<Inst> decode(std::span<const u8> bytes, u64 addr) {
+  // Injected decode failure (GP_FAULT decode=<rate>): indistinguishable
+  // from genuinely undecodable bytes, so it exercises every caller's
+  // nullopt path and lands in the same decode_failures accounting.
+  if (fault::enabled() && fault::should_fire(fault::Point::Decode))
+    return std::nullopt;
   Cursor c(bytes);
   auto inst = decode_impl(c);
   if (!inst || !c.ok()) return std::nullopt;

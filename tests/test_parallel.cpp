@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -185,6 +187,73 @@ TEST(Parallel, MinimizeMatchesSequential) {
     ASSERT_EQ(k1.size(), kn.size()) << "threads=" << threads;
     EXPECT_EQ(sigs(ctx, k1), sigs(ctx, kn)) << "threads=" << threads;
   }
+}
+
+TEST(Parallel, CancellationPropagatesToWorkers) {
+  const image::Image& img = obfuscated_image();
+  Governor gov;
+  gov.cancel();  // cancelled before any worker starts
+
+  solver::Context ctx;
+  Extractor ex(ctx, img);
+  ExtractOptions opts;
+  opts.threads = 4;
+  opts.governor = &gov;
+  auto pool = ex.extract(opts);
+
+  EXPECT_TRUE(pool.empty());
+  const ExtractStats& st = ex.stats();
+  EXPECT_EQ(st.offsets_scanned, 0u);
+  EXPECT_EQ(st.offsets_skipped, img.code().size());
+  EXPECT_EQ(st.status.code(), StatusCode::Cancelled);
+}
+
+TEST(Parallel, MidRunCancellationStopsPromptly) {
+  const image::Image& img = obfuscated_image();
+  Governor gov;
+
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    gov.cancel();
+  });
+
+  solver::Context ctx;
+  Extractor ex(ctx, img);
+  ExtractOptions opts;
+  opts.threads = 4;
+  opts.governor = &gov;
+  auto pool = ex.extract(opts);
+  canceller.join();
+
+  // Whether the cancel landed mid-scan or after completion, every offset is
+  // accounted for exactly once and the partial pool is self-consistent.
+  const ExtractStats& st = ex.stats();
+  EXPECT_EQ(st.offsets_scanned + st.offsets_skipped, img.code().size());
+  EXPECT_EQ(st.gadgets, pool.size());
+  if (st.offsets_skipped > 0)
+    EXPECT_EQ(st.status.code(), StatusCode::Cancelled);
+}
+
+TEST(Parallel, MinimizeObservesCancellation) {
+  const image::Image& img = obfuscated_image();
+  solver::Context ctx;
+  Extractor ex(ctx, img);
+  ExtractOptions opts;
+  opts.threads = 2;
+  auto pool = ex.extract(opts);
+  ASSERT_GT(pool.size(), 100u);
+
+  Governor gov;
+  gov.cancel();
+  subsume::Stats st;
+  auto kept = subsume::minimize(ctx, pool, &st, /*max_solver_checks=*/100'000,
+                                /*threads=*/4, &gov);
+  // Cancellation degrades to structural-only subsumption: no solver work,
+  // but the result is still a valid (if less minimized) pool.
+  EXPECT_EQ(st.solver_checks, 0u);
+  EXPECT_EQ(st.status.code(), StatusCode::Cancelled);
+  EXPECT_LE(kept.size(), pool.size());
+  EXPECT_GT(kept.size(), 0u);
 }
 
 TEST(Parallel, EnvKnobDrivesPipeline) {
