@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
       {"tigress", obf::Options::tigress(5)},
   };
 
+  u64 ckpt_served = 0, ckpt_written = 0;
   for (const auto& m : methods) {
     auto prog = minic::compile_source(target.source);
     obf::obfuscate(prog, m.options);
@@ -55,7 +56,14 @@ int main(int argc, char** argv) {
                 img.code().size(), gp.library().size(),
                 (unsigned long long)ret_g, (unsigned long long)ind_g,
                 chains.size());
+    ckpt_served += gp.report().store.hits + gp.report().store.resumes;
+    ckpt_written += gp.report().store.puts;
   }
   std::printf("\nhigher execve counts = more exploitable attack surface\n");
+  if (ckpt_served + ckpt_written > 0)
+    std::printf("checkpoints (GP_STORE_DIR): %llu stage outputs served, "
+                "%llu written\n",
+                (unsigned long long)ckpt_served,
+                (unsigned long long)ckpt_written);
   return 0;
 }

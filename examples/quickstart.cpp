@@ -41,7 +41,18 @@ int main() {
 
   // 3. Plan chains for execve("/bin/sh", 0, 0).
   auto chains = gp.find_chains(payload::Goal::execve());
-  std::printf("validated execve chains: %zu\n\n", chains.size());
+  std::printf("validated execve chains: %zu\n", chains.size());
+
+  // With GP_STORE_DIR set, stage outputs are checkpointed: a second run (or
+  // a run resumed after a crash) serves them from the store.
+  const auto& store = gp.report().store;
+  if (store.hits + store.resumes + store.puts > 0)
+    std::printf("checkpoints: %llu served (%llu from an earlier process), "
+                "%llu written\n",
+                (unsigned long long)(store.hits + store.resumes),
+                (unsigned long long)store.resumes,
+                (unsigned long long)store.puts);
+  std::printf("\n");
 
   for (size_t i = 0; i < chains.size(); ++i) {
     const auto& c = chains[i];

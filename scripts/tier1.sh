@@ -3,7 +3,13 @@
 # again under ThreadSanitizer (catches data races the functional suite
 # can't), then the robustness/fault-injection suite under ASan+UBSan
 # (catches memory errors on the degradation paths, which by design unwind
-# through partially-built state). Run from the repo root.
+# through partially-built state), then a kill-resume drill: SIGKILL the
+# pipeline mid-extraction and prove the checkpoint store resumes it to
+# byte-identical payloads. Run from the repo root.
+#
+# Suites carry ctest labels (unit / robustness / slow) so stages can select:
+#   ctest -L robustness        only the chaos/degradation suites
+#   ctest -LE slow             everything but the whole-pipeline sweeps
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,6 +18,50 @@ cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
+echo "== tier-1: kill-resume determinism drill =="
+# GP_THREADS=1 pins the exact sequential path: the subsumption winnow is
+# deterministic even when its solver-check budget is exhausted, so a cold
+# run and a killed-then-resumed run must emit byte-identical payloads.
+KR_TMP=$(mktemp -d)
+trap 'rm -rf "$KR_TMP"' EXIT
+mkdir -p "$KR_TMP/cold" "$KR_TMP/warm" "$KR_TMP/store"
+PIPELINE=build/tools/gp_pipeline
+
+echo "-- cold reference run (no store)"
+GP_THREADS=1 "$PIPELINE" --goal execve --out "$KR_TMP/cold" --report
+
+echo "-- interrupted run (SIGKILL mid-pipeline)"
+# The kill must land AFTER at least one stage checkpoint has committed
+# (extract+subsume finish in ~0.3s; planning takes ~1s) or the "resume"
+# would just be a cold recompute. A checkpoint only counts once the
+# manifest exists — an artifact whose manifest write was interrupted is
+# an orphan the store deliberately refuses to trust. Retry with a longer
+# fuse on slow or loaded machines until a checkpoint has committed.
+set +e
+for fuse in 0.45 0.9 1.8 3.6; do
+  GP_THREADS=1 GP_STORE_DIR="$KR_TMP/store" \
+    "$PIPELINE" --goal execve --out "$KR_TMP/warm" >/dev/null 2>&1 &
+  victim=$!
+  sleep "$fuse"
+  kill -KILL "$victim" 2>/dev/null
+  wait "$victim" 2>/dev/null
+  [ -s "$KR_TMP/store/manifest.gpm" ] && break
+  echo "   (no checkpoint committed within ${fuse}s; retrying)"
+done
+set -e
+[ -s "$KR_TMP/store/manifest.gpm" ]
+
+echo "-- resumed run (same store)"
+GP_THREADS=1 GP_STORE_DIR="$KR_TMP/store" \
+  "$PIPELINE" --goal execve --out "$KR_TMP/warm" --report \
+  | tee "$KR_TMP/resumed.report"
+# The dead writer's checkpoints must be served as cross-process resumes.
+grep -q "resumes=1" "$KR_TMP/resumed.report"
+
+echo "-- diffing payloads"
+diff -r "$KR_TMP/cold" "$KR_TMP/warm"
+echo "kill-resume payloads byte-identical"
+
 echo "== tier-1: concurrency tests under ThreadSanitizer =="
 cmake --preset tsan
 cmake --build build-tsan -j --target test_support test_parallel
@@ -19,9 +69,7 @@ cmake --build build-tsan -j --target test_support test_parallel
 
 echo "== tier-1: robustness + fault-injection tests under ASan/UBSan =="
 cmake --preset asan
-cmake --build build-asan -j --target test_governor test_robustness
-(cd build-asan && ctest -R \
-  'Fault|UnknownSoundness|GovernorDegradation|DecoderFuzz|PipelineUnderFault|PlannerDeadline' \
-  --output-on-failure)
+cmake --build build-asan -j --target test_governor test_robustness test_store
+(cd build-asan && ctest -L robustness --output-on-failure)
 
 echo "== tier-1: OK =="

@@ -9,6 +9,7 @@
 //   auto chains = planner.find_chains(gp::payload::Goal::execve());
 #pragma once
 
+#include <functional>
 #include <memory>
 
 #include "baselines/baselines.hpp"
@@ -16,9 +17,30 @@
 #include "obfuscate/obfuscate.hpp"
 #include "payload/payload.hpp"
 #include "planner/planner.hpp"
+#include "store/store.hpp"
 #include "subsume/subsume.hpp"
 
 namespace gp::core {
+
+/// Retry policy for the stage supervisor: a stage that fails for a
+/// *recoverable* reason (exhausted counted budget, injected fault, internal
+/// error) is re-run up to max_retries more times, each retry after an
+/// exponentially longer backoff and with every counted budget widened by
+/// budget_widen_factor. Deadline expiry and cancellation are never retried
+/// — wall-clock budgets and the caller's cancel are hard contracts.
+struct SupervisorOptions {
+  int max_retries = 2;             // extra attempts after the first
+  double backoff_initial_ms = 25;  // sleep before the first retry
+  double backoff_multiplier = 4;   // backoff growth per retry
+  double budget_widen_factor = 4;  // counted-budget growth per retry
+
+  /// GP_RETRIES overrides max_retries (>= 0; unset/unparsable keeps the
+  /// default).
+  static SupervisorOptions from_env();
+};
+
+/// GP_STORE_DIR, or "" when unset (checkpointing disabled).
+std::string store_dir_from_env();
 
 struct PipelineOptions {
   gadget::ExtractOptions extract;
@@ -30,6 +52,23 @@ struct PipelineOptions {
   /// are read from the environment (GP_DEADLINE_MS, GP_SOLVER_CHECKS,
   /// GP_SYM_STEPS, GP_EXPR_NODES), all unlimited when unset.
   GovernorOptions governor = GovernorOptions::from_env();
+  /// Stage-supervisor retry policy (GP_RETRIES).
+  SupervisorOptions supervise = SupervisorOptions::from_env();
+  /// Artifact-store directory for durable checkpoint/resume; "" disables.
+  /// Defaults to the GP_STORE_DIR env knob. Stage outputs (extracted pool,
+  /// minimized pool, chains per goal) are checkpointed under content-hash
+  /// keys of (image bytes, stage options, format version), so a later run
+  /// — same process or a fresh one after a crash/OOM-kill — resumes from
+  /// the last good checkpoint instead of recomputing solver work.
+  std::string store_dir = store_dir_from_env();
+};
+
+/// Attempt/resume/cache accounting for one supervised pipeline stage.
+struct StageRuns {
+  u32 attempts = 0;    // stage-body executions in this process
+  u32 retries = 0;     // attempts the supervisor re-ran after a failure
+  u32 cache_hits = 0;  // outputs served from a checkpoint this process wrote
+  u32 resumes = 0;     // outputs served from an earlier process's checkpoint
 };
 
 /// Wall-clock and size accounting per pipeline stage (Table VII).
@@ -49,6 +88,15 @@ struct StageReport {
   Status extract_status;
   Status subsume_status;
   Status plan_status;
+  /// Supervisor accounting: how many times each stage actually ran, how
+  /// many of those were retries, and how often a checkpoint substituted
+  /// for the run entirely (cache_hits within this process, resumes across
+  /// processes).
+  StageRuns extract_runs;
+  StageRuns subsume_runs;
+  StageRuns plan_runs;
+  /// Artifact-store counters (all zero when checkpointing is disabled).
+  store::Stats store;
 };
 
 /// Resident set size of this process in MiB (0 when /proc is unavailable).
@@ -75,12 +123,39 @@ class GadgetPlanner {
   /// to stop the pipeline cooperatively at the next poll point.
   Governor& governor() { return *gov_; }
 
+  /// The artifact store backing checkpoint/resume, or nullptr when
+  /// disabled (opts.store_dir empty).
+  store::ArtifactStore* store() { return store_.get(); }
+
  private:
+  /// Run `body` as a restartable unit: attempt 0 under the pipeline
+  /// governor; on a recoverable failure (budget exhaustion, injected
+  /// fault, internal error — never deadline expiry or cancellation),
+  /// retry after exponential backoff under a fresh governor with widened
+  /// counted budgets, up to opts_.supervise.max_retries extra attempts.
+  /// `body` receives the governor for that attempt and returns the stage
+  /// Status; throws from the final attempt propagate.
+  Status run_supervised(const char* stage, StageRuns& runs,
+                        const std::function<Status(Governor&)>& body);
+
+  /// Key material shared by every stage: the image content (entry, code,
+  /// data) and the store format version.
+  void append_image_key(serial::Writer& w) const;
+
+  /// Re-intern `pool` from its serialized form into a fresh context so the
+  /// next stage sees state that depends only on pool content — the same
+  /// state a resumed run reconstructs from a checkpoint.
+  void canonicalize_pool(std::vector<gadget::Record>& pool);
+
   const image::Image& img_;
   PipelineOptions opts_;
   std::unique_ptr<Governor> gov_;
   std::unique_ptr<solver::Context> ctx_;
   std::unique_ptr<gadget::Library> lib_;
+  std::unique_ptr<store::ArtifactStore> store_;
+  /// Governors built for retries; kept alive for the session because
+  /// stage stats may reference them.
+  std::vector<std::unique_ptr<Governor>> retry_govs_;
   StageReport report_;
   planner::Stats planner_stats_;
   gadget::ExtractStats extract_stats_;

@@ -1,0 +1,34 @@
+// Stable serialization of gadget pools (raw or minimized) for the artifact
+// store: the expensive-to-recompute output of extraction + subsumption.
+//
+// Layout: record 0 is the pool header (gadget count + the expression node
+// table shared by every summary), then one record per gadget. The store
+// frames each record with its own CRC32, so a flipped bit in any gadget is
+// caught by that record's checksum before decoding starts; decode failures
+// (truncated fields, out-of-range enums, width violations) additionally
+// fail soft — the pool reads as absent and is recomputed, never trusted.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "gadget/gadget.hpp"
+#include "support/serial.hpp"
+
+namespace gp::gadget {
+
+/// Serialize `pool` (expressions owned by `ctx`) into store records.
+std::vector<std::vector<u8>> encode_pool(const solver::Context& ctx,
+                                         const std::vector<Record>& pool);
+
+/// Rebuild a pool inside `ctx` (expressions replay through its smart
+/// constructors, like a cross-context import). nullopt on any corruption.
+std::optional<std::vector<Record>> decode_pool(
+    solver::Context& ctx, const std::vector<std::vector<u8>>& records);
+
+/// Append the fields of `opts` that determine extraction output to a key
+/// writer (thread count and governor excluded: any thread count produces
+/// the same pool, and governed runs are only checkpointed when uncut).
+void append_extract_key(serial::Writer& w, const ExtractOptions& opts);
+
+}  // namespace gp::gadget

@@ -1,5 +1,6 @@
 #include "image/image.hpp"
 
+#include "support/serial.hpp"
 #include "support/str.hpp"
 
 namespace gp::image {
@@ -12,6 +13,172 @@ std::string Image::symbolize(u64 addr) const {
   if (!best) return hex(addr);
   const u64 off = addr - best->addr;
   return off == 0 ? best->name : best->name + "+" + hex(off);
+}
+
+namespace {
+
+constexpr u32 kImageMagic = 0x4D495047;  // "GPIM"
+constexpr u32 kImageVersion = 1;
+constexpr u8 kSectionCode = 0;
+constexpr u8 kSectionData = 1;
+// Hard caps for untrusted input; far above anything the codegen emits but
+// small enough that a corrupted count cannot drive a giant allocation.
+constexpr u32 kMaxSections = 16;
+constexpr u32 kMaxSymbols = 1u << 20;
+constexpr u64 kMaxSymbolName = 4096;
+
+struct SectionHeader {
+  u8 kind;
+  u64 vaddr;
+  u64 offset;  // from the start of the file
+  u64 size;
+};
+
+}  // namespace
+
+std::vector<u8> save(const Image& img) {
+  serial::Writer w;
+  w.put_u32(kImageMagic);
+  w.put_u32(kImageVersion);
+  w.put_u64(img.entry());
+
+  // Section table. Payload offsets are filled in after the symbol table is
+  // sized, so serialize the tail first.
+  serial::Writer tail;
+  tail.put_u32(static_cast<u32>(img.symbols().size()));
+  for (const auto& s : img.symbols()) {
+    tail.put_str(s.name);
+    tail.put_u64(s.addr);
+  }
+
+  const u32 n_sections = img.data().empty() ? 1 : 2;
+  // Header so far + section entries (1 + 8*3 bytes each) + tail.
+  const u64 payload_start =
+      w.size() + 4 + static_cast<u64>(n_sections) * 25 + tail.size();
+  w.put_u32(n_sections);
+  w.put_u8(kSectionCode);
+  w.put_u64(img.code_base());
+  w.put_u64(payload_start);
+  w.put_u64(img.code().size());
+  if (n_sections == 2) {
+    w.put_u8(kSectionData);
+    w.put_u64(img.data_base());
+    w.put_u64(payload_start + img.code().size());
+    w.put_u64(img.data().size());
+  }
+  w.put_raw(tail.bytes());
+  w.put_raw(img.code());
+  w.put_raw(img.data());
+  w.put_u32(serial::crc32(w.bytes()));
+  return w.take();
+}
+
+Status save_file(const Image& img, const std::string& path) {
+  const auto bytes = save(img);
+  return serial::write_file_atomic(path, bytes);
+}
+
+Result<Image> load(std::span<const u8> bytes) {
+  auto bad = [](const std::string& msg) -> Result<Image> {
+    return Status::internal("image load: " + msg);
+  };
+
+  if (bytes.size() < 4) return bad("truncated (no CRC footer)");
+  const std::span<const u8> body = bytes.first(bytes.size() - 4);
+  serial::Reader footer(bytes.subspan(bytes.size() - 4));
+  if (serial::crc32(body) != footer.get_u32())
+    return bad("CRC mismatch (corrupted or truncated file)");
+
+  serial::Reader r(body);
+  if (r.get_u32() != kImageMagic) return bad("bad magic");
+  const u32 version = r.get_u32();
+  if (!r.ok()) return bad("truncated header");
+  if (version != kImageVersion)
+    return bad("unsupported version " + std::to_string(version));
+  const u64 entry = r.get_u64();
+
+  const u32 n_sections = r.get_u32();
+  if (!r.ok()) return bad("truncated section count");
+  if (n_sections == 0 || n_sections > kMaxSections)
+    return bad("oversized section table (" + std::to_string(n_sections) +
+               " sections)");
+
+  std::vector<SectionHeader> sections;
+  for (u32 i = 0; i < n_sections; ++i) {
+    SectionHeader s;
+    s.kind = r.get_u8();
+    s.vaddr = r.get_u64();
+    s.offset = r.get_u64();
+    s.size = r.get_u64();
+    if (!r.ok()) return bad("truncated section table");
+    if (s.kind != kSectionCode && s.kind != kSectionData)
+      return bad("unknown section kind " + std::to_string(s.kind));
+    // Overflow-safe bounds check: offset and size are independently
+    // bounded by the file size before their sum is formed.
+    if (s.offset > body.size() || s.size > body.size() ||
+        s.offset + s.size > body.size())
+      return bad("section " + std::to_string(i) + " escapes the file");
+    sections.push_back(s);
+  }
+
+  // Reject overlapping file ranges (quadratic over <= 16 sections).
+  for (size_t i = 0; i < sections.size(); ++i)
+    for (size_t j = i + 1; j < sections.size(); ++j) {
+      const auto& a = sections[i];
+      const auto& b = sections[j];
+      const bool disjoint =
+          a.offset + a.size <= b.offset || b.offset + b.size <= a.offset;
+      if (!disjoint && a.size && b.size)
+        return bad("sections " + std::to_string(i) + " and " +
+                   std::to_string(j) + " overlap");
+    }
+
+  const u32 n_symbols = r.get_u32();
+  if (!r.ok()) return bad("truncated symbol count");
+  if (n_symbols > kMaxSymbols) return bad("oversized symbol table");
+  std::vector<Symbol> symbols;
+  symbols.reserve(n_symbols);
+  for (u32 i = 0; i < n_symbols; ++i) {
+    Symbol s;
+    s.name = r.get_str();
+    s.addr = r.get_u64();
+    if (!r.ok()) return bad("truncated symbol table");
+    if (s.name.empty() || s.name.size() > kMaxSymbolName)
+      return bad("bad symbol name length");
+    symbols.push_back(std::move(s));
+  }
+
+  std::vector<u8> code, data;
+  bool have_code = false, have_data = false;
+  for (const auto& s : sections) {
+    auto payload = body.subspan(s.offset, s.size);
+    if (s.kind == kSectionCode) {
+      if (have_code) return bad("duplicate code section");
+      if (s.vaddr != kCodeBase)
+        return bad("code section vaddr contradicts layout");
+      code.assign(payload.begin(), payload.end());
+      have_code = true;
+    } else {
+      if (have_data) return bad("duplicate data section");
+      if (s.vaddr != kDataBase)
+        return bad("data section vaddr contradicts layout");
+      data.assign(payload.begin(), payload.end());
+      have_data = true;
+    }
+  }
+  if (!have_code) return bad("missing code section");
+  if (entry < kCodeBase || entry >= kCodeBase + code.size())
+    return bad("entry point outside the code section");
+
+  Image img(std::move(code), std::move(data), entry);
+  for (auto& s : symbols) img.add_symbol(std::move(s.name), s.addr);
+  return img;
+}
+
+Result<Image> load_file(const std::string& path) {
+  auto bytes = serial::read_file(path);
+  if (!bytes.ok()) return bytes.status();
+  return load(bytes.value());
 }
 
 }  // namespace gp::image

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "support/common.hpp"
+#include "support/status.hpp"
 
 namespace gp::image {
 
@@ -71,5 +72,28 @@ class Image {
   u64 entry_ = kCodeBase;
   std::vector<Symbol> symbols_;
 };
+
+// -- flat-binary interchange format ("GPIM") ---------------------------------
+// A small on-disk form of an Image: magic + version, entry point, a section
+// table (kind, vaddr, file offset, size), a symbol table, the section
+// payloads, and a whole-file CRC32 footer.
+//
+// The loader is hardened for untrusted input — it returns gp::Status
+// instead of asserting, and rejects: truncated headers or payloads,
+// oversized/overlapping section tables, sections whose file ranges escape
+// the file or overlap each other, duplicate/missing code sections, vaddrs
+// that contradict the fixed layout, entry points outside code, and
+// unbounded symbol tables. Any CRC mismatch is reported as corruption.
+// load() never throws and never reads out of bounds.
+
+/// Serialize `img` to the GPIM byte format.
+std::vector<u8> save(const Image& img);
+/// Serialize and write atomically (temp file + rename).
+Status save_file(const Image& img, const std::string& path);
+
+/// Parse a GPIM byte image. Non-Ok status on any malformation.
+Result<Image> load(std::span<const u8> bytes);
+/// Read (via serial::read_file, so injected read faults apply) and parse.
+Result<Image> load_file(const std::string& path);
 
 }  // namespace gp::image

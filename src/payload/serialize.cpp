@@ -1,0 +1,63 @@
+#include "payload/serialize.hpp"
+
+namespace gp::payload {
+
+std::vector<std::vector<u8>> encode_chains(const std::vector<Chain>& chains) {
+  std::vector<std::vector<u8>> out;
+  serial::Writer header;
+  header.put_u32(static_cast<u32>(chains.size()));
+  out.push_back(header.take());
+
+  for (const Chain& c : chains) {
+    serial::Writer w;
+    w.put_str(c.goal_name);
+    w.put_u32(static_cast<u32>(c.gadgets.size()));
+    for (const u32 g : c.gadgets) w.put_u32(g);
+    w.put_bytes(c.payload);
+    w.put_u64(c.entry);
+    w.put_u32(static_cast<u32>(c.total_insts));
+    w.put_u32(static_cast<u32>(c.ret_gadgets));
+    w.put_u32(static_cast<u32>(c.ij_gadgets));
+    w.put_u32(static_cast<u32>(c.dj_gadgets));
+    w.put_u32(static_cast<u32>(c.cj_gadgets));
+    out.push_back(w.take());
+  }
+  return out;
+}
+
+std::optional<std::vector<Chain>> decode_chains(
+    const std::vector<std::vector<u8>>& records, size_t library_size) {
+  if (records.empty()) return std::nullopt;
+  serial::Reader hr(records[0]);
+  const u32 count = hr.get_u32();
+  if (!hr.ok() || !hr.at_end() || count + 1 != records.size())
+    return std::nullopt;
+
+  std::vector<Chain> chains;
+  chains.reserve(count);
+  for (u32 i = 0; i < count; ++i) {
+    serial::Reader r(records[i + 1]);
+    Chain c;
+    c.goal_name = r.get_str();
+    const u32 n_gadgets = r.get_u32();
+    if (!r.ok() || n_gadgets > r.remaining() / 4 + 1) return std::nullopt;
+    for (u32 k = 0; k < n_gadgets && r.ok(); ++k) {
+      const u32 g = r.get_u32();
+      if (g >= library_size) return std::nullopt;
+      c.gadgets.push_back(g);
+    }
+    auto payload = r.get_bytes();
+    c.payload.assign(payload.begin(), payload.end());
+    c.entry = r.get_u64();
+    c.total_insts = static_cast<int>(r.get_u32());
+    c.ret_gadgets = static_cast<int>(r.get_u32());
+    c.ij_gadgets = static_cast<int>(r.get_u32());
+    c.dj_gadgets = static_cast<int>(r.get_u32());
+    c.cj_gadgets = static_cast<int>(r.get_u32());
+    if (!r.ok() || !r.at_end()) return std::nullopt;
+    chains.push_back(std::move(c));
+  }
+  return chains;
+}
+
+}  // namespace gp::payload

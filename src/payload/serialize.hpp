@@ -1,0 +1,23 @@
+// Stable serialization of finished chains (the planner stage's output) for
+// the artifact store. Record 0 is the count header; each chain is its own
+// CRC-framed record. Chains are self-contained — payload bytes, library
+// indices and metrics, no expression refs — so a restored chain is usable
+// without re-running any solver work.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "payload/payload.hpp"
+#include "support/serial.hpp"
+
+namespace gp::payload {
+
+std::vector<std::vector<u8>> encode_chains(const std::vector<Chain>& chains);
+
+/// nullopt on any truncation/corruption; `library_size` bounds the gadget
+/// indices (a stale artifact for a different pool must not pass).
+std::optional<std::vector<Chain>> decode_chains(
+    const std::vector<std::vector<u8>>& records, size_t library_size);
+
+}  // namespace gp::payload

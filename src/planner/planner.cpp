@@ -19,6 +19,21 @@ using payload::Goal;
 using solver::ExprRef;
 using x86::Reg;
 
+void Options::append_key(serial::Writer& w) const {
+  w.put_u32(static_cast<u32>(max_expansions));
+  w.put_u32(static_cast<u32>(max_chains));
+  w.put_u32(static_cast<u32>(max_candidates_per_goal));
+  w.put_u32(static_cast<u32>(max_plan_gadgets));
+  w.put_u32(static_cast<u32>(max_open_goals));
+  w.put_u32(static_cast<u32>(restarts));
+  w.put_u64(concretize.stack_base);
+  w.put_u64(concretize.max_payload);
+  w.put_u32(static_cast<u32>(concretize.validation_trials));
+  w.put_bool(use_cond_gadgets);
+  w.put_bool(use_indirect_gadgets);
+  w.put_bool(use_direct_merged);
+}
+
 bool Planner::admissible(const Record& g, const Options& opts) const {
   if (!opts.use_cond_gadgets && g.has_cond_jump) return false;
   if (!opts.use_direct_merged && g.has_direct_jump) return false;

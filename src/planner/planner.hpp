@@ -23,6 +23,7 @@
 
 #include "gadget/gadget.hpp"
 #include "payload/payload.hpp"
+#include "support/serial.hpp"
 
 namespace gp::planner {
 
@@ -48,6 +49,13 @@ struct Options {
   bool use_cond_gadgets = true;    // CDJ/CIJ paths
   bool use_indirect_gadgets = true;
   bool use_direct_merged = true;   // gadgets spanning direct jumps
+
+  /// Append every field that determines the planner's *output* to an
+  /// artifact-store key writer. Time budget and governor are excluded on
+  /// purpose: results are only checkpointed when the search ran uncut, and
+  /// an uncut search is deterministic regardless of how much budget was
+  /// left over.
+  void append_key(serial::Writer& w) const;
 };
 
 struct Stats {

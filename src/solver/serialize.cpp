@@ -1,0 +1,161 @@
+#include "solver/serialize.hpp"
+
+#include <algorithm>
+
+namespace gp::solver {
+
+void ExprEncoder::add(ExprRef e) {
+  if (e == kNoExpr || ids_.count(e)) return;
+  ids_.emplace(e, kNoId);  // placeholder; real ids assigned in write_nodes
+  const Node& n = ctx_.node(e);
+  if (n.a != kNoExpr) add(n.a);
+  if (n.b != kNoExpr) add(n.b);
+  if (n.c != kNoExpr) add(n.c);
+  order_.push_back(e);
+}
+
+void ExprEncoder::write_nodes(serial::Writer& w) {
+  // Ref order is creation order, and operands always intern before their
+  // users, so sorting by ref yields a topological order with stable ids
+  // regardless of the order roots were add()ed in.
+  std::sort(order_.begin(), order_.end());
+  for (u32 i = 0; i < order_.size(); ++i) ids_[order_[i]] = i;
+
+  w.put_u32(static_cast<u32>(order_.size()));
+  for (const ExprRef e : order_) {
+    const Node& n = ctx_.node(e);
+    w.put_u8(static_cast<u8>(n.op));
+    w.put_u8(n.width);
+    w.put_u8(n.aux);
+    if (n.op == Op::Const) {
+      w.put_u64(n.cval);
+    } else if (n.op == Op::Var) {
+      w.put_str(ctx_.var_name(e));
+    } else {
+      auto operand = [&](ExprRef x) {
+        w.put_u32(x == kNoExpr ? kNoId : ids_.at(x));
+      };
+      operand(n.a);
+      operand(n.b);
+      operand(n.c);
+    }
+  }
+}
+
+u32 ExprEncoder::id(ExprRef e) const {
+  if (e == kNoExpr) return kNoId;
+  return ids_.at(e);
+}
+
+bool ExprDecoder::read_nodes(serial::Reader& r) {
+  const u32 count = r.get_u32();
+  // Each serialized node is at least 3 bytes; a count implying more bytes
+  // than remain is corrupt (guards the reserve below too).
+  if (!r.ok() || static_cast<u64>(count) * 3 > r.remaining()) {
+    r.set_failed();
+    return false;
+  }
+  refs_.clear();
+  refs_.reserve(count);
+  for (u32 i = 0; i < count; ++i) {
+    const Op op = static_cast<Op>(r.get_u8());
+    const u8 width = r.get_u8();
+    const u8 aux = r.get_u8();
+    if (!r.ok() || width < 1 || width > 64) {
+      r.set_failed();
+      return false;
+    }
+    // Operand ids must point strictly backward in the table (topological
+    // order); anything else is corruption.
+    auto operand = [&](bool required) -> ExprRef {
+      const u32 id = r.get_u32();
+      if (id == ExprEncoder::kNoId) {
+        if (required) r.set_failed();
+        return kNoExpr;
+      }
+      if (id >= i) {
+        r.set_failed();
+        return kNoExpr;
+      }
+      return refs_[id];
+    };
+    ExprRef out = kNoExpr;
+    switch (op) {
+      case Op::Const: out = dst_.constant(r.get_u64(), width); break;
+      case Op::Var: {
+        const std::string name = r.get_str();
+        if (!r.ok() || name.empty()) {
+          r.set_failed();
+          return false;
+        }
+        out = dst_.var(name, width);
+        break;
+      }
+      case Op::Add: case Op::Mul: case Op::And: case Op::Or: case Op::Xor:
+      case Op::Shl: case Op::LShr: case Op::AShr:
+      case Op::Eq: case Op::Ult: case Op::Slt:
+      case Op::Concat: {
+        const ExprRef a = operand(true);
+        const ExprRef b = operand(true);
+        operand(false);  // unused c slot
+        if (!r.ok()) return false;
+        switch (op) {
+          case Op::Add: out = dst_.add(a, b); break;
+          case Op::Mul: out = dst_.mul(a, b); break;
+          case Op::And: out = dst_.band(a, b); break;
+          case Op::Or: out = dst_.bor(a, b); break;
+          case Op::Xor: out = dst_.bxor(a, b); break;
+          case Op::Shl: out = dst_.shl(a, b); break;
+          case Op::LShr: out = dst_.lshr(a, b); break;
+          case Op::AShr: out = dst_.ashr(a, b); break;
+          case Op::Eq: out = dst_.eq(a, b); break;
+          case Op::Ult: out = dst_.ult(a, b); break;
+          case Op::Slt: out = dst_.slt(a, b); break;
+          case Op::Concat: out = dst_.concat(a, b); break;
+          default: break;
+        }
+        break;
+      }
+      case Op::Not: case Op::Neg: case Op::ZExt: case Op::SExt:
+      case Op::Extract: {
+        const ExprRef a = operand(true);
+        operand(false);
+        operand(false);
+        if (!r.ok()) return false;
+        switch (op) {
+          case Op::Not: out = dst_.bnot(a); break;
+          case Op::Neg: out = dst_.neg(a); break;
+          case Op::ZExt: out = dst_.zext(a, width); break;
+          case Op::SExt: out = dst_.sext(a, width); break;
+          case Op::Extract: out = dst_.extract(a, aux, width); break;
+          default: break;
+        }
+        break;
+      }
+      case Op::Ite: {
+        const ExprRef a = operand(true);
+        const ExprRef b = operand(true);
+        const ExprRef c = operand(true);
+        if (!r.ok()) return false;
+        out = dst_.ite(a, b, c);
+        break;
+      }
+      default:
+        r.set_failed();  // unknown op byte: corrupt
+        return false;
+    }
+    refs_.push_back(out);
+  }
+  return r.ok();
+}
+
+ExprRef ExprDecoder::ref(u32 id, serial::Reader& r) const {
+  if (id == ExprEncoder::kNoId) return kNoExpr;
+  if (id >= refs_.size()) {
+    r.set_failed();
+    return kNoExpr;
+  }
+  return refs_[id];
+}
+
+}  // namespace gp::solver

@@ -46,9 +46,21 @@ const char* point_name(Point p) {
     case Point::Solver: return "solver";
     case Point::Emu: return "emu";
     case Point::Alloc: return "alloc";
+    case Point::ShortWrite: return "write";
+    case Point::ReadCorrupt: return "read";
+    case Point::RenameFail: return "rename";
     case Point::kCount: break;
   }
   return "<bad>";
+}
+
+std::string valid_point_names() {
+  std::string out;
+  for (size_t i = 0; i < kPoints; ++i) {
+    if (i) out += ", ";
+    out += point_name(static_cast<Point>(i));
+  }
+  return out;
 }
 
 Result<Spec> parse_spec(const std::string& text) {
@@ -75,17 +87,18 @@ Result<Spec> parse_spec(const std::string& text) {
     const double rate = std::strtod(val.c_str(), &end);
     if (end == val.c_str() || *end || rate < 0 || rate > 1)
       return Status::internal("GP_FAULT bad rate for " + key + ": " + val);
-    if (key == "decode") {
-      spec.rates[static_cast<size_t>(Point::Decode)] = rate;
-    } else if (key == "solver") {
-      spec.rates[static_cast<size_t>(Point::Solver)] = rate;
-    } else if (key == "emu") {
-      spec.rates[static_cast<size_t>(Point::Emu)] = rate;
-    } else if (key == "alloc") {
-      spec.rates[static_cast<size_t>(Point::Alloc)] = rate;
-    } else {
-      return Status::internal("GP_FAULT unknown point: " + key);
+    bool matched = false;
+    for (size_t i = 0; i < kPoints; ++i) {
+      if (key == point_name(static_cast<Point>(i))) {
+        spec.rates[i] = rate;
+        matched = true;
+        break;
+      }
     }
+    if (!matched)
+      return Status::internal("GP_FAULT unknown point '" + key +
+                              "' (valid points: " + valid_point_names() +
+                              ")");
   }
   return spec;
 }

@@ -14,8 +14,12 @@
 //   solver=<rate>     solver::Solver query returns Unknown  (solver timeout)
 //   emu=<rate>        emu::Emulator::step traps             (emulated crash)
 //   alloc=<rate>      expression interning throws           (allocation failure)
+//   write=<rate>      atomic file write persists a prefix   (torn write)
+//   read=<rate>       file read flips one bit               (media corruption)
+//   rename=<rate>     checkpoint publish rename fails       (full disk / EIO)
 // with <rate> a probability in [0, 1], e.g.
 //   GP_FAULT="seed=42,decode=0.01,solver=0.05,alloc=0.001"
+// Unknown keys are rejected with an error that lists the valid points.
 //
 // When no spec is active, every should_fire() call is a single relaxed
 // atomic load — cheap enough to leave the hooks in release builds.
@@ -34,9 +38,15 @@ enum class Point : u8 {
   Solver,        // constraint query returns Unknown
   Emu,           // emulator traps (validation fails, chain dropped)
   Alloc,         // expression-node allocation fails
+  ShortWrite,    // serial::write_file_atomic persists only a prefix
+  ReadCorrupt,   // serial::read_file flips one deterministic bit
+  RenameFail,    // checkpoint publish (temp-file rename) fails
   kCount,
 };
+/// The point's GP_FAULT spec key ("decode", "write", ...).
 const char* point_name(Point p);
+/// Comma-separated list of every valid spec key (for error messages).
+std::string valid_point_names();
 
 struct Spec {
   u64 seed = 1;

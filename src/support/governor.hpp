@@ -137,6 +137,23 @@ struct GovernorOptions {
   /// Environment knobs: GP_DEADLINE_MS, GP_SOLVER_CHECKS, GP_SYM_STEPS,
   /// GP_EXPR_NODES (unset/unparsable entries stay unlimited).
   static GovernorOptions from_env();
+
+  /// Copy with every counted budget multiplied by `factor` (saturating;
+  /// unlimited stays unlimited). The deadline is NOT scaled — wall-clock
+  /// budgets are the caller's hard contract; the stage supervisor widens
+  /// only the counted budgets on retry.
+  GovernorOptions widened(double factor) const {
+    auto scale = [factor](u64 v) -> u64 {
+      if (v == 0) return 0;
+      const double s = static_cast<double>(v) * factor;
+      return s >= 1.8e19 ? ~u64{0} : static_cast<u64>(s);
+    };
+    GovernorOptions o = *this;
+    o.max_solver_checks = scale(max_solver_checks);
+    o.max_sym_steps = scale(max_sym_steps);
+    o.max_expr_nodes = scale(max_expr_nodes);
+    return o;
+  }
 };
 
 class Governor {
@@ -156,6 +173,10 @@ class Governor {
   const Deadline& deadline() const { return deadline_; }
   void set_deadline(Deadline d) { deadline_ = d; }
   CancelToken& cancel_token() { return cancel_; }
+  /// Share another governor's cancel flag (copies share state): a retry
+  /// governor built by the stage supervisor stays cancellable through the
+  /// pipeline governor the caller holds.
+  void set_cancel_token(CancelToken t) { cancel_ = std::move(t); }
   void cancel() { cancel_.cancel(); }
 
   Budget& solver_checks() { return solver_checks_; }

@@ -184,6 +184,28 @@ TEST(Fault, ParseSpecRejectsTyposAndBadRates) {
   EXPECT_FALSE(fault::parse_spec("seed=notanumber").ok());
 }
 
+TEST(Fault, UnknownPointNamesTheTypoAndListsEveryValidPoint) {
+  const auto r = fault::parse_spec("wirte=0.5");
+  ASSERT_FALSE(r.ok());
+  const std::string& msg = r.status().message();
+  EXPECT_NE(msg.find("wirte"), std::string::npos) << msg;
+  // The error must enumerate the full grammar so a chaos-run typo is
+  // self-diagnosing — including the I/O points.
+  for (const char* name :
+       {"decode", "solver", "emu", "alloc", "write", "read", "rename"})
+    EXPECT_NE(msg.find(name), std::string::npos) << "missing " << name;
+  EXPECT_EQ(fault::valid_point_names(),
+            "decode, solver, emu, alloc, write, read, rename");
+}
+
+TEST(Fault, ParseSpecAcceptsTheIoPoints) {
+  const auto r = fault::parse_spec("seed=3,write=0.25,read=0.5,rename=1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().rate(fault::Point::ShortWrite), 0.25);
+  EXPECT_DOUBLE_EQ(r.value().rate(fault::Point::ReadCorrupt), 0.5);
+  EXPECT_DOUBLE_EQ(r.value().rate(fault::Point::RenameFail), 1.0);
+}
+
 TEST(Fault, DisabledByDefaultAndNeverFires) {
   fault::disable();
   EXPECT_FALSE(fault::enabled());

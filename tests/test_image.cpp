@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "image/image.hpp"
+#include "support/serial.hpp"
 
 namespace gp::image {
 namespace {
@@ -64,6 +67,121 @@ TEST(Image, AddressConstantsAreSane) {
   EXPECT_LT(kDataBase, kStackTop);
   EXPECT_LT(kStackTop, u64{1} << 32);  // the zext canonicalization invariant
   EXPECT_GT(kExitAddress, kStackTop);
+}
+
+// -- GPIM save/load and loader hardening --------------------------------------
+
+// Re-seal a hand-tampered GPIM buffer: the loader checks the whole-file CRC
+// first, so crafting a *structurally* malicious file requires fixing up the
+// footer the way an attacker (or fuzzer) with write access would.
+std::vector<u8> reseal(std::vector<u8> bytes) {
+  const std::span<const u8> body(bytes.data(), bytes.size() - 4);
+  const u32 crc = serial::crc32(body);
+  for (int i = 0; i < 4; ++i)
+    bytes[bytes.size() - 4 + i] = static_cast<u8>(crc >> (8 * i));
+  return bytes;
+}
+
+TEST(ImageFormat, SaveLoadRoundTrip) {
+  auto img = make();
+  auto loaded = load(save(img));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  const Image& out = loaded.value();
+  EXPECT_EQ(std::vector<u8>(out.code().begin(), out.code().end()),
+            std::vector<u8>(img.code().begin(), img.code().end()));
+  EXPECT_EQ(std::vector<u8>(out.data().begin(), out.data().end()),
+            std::vector<u8>(img.data().begin(), img.data().end()));
+  EXPECT_EQ(out.entry(), img.entry());
+  ASSERT_EQ(out.symbols().size(), img.symbols().size());
+  EXPECT_EQ(out.find_symbol("main").value(), kCodeBase + 8);
+}
+
+TEST(ImageFormat, RoundTripWithoutDataSection) {
+  Image img(std::vector<u8>(16, 0xc3), {}, kCodeBase);
+  auto loaded = load(save(img));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded.value().code().size(), 16u);
+  EXPECT_TRUE(loaded.value().data().empty());
+}
+
+TEST(ImageFormat, EveryTruncationFailsCleanly) {
+  const auto full = save(make());
+  for (size_t len = 0; len < full.size(); ++len) {
+    auto r = load({full.data(), len});
+    EXPECT_FALSE(r.ok()) << "prefix length " << len;
+  }
+}
+
+TEST(ImageFormat, RandomBitFlipsNeverCrashTheLoader) {
+  const auto full = save(make());
+  std::mt19937 rng(31);
+  for (int trial = 0; trial < 512; ++trial) {
+    auto damaged = full;
+    const size_t bit = rng() % (damaged.size() * 8);
+    damaged[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+    // A single flipped bit is always caught by the whole-file CRC.
+    EXPECT_FALSE(load(damaged).ok()) << "flipped bit " << bit;
+  }
+}
+
+TEST(ImageFormat, RandomGarbageNeverCrashesTheLoader) {
+  std::mt19937 rng(37);
+  for (int trial = 0; trial < 512; ++trial) {
+    std::vector<u8> junk(rng() % 256);
+    for (auto& b : junk) b = static_cast<u8>(rng());
+    EXPECT_FALSE(load(junk).ok());
+  }
+}
+
+TEST(ImageFormat, OversizedSectionCountIsRejected) {
+  auto bytes = save(make());
+  // n_sections lives right after magic+version+entry (offset 16).
+  bytes[16] = 0xff;
+  bytes[17] = 0xff;
+  auto r = load(reseal(std::move(bytes)));
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("section"), std::string::npos);
+}
+
+TEST(ImageFormat, SectionEscapingTheFileIsRejected) {
+  auto bytes = save(make());
+  // First section entry: kind u8 at 20, vaddr u64 at 21, offset u64 at 29,
+  // size u64 at 37. Point the size past the end of the file.
+  for (int i = 0; i < 8; ++i) bytes[37 + i] = 0xff;
+  auto r = load(reseal(std::move(bytes)));
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("escapes"), std::string::npos);
+}
+
+TEST(ImageFormat, OverlappingSectionsAreRejected) {
+  auto img = make();
+  auto bytes = save(img);
+  // Make the data section's file range start inside the code section's.
+  // Data entry begins at 20 + 25: kind at 45, vaddr at 46, offset at 54.
+  u64 code_offset = 0;
+  for (int i = 0; i < 8; ++i) code_offset |= u64{bytes[29 + i]} << (8 * i);
+  for (int i = 0; i < 8; ++i)
+    bytes[54 + i] = static_cast<u8>((code_offset + 1) >> (8 * i));
+  auto r = load(reseal(std::move(bytes)));
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("overlap"), std::string::npos);
+}
+
+TEST(ImageFormat, EntryOutsideCodeIsRejected) {
+  auto bytes = save(make());
+  // Entry u64 lives at offset 8; point it below the code base.
+  for (int i = 0; i < 8; ++i) bytes[8 + i] = 0;
+  auto r = load(reseal(std::move(bytes)));
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("entry"), std::string::npos);
+}
+
+TEST(ImageFormat, BumpedVersionIsRejected) {
+  auto bytes = save(make());
+  bytes[4] = 99;  // version field follows the magic
+  auto r = load(reseal(std::move(bytes)));
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("version"), std::string::npos);
 }
 
 }  // namespace

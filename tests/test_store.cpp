@@ -1,0 +1,612 @@
+// Artifact-store + checkpoint/resume coverage (ISSUE 3):
+//  - serialization primitives (CRC vector, round trips, truncation safety),
+//  - round trips of every artifact type through a *fresh* solver context,
+//  - single-bit corruption at randomized offsets, truncation, orphan files,
+//    version bumps — every damage mode must read as "absent", never crash,
+//  - the injected I/O faults (torn write, read bit-flip, rename failure),
+//  - kill-resume determinism: a warm (checkpoint-served) pipeline emits
+//    byte-identical payloads to a cold run,
+//  - the stage supervisor's retry-with-widened-budgets loop.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <random>
+
+#include "codegen/codegen.hpp"
+#include "core/core.hpp"
+#include "gadget/serialize.hpp"
+#include "minic/minic.hpp"
+#include "payload/serialize.hpp"
+#include "store/store.hpp"
+#include "support/fault.hpp"
+#include "support/serial.hpp"
+
+namespace gp {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag) {
+    path = fs::temp_directory_path() /
+           ("gp_store_" + tag + "_" + std::to_string(::getpid()));
+    std::error_code ec;
+    fs::remove_all(path, ec);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+const char* kSource = R"(
+int scale(int x, int k) { return x * k + 3; }
+int clamp(int v, int lo, int hi) { if (v < lo) return lo; if (v > hi) return hi; return v; }
+int a[16];
+int main() {
+  int i = 0;
+  while (i < 16) { a[i] = clamp(scale(i, 37), 5, 900) & 0xff; i = i + 1; }
+  int j = 0; int best = 0;
+  while (j < 16) { if (a[j] > best) best = a[j]; j = j + 1; }
+  out(best); return best;
+})";
+
+image::Image obfuscated_image() {
+  auto prog = minic::compile_source(kSource);
+  obf::obfuscate(prog, obf::Options::llvm_obf(7));
+  return codegen::compile(prog);
+}
+
+// -- serialization primitives -------------------------------------------------
+
+TEST(Crc32, MatchesTheIEEETestVector) {
+  const std::string s = "123456789";
+  EXPECT_EQ(serial::crc32({reinterpret_cast<const u8*>(s.data()), s.size()}),
+            0xCBF43926u);
+  EXPECT_EQ(serial::crc32({}), 0u);
+}
+
+TEST(Serial, WriterReaderRoundTripsEveryType) {
+  serial::Writer w;
+  w.put_u8(0xab);
+  w.put_u16(0xbeef);
+  w.put_u32(0xdeadbeef);
+  w.put_u64(0x0123456789abcdefULL);
+  w.put_i64(-42);
+  w.put_f64(3.5);
+  w.put_bool(true);
+  w.put_str("hello");
+  const std::vector<u8> blob{1, 2, 3};
+  w.put_bytes(blob);
+
+  serial::Reader r(w.bytes());
+  EXPECT_EQ(r.get_u8(), 0xab);
+  EXPECT_EQ(r.get_u16(), 0xbeef);
+  EXPECT_EQ(r.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.get_i64(), -42);
+  EXPECT_EQ(r.get_f64(), 3.5);
+  EXPECT_TRUE(r.get_bool());
+  EXPECT_EQ(r.get_str(), "hello");
+  auto b = r.get_bytes();
+  EXPECT_EQ(std::vector<u8>(b.begin(), b.end()), blob);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Serial, OversizedLengthPrefixFailsInsteadOfAllocating) {
+  serial::Writer w;
+  w.put_u64(~u64{0});  // length prefix far past the end of the buffer
+  serial::Reader r(w.bytes());
+  EXPECT_TRUE(r.get_bytes().empty());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.get_u32(), 0u);  // sticky failure: reads keep returning zeros
+}
+
+TEST(Serial, TruncatedInputNeverReadsOutOfBounds) {
+  serial::Writer w;
+  w.put_u64(7);
+  w.put_str("payload");
+  const auto& full = w.bytes();
+  for (size_t len = 0; len < full.size(); ++len) {
+    serial::Reader r({full.data(), len});
+    (void)r.get_u64();
+    (void)r.get_str();
+    EXPECT_FALSE(r.ok()) << "prefix length " << len;
+  }
+}
+
+TEST(Serial, RecordSingleBitFlipIsAlwaysDetected) {
+  std::vector<u8> payload(123);
+  for (size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<u8>(i * 37);
+  serial::Writer w;
+  serial::put_record(w, payload);
+
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 256; ++trial) {
+    auto bytes = w.bytes();
+    const size_t bit = rng() % (bytes.size() * 8);
+    bytes[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+    serial::Reader r(bytes);
+    EXPECT_FALSE(serial::get_record(r).has_value()) << "flipped bit " << bit;
+  }
+}
+
+// -- artifact round trips -----------------------------------------------------
+
+TEST(ArtifactRoundTrip, GadgetPoolThroughAFreshContext) {
+  const auto img = obfuscated_image();
+  solver::Context ctx;
+  gadget::Extractor ex(ctx, img);
+  auto pool = ex.extract({});
+  ASSERT_GT(pool.size(), 10u);
+
+  const auto records = gadget::encode_pool(ctx, pool);
+  // Decode into a fresh context, the way a resumed process starts.
+  solver::Context ctx2;
+  auto decoded = gadget::decode_pool(ctx2, records);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), pool.size());
+  for (size_t i = 0; i < pool.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].addr, pool[i].addr);
+    EXPECT_EQ((*decoded)[i].len, pool[i].len);
+    EXPECT_EQ((*decoded)[i].end, pool[i].end);
+    EXPECT_EQ((*decoded)[i].clobbered, pool[i].clobbered);
+    EXPECT_EQ((*decoded)[i].controlled, pool[i].controlled);
+    EXPECT_EQ((*decoded)[i].path.size(), pool[i].path.size());
+  }
+  // Re-encoding from the fresh context is byte-identical: expressions replay
+  // through the smart constructors in table order, so ids and bytes are a
+  // pure function of the pool — the determinism kill-resume depends on.
+  EXPECT_EQ(gadget::encode_pool(ctx2, *decoded), records);
+}
+
+TEST(ArtifactRoundTrip, PoolDecodeRejectsBitFlipsAtRandomOffsets) {
+  const auto img = obfuscated_image();
+  solver::Context ctx;
+  gadget::Extractor ex(ctx, img);
+  auto pool = ex.extract({});
+  const auto records = gadget::encode_pool(ctx, pool);
+
+  std::mt19937 rng(11);
+  for (int trial = 0; trial < 32; ++trial) {
+    auto damaged = records;
+    auto& rec = damaged[rng() % damaged.size()];
+    if (rec.empty()) continue;
+    const size_t bit = rng() % (rec.size() * 8);
+    rec[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+    solver::Context fresh;
+    // Either the corruption is structurally detected (nullopt) or it only
+    // touched value bytes that decode to a *different* pool — never UB or
+    // a crash. In the real store the per-record CRC rejects both before
+    // decode ever runs; this exercises the decoder's own hardening.
+    (void)gadget::decode_pool(fresh, damaged);
+  }
+}
+
+TEST(ArtifactRoundTrip, ChainsSurviveAndBadIndicesAreRejected) {
+  payload::Chain c;
+  c.goal_name = "execve";
+  c.gadgets = {3, 1, 4};
+  c.payload = {0xde, 0xad, 0xbe, 0xef};
+  c.entry = 0x400123;
+  c.total_insts = 9;
+  c.ret_gadgets = 2;
+  c.ij_gadgets = 1;
+
+  const auto records = payload::encode_chains({c});
+  auto decoded = payload::decode_chains(records, /*library_size=*/5);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), 1u);
+  EXPECT_EQ((*decoded)[0].goal_name, c.goal_name);
+  EXPECT_EQ((*decoded)[0].gadgets, c.gadgets);
+  EXPECT_EQ((*decoded)[0].payload, c.payload);
+  EXPECT_EQ((*decoded)[0].entry, c.entry);
+  EXPECT_EQ((*decoded)[0].total_insts, c.total_insts);
+  EXPECT_EQ((*decoded)[0].ret_gadgets, c.ret_gadgets);
+
+  // A chain for a different (smaller) pool must not pass: index 4 out of a
+  // 4-gadget library is stale data, not a usable chain.
+  EXPECT_FALSE(payload::decode_chains(records, /*library_size=*/4).has_value());
+  EXPECT_EQ(payload::encode_chains(*decoded), records);
+}
+
+// -- the store itself ---------------------------------------------------------
+
+std::vector<std::vector<u8>> sample_records() {
+  std::vector<std::vector<u8>> recs;
+  recs.push_back({1, 2, 3});
+  recs.push_back({});  // empty records are legal
+  std::vector<u8> big(4096);
+  for (size_t i = 0; i < big.size(); ++i) big[i] = static_cast<u8>(i);
+  recs.push_back(std::move(big));
+  return recs;
+}
+
+TEST(Store, PutThenGetRoundTripsSameProcess) {
+  TempDir dir("roundtrip");
+  store::ArtifactStore s(dir.str());
+  serial::Writer material;
+  material.put_str("input");
+  const std::string key = s.key("extract", material);
+  EXPECT_TRUE(s.put(key, sample_records()).ok());
+
+  auto art = s.get(key);
+  ASSERT_TRUE(art.has_value());
+  EXPECT_EQ(art->records, sample_records());
+  EXPECT_TRUE(art->same_process);
+  EXPECT_EQ(s.stats().hits, 1u);
+  EXPECT_EQ(s.stats().misses, 0u);
+}
+
+TEST(Store, KeysSeparateStagesAndMaterials) {
+  TempDir dir("keys");
+  store::ArtifactStore s(dir.str());
+  serial::Writer a, b;
+  a.put_u64(1);
+  b.put_u64(2);
+  EXPECT_NE(s.key("extract", a), s.key("extract", b));
+  EXPECT_NE(s.key("extract", a), s.key("subsume", a));
+  EXPECT_EQ(s.key("extract", a), s.key("extract", a));
+}
+
+TEST(Store, MissingKeyIsAMiss) {
+  TempDir dir("miss");
+  store::ArtifactStore s(dir.str());
+  EXPECT_FALSE(s.get("extract-0000000000000000").has_value());
+  EXPECT_EQ(s.stats().misses, 1u);
+}
+
+TEST(Store, SurvivesReopenAcrossInstances) {
+  TempDir dir("reopen");
+  std::string key;
+  {
+    store::ArtifactStore s(dir.str());
+    serial::Writer m;
+    m.put_str("x");
+    key = s.key("plan", m);
+    ASSERT_TRUE(s.put(key, sample_records()).ok());
+  }
+  store::ArtifactStore s2(dir.str());
+  auto art = s2.get(key);
+  ASSERT_TRUE(art.has_value());
+  EXPECT_EQ(art->records, sample_records());
+  // Same pid, so still a "hit"; the cross-process resume path is exercised
+  // by scripts/tier1.sh (SIGKILL + re-run) where the pid really differs.
+}
+
+TEST(Store, SingleBitCorruptionAtRandomOffsetsIsDetected) {
+  TempDir dir("corrupt");
+  serial::Writer m;
+  m.put_str("x");
+  std::mt19937 rng(23);
+  for (int trial = 0; trial < 24; ++trial) {
+    store::ArtifactStore s(dir.str());
+    const std::string key = s.key("extract", m);
+    ASSERT_TRUE(s.put(key, sample_records()).ok());
+
+    const std::string path = dir.str() + "/" + key + ".gpa";
+    auto bytes = serial::read_file(path);
+    ASSERT_TRUE(bytes.ok());
+    auto damaged = bytes.value();
+    const size_t bit = rng() % (damaged.size() * 8);
+    damaged[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+    ASSERT_TRUE(serial::write_file_atomic(path, damaged).ok());
+
+    EXPECT_FALSE(s.get(key).has_value()) << "flipped bit " << bit;
+    EXPECT_EQ(s.stats().corrupt, 1u) << "flipped bit " << bit;
+    // The damaged artifact was dropped; a re-put re-publishes cleanly.
+    ASSERT_TRUE(s.put(key, sample_records()).ok());
+    EXPECT_TRUE(s.get(key).has_value());
+  }
+}
+
+TEST(Store, TruncationReadsAsAbsent) {
+  TempDir dir("trunc");
+  store::ArtifactStore s(dir.str());
+  serial::Writer m;
+  m.put_str("x");
+  const std::string key = s.key("subsume", m);
+  ASSERT_TRUE(s.put(key, sample_records()).ok());
+
+  const std::string path = dir.str() + "/" + key + ".gpa";
+  auto bytes = serial::read_file(path);
+  ASSERT_TRUE(bytes.ok());
+  auto truncated = bytes.value();
+  truncated.resize(truncated.size() / 2);
+  ASSERT_TRUE(serial::write_file_atomic(path, truncated).ok());
+
+  EXPECT_FALSE(s.get(key).has_value());
+  EXPECT_EQ(s.stats().corrupt, 1u);
+}
+
+TEST(Store, OrphanArtifactWithoutManifestEntryIsStale) {
+  TempDir dir("orphan");
+  std::string key;
+  {
+    store::ArtifactStore s(dir.str());
+    serial::Writer m;
+    m.put_str("x");
+    key = s.key("extract", m);
+    ASSERT_TRUE(s.put(key, sample_records()).ok());
+  }
+  // Simulate a crash between artifact publish and manifest update.
+  std::error_code ec;
+  fs::remove(fs::path(dir.str()) / "manifest.gpm", ec);
+  store::ArtifactStore s2(dir.str());
+  EXPECT_FALSE(s2.get(key).has_value());
+  EXPECT_EQ(s2.stats().stale, 1u);
+}
+
+TEST(Store, VersionBumpInvalidatesOldArtifacts) {
+  TempDir dir("version");
+  std::string key;
+  {
+    store::ArtifactStore s(dir.str(), /*version=*/1);
+    serial::Writer m;
+    m.put_str("x");
+    key = s.key("extract", m);
+    ASSERT_TRUE(s.put(key, sample_records()).ok());
+  }
+  // A bumped format version must never deserialize v1 bytes. The v1
+  // manifest is also rejected, so the old artifact reads as an orphan.
+  store::ArtifactStore s2(dir.str(), /*version=*/2);
+  EXPECT_FALSE(s2.get(key).has_value());
+  const auto stats = s2.stats();
+  EXPECT_EQ(stats.stale + stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+}
+
+TEST(Store, CorruptManifestStartsEmptyInsteadOfTrustingIt) {
+  TempDir dir("badmanifest");
+  std::string key;
+  {
+    store::ArtifactStore s(dir.str());
+    serial::Writer m;
+    m.put_str("x");
+    key = s.key("extract", m);
+    ASSERT_TRUE(s.put(key, sample_records()).ok());
+  }
+  const std::string manifest = dir.str() + "/manifest.gpm";
+  auto bytes = serial::read_file(manifest);
+  ASSERT_TRUE(bytes.ok());
+  auto damaged = bytes.value();
+  damaged[damaged.size() / 2] ^= 0x40;
+  ASSERT_TRUE(serial::write_file_atomic(manifest, damaged).ok());
+
+  store::ArtifactStore s2(dir.str());
+  EXPECT_FALSE(s2.get(key).has_value());  // nothing trusted, no crash
+}
+
+// -- injected I/O faults ------------------------------------------------------
+
+TEST(StoreFault, TornWriteIsIndistinguishableFromMissing) {
+  TempDir dir("torn");
+  store::ArtifactStore s(dir.str());
+  serial::Writer m;
+  m.put_str("x");
+  const std::string key = s.key("extract", m);
+  {
+    fault::ScopedSpec spec("seed=9,write=1");
+    // The injected short write publishes a half-written artifact; the
+    // manifest cross-check must catch it.
+    (void)s.put(key, sample_records()).ok();
+    EXPECT_FALSE(s.get(key).has_value());
+  }
+  EXPECT_EQ(s.stats().hits, 0u);
+  // Fault gone: the stage recomputes and re-publishes.
+  ASSERT_TRUE(s.put(key, sample_records()).ok());
+  EXPECT_TRUE(s.get(key).has_value());
+}
+
+TEST(StoreFault, ReadBitFlipIsDetectedAndDropped) {
+  TempDir dir("readflip");
+  store::ArtifactStore s(dir.str());
+  serial::Writer m;
+  m.put_str("x");
+  const std::string key = s.key("plan", m);
+  ASSERT_TRUE(s.put(key, sample_records()).ok());
+  {
+    fault::ScopedSpec spec("seed=9,read=1");
+    EXPECT_FALSE(s.get(key).has_value());
+  }
+  EXPECT_GE(s.stats().corrupt, 1u);
+  // The poisoned read dropped the artifact — by design (a store cannot
+  // distinguish flaky media from rot); the caller recomputes and re-puts.
+  ASSERT_TRUE(s.put(key, sample_records()).ok());
+  EXPECT_TRUE(s.get(key).has_value());
+}
+
+TEST(StoreFault, RenameFailureFailsThePutAndLeavesNoTrace) {
+  TempDir dir("rename");
+  store::ArtifactStore s(dir.str());
+  serial::Writer m;
+  m.put_str("x");
+  const std::string key = s.key("extract", m);
+  {
+    fault::ScopedSpec spec("seed=9,rename=1");
+    const Status st = s.put(key, sample_records());
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::FaultInjected);
+  }
+  EXPECT_EQ(s.stats().put_failures, 1u);
+  EXPECT_FALSE(s.get(key).has_value());  // no orphan, no temp file trusted
+  ASSERT_TRUE(s.put(key, sample_records()).ok());
+  EXPECT_TRUE(s.get(key).has_value());
+}
+
+// -- checkpoint/resume through the pipeline ----------------------------------
+
+TEST(CheckpointResume, WarmRunEmitsByteIdenticalPayloads) {
+  const auto img = obfuscated_image();
+  core::PipelineOptions base;
+  base.store_dir.clear();  // cold reference: no checkpointing at all
+  base.plan.max_chains = 2;
+  base.plan.time_budget_seconds = 60;
+
+  core::GadgetPlanner cold(img, base);
+  const auto cold_chains = cold.find_chains(payload::Goal::execve());
+  ASSERT_FALSE(cold_chains.empty());
+  EXPECT_EQ(cold.report().store.puts, 0u);
+
+  TempDir dir("resume");
+  core::PipelineOptions warm = base;
+  warm.store_dir = dir.str();
+
+  core::GadgetPlanner writer(img, warm);  // populates the store
+  const auto first_chains = writer.find_chains(payload::Goal::execve());
+  EXPECT_GE(writer.report().store.puts, 2u);  // extract + subsume (+ plan)
+  EXPECT_EQ(writer.report().extract_runs.attempts, 1u);
+
+  core::GadgetPlanner reader(img, warm);  // everything served from disk
+  const auto warm_chains = reader.find_chains(payload::Goal::execve());
+  const auto& runs = reader.report();
+  EXPECT_EQ(runs.extract_runs.attempts, 0u);
+  EXPECT_EQ(runs.subsume_runs.attempts, 0u);
+  EXPECT_EQ(runs.plan_runs.attempts, 0u);
+  EXPECT_GE(runs.extract_runs.cache_hits + runs.extract_runs.resumes, 1u);
+  EXPECT_GE(runs.plan_runs.cache_hits + runs.plan_runs.resumes, 1u);
+
+  ASSERT_EQ(cold_chains.size(), first_chains.size());
+  ASSERT_EQ(cold_chains.size(), warm_chains.size());
+  for (size_t i = 0; i < cold_chains.size(); ++i) {
+    EXPECT_EQ(cold_chains[i].payload, first_chains[i].payload);
+    EXPECT_EQ(cold_chains[i].payload, warm_chains[i].payload);
+    EXPECT_EQ(cold_chains[i].entry, warm_chains[i].entry);
+    EXPECT_EQ(cold_chains[i].gadgets, warm_chains[i].gadgets);
+  }
+}
+
+TEST(CheckpointResume, ResumesFromTheLastGoodCheckpoint) {
+  const auto img = obfuscated_image();
+  TempDir dir("partial");
+
+  // An "interrupted" run that only completed extraction (the pipeline died
+  // before subsumption, so only the extract checkpoint exists).
+  core::PipelineOptions partial;
+  partial.store_dir = dir.str();
+  partial.run_subsumption = false;
+  core::GadgetPlanner interrupted(img, partial);
+  EXPECT_EQ(interrupted.report().extract_runs.attempts, 1u);
+
+  // The resumed full run serves extraction from the checkpoint and only
+  // computes the missing stages.
+  core::PipelineOptions full;
+  full.store_dir = dir.str();
+  core::GadgetPlanner resumed(img, full);
+  EXPECT_EQ(resumed.report().extract_runs.attempts, 0u);
+  EXPECT_GE(resumed.report().extract_runs.cache_hits +
+                resumed.report().extract_runs.resumes,
+            1u);
+  EXPECT_EQ(resumed.report().subsume_runs.attempts, 1u);
+
+  core::PipelineOptions none;
+  none.store_dir.clear();
+  core::GadgetPlanner reference(img, none);
+  EXPECT_EQ(resumed.report().pool_raw, reference.report().pool_raw);
+  EXPECT_EQ(resumed.report().pool_minimized, reference.report().pool_minimized);
+}
+
+TEST(CheckpointResume, CorruptedCheckpointIsTransparentlyRecomputed) {
+  const auto img = obfuscated_image();
+  TempDir dir("heal");
+  core::PipelineOptions opts;
+  opts.store_dir = dir.str();
+  core::GadgetPlanner writer(img, opts);
+  ASSERT_GE(writer.report().store.puts, 1u);
+
+  // Flip one bit in every artifact on disk.
+  for (const auto& entry : fs::directory_iterator(dir.str())) {
+    if (entry.path().extension() != ".gpa") continue;
+    auto bytes = serial::read_file(entry.path().string());
+    ASSERT_TRUE(bytes.ok());
+    auto damaged = bytes.value();
+    damaged[damaged.size() / 3] ^= 0x10;
+    ASSERT_TRUE(
+        serial::write_file_atomic(entry.path().string(), damaged).ok());
+  }
+
+  core::GadgetPlanner healed(img, opts);
+  EXPECT_EQ(healed.report().extract_runs.attempts, 1u);  // recomputed
+  EXPECT_GE(healed.report().store.corrupt, 1u);
+  EXPECT_EQ(healed.report().pool_raw, writer.report().pool_raw);
+  EXPECT_EQ(healed.report().pool_minimized, writer.report().pool_minimized);
+
+  // And the recomputed checkpoints are good again.
+  core::GadgetPlanner warm(img, opts);
+  EXPECT_EQ(warm.report().extract_runs.attempts, 0u);
+}
+
+// -- the stage supervisor -----------------------------------------------------
+
+TEST(Supervisor, RetriesWithWidenedBudgetsUntilExtractionIsClean) {
+  const auto img = obfuscated_image();
+  core::PipelineOptions opts;
+  opts.store_dir.clear();
+  opts.governor.max_sym_steps = 40;  // starves the first attempt
+  opts.supervise.max_retries = 10;
+  opts.supervise.budget_widen_factor = 8;
+  opts.supervise.backoff_initial_ms = 0;  // don't sleep in tests
+
+  core::GadgetPlanner gp(img, opts);
+  const auto& runs = gp.report().extract_runs;
+  EXPECT_GE(runs.attempts, 2u);
+  EXPECT_GE(runs.retries, 1u);
+  EXPECT_EQ(runs.attempts, runs.retries + 1);
+  EXPECT_TRUE(gp.report().extract_status.ok())
+      << gp.report().extract_status.to_string();
+  EXPECT_GT(gp.report().pool_raw, 0u);
+}
+
+TEST(Supervisor, ZeroRetriesKeepsTheDegradedResult) {
+  const auto img = obfuscated_image();
+  core::PipelineOptions opts;
+  opts.store_dir.clear();
+  opts.governor.max_sym_steps = 40;
+  opts.supervise.max_retries = 0;
+
+  core::GadgetPlanner gp(img, opts);
+  EXPECT_EQ(gp.report().extract_runs.attempts, 1u);
+  EXPECT_EQ(gp.report().extract_runs.retries, 0u);
+  EXPECT_FALSE(gp.report().extract_status.ok());  // degraded, not retried
+}
+
+TEST(Supervisor, DegradedResultsAreNeverCheckpointed) {
+  const auto img = obfuscated_image();
+  TempDir dir("nodegrade");
+  core::PipelineOptions opts;
+  opts.store_dir = dir.str();
+  opts.governor.max_sym_steps = 40;
+  opts.supervise.max_retries = 0;
+  core::GadgetPlanner degraded(img, opts);
+  ASSERT_FALSE(degraded.report().extract_status.ok());
+  EXPECT_EQ(degraded.report().store.puts, 0u);
+
+  // A later unconstrained run must not inherit the partial pool.
+  core::PipelineOptions clean;
+  clean.store_dir = dir.str();
+  core::GadgetPlanner full(img, clean);
+  EXPECT_EQ(full.report().extract_runs.attempts, 1u);
+  EXPECT_GT(full.report().pool_raw, degraded.report().pool_raw);
+}
+
+TEST(SupervisorOptions, ReadsGpRetriesFromTheEnvironment) {
+  ::setenv("GP_RETRIES", "7", 1);
+  EXPECT_EQ(core::SupervisorOptions::from_env().max_retries, 7);
+  ::setenv("GP_RETRIES", "garbage", 1);
+  EXPECT_EQ(core::SupervisorOptions::from_env().max_retries,
+            core::SupervisorOptions{}.max_retries);
+  ::setenv("GP_RETRIES", "-3", 1);
+  EXPECT_EQ(core::SupervisorOptions::from_env().max_retries,
+            core::SupervisorOptions{}.max_retries);
+  ::unsetenv("GP_RETRIES");
+}
+
+}  // namespace
+}  // namespace gp

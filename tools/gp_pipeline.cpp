@@ -1,0 +1,172 @@
+// gp_pipeline: command-line driver for the full Gadget-Planner pipeline
+// with durable checkpoint/resume.
+//
+// The robustness harness (scripts/tier1.sh) uses it to prove kill-resume
+// determinism: run once cold, SIGKILL a second run mid-extraction with
+// GP_STORE_DIR set, re-run to resume from the surviving checkpoints, and
+// byte-diff the emitted payloads against the cold reference.
+//
+//   gp_pipeline [--program <name>] [--obf <profile>] [--seed <n>]
+//               [--image <file.gpim>] [--save-image <file.gpim>]
+//               [--goal <execve|mprotect|mmap|all>] [--out <dir>] [--report]
+//
+// Either compile a corpus program (--program/--obf/--seed) or analyze a
+// previously saved flat-binary image (--image). --out writes each chain's
+// payload bytes to <dir>/<goal>-<index>.bin for diffing. Checkpointing and
+// retry knobs come from the environment: GP_STORE_DIR, GP_RETRIES, plus the
+// governor (GP_DEADLINE_MS, ...) and chaos (GP_FAULT) knobs.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "codegen/codegen.hpp"
+#include "core/core.hpp"
+#include "corpus/corpus.hpp"
+#include "minic/minic.hpp"
+#include "support/serial.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--program <name>] [--obf none|substitution|bogus-cf|"
+      "flatten|encode-data|virtualize|llvm-obf|tigress] [--seed <n>]\n"
+      "          [--image <file.gpim>] [--save-image <file.gpim>]\n"
+      "          [--goal execve|mprotect|mmap|all] [--out <dir>] [--report]\n"
+      "env: GP_STORE_DIR (checkpoint dir), GP_RETRIES, GP_DEADLINE_MS, "
+      "GP_FAULT, GP_THREADS\n",
+      argv0);
+  return 2;
+}
+
+gp::obf::Options obf_profile(const std::string& name, int seed) {
+  using gp::obf::Options;
+  if (name == "none") return Options::none();
+  if (name == "substitution") return {.substitution = true, .seed = seed};
+  if (name == "bogus-cf") return {.bogus_cf = true, .seed = seed};
+  if (name == "flatten") return {.flatten = true, .seed = seed};
+  if (name == "encode-data") return {.encode_data = true, .seed = seed};
+  if (name == "virtualize") return {.virtualize = true, .seed = seed};
+  if (name == "llvm-obf") return Options::llvm_obf(seed);
+  if (name == "tigress") return Options::tigress(seed);
+  throw gp::Error("unknown obfuscation profile '" + name + "'");
+}
+
+void print_runs(const char* stage, const gp::core::StageRuns& r,
+                const gp::Status& st, double seconds) {
+  std::printf("  %-8s %6.2fs  attempts=%u retries=%u cache-hits=%u "
+              "resumes=%u  status=%s\n",
+              stage, seconds, r.attempts, r.retries, r.cache_hits, r.resumes,
+              st.ok() ? "ok" : st.to_string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gp;
+
+  std::string program = "hash_table", obf_name = "llvm-obf";
+  std::string image_path, save_image_path, goal_name = "all", out_dir;
+  bool want_report = false;
+  int seed = 5;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--program") {
+      if (const char* v = next()) program = v; else return usage(argv[0]);
+    } else if (arg == "--obf") {
+      if (const char* v = next()) obf_name = v; else return usage(argv[0]);
+    } else if (arg == "--seed") {
+      if (const char* v = next()) seed = std::atoi(v); else return usage(argv[0]);
+    } else if (arg == "--image") {
+      if (const char* v = next()) image_path = v; else return usage(argv[0]);
+    } else if (arg == "--save-image") {
+      if (const char* v = next()) save_image_path = v; else return usage(argv[0]);
+    } else if (arg == "--goal") {
+      if (const char* v = next()) goal_name = v; else return usage(argv[0]);
+    } else if (arg == "--out") {
+      if (const char* v = next()) out_dir = v; else return usage(argv[0]);
+    } else if (arg == "--report") {
+      want_report = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  image::Image img;
+  if (!image_path.empty()) {
+    auto loaded = image::load_file(image_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "gp_pipeline: %s: %s\n", image_path.c_str(),
+                   loaded.status().to_string().c_str());
+      return 1;
+    }
+    img = std::move(loaded.value());
+  } else {
+    auto prog = minic::compile_source(corpus::by_name(program).source);
+    obf::obfuscate(prog, obf_profile(obf_name, seed));
+    img = codegen::compile(prog);
+  }
+  if (!save_image_path.empty()) {
+    const Status st = image::save_file(img, save_image_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "gp_pipeline: save-image: %s\n",
+                   st.to_string().c_str());
+      return 1;
+    }
+  }
+
+  core::GadgetPlanner gp(img);
+  std::printf("pool: %llu raw -> %llu minimized\n",
+              (unsigned long long)gp.report().pool_raw,
+              (unsigned long long)gp.report().pool_minimized);
+
+  std::vector<payload::Goal> goals;
+  if (goal_name == "all") {
+    goals = payload::Goal::all();
+  } else {
+    for (const auto& g : payload::Goal::all())
+      if (g.name == goal_name) goals.push_back(g);
+    if (goals.empty()) return usage(argv[0]);
+  }
+
+  int exit_code = 0;
+  for (const auto& goal : goals) {
+    const auto chains = gp.find_chains(goal);
+    std::printf("%s: %zu chains\n", goal.name.c_str(), chains.size());
+    if (chains.empty()) exit_code = 1;
+    if (out_dir.empty()) continue;
+    for (size_t i = 0; i < chains.size(); ++i) {
+      const std::string path =
+          out_dir + "/" + goal.name + "-" + std::to_string(i) + ".bin";
+      const Status st = serial::write_file_atomic(path, chains[i].payload);
+      if (!st.ok()) {
+        std::fprintf(stderr, "gp_pipeline: %s: %s\n", path.c_str(),
+                     st.to_string().c_str());
+        return 1;
+      }
+    }
+  }
+
+  if (want_report) {
+    const auto& r = gp.report();
+    std::printf("stage report:\n");
+    print_runs("extract", r.extract_runs, r.extract_status, r.extract_seconds);
+    print_runs("subsume", r.subsume_runs, r.subsume_status, r.subsume_seconds);
+    print_runs("plan", r.plan_runs, r.plan_status, r.plan_seconds);
+    std::printf("  store    hits=%llu resumes=%llu misses=%llu "
+                "corrupt=%llu stale=%llu puts=%llu put-failures=%llu\n",
+                (unsigned long long)r.store.hits,
+                (unsigned long long)r.store.resumes,
+                (unsigned long long)r.store.misses,
+                (unsigned long long)r.store.corrupt,
+                (unsigned long long)r.store.stale,
+                (unsigned long long)r.store.puts,
+                (unsigned long long)r.store.put_failures);
+  }
+  return exit_code;
+}
