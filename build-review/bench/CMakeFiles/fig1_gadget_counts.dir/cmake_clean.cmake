@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_gadget_counts.dir/fig1_gadget_counts.cpp.o"
+  "CMakeFiles/fig1_gadget_counts.dir/fig1_gadget_counts.cpp.o.d"
+  "fig1_gadget_counts"
+  "fig1_gadget_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_gadget_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_per_obfuscation.dir/fig5_per_obfuscation.cpp.o"
+  "CMakeFiles/fig5_per_obfuscation.dir/fig5_per_obfuscation.cpp.o.d"
+  "fig5_per_obfuscation"
+  "fig5_per_obfuscation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_per_obfuscation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

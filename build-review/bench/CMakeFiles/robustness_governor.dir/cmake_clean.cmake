@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_governor.dir/robustness_governor.cpp.o"
+  "CMakeFiles/robustness_governor.dir/robustness_governor.cpp.o.d"
+  "robustness_governor"
+  "robustness_governor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_governor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

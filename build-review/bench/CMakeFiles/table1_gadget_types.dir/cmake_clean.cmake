@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_gadget_types.dir/table1_gadget_types.cpp.o"
+  "CMakeFiles/table1_gadget_types.dir/table1_gadget_types.cpp.o.d"
+  "table1_gadget_types"
+  "table1_gadget_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_gadget_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_payloads.dir/table4_payloads.cpp.o"
+  "CMakeFiles/table4_payloads.dir/table4_payloads.cpp.o.d"
+  "table4_payloads"
+  "table4_payloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_payloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

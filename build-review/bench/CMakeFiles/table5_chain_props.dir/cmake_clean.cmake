@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_chain_props.dir/table5_chain_props.cpp.o"
+  "CMakeFiles/table5_chain_props.dir/table5_chain_props.cpp.o.d"
+  "table5_chain_props"
+  "table5_chain_props.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_chain_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_spec.dir/table6_spec.cpp.o"
+  "CMakeFiles/table6_spec.dir/table6_spec.cpp.o.d"
+  "table6_spec"
+  "table6_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

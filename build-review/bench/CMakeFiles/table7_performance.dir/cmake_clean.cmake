@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_performance.dir/table7_performance.cpp.o"
+  "CMakeFiles/table7_performance.dir/table7_performance.cpp.o.d"
+  "table7_performance"
+  "table7_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

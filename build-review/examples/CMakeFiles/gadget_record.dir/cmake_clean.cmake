@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gadget_record.dir/gadget_record.cpp.o"
+  "CMakeFiles/gadget_record.dir/gadget_record.cpp.o.d"
+  "gadget_record"
+  "gadget_record.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gadget_record.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obfuscation_report.dir/obfuscation_report.cpp.o"
+  "CMakeFiles/obfuscation_report.dir/obfuscation_report.cpp.o.d"
+  "obfuscation_report"
+  "obfuscation_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obfuscation_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for obfuscation_report.
+# This may be replaced when dependencies are built.

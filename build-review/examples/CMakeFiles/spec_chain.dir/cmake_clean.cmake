@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_chain.dir/spec_chain.cpp.o"
+  "CMakeFiles/spec_chain.dir/spec_chain.cpp.o.d"
+  "spec_chain"
+  "spec_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

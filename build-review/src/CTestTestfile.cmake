@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("store")
+subdirs("x86")
+subdirs("image")
+subdirs("solver")
+subdirs("ir")
+subdirs("lift")
+subdirs("sym")
+subdirs("emu")
+subdirs("cfg")
+subdirs("minic")
+subdirs("obfuscate")
+subdirs("codegen")
+subdirs("gadget")
+subdirs("subsume")
+subdirs("planner")
+subdirs("payload")
+subdirs("baselines")
+subdirs("corpus")
+subdirs("core")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_baselines.dir/baselines.cpp.o"
+  "CMakeFiles/gp_baselines.dir/baselines.cpp.o.d"
+  "libgp_baselines.a"
+  "libgp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

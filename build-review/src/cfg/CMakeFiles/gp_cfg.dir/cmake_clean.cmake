@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_cfg.dir/cfg.cpp.o"
+  "CMakeFiles/gp_cfg.dir/cfg.cpp.o.d"
+  "libgp_cfg.a"
+  "libgp_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

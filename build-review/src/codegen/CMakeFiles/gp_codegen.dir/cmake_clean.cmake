@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_codegen.dir/codegen.cpp.o"
+  "CMakeFiles/gp_codegen.dir/codegen.cpp.o.d"
+  "libgp_codegen.a"
+  "libgp_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_core.dir/core.cpp.o"
+  "CMakeFiles/gp_core.dir/core.cpp.o.d"
+  "libgp_core.a"
+  "libgp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_corpus.dir/corpus.cpp.o"
+  "CMakeFiles/gp_corpus.dir/corpus.cpp.o.d"
+  "libgp_corpus.a"
+  "libgp_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

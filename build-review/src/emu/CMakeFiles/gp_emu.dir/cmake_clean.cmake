@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_emu.dir/emu.cpp.o"
+  "CMakeFiles/gp_emu.dir/emu.cpp.o.d"
+  "libgp_emu.a"
+  "libgp_emu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gadget/gadget.cpp" "src/gadget/CMakeFiles/gp_gadget.dir/gadget.cpp.o" "gcc" "src/gadget/CMakeFiles/gp_gadget.dir/gadget.cpp.o.d"
+  "/root/repo/src/gadget/serialize.cpp" "src/gadget/CMakeFiles/gp_gadget.dir/serialize.cpp.o" "gcc" "src/gadget/CMakeFiles/gp_gadget.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sym/CMakeFiles/gp_sym.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/lift/CMakeFiles/gp_lift.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/image/CMakeFiles/gp_image.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/solver/CMakeFiles/gp_solver.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/x86/CMakeFiles/gp_x86.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ir/CMakeFiles/gp_ir.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/gp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

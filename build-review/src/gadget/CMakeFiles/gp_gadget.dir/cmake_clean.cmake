@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_gadget.dir/gadget.cpp.o"
+  "CMakeFiles/gp_gadget.dir/gadget.cpp.o.d"
+  "CMakeFiles/gp_gadget.dir/serialize.cpp.o"
+  "CMakeFiles/gp_gadget.dir/serialize.cpp.o.d"
+  "libgp_gadget.a"
+  "libgp_gadget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_gadget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_image.dir/image.cpp.o"
+  "CMakeFiles/gp_image.dir/image.cpp.o.d"
+  "libgp_image.a"
+  "libgp_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_ir.dir/ir.cpp.o"
+  "CMakeFiles/gp_ir.dir/ir.cpp.o.d"
+  "libgp_ir.a"
+  "libgp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

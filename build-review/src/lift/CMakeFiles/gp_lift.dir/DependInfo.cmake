@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lift/lift.cpp" "src/lift/CMakeFiles/gp_lift.dir/lift.cpp.o" "gcc" "src/lift/CMakeFiles/gp_lift.dir/lift.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/ir/CMakeFiles/gp_ir.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/x86/CMakeFiles/gp_x86.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/gp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

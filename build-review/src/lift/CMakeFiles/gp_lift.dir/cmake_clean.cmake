@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_lift.dir/lift.cpp.o"
+  "CMakeFiles/gp_lift.dir/lift.cpp.o.d"
+  "libgp_lift.a"
+  "libgp_lift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_lift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

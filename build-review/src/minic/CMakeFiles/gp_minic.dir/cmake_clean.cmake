@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_minic.dir/minic.cpp.o"
+  "CMakeFiles/gp_minic.dir/minic.cpp.o.d"
+  "libgp_minic.a"
+  "libgp_minic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_minic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obfuscate/passes.cpp" "src/obfuscate/CMakeFiles/gp_obfuscate.dir/passes.cpp.o" "gcc" "src/obfuscate/CMakeFiles/gp_obfuscate.dir/passes.cpp.o.d"
+  "/root/repo/src/obfuscate/virtualize.cpp" "src/obfuscate/CMakeFiles/gp_obfuscate.dir/virtualize.cpp.o" "gcc" "src/obfuscate/CMakeFiles/gp_obfuscate.dir/virtualize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/cfg/CMakeFiles/gp_cfg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/gp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_obfuscate.dir/passes.cpp.o"
+  "CMakeFiles/gp_obfuscate.dir/passes.cpp.o.d"
+  "CMakeFiles/gp_obfuscate.dir/virtualize.cpp.o"
+  "CMakeFiles/gp_obfuscate.dir/virtualize.cpp.o.d"
+  "libgp_obfuscate.a"
+  "libgp_obfuscate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_obfuscate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

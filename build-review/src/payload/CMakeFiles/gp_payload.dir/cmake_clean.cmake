@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_payload.dir/payload.cpp.o"
+  "CMakeFiles/gp_payload.dir/payload.cpp.o.d"
+  "CMakeFiles/gp_payload.dir/serialize.cpp.o"
+  "CMakeFiles/gp_payload.dir/serialize.cpp.o.d"
+  "libgp_payload.a"
+  "libgp_payload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_payload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

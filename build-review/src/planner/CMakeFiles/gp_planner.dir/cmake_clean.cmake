@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_planner.dir/planner.cpp.o"
+  "CMakeFiles/gp_planner.dir/planner.cpp.o.d"
+  "libgp_planner.a"
+  "libgp_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/bitblast.cpp" "src/solver/CMakeFiles/gp_solver.dir/bitblast.cpp.o" "gcc" "src/solver/CMakeFiles/gp_solver.dir/bitblast.cpp.o.d"
+  "/root/repo/src/solver/expr.cpp" "src/solver/CMakeFiles/gp_solver.dir/expr.cpp.o" "gcc" "src/solver/CMakeFiles/gp_solver.dir/expr.cpp.o.d"
+  "/root/repo/src/solver/sat.cpp" "src/solver/CMakeFiles/gp_solver.dir/sat.cpp.o" "gcc" "src/solver/CMakeFiles/gp_solver.dir/sat.cpp.o.d"
+  "/root/repo/src/solver/serialize.cpp" "src/solver/CMakeFiles/gp_solver.dir/serialize.cpp.o" "gcc" "src/solver/CMakeFiles/gp_solver.dir/serialize.cpp.o.d"
+  "/root/repo/src/solver/solver.cpp" "src/solver/CMakeFiles/gp_solver.dir/solver.cpp.o" "gcc" "src/solver/CMakeFiles/gp_solver.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/support/CMakeFiles/gp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

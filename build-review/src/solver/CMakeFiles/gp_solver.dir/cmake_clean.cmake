@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_solver.dir/bitblast.cpp.o"
+  "CMakeFiles/gp_solver.dir/bitblast.cpp.o.d"
+  "CMakeFiles/gp_solver.dir/expr.cpp.o"
+  "CMakeFiles/gp_solver.dir/expr.cpp.o.d"
+  "CMakeFiles/gp_solver.dir/sat.cpp.o"
+  "CMakeFiles/gp_solver.dir/sat.cpp.o.d"
+  "CMakeFiles/gp_solver.dir/serialize.cpp.o"
+  "CMakeFiles/gp_solver.dir/serialize.cpp.o.d"
+  "CMakeFiles/gp_solver.dir/solver.cpp.o"
+  "CMakeFiles/gp_solver.dir/solver.cpp.o.d"
+  "libgp_solver.a"
+  "libgp_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

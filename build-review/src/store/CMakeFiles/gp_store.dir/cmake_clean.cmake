@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_store.dir/store.cpp.o"
+  "CMakeFiles/gp_store.dir/store.cpp.o.d"
+  "libgp_store.a"
+  "libgp_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_subsume.dir/subsume.cpp.o"
+  "CMakeFiles/gp_subsume.dir/subsume.cpp.o.d"
+  "libgp_subsume.a"
+  "libgp_subsume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_subsume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_support.dir/fault.cpp.o"
+  "CMakeFiles/gp_support.dir/fault.cpp.o.d"
+  "CMakeFiles/gp_support.dir/governor.cpp.o"
+  "CMakeFiles/gp_support.dir/governor.cpp.o.d"
+  "CMakeFiles/gp_support.dir/serial.cpp.o"
+  "CMakeFiles/gp_support.dir/serial.cpp.o.d"
+  "CMakeFiles/gp_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/gp_support.dir/thread_pool.cpp.o.d"
+  "libgp_support.a"
+  "libgp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_sym.dir/exec.cpp.o"
+  "CMakeFiles/gp_sym.dir/exec.cpp.o.d"
+  "libgp_sym.a"
+  "libgp_sym.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_sym.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

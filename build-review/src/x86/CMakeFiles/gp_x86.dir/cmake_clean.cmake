@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_x86.dir/decoder.cpp.o"
+  "CMakeFiles/gp_x86.dir/decoder.cpp.o.d"
+  "CMakeFiles/gp_x86.dir/encoder.cpp.o"
+  "CMakeFiles/gp_x86.dir/encoder.cpp.o.d"
+  "CMakeFiles/gp_x86.dir/inst.cpp.o"
+  "CMakeFiles/gp_x86.dir/inst.cpp.o.d"
+  "libgp_x86.a"
+  "libgp_x86.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_x86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

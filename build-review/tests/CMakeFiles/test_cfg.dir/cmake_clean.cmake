@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cfg.dir/test_cfg.cpp.o"
+  "CMakeFiles/test_cfg.dir/test_cfg.cpp.o.d"
+  "test_cfg"
+  "test_cfg.pdb"
+  "test_cfg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

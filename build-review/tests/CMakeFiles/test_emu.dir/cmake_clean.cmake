@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_emu.dir/test_emu.cpp.o"
+  "CMakeFiles/test_emu.dir/test_emu.cpp.o.d"
+  "test_emu"
+  "test_emu.pdb"
+  "test_emu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

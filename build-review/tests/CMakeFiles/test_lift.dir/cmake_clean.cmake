@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lift.dir/test_lift.cpp.o"
+  "CMakeFiles/test_lift.dir/test_lift.cpp.o.d"
+  "test_lift"
+  "test_lift.pdb"
+  "test_lift[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minic.dir/test_minic.cpp.o"
+  "CMakeFiles/test_minic.dir/test_minic.cpp.o.d"
+  "test_minic"
+  "test_minic.pdb"
+  "test_minic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

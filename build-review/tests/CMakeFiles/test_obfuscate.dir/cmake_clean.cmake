@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_obfuscate.dir/test_obfuscate.cpp.o"
+  "CMakeFiles/test_obfuscate.dir/test_obfuscate.cpp.o.d"
+  "test_obfuscate"
+  "test_obfuscate.pdb"
+  "test_obfuscate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_obfuscate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

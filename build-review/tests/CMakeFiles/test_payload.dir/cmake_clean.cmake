@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_payload.dir/test_payload.cpp.o"
+  "CMakeFiles/test_payload.dir/test_payload.cpp.o.d"
+  "test_payload"
+  "test_payload.pdb"
+  "test_payload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_payload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_robustness.cpp" "tests/CMakeFiles/test_robustness.dir/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/test_robustness.dir/test_robustness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/gp_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/corpus/CMakeFiles/gp_corpus.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/subsume/CMakeFiles/gp_subsume.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/lift/CMakeFiles/gp_lift.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/x86/CMakeFiles/gp_x86.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/image/CMakeFiles/gp_image.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/baselines/CMakeFiles/gp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/planner/CMakeFiles/gp_planner.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/payload/CMakeFiles/gp_payload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/gadget/CMakeFiles/gp_gadget.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sym/CMakeFiles/gp_sym.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/solver/CMakeFiles/gp_solver.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/emu/CMakeFiles/gp_emu.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ir/CMakeFiles/gp_ir.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obfuscate/CMakeFiles/gp_obfuscate.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/minic/CMakeFiles/gp_minic.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/codegen/CMakeFiles/gp_codegen.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/cfg/CMakeFiles/gp_cfg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/store/CMakeFiles/gp_store.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/gp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

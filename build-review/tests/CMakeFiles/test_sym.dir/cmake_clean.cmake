@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sym.dir/test_sym.cpp.o"
+  "CMakeFiles/test_sym.dir/test_sym.cpp.o.d"
+  "test_sym"
+  "test_sym.pdb"
+  "test_sym[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sym.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

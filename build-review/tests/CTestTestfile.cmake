@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/test_support[1]_include.cmake")
+include("/root/repo/build-review/tests/test_x86[1]_include.cmake")
+include("/root/repo/build-review/tests/test_solver[1]_include.cmake")
+include("/root/repo/build-review/tests/test_emu[1]_include.cmake")
+include("/root/repo/build-review/tests/test_sym[1]_include.cmake")
+include("/root/repo/build-review/tests/test_minic[1]_include.cmake")
+include("/root/repo/build-review/tests/test_obfuscate[1]_include.cmake")
+include("/root/repo/build-review/tests/test_gadget[1]_include.cmake")
+include("/root/repo/build-review/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build-review/tests/test_planner[1]_include.cmake")
+include("/root/repo/build-review/tests/test_corpus[1]_include.cmake")
+include("/root/repo/build-review/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build-review/tests/test_core[1]_include.cmake")
+include("/root/repo/build-review/tests/test_lift[1]_include.cmake")
+include("/root/repo/build-review/tests/test_payload[1]_include.cmake")
+include("/root/repo/build-review/tests/test_image[1]_include.cmake")
+include("/root/repo/build-review/tests/test_cfg[1]_include.cmake")
+include("/root/repo/build-review/tests/test_governor[1]_include.cmake")
+include("/root/repo/build-review/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build-review/tests/test_store[1]_include.cmake")

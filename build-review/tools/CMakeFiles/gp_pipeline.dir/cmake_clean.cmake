@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_pipeline.dir/gp_pipeline.cpp.o"
+  "CMakeFiles/gp_pipeline.dir/gp_pipeline.cpp.o.d"
+  "gp_pipeline"
+  "gp_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
