@@ -4,8 +4,6 @@
 //   3. direct-jump merging off   -> fewer chains
 //   4. indirect gadgets off      -> fewer chains (pure ROP)
 #include "bench_util.hpp"
-#include "codegen/codegen.hpp"
-#include "minic/minic.hpp"
 
 int main() {
   using namespace gp;
@@ -30,26 +28,26 @@ int main() {
   bench::hr(62);
 
   for (const auto& cfg : configs) {
+    // One campaign per ablation variant: same jobs, different pipeline.
+    core::Campaign::Options copts;
+    copts.concurrency = bench::bench_concurrency();
+    copts.pipeline.run_subsumption = cfg.subsume;
+    copts.pipeline.plan.use_cond_gadgets = cfg.cond;
+    copts.pipeline.plan.use_direct_merged = cfg.direct;
+    copts.pipeline.plan.use_indirect_gadgets = cfg.indirect;
+    copts.pipeline.plan.max_chains = 8;
+    copts.pipeline.plan.time_budget_seconds = 15;
+    core::Campaign campaign(core::Engine::shared(), copts);
+    const auto summary =
+        campaign.run(bench::bench_jobs(obf::Options::llvm_obf(7), "llvm-obf"));
+
     u64 pool = 0;
     int chains = 0;
     double plan_s = 0;
-    for (const auto& program : bench::bench_programs()) {
-      auto prog = minic::compile_source(program.source);
-      obf::obfuscate(prog, obf::Options::llvm_obf(7));
-      const auto img = codegen::compile(prog);
-
-      core::PipelineOptions popts;
-      popts.run_subsumption = cfg.subsume;
-      popts.plan.use_cond_gadgets = cfg.cond;
-      popts.plan.use_direct_merged = cfg.direct;
-      popts.plan.use_indirect_gadgets = cfg.indirect;
-      popts.plan.max_chains = 8;
-      popts.plan.time_budget_seconds = 15;
-      core::GadgetPlanner gp(img, popts);
-      pool += gp.library().size();
-      for (const auto& goal : payload::Goal::all())
-        chains += static_cast<int>(gp.find_chains(goal).size());
-      plan_s += gp.report().plan_seconds;
+    for (const auto& r : summary.results) {
+      pool += r.stages.pool_minimized;
+      chains += r.total_chains();
+      plan_s += r.stages.plan_seconds;
     }
     std::printf("%-26s %10llu %10d %10.2f\n", cfg.label,
                 (unsigned long long)pool, chains, plan_s);

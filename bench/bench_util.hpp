@@ -7,17 +7,18 @@
 // the quick default subset.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "core/core.hpp"
 #include "corpus/corpus.hpp"
+#include "support/config.hpp"
 
 namespace gp::bench {
 
-inline bool full_sweep() { return std::getenv("GP_BENCH_FULL") != nullptr; }
+inline bool full_sweep() { return config().bench_full; }
 
 /// The benchmark programs a quick run uses (a representative third of the
 /// corpus); GP_BENCH_FULL=1 uses all twelve.
@@ -52,6 +53,27 @@ inline core::CampaignOptions quick_campaign() {
   opts.pipeline.plan.max_expansions = 4000;
   opts.sgc_max_chains = 4;
   return opts;
+}
+
+/// Session concurrency for bench campaigns: bounded fan-out on top of the
+/// engine's shared pool (each session also parallelizes internally).
+inline int bench_concurrency() { return std::min(4, config().threads); }
+
+/// Campaign jobs: every bench program under one obfuscation config.
+inline std::vector<core::Job> bench_jobs(
+    const obf::Options& options, const std::string& label,
+    const std::vector<payload::Goal>& goals = payload::Goal::all()) {
+  std::vector<core::Job> jobs;
+  for (const auto& program : bench_programs()) {
+    core::Job job;
+    job.program = program.name;
+    job.source = program.source;
+    job.obfuscation = label;
+    job.obf = options;
+    job.goals = goals;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
 }
 
 }  // namespace gp::bench

@@ -2,25 +2,17 @@
 // method. Expected shape: bogus control flow, control-flow flattening and
 // virtualization introduce the highest code-reuse risk (the paper's red
 // bars), instruction substitution and data encoding the least.
+//
+// Each method's bar is one Campaign over the bench programs: sessions run
+// concurrently on the shared engine, and the per-job results aggregate
+// into the method's row.
 #include "bench_util.hpp"
-#include "codegen/codegen.hpp"
-#include "minic/minic.hpp"
 
 int main() {
   using namespace gp;
 
-  struct Method {
-    const char* label;
-    obf::Options options;
-  };
-  const Method methods[] = {
-      {"none", obf::Options::none()},
-      {"substitution", {.substitution = true, .seed = 7}},
-      {"encode-data", {.encode_data = true, .seed = 7}},
-      {"bogus-cf", {.bogus_cf = true, .seed = 7}},
-      {"flattening", {.flatten = true, .seed = 7}},
-      {"virtualization", {.virtualize = true, .seed = 7}},
-  };
+  const char* methods[] = {"none",     "substitution", "encode-data",
+                           "bogus-cf", "flatten",      "virtualize"};
 
   std::printf("Fig. 5 — Gadget-Planner payloads per obfuscation method "
               "(summed over %zu programs, all goals)\n",
@@ -29,24 +21,23 @@ int main() {
               "code-bytes");
   bench::hr(52);
 
-  for (const auto& m : methods) {
+  core::Campaign::Options copts;
+  copts.concurrency = bench::bench_concurrency();
+  copts.pipeline.plan.max_chains = 8;
+  copts.pipeline.plan.time_budget_seconds = 15;
+  core::Campaign campaign(core::Engine::shared(), copts);
+
+  for (const char* method : methods) {
+    const auto summary = campaign.run(
+        bench::bench_jobs(core::profile_by_name(method, 7), method));
     u64 gadgets = 0, code = 0;
     int payloads = 0;
-    for (const auto& program : bench::bench_programs()) {
-      auto prog = minic::compile_source(program.source);
-      obf::obfuscate(prog, m.options);
-      const auto img = codegen::compile(prog);
-      code += img.code().size();
-
-      core::PipelineOptions popts;
-      popts.plan.max_chains = 8;
-      popts.plan.time_budget_seconds = 15;
-      core::GadgetPlanner gp(img, popts);
-      gadgets += gp.library().size();
-      for (const auto& goal : payload::Goal::all())
-        payloads += static_cast<int>(gp.find_chains(goal).size());
+    for (const auto& r : summary.results) {
+      gadgets += r.stages.pool_minimized;
+      code += r.code_bytes;
+      payloads += r.total_chains();
     }
-    std::printf("%-16s %10llu %10d %10llu\n", m.label,
+    std::printf("%-16s %10llu %10d %10llu\n", method,
                 (unsigned long long)gadgets, payloads,
                 (unsigned long long)code);
   }

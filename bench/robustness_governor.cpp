@@ -61,7 +61,10 @@ int main() {
       }
       popts.plan.max_chains = 4;
       popts.plan.time_budget_seconds = 8;
-      core::GadgetPlanner gp(img, popts);
+      // Sessions stay sequential here: the fault scope is process-global,
+      // so each program's injected run must not overlap another's.
+      core::Session gp(core::Engine::shared(), img, popts);
+      gp.prepare();
       pool += gp.library().size();
       skipped += gp.extract_stats().offsets_skipped;
       paths_cut += gp.extract_stats().paths_cut;

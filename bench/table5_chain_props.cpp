@@ -2,10 +2,14 @@
 // and the gadget-type mix (Ret / IJ / DJ / CJ) of the chains each tool
 // builds. Expected shape: ROPGadget/Angrop 100% ret with short gadgets;
 // Gadget-Planner uses all types and builds the longest chains.
+//
+// One Campaign covers the whole (program × obfuscation) grid; the baseline
+// tools ride along in the on_job hook, which runs with each job's Session
+// still alive so they share its context and minimized library.
+#include <mutex>
+
 #include "bench_util.hpp"
 #include "baselines/baselines.hpp"
-#include "codegen/codegen.hpp"
-#include "minic/minic.hpp"
 
 namespace {
 
@@ -43,30 +47,36 @@ struct Props {
 int main() {
   using namespace gp;
   Props props[4];
+  std::mutex props_mu;
 
-  for (const auto& program : bench::bench_programs()) {
-    for (const auto& row : bench::table4_rows()) {
-      if (row.label == "Original") continue;  // Table V is about obf chains
-      auto prog = minic::compile_source(program.source);
-      obf::obfuscate(prog, row.options);
-      const auto img = codegen::compile(prog);
-
-      core::PipelineOptions popts;
-      popts.plan.max_chains = 8;
-      popts.plan.time_budget_seconds = 20;
-      core::GadgetPlanner gp(img, popts);
-
-      for (const auto& goal : payload::Goal::all()) {
-        auto rg = baselines::rop_gadget(img, goal);
-        for (const auto& c : rg.chains) props[0].add(c);
-        auto an = baselines::angrop(gp.ctx(), gp.library(), img, goal);
-        for (const auto& c : an.chains) props[1].add(c);
-        auto sg = baselines::sgc(gp.ctx(), gp.library(), img, goal, 2, 10);
-        for (const auto& c : sg.chains) props[2].add(c);
-        for (const auto& c : gp.find_chains(goal)) props[3].add(c);
-      }
-    }
+  std::vector<core::Job> jobs;
+  for (const auto& row : bench::table4_rows()) {
+    if (row.label == "Original") continue;  // Table V is about obf chains
+    auto method_jobs = bench::bench_jobs(row.options, row.label);
+    jobs.insert(jobs.end(), method_jobs.begin(), method_jobs.end());
   }
+
+  core::Campaign::Options copts;
+  copts.concurrency = bench::bench_concurrency();
+  copts.pipeline.plan.max_chains = 8;
+  copts.pipeline.plan.time_budget_seconds = 20;
+  copts.on_job = [&](const core::Job& job, core::Session& s,
+                     core::JobResult& r) {
+    // Baselines share the session's context and library; the lock also
+    // serializes them, so the shared Props never race.
+    std::lock_guard<std::mutex> lock(props_mu);
+    for (size_t g = 0; g < job.goals.size(); ++g) {
+      const auto& goal = job.goals[g];
+      auto rg = baselines::rop_gadget(s.img(), goal);
+      for (const auto& c : rg.chains) props[0].add(c);
+      auto an = baselines::angrop(s.ctx(), s.library(), s.img(), goal);
+      for (const auto& c : an.chains) props[1].add(c);
+      auto sg = baselines::sgc(s.ctx(), s.library(), s.img(), goal, 2, 10);
+      for (const auto& c : sg.chains) props[2].add(c);
+      for (const auto& c : r.chains[g]) props[3].add(c);
+    }
+  };
+  core::Campaign(core::Engine::shared(), copts).run(jobs);
 
   std::printf("Table V — chain properties on obfuscated programs\n");
   std::printf("%-16s %10s %10s %8s %6s %6s %6s\n", "tool", "gadget-len",

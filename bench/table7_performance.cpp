@@ -62,12 +62,15 @@ int main() {
                 synth_s, (unsigned long long)core::current_rss_mb(), chains);
   }
 
-  // Gadget-Planner: the full four-stage pipeline with its own accounting.
+  // Gadget-Planner: the staged Session API — each stage is an explicit
+  // artifact, and the report carries its accounting.
   {
     core::PipelineOptions popts;
     popts.plan.max_chains = 16;
     popts.plan.time_budget_seconds = 60;
-    core::GadgetPlanner gp(img, popts);
+    core::Session gp(core::Engine::shared(), img, popts);
+    (void)gp.extract();
+    (void)gp.subsume();
     int chains = 0;
     for (const auto& goal : payload::Goal::all())
       chains += static_cast<int>(gp.find_chains(goal).size());

@@ -62,6 +62,31 @@ echo "-- diffing payloads"
 diff -r "$KR_TMP/cold" "$KR_TMP/warm"
 echo "kill-resume payloads byte-identical"
 
+echo "== tier-1: campaign batch run (4 concurrent sessions) =="
+# The whole corpus through gp_pipeline --campaign: 4 sessions at a time on
+# one engine. The JSON summary must parse, no job may fail outright
+# (degraded-but-usable statuses are acceptable), and — the multi-tenant
+# determinism claim — the per-job result digests must be byte-identical to
+# a sequential (--jobs 1) run of the same campaign. The 4-way summary is
+# kept as the BENCH_pipeline.json perf artifact (per-stage seconds, pool
+# sizes, chain counts per job).
+"$PIPELINE" --campaign --profiles llvm-obf --goal execve --jobs 4 \
+  --summary BENCH_pipeline.json
+"$PIPELINE" --campaign --profiles llvm-obf --goal execve --jobs 1 \
+  --summary "$KR_TMP/campaign-seq.json" >/dev/null
+python3 - BENCH_pipeline.json "$KR_TMP/campaign-seq.json" <<'PY'
+import json, sys
+par, seq = (json.load(open(p)) for p in sys.argv[1:3])
+assert par["schema"] == "gp-campaign-v1", par["schema"]
+assert par["jobs"] == len(par["results"]) > 0
+bad = [r for r in par["results"] if r["status"] == "internal"]
+assert par["jobs_failed"] == 0 and not bad, f"failed jobs: {bad}"
+dig = lambda s: {(r["program"], r["obfuscation"]): r["digest"]
+                 for r in s["results"]}
+assert dig(par) == dig(seq), "concurrency changed campaign results"
+print(f'campaign: {par["jobs"]} jobs ok, 4-way digests == sequential')
+PY
+
 echo "== tier-1: concurrency tests under ThreadSanitizer =="
 cmake --preset tsan
 cmake --build build-tsan -j --target test_support test_parallel

@@ -1,0 +1,200 @@
+#include "core/campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "codegen/codegen.hpp"
+#include "corpus/corpus.hpp"
+#include "minic/minic.hpp"
+#include "payload/serialize.hpp"
+
+namespace gp::core {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double secs_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // names are plain
+    out += c;
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.4f", v);
+  return buf;
+}
+
+std::string hex16(u64 v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+obf::Options profile_by_name(const std::string& name, u64 seed) {
+  using obf::Options;
+  if (name == "none") return Options::none();
+  if (name == "substitution") return {.substitution = true, .seed = seed};
+  if (name == "bogus-cf") return {.bogus_cf = true, .seed = seed};
+  if (name == "flatten") return {.flatten = true, .seed = seed};
+  if (name == "encode-data") return {.encode_data = true, .seed = seed};
+  if (name == "virtualize") return {.virtualize = true, .seed = seed};
+  if (name == "llvm-obf") return Options::llvm_obf(seed);
+  if (name == "tigress") return Options::tigress(seed);
+  throw Error("unknown obfuscation profile '" + name + "'");
+}
+
+Campaign::Campaign(Engine& engine, Options opts)
+    : engine_(engine), opts_(std::move(opts)) {
+  opts_.concurrency = std::max(1, opts_.concurrency);
+}
+
+std::vector<Job> Campaign::corpus_jobs(const std::vector<std::string>& profiles,
+                                       int seed) {
+  std::vector<Job> jobs;
+  for (const auto& program : corpus::benchmark()) {
+    for (const auto& profile : profiles) {
+      Job job;
+      job.program = program.name;
+      job.source = program.source;
+      job.obfuscation = profile;
+      job.obf = profile_by_name(profile, static_cast<u64>(seed));
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
+Campaign::Summary Campaign::run(const std::vector<Job>& jobs) {
+  const auto t0 = Clock::now();
+  Summary sum;
+  sum.concurrency = opts_.concurrency;
+  sum.pool_threads = engine_.pool().workers() + 1;
+  sum.results.resize(jobs.size());
+  if (jobs.empty()) return sum;
+
+  // Compile phase, sequential and up front: mini-C compilation is
+  // milliseconds per job, and keeping the compilers out of the concurrent
+  // phase means only Sessions — which are built for it — run in parallel.
+  std::vector<image::Image> images(jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const Job& job = jobs[i];
+    const std::string& src =
+        job.source.empty() ? corpus::by_name(job.program).source : job.source;
+    auto prog = minic::compile_source(src);
+    obf::obfuscate(prog, job.obf);
+    images[i] = codegen::compile(prog);
+  }
+
+  // Each concurrent session runs on a share of the campaign budget; the
+  // wall-clock deadline (if any) stays common to every lane.
+  PipelineOptions popts = opts_.pipeline;
+  if (opts_.split_budget)
+    popts.governor = opts_.pipeline.governor.split_across(opts_.concurrency);
+
+  engine_.pool().run(
+      jobs.size(),
+      [&](int /*lane*/, u64 i) {
+        const Job& job = jobs[i];
+        JobResult& r = sum.results[i];
+        r.program = job.program;
+        r.obfuscation =
+            job.obfuscation.empty() ? job.obf.name() : job.obfuscation;
+        r.code_bytes = images[i].code().size();
+
+        const auto j0 = Clock::now();
+        Session session(engine_, std::move(images[i]), popts);
+        session.prepare();
+        serial::Writer digest;
+        for (const auto& goal : job.goals) {
+          auto chains = session.find_chains(goal);
+          digest.put_str(goal.name);
+          for (const auto& rec : payload::encode_chains(chains))
+            serial::put_record(digest, rec);
+          r.chains_per_goal.push_back(static_cast<int>(chains.size()));
+          r.chains.push_back(std::move(chains));
+        }
+        r.stages = session.report();
+        r.extract_stats = session.extract_stats();
+        r.subsume_stats = session.subsume_stats();
+        r.planner_stats = session.planner_stats();
+        r.status = r.stages.worst_status();
+        r.result_digest = serial::fnv1a(digest.bytes());
+        r.seconds = secs_since(j0);
+        if (opts_.on_job) opts_.on_job(job, session, r);
+      },
+      opts_.concurrency);
+
+  for (const JobResult& r : sum.results) {
+    if (r.status.ok())
+      ++sum.jobs_ok;
+    else if (r.status.code() == StatusCode::Internal)
+      ++sum.jobs_failed;
+    else
+      ++sum.jobs_degraded;
+  }
+  sum.wall_seconds = secs_since(t0);
+  return sum;
+}
+
+std::string Campaign::Summary::to_json() const {
+  std::string j;
+  j += "{\n";
+  j += "  \"schema\": \"gp-campaign-v1\",\n";
+  j += "  \"jobs\": " + std::to_string(results.size()) + ",\n";
+  j += "  \"concurrency\": " + std::to_string(concurrency) + ",\n";
+  j += "  \"pool_threads\": " + std::to_string(pool_threads) + ",\n";
+  j += "  \"wall_seconds\": " + format_double(wall_seconds) + ",\n";
+  j += "  \"jobs_ok\": " + std::to_string(jobs_ok) + ",\n";
+  j += "  \"jobs_degraded\": " + std::to_string(jobs_degraded) + ",\n";
+  j += "  \"jobs_failed\": " + std::to_string(jobs_failed) + ",\n";
+  j += "  \"results\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const JobResult& r = results[i];
+    const auto& s = r.stages;
+    j += "    {\"program\": \"" + json_escape(r.program) + "\", ";
+    j += "\"obfuscation\": \"" + json_escape(r.obfuscation) + "\", ";
+    j += "\"code_bytes\": " + std::to_string(r.code_bytes) + ", ";
+    j += "\"status\": \"" + std::string(status_code_name(r.status.code())) +
+         "\", ";
+    j += "\"extract_seconds\": " + format_double(s.extract_seconds) + ", ";
+    j += "\"subsume_seconds\": " + format_double(s.subsume_seconds) + ", ";
+    j += "\"plan_seconds\": " + format_double(s.plan_seconds) + ", ";
+    j += "\"job_seconds\": " + format_double(r.seconds) + ", ";
+    j += "\"pool_raw\": " + std::to_string(s.pool_raw) + ", ";
+    j += "\"pool_minimized\": " + std::to_string(s.pool_minimized) + ", ";
+    j += "\"rss_mb_after_plan\": " + std::to_string(s.rss_mb_after_plan) +
+         ", ";
+    j += "\"attempts\": {\"extract\": " +
+         std::to_string(s.extract_runs.attempts) +
+         ", \"subsume\": " + std::to_string(s.subsume_runs.attempts) +
+         ", \"plan\": " + std::to_string(s.plan_runs.attempts) + "}, ";
+    j += "\"chains_per_goal\": [";
+    for (size_t g = 0; g < r.chains_per_goal.size(); ++g) {
+      if (g) j += ", ";
+      j += std::to_string(r.chains_per_goal[g]);
+    }
+    j += "], ";
+    j += "\"chains_total\": " + std::to_string(r.total_chains()) + ", ";
+    j += "\"digest\": \"" + hex16(r.result_digest) + "\"}";
+    j += (i + 1 < results.size()) ? ",\n" : "\n";
+  }
+  j += "  ]\n";
+  j += "}\n";
+  return j;
+}
+
+}  // namespace gp::core

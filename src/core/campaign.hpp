@@ -1,0 +1,131 @@
+// Campaign: fan a corpus of (program, obfuscation-config, goals) jobs
+// across Sessions with bounded concurrency — the batch shape of the
+// paper's whole evaluation (Figs. 1/5, Tables IV–VII) and of the bench/
+// drivers, which hand-rolled exactly this loop before.
+//
+// Jobs are compiled sequentially (mini-C compilation is milliseconds;
+// analysis is the expensive, parallel-safe part), then analyzed by up to
+// `concurrency` concurrent Sessions on one Engine, each running under a
+// per-session governor carved from the campaign budget
+// (GovernorOptions::split_across). Results land in job order regardless of
+// lane scheduling, and each job carries a content digest over its chains
+// so "concurrency does not change results" is a one-line diff
+// (scripts/tier1.sh asserts it).
+//
+// Summary::to_json() emits the machine-readable BENCH_pipeline.json schema
+// (per-stage seconds, pool sizes, chain counts, statuses) that tracks the
+// perf trajectory across PRs.
+#pragma once
+
+#include <functional>
+
+#include "core/session.hpp"
+#include "obfuscate/obfuscate.hpp"
+
+namespace gp::core {
+
+/// Named obfuscation profile: "none", the five single passes
+/// ("substitution", "bogus-cf", "flatten", "encode-data", "virtualize"),
+/// or the composite "llvm-obf" / "tigress" stacks. Throws gp::Error on an
+/// unknown name.
+obf::Options profile_by_name(const std::string& name, u64 seed = 7);
+
+/// One unit of campaign work: obfuscate + compile one program, analyze it,
+/// plan every goal.
+struct Job {
+  std::string program;      // corpus name (used as the label too)
+  std::string source;       // mini-C source; "" = corpus::by_name(program)
+  std::string obfuscation;  // profile label for reports ("" = obf.name())
+  obf::Options obf;
+  std::vector<payload::Goal> goals = payload::Goal::all();
+};
+
+struct JobResult {
+  std::string program;
+  std::string obfuscation;
+  size_t code_bytes = 0;
+
+  StageReport stages;
+  gadget::ExtractStats extract_stats;
+  subsume::Stats subsume_stats;
+  planner::Stats planner_stats;
+
+  std::vector<int> chains_per_goal;                 // indexed like job.goals
+  std::vector<std::vector<payload::Chain>> chains;  // per goal, plan order
+  int total_chains() const {
+    int n = 0;
+    for (const int c : chains_per_goal) n += c;
+    return n;
+  }
+
+  /// Worst stage status: Ok for a clean run, a degradation code
+  /// (deadline/budget/fault/cancel) for a degraded-but-usable run,
+  /// Internal only when a stage kept failing through every retry.
+  Status status;
+  double seconds = 0;  // job wall clock (compile excluded)
+
+  /// fnv1a over the serialized chains of every goal: two runs produced
+  /// identical results iff their digests match, regardless of timing
+  /// noise. The campaign determinism drill compares exactly this.
+  u64 result_digest = 0;
+};
+
+class Campaign {
+ public:
+  struct Options {
+    /// Sessions in flight at once (>= 1). Lanes run on the engine's shared
+    /// pool; nested stage parallelism inside each session still works (the
+    /// pool is reentrant).
+    int concurrency = 1;
+    /// Per-session template. Campaign replaces pipeline.governor with a
+    /// per-session share of it (split_across(concurrency)) unless
+    /// split_budget is false.
+    PipelineOptions pipeline;
+    /// Carve each concurrent session's counted budgets from the single
+    /// campaign-level budget instead of handing every session the full
+    /// one. The wall-clock deadline is always shared.
+    bool split_budget = true;
+    /// Optional per-job hook, run on the campaign lane after the job's
+    /// goals are planned and with the Session still alive — benches use it
+    /// to drive baseline tools against the same library/context. Invoked
+    /// concurrently when concurrency > 1; the callback synchronizes its
+    /// own state.
+    std::function<void(const Job&, Session&, JobResult&)> on_job;
+  };
+
+  struct Summary {
+    std::vector<JobResult> results;  // job order, independent of scheduling
+    int jobs_ok = 0;        // every stage Ok
+    int jobs_degraded = 0;  // budget/deadline/fault-cut but usable
+    int jobs_failed = 0;    // Internal status (should not happen)
+    double wall_seconds = 0;
+    int concurrency = 1;
+    int pool_threads = 0;  // engine pool workers + the caller lane
+
+    /// The BENCH_pipeline.json schema (gp-campaign-v1): one object with
+    /// campaign totals and a per-job array of stage seconds, pool sizes,
+    /// chain counts, statuses and result digests.
+    std::string to_json() const;
+  };
+
+  explicit Campaign(Engine& engine) : Campaign(engine, Options{}) {}
+  Campaign(Engine& engine, Options opts);
+
+  /// Run every job; blocks until all complete. Degradation is data
+  /// (JobResult::status), never an exception.
+  Summary run(const std::vector<Job>& jobs);
+
+  /// The full corpus × the named obfuscation profiles — the paper's
+  /// evaluation grid. Profiles default to Table IV's rows (none,
+  /// llvm-obf, tigress).
+  static std::vector<Job> corpus_jobs(
+      const std::vector<std::string>& profiles = {"none", "llvm-obf",
+                                                  "tigress"},
+      int seed = 7);
+
+ private:
+  Engine& engine_;
+  Options opts_;
+};
+
+}  // namespace gp::core

@@ -1,309 +1,9 @@
 #include "core/core.hpp"
 
-#include <algorithm>
-#include <chrono>
-#include <cstdlib>
-#include <fstream>
-#include <thread>
-
 #include "codegen/codegen.hpp"
-#include "gadget/serialize.hpp"
 #include "minic/minic.hpp"
-#include "payload/serialize.hpp"
-#include "support/fault.hpp"
 
 namespace gp::core {
-
-using Clock = std::chrono::steady_clock;
-
-namespace {
-double secs_since(Clock::time_point t0) {
-  return std::chrono::duration<double>(Clock::now() - t0).count();
-}
-}  // namespace
-
-SupervisorOptions SupervisorOptions::from_env() {
-  SupervisorOptions o;
-  if (const char* v = std::getenv("GP_RETRIES")) {
-    char* end = nullptr;
-    const long n = std::strtol(v, &end, 10);
-    if (end && end != v && *end == '\0' && n >= 0)
-      o.max_retries = static_cast<int>(n);
-  }
-  return o;
-}
-
-std::string store_dir_from_env() {
-  const char* v = std::getenv("GP_STORE_DIR");
-  return v ? v : "";
-}
-
-u64 current_rss_mb() {
-  std::ifstream status("/proc/self/status");
-  std::string line;
-  while (std::getline(status, line)) {
-    if (line.rfind("VmRSS:", 0) == 0) {
-      u64 kb = 0;
-      for (const char c : line)
-        if (c >= '0' && c <= '9') kb = kb * 10 + (c - '0');
-      return kb / 1024;
-    }
-  }
-  return 0;
-}
-
-void GadgetPlanner::append_image_key(serial::Writer& w) const {
-  w.put_u64(img_.entry());
-  w.put_bytes(img_.code());
-  w.put_bytes(img_.data());
-}
-
-Status GadgetPlanner::run_supervised(
-    const char* stage, StageRuns& runs,
-    const std::function<Status(Governor&)>& body) {
-  const SupervisorOptions& sup = opts_.supervise;
-  double widen = 1.0;
-  double backoff_ms = sup.backoff_initial_ms;
-  Status st;
-  for (int attempt = 0;; ++attempt) {
-    Governor* g = gov_.get();
-    if (attempt > 0) {
-      ++runs.retries;
-      widen *= sup.budget_widen_factor;
-      // Fresh governor for the retry: counted budgets widened (and their
-      // consumption reset), but the pipeline's wall-clock deadline and
-      // cancel flag carry over — the supervisor never buys time, only
-      // counted headroom. Kept alive for the session: stage internals may
-      // hold the governor pointer until the planner is destroyed.
-      auto fresh = std::make_unique<Governor>(opts_.governor.widened(widen));
-      fresh->set_deadline(gov_->deadline());
-      fresh->set_cancel_token(gov_->cancel_token());
-      g = fresh.get();
-      retry_govs_.push_back(std::move(fresh));
-    }
-    ++runs.attempts;
-    ctx_->set_governor(g);
-    std::exception_ptr invariant_error;
-    try {
-      st = body(*g);
-    } catch (const ResourceExhausted& e) {
-      // A stage let the control-flow exception escape; treat it like the
-      // budget status it carries.
-      st = e.status();
-    } catch (const Error& e) {
-      invariant_error = std::current_exception();
-      st = Status::internal(std::string(stage) + " threw: " + e.what());
-    }
-    ctx_->set_governor(gov_.get());
-
-    const StatusCode c = st.code();
-    const bool recoverable = c == StatusCode::BudgetExhausted ||
-                             c == StatusCode::FaultInjected ||
-                             c == StatusCode::Internal;
-    // Deadline expiry and cancellation are terminal: the wall clock is the
-    // caller's hard contract, so a retry could only fail the same way.
-    if (!recoverable || attempt >= sup.max_retries || gov_->should_stop()) {
-      if (invariant_error) std::rethrow_exception(invariant_error);
-      return st;
-    }
-
-    double sleep_ms = backoff_ms;
-    backoff_ms *= sup.backoff_multiplier;
-    const double remain_s = gov_->deadline().remaining_seconds();
-    if (remain_s <= 0) return st;
-    if (!gov_->deadline().unlimited())
-      sleep_ms = std::min(sleep_ms, remain_s * 1000.0 / 2);
-    if (sleep_ms > 0)
-      std::this_thread::sleep_for(
-          std::chrono::duration<double, std::milli>(sleep_ms));
-  }
-}
-
-void GadgetPlanner::canonicalize_pool(std::vector<gadget::Record>& pool) {
-  // Winnowing and planning must be pure functions of pool *content*, not
-  // of however the expression arena happened to grow while computing it;
-  // otherwise a resumed run — which decodes its pool from a checkpoint
-  // into a fresh arena — would diverge from an uninterrupted one, and the
-  // kill-resume byte-identity guarantee would not hold. encode_pool is
-  // content-determined, so decoding it into a fresh context pins both
-  // paths to the same arena state.
-  try {
-    const auto records = gadget::encode_pool(*ctx_, pool);
-    auto fresh = std::make_unique<solver::Context>();
-    fresh->set_governor(gov_.get());
-    if (auto decoded = gadget::decode_pool(*fresh, records)) {
-      ctx_ = std::move(fresh);
-      pool = std::move(*decoded);
-    }
-  } catch (const ResourceExhausted&) {
-    // Out of budget mid-reencode: keep the in-process pool. The run is
-    // already degraded and degraded results are never checkpointed.
-  }
-}
-
-GadgetPlanner::GadgetPlanner(const image::Image& img,
-                             const PipelineOptions& opts)
-    : img_(img),
-      opts_(opts),
-      gov_(std::make_unique<Governor>(opts.governor)),
-      ctx_(std::make_unique<solver::Context>()) {
-  // Deterministic fault injection (GP_FAULT) is armed once per process; a
-  // malformed spec aborts here — before any stage — rather than silently
-  // running an un-faulted experiment.
-  fault::configure_from_env();
-  ctx_->set_governor(gov_.get());
-  if (!opts_.store_dir.empty())
-    store_ = std::make_unique<store::ArtifactStore>(opts_.store_dir);
-
-  // -- extraction, checkpointed ---------------------------------------------
-  auto t0 = Clock::now();
-  std::vector<gadget::Record> pool;
-  bool have_pool = false;
-  std::string extract_key;
-  if (store_) {
-    serial::Writer material;
-    append_image_key(material);
-    gadget::append_extract_key(material, opts_.extract);
-    extract_key = store_->key("extract", material);
-    if (auto art = store_->get(extract_key)) {
-      if (auto decoded = gadget::decode_pool(*ctx_, art->records)) {
-        pool = std::move(*decoded);
-        have_pool = true;
-        ++(art->same_process ? report_.extract_runs.cache_hits
-                             : report_.extract_runs.resumes);
-        // Checkpoints hold only clean (uncut) runs, so status stays Ok.
-      }
-    }
-  }
-  if (!have_pool) {
-    report_.extract_status =
-        run_supervised("extract", report_.extract_runs, [&](Governor& g) {
-          gadget::Extractor extractor(*ctx_, img_);
-          gadget::ExtractOptions eopts = opts_.extract;
-          if (!eopts.governor) eopts.governor = &g;
-          pool = extractor.extract(eopts);
-          extract_stats_ = extractor.stats();
-          return extract_stats_.status;
-        });
-    // Only a clean run is durable: a budget-cut pool is valid but partial,
-    // and caching it would freeze the degradation into future runs.
-    if (store_ && report_.extract_status.ok())
-      store_->put(extract_key, gadget::encode_pool(*ctx_, pool));
-    canonicalize_pool(pool);
-  }
-  report_.extract_seconds = secs_since(t0);
-  report_.pool_raw = pool.size();
-  report_.rss_mb_after_extract = current_rss_mb();
-
-  // -- subsumption, checkpointed --------------------------------------------
-  auto t1 = Clock::now();
-  if (opts_.run_subsumption) {
-    bool have_min = false;
-    std::string subsume_key;
-    // The subsume key describes the *canonical* extraction output; when
-    // extraction ran degraded the input pool is partial, so its minimized
-    // form must neither be served from nor written to the store.
-    const bool canonical_input = report_.extract_status.ok();
-    if (store_ && canonical_input) {
-      serial::Writer material;
-      append_image_key(material);
-      gadget::append_extract_key(material, opts_.extract);
-      material.put_u64(/*max_solver_checks=*/20'000);
-      subsume_key = store_->key("subsume", material);
-      if (auto art = store_->get(subsume_key)) {
-        if (auto decoded = gadget::decode_pool(*ctx_, art->records)) {
-          pool = std::move(*decoded);
-          have_min = true;
-          ++(art->same_process ? report_.subsume_runs.cache_hits
-                               : report_.subsume_runs.resumes);
-        }
-      }
-    }
-    if (!have_min) {
-      const std::vector<gadget::Record> raw = pool;  // retries need the input
-      report_.subsume_status =
-          run_supervised("subsume", report_.subsume_runs, [&](Governor& g) {
-            subsume_stats_ = {};
-            auto work = raw;
-            pool = subsume::minimize(*ctx_, std::move(work), &subsume_stats_,
-                                     /*max_solver_checks=*/20'000,
-                                     /*threads=*/0, &g);
-            return subsume_stats_.status;
-          });
-      // The first cleanly-completed winnow becomes canonical. (Under an
-      // exhausted solver-check budget the winnow result can depend on lane
-      // scheduling, so pinning the first result in the store is what makes
-      // later resumed runs byte-identical.)
-      if (store_ && canonical_input && report_.subsume_status.ok())
-        store_->put(subsume_key, gadget::encode_pool(*ctx_, pool));
-    }
-  }
-  report_.subsume_seconds = secs_since(t1);
-  report_.pool_minimized = pool.size();
-  report_.rss_mb_after_subsume = current_rss_mb();
-  if (store_) report_.store = store_->stats();
-
-  canonicalize_pool(pool);
-  lib_ = std::make_unique<gadget::Library>(std::move(pool));
-}
-
-std::vector<payload::Chain> GadgetPlanner::find_chains(
-    const payload::Goal& goal) {
-  auto t0 = Clock::now();
-
-  // -- planning + concretization, checkpointed per goal ----------------------
-  // Chains are only exchanged with the store when the library they index
-  // is the canonical one (no stage upstream ran degraded).
-  const bool canonical_library =
-      report_.extract_status.ok() &&
-      (!opts_.run_subsumption || report_.subsume_status.ok());
-  std::string plan_key;
-  if (store_ && canonical_library) {
-    serial::Writer material;
-    append_image_key(material);
-    gadget::append_extract_key(material, opts_.extract);
-    material.put_bool(opts_.run_subsumption);
-    material.put_str(goal.name);
-    opts_.plan.append_key(material);
-    plan_key = store_->key("plan", material);
-    if (auto art = store_->get(plan_key)) {
-      if (auto chains = payload::decode_chains(art->records, lib_->size())) {
-        ++(art->same_process ? report_.plan_runs.cache_hits
-                             : report_.plan_runs.resumes);
-        report_.plan_seconds += secs_since(t0);
-        report_.store = store_->stats();
-        return *chains;
-      }
-    }
-  }
-
-  std::vector<payload::Chain> chains;
-  const Status st =
-      run_supervised("plan", report_.plan_runs, [&](Governor& g) {
-        planner::Planner planner(*ctx_, *lib_, img_);
-        planner::Options popts = opts_.plan;
-        if (!popts.governor) popts.governor = &g;
-        chains = planner.plan(goal, popts);
-        const auto& s = planner.stats();
-        planner_stats_.expansions += s.expansions;
-        planner_stats_.successors += s.successors;
-        planner_stats_.dead_ends += s.dead_ends;
-        planner_stats_.linearizations += s.linearizations;
-        planner_stats_.concretize_calls += s.concretize_calls;
-        planner_stats_.validated += s.validated;
-        planner_stats_.deadline_cuts += s.deadline_cuts;
-        planner_stats_.status.merge(s.status);
-        return s.status;
-      });
-  if (store_ && canonical_library && st.ok()) {
-    store_->put(plan_key, payload::encode_chains(chains));
-    report_.store = store_->stats();
-  }
-  report_.plan_seconds += secs_since(t0);
-  report_.rss_mb_after_plan = current_rss_mb();
-  report_.plan_status = st;
-  return chains;
-}
 
 CampaignResult run_campaign(const std::string& program_name,
                             const std::string& source,
@@ -334,14 +34,15 @@ CampaignResult run_campaign(const std::string& program_name,
 
   // The three semantic tools share one extracted library.
   if (opts.run_angrop || opts.run_sgc || opts.run_gadget_planner) {
-    GadgetPlanner gp(img, opts.pipeline);
-    result.gp_stages = gp.report();
+    Session session(Engine::shared(), img, opts.pipeline);
+    session.prepare();
+    result.gp_stages = session.report();
 
     if (opts.run_angrop) {
       ToolOutcome tool;
       tool.tool = "Angrop";
       for (const auto& goal : goals) {
-        auto r = baselines::angrop(gp.ctx(), gp.library(), img, goal);
+        auto r = baselines::angrop(session.ctx(), session.library(), img, goal);
         tool.gadgets_total = r.gadgets_total;
         tool.gadgets_used += r.gadgets_used;
         tool.chains_per_goal.push_back(static_cast<int>(r.chains.size()));
@@ -353,7 +54,7 @@ CampaignResult run_campaign(const std::string& program_name,
       ToolOutcome tool;
       tool.tool = "SGC";
       for (const auto& goal : goals) {
-        auto r = baselines::sgc(gp.ctx(), gp.library(), img, goal,
+        auto r = baselines::sgc(session.ctx(), session.library(), img, goal,
                                 opts.sgc_max_chains);
         tool.gadgets_total = r.gadgets_total;
         tool.gadgets_used += r.gadgets_used;
@@ -365,11 +66,11 @@ CampaignResult run_campaign(const std::string& program_name,
     if (opts.run_gadget_planner) {
       ToolOutcome tool;
       tool.tool = "Gadget-Planner";
-      tool.gadgets_total = gp.library().size();
+      tool.gadgets_total = session.library().size();
       int chains_total = 0;
       int insts_total = 0;
       for (const auto& goal : goals) {
-        auto chains = gp.find_chains(goal);
+        auto chains = session.find_chains(goal);
         tool.chains_per_goal.push_back(static_cast<int>(chains.size()));
         for (const auto& c : chains) {
           tool.gadgets_used += c.gadgets.size();
@@ -387,7 +88,7 @@ CampaignResult run_campaign(const std::string& program_name,
         result.gp_avg_chain_len =
             static_cast<double>(insts_total) / chains_total;
       }
-      result.gp_stages = gp.report();
+      result.gp_stages = session.report();
       result.tools.push_back(std::move(tool));
     }
   }

@@ -1,165 +1,79 @@
-// Public facade: the four-stage Gadget-Planner pipeline (Fig. 3) and the
-// campaign runner the benchmarks are built on.
+// Public facade over the Engine/Session/Campaign core (Fig. 3).
 //
-// Quickstart:
+// Layering (see README "Architecture"):
+//   Engine   — process-wide substrate: one gp::Config snapshot, the shared
+//              thread pool, artifact-store handles, the fault harness.
+//   Session  — one per-image analysis: extract → subsume → find_chains as
+//              explicit, lazily-run, immutable artifacts. Many sessions may
+//              run concurrently against one Engine.
+//   Campaign — fans (program, obfuscation, goals) jobs across sessions
+//              with bounded concurrency and aggregates StageReports into a
+//              machine-readable summary (BENCH_pipeline.json).
+//
+// Quickstart (facade):
 //   auto prog = gp::minic::compile_source(source);
 //   gp::obf::obfuscate(prog, gp::obf::Options::llvm_obf());
 //   auto img = gp::codegen::compile(prog);
 //   gp::core::GadgetPlanner planner(img);
 //   auto chains = planner.find_chains(gp::payload::Goal::execve());
+//
+// GadgetPlanner is a thin compatibility wrapper over a Session bound to
+// Engine::shared(); it eagerly runs the pool stages in its constructor the
+// way the original monolithic pipeline did. New code should hold an
+// explicit Session (lazy stages, multi-session concurrency) — see
+// DESIGN.md for the deprecation path.
 #pragma once
 
-#include <functional>
-#include <memory>
-
 #include "baselines/baselines.hpp"
-#include "gadget/gadget.hpp"
-#include "obfuscate/obfuscate.hpp"
-#include "payload/payload.hpp"
-#include "planner/planner.hpp"
-#include "store/store.hpp"
-#include "subsume/subsume.hpp"
+#include "core/campaign.hpp"
+#include "core/engine.hpp"
+#include "core/session.hpp"
 
 namespace gp::core {
 
-/// Retry policy for the stage supervisor: a stage that fails for a
-/// *recoverable* reason (exhausted counted budget, injected fault, internal
-/// error) is re-run up to max_retries more times, each retry after an
-/// exponentially longer backoff and with every counted budget widened by
-/// budget_widen_factor. Deadline expiry and cancellation are never retried
-/// — wall-clock budgets and the caller's cancel are hard contracts.
-struct SupervisorOptions {
-  int max_retries = 2;             // extra attempts after the first
-  double backoff_initial_ms = 25;  // sleep before the first retry
-  double backoff_multiplier = 4;   // backoff growth per retry
-  double budget_widen_factor = 4;  // counted-budget growth per retry
-
-  /// GP_RETRIES overrides max_retries (>= 0; unset/unparsable keeps the
-  /// default).
-  static SupervisorOptions from_env();
-};
-
-/// GP_STORE_DIR, or "" when unset (checkpointing disabled).
-std::string store_dir_from_env();
-
-struct PipelineOptions {
-  gadget::ExtractOptions extract;
-  bool run_subsumption = true;  // ablation hook (DESIGN.md #1)
-  planner::Options plan;
-  /// Resource limits for the whole pipeline. The GadgetPlanner owns one
-  /// Governor built from these and threads it through every stage
-  /// (extraction, subsumption, planning, concretization); by default they
-  /// are read from the environment (GP_DEADLINE_MS, GP_SOLVER_CHECKS,
-  /// GP_SYM_STEPS, GP_EXPR_NODES), all unlimited when unset.
-  GovernorOptions governor = GovernorOptions::from_env();
-  /// Stage-supervisor retry policy (GP_RETRIES).
-  SupervisorOptions supervise = SupervisorOptions::from_env();
-  /// Artifact-store directory for durable checkpoint/resume; "" disables.
-  /// Defaults to the GP_STORE_DIR env knob. Stage outputs (extracted pool,
-  /// minimized pool, chains per goal) are checkpointed under content-hash
-  /// keys of (image bytes, stage options, format version), so a later run
-  /// — same process or a fresh one after a crash/OOM-kill — resumes from
-  /// the last good checkpoint instead of recomputing solver work.
-  std::string store_dir = store_dir_from_env();
-};
-
-/// Attempt/resume/cache accounting for one supervised pipeline stage.
-struct StageRuns {
-  u32 attempts = 0;    // stage-body executions in this process
-  u32 retries = 0;     // attempts the supervisor re-ran after a failure
-  u32 cache_hits = 0;  // outputs served from a checkpoint this process wrote
-  u32 resumes = 0;     // outputs served from an earlier process's checkpoint
-};
-
-/// Wall-clock and size accounting per pipeline stage (Table VII).
-struct StageReport {
-  double extract_seconds = 0;
-  double subsume_seconds = 0;
-  double plan_seconds = 0;
-  u64 pool_raw = 0;        // gadgets out of extraction
-  u64 pool_minimized = 0;  // gadgets after subsumption
-  u64 rss_mb_after_extract = 0;
-  u64 rss_mb_after_subsume = 0;
-  u64 rss_mb_after_plan = 0;
-  /// Degradation accounting: Ok for a clean run of the stage, otherwise
-  /// the first reason (deadline, cancellation, budget, injected fault)
-  /// that stage ran degraded. A degraded stage still yields usable —
-  /// merely smaller — results; nothing here is an error.
-  Status extract_status;
-  Status subsume_status;
-  Status plan_status;
-  /// Supervisor accounting: how many times each stage actually ran, how
-  /// many of those were retries, and how often a checkpoint substituted
-  /// for the run entirely (cache_hits within this process, resumes across
-  /// processes).
-  StageRuns extract_runs;
-  StageRuns subsume_runs;
-  StageRuns plan_runs;
-  /// Artifact-store counters (all zero when checkpointing is disabled).
-  store::Stats store;
-};
-
-/// Resident set size of this process in MiB (0 when /proc is unavailable).
-u64 current_rss_mb();
-
-/// One analysis session over a binary image. Construction runs extraction
-/// and subsumption; find_chains() runs the planner per goal.
+/// Compatibility facade: one analysis session over a binary image with the
+/// historical eager semantics — construction runs extraction and
+/// subsumption; find_chains() runs the planner per goal. Wraps a Session
+/// on Engine::shared().
 class GadgetPlanner {
  public:
   explicit GadgetPlanner(const image::Image& img,
-                         const PipelineOptions& opts = {});
+                         const PipelineOptions& opts = {})
+      : session_(Engine::shared(), img, opts) {
+    session_.prepare();
+  }
 
-  const gadget::Library& library() const { return *lib_; }
-  solver::Context& ctx() { return *ctx_; }
-  const image::Image& img() const { return img_; }
+  const gadget::Library& library() const { return session_.library(); }
+  solver::Context& ctx() { return session_.ctx(); }
+  const image::Image& img() const { return session_.img(); }
 
-  std::vector<payload::Chain> find_chains(const payload::Goal& goal);
+  std::vector<payload::Chain> find_chains(const payload::Goal& goal) {
+    return session_.find_chains(goal);
+  }
 
-  const StageReport& report() const { return report_; }
-  const planner::Stats& planner_stats() const { return planner_stats_; }
-  const gadget::ExtractStats& extract_stats() const { return extract_stats_; }
-  const subsume::Stats& subsume_stats() const { return subsume_stats_; }
+  const StageReport& report() const { return session_.report(); }
+  const planner::Stats& planner_stats() const {
+    return session_.planner_stats();
+  }
+  const gadget::ExtractStats& extract_stats() const {
+    return session_.extract_stats();
+  }
+  const subsume::Stats& subsume_stats() const {
+    return session_.subsume_stats();
+  }
   /// The pipeline's governor (never null). Cancel it from another thread
   /// to stop the pipeline cooperatively at the next poll point.
-  Governor& governor() { return *gov_; }
+  Governor& governor() { return session_.governor(); }
 
   /// The artifact store backing checkpoint/resume, or nullptr when
   /// disabled (opts.store_dir empty).
-  store::ArtifactStore* store() { return store_.get(); }
+  store::ArtifactStore* store() { return session_.store(); }
+
+  /// The wrapped Session, for code migrating off the facade.
+  Session& session() { return session_; }
 
  private:
-  /// Run `body` as a restartable unit: attempt 0 under the pipeline
-  /// governor; on a recoverable failure (budget exhaustion, injected
-  /// fault, internal error — never deadline expiry or cancellation),
-  /// retry after exponential backoff under a fresh governor with widened
-  /// counted budgets, up to opts_.supervise.max_retries extra attempts.
-  /// `body` receives the governor for that attempt and returns the stage
-  /// Status; throws from the final attempt propagate.
-  Status run_supervised(const char* stage, StageRuns& runs,
-                        const std::function<Status(Governor&)>& body);
-
-  /// Key material shared by every stage: the image content (entry, code,
-  /// data) and the store format version.
-  void append_image_key(serial::Writer& w) const;
-
-  /// Re-intern `pool` from its serialized form into a fresh context so the
-  /// next stage sees state that depends only on pool content — the same
-  /// state a resumed run reconstructs from a checkpoint.
-  void canonicalize_pool(std::vector<gadget::Record>& pool);
-
-  const image::Image& img_;
-  PipelineOptions opts_;
-  std::unique_ptr<Governor> gov_;
-  std::unique_ptr<solver::Context> ctx_;
-  std::unique_ptr<gadget::Library> lib_;
-  std::unique_ptr<store::ArtifactStore> store_;
-  /// Governors built for retries; kept alive for the session because
-  /// stage stats may reference them.
-  std::vector<std::unique_ptr<Governor>> retry_govs_;
-  StageReport report_;
-  planner::Stats planner_stats_;
-  gadget::ExtractStats extract_stats_;
-  subsume::Stats subsume_stats_;
+  Session session_;
 };
 
 /// Campaign: run every tool on one image (the unit of Tables IV/VI).

@@ -1,0 +1,233 @@
+// Session: one per-image analysis bound to an Engine.
+//
+// A session's stages are explicit, lazily-run, immutable artifacts rather
+// than constructor side effects:
+//
+//   Session s(engine, img);
+//   s.extract();                       // optional: stages run on demand
+//   s.subsume();
+//   auto chains = s.find_chains(goal); // runs any missing stage first
+//
+// Each stage runs at most once; its output (the raw pool, the minimized
+// library) is immutable afterwards and every accessor observes the same
+// artifact. Stages are supervised (retry with widened budgets on
+// recoverable failure) and checkpointed through the engine's artifact
+// store exactly as the monolithic GadgetPlanner pipeline was.
+//
+// Concurrency contract: ONE thread drives a given session, but any number
+// of sessions may run concurrently against one Engine — each session owns
+// its solver context, governor and stats; everything shared (thread pool,
+// store handles, fault counters) is internally synchronized. N concurrent
+// sessions over distinct images produce byte-identical results to N
+// sequential runs (tests/test_parallel.cpp proves it under tsan).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "gadget/gadget.hpp"
+#include "image/image.hpp"
+#include "payload/payload.hpp"
+#include "planner/planner.hpp"
+#include "subsume/subsume.hpp"
+
+namespace gp::core {
+
+/// Retry policy for the stage supervisor: a stage that fails for a
+/// *recoverable* reason (exhausted counted budget, injected fault, internal
+/// error) is re-run up to max_retries more times, each retry after an
+/// exponentially longer backoff and with every counted budget widened by
+/// budget_widen_factor. Deadline expiry and cancellation are never retried
+/// — wall-clock budgets and the caller's cancel are hard contracts.
+struct SupervisorOptions {
+  int max_retries = 2;             // extra attempts after the first
+  double backoff_initial_ms = 25;  // sleep before the first retry
+  double backoff_multiplier = 4;   // backoff growth per retry
+  double budget_widen_factor = 4;  // counted-budget growth per retry
+
+  /// GP_RETRIES overrides max_retries (>= 0; unset/unparsable keeps the
+  /// default). Routed through gp::Config (fresh parse).
+  static SupervisorOptions from_env();
+};
+
+/// GP_STORE_DIR, or "" when unset (checkpointing disabled). Routed through
+/// gp::Config (fresh parse).
+std::string store_dir_from_env();
+
+struct PipelineOptions {
+  gadget::ExtractOptions extract;
+  bool run_subsumption = true;  // ablation hook (DESIGN.md #1)
+  planner::Options plan;
+  /// Resource limits for this session. The session owns one Governor built
+  /// from these and threads it through every stage (extraction,
+  /// subsumption, planning, concretization); by default they are read from
+  /// the environment (GP_DEADLINE_MS, GP_SOLVER_CHECKS, GP_SYM_STEPS,
+  /// GP_EXPR_NODES), all unlimited when unset. Campaigns overwrite this
+  /// with a per-session share of the engine budget
+  /// (GovernorOptions::split_across).
+  GovernorOptions governor = GovernorOptions::from_env();
+  /// Stage-supervisor retry policy (GP_RETRIES).
+  SupervisorOptions supervise = SupervisorOptions::from_env();
+  /// Artifact-store directory for durable checkpoint/resume; "" disables.
+  /// Defaults to the GP_STORE_DIR env knob. Stage outputs (extracted pool,
+  /// minimized pool, chains per goal) are checkpointed under content-hash
+  /// keys of (image bytes, stage options, format version), so a later run
+  /// — same process or a fresh one after a crash/OOM-kill — resumes from
+  /// the last good checkpoint instead of recomputing solver work.
+  std::string store_dir = store_dir_from_env();
+};
+
+/// Attempt/resume/cache accounting for one supervised pipeline stage.
+struct StageRuns {
+  u32 attempts = 0;    // stage-body executions in this process
+  u32 retries = 0;     // attempts the supervisor re-ran after a failure
+  u32 cache_hits = 0;  // outputs served from a checkpoint this process wrote
+  u32 resumes = 0;     // outputs served from an earlier process's checkpoint
+};
+
+/// Wall-clock and size accounting per pipeline stage (Table VII).
+struct StageReport {
+  double extract_seconds = 0;
+  double subsume_seconds = 0;
+  double plan_seconds = 0;
+  u64 pool_raw = 0;        // gadgets out of extraction
+  u64 pool_minimized = 0;  // gadgets after subsumption
+  u64 rss_mb_after_extract = 0;
+  u64 rss_mb_after_subsume = 0;
+  u64 rss_mb_after_plan = 0;
+  /// Degradation accounting: Ok for a clean run of the stage, otherwise
+  /// the first reason (deadline, cancellation, budget, injected fault)
+  /// that stage ran degraded. A degraded stage still yields usable —
+  /// merely smaller — results; nothing here is an error.
+  Status extract_status;
+  Status subsume_status;
+  Status plan_status;
+  /// Supervisor accounting: how many times each stage actually ran, how
+  /// many of those were retries, and how often a checkpoint substituted
+  /// for the run entirely (cache_hits within this process, resumes across
+  /// processes).
+  StageRuns extract_runs;
+  StageRuns subsume_runs;
+  StageRuns plan_runs;
+  /// Artifact-store counters for this session's window (all zero when
+  /// checkpointing is disabled).
+  store::Stats store;
+
+  /// The worst stage status: Ok for a clean run; the first degradation
+  /// code (deadline, budget, fault, cancel) for a degraded-but-usable run.
+  Status worst_status() const {
+    Status s;
+    s.merge(extract_status).merge(subsume_status).merge(plan_status);
+    return s;
+  }
+};
+
+/// Resident set size of this process in MiB (0 when /proc is unavailable).
+u64 current_rss_mb();
+
+class Session {
+ public:
+  /// Borrowing constructor: `img` must outlive the session.
+  Session(Engine& engine, const image::Image& img, PipelineOptions opts = {});
+  /// Owning constructor: the session keeps the image alive itself (the
+  /// shape campaign jobs use — the compiled image has no other home).
+  Session(Engine& engine, image::Image&& img, PipelineOptions opts = {});
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Stage 1: gadget extraction (supervised, checkpointed). Idempotent —
+  /// the first call computes the raw pool, later calls return the recorded
+  /// status without re-running anything.
+  Status extract();
+  /// Stage 2: subsumption winnow + library construction (supervised,
+  /// checkpointed; runs extract() first if needed). Idempotent. With
+  /// run_subsumption=false the winnow is skipped and the raw pool becomes
+  /// the library unchanged.
+  Status subsume();
+  /// Ensure both pool stages have run (extract + subsume).
+  void prepare() { (void)subsume(); }
+
+  /// Stages 3+4 per goal: plan + concretize (supervised, checkpointed per
+  /// goal). Runs any missing pool stage first.
+  std::vector<payload::Chain> find_chains(const payload::Goal& goal);
+
+  /// The minimized library. The non-const overload runs the missing pool
+  /// stages; the const overload requires prepare() to have run.
+  const gadget::Library& library() {
+    prepare();
+    return *lib_;
+  }
+  const gadget::Library& library() const {
+    GP_CHECK(lib_ != nullptr, "Session::library() before prepare()");
+    return *lib_;
+  }
+
+  Engine& engine() { return engine_; }
+  solver::Context& ctx() { return *ctx_; }
+  const image::Image& img() const { return *img_; }
+
+  const StageReport& report() const { return report_; }
+  const planner::Stats& planner_stats() const { return planner_stats_; }
+  const gadget::ExtractStats& extract_stats() const { return extract_stats_; }
+  const subsume::Stats& subsume_stats() const { return subsume_stats_; }
+  /// The session's governor (never null). Cancel it from another thread to
+  /// stop the session cooperatively at the next poll point.
+  Governor& governor() { return *gov_; }
+
+  /// The artifact store backing checkpoint/resume, or nullptr when
+  /// disabled (opts.store_dir empty). Shared with every other session on
+  /// the same directory.
+  store::ArtifactStore* store() { return store_.get(); }
+
+ private:
+  /// Run `body` as a restartable unit: attempt 0 under the session
+  /// governor; on a recoverable failure (budget exhaustion, injected
+  /// fault, internal error — never deadline expiry or cancellation),
+  /// retry after exponential backoff under a fresh governor with widened
+  /// counted budgets, up to opts_.supervise.max_retries extra attempts.
+  /// `body` receives the governor for that attempt and returns the stage
+  /// Status; throws from the final attempt propagate.
+  Status run_supervised(const char* stage, StageRuns& runs,
+                        const std::function<Status(Governor&)>& body);
+
+  /// Key material shared by every stage: the image content (entry, code,
+  /// data) and the store format version.
+  void append_image_key(serial::Writer& w) const;
+
+  /// Re-intern `pool` from its serialized form into a fresh context so the
+  /// next stage sees state that depends only on pool content — the same
+  /// state a resumed run reconstructs from a checkpoint.
+  void canonicalize_pool(std::vector<gadget::Record>& pool);
+
+  /// Refresh report_.store with this session's window of store activity.
+  void snapshot_store_stats();
+
+  Engine& engine_;
+  std::optional<image::Image> owned_img_;  // set by the owning constructor
+  const image::Image* img_;
+  PipelineOptions opts_;
+  std::unique_ptr<Governor> gov_;
+  std::unique_ptr<solver::Context> ctx_;
+  std::shared_ptr<store::ArtifactStore> store_;
+  store::Stats store_baseline_;  // store stats when this session opened
+  /// Governors built for retries; kept alive for the session because
+  /// stage stats may reference them.
+  std::vector<std::unique_ptr<Governor>> retry_govs_;
+
+  bool extracted_ = false;  // stage-1 artifact exists
+  bool subsumed_ = false;   // stage-2 artifact (lib_) exists
+  std::vector<gadget::Record> pool_;  // raw pool between stages 1 and 2
+  std::unique_ptr<gadget::Library> lib_;
+
+  StageReport report_;
+  planner::Stats planner_stats_;
+  gadget::ExtractStats extract_stats_;
+  subsume::Stats subsume_stats_;
+};
+
+}  // namespace gp::core

@@ -68,14 +68,15 @@ namespace {
 /// Re-execute a gadget's recorded path on a shared symbolic state,
 /// collecting branch-decision constraints. Returns the final Flow.
 sym::Flow replay(sym::Executor& exec, solver::Context& ctx, sym::State& st,
-                 const Record& g, std::vector<ExprRef>& constraints) {
+                 const Record& g, std::vector<ExprRef>& constraints,
+                 bool dbg) {
   sym::Flow flow;
   for (const gadget::PathStep& step : g.path) {
     flow = exec.step(st, lift::lift(step.inst));
     if (flow.kind == ir::JumpKind::CondDirect) {
       const ExprRef c =
           step.branch_taken ? flow.cond : ctx.bnot(flow.cond);
-      if (std::getenv("GP_DEBUG_CONC2") && ctx.is_const(c, 0))
+      if (dbg && ctx.is_const(c, 0))
         fprintf(stderr, "FALSE path-cond at gadget %llx inst %s\n",
                 (unsigned long long)g.addr,
                 x86::to_string(step.inst).c_str());
@@ -109,7 +110,7 @@ std::optional<Chain> concretize(solver::Context& ctx,
   exec.set_governor(opts.governor);
   sym::State st = exec.initial_state();
   std::vector<ExprRef> constraints;
-  const bool dbg = std::getenv("GP_DEBUG_CONC2") != nullptr;
+  const bool dbg = opts.debug_conc2;
   auto push_c = [&](ExprRef c, const char* tag) {
     if (dbg && ctx.is_const(c, 0))
       fprintf(stderr, "FALSE constraint from %s\n", tag);
@@ -118,7 +119,7 @@ std::optional<Chain> concretize(solver::Context& ctx,
 
   for (size_t i = 0; i < ordered.size(); ++i) {
     const Record& g = lib[ordered[i]];
-    const sym::Flow flow = replay(exec, ctx, st, g, constraints);
+    const sym::Flow flow = replay(exec, ctx, st, g, constraints, dbg);
     if (i + 1 < ordered.size()) {
       // Link: this gadget's transfer must land on the next gadget.
       if (flow.kind != ir::JumpKind::Indirect) {
@@ -344,7 +345,7 @@ std::optional<Chain> concretize(solver::Context& ctx,
       return std::nullopt;
     }
     ++cs.unsat;
-    if (std::getenv("GP_DEBUG_CONC2") && cs.unsat <= 5) {
+    if (dbg && cs.unsat <= 5) {
       fprintf(stderr, "=== UNSAT constraint set (%zu) ===\n",
               constraints.size());
       for (const ExprRef c : constraints)
@@ -432,7 +433,7 @@ bool validate(const image::Image& img, const Chain& chain, const Goal& goal,
   e.set_rip(chain.entry);
 
   const auto result = e.run(200'000);
-  if (std::getenv("GP_DEBUG_VAL")) {
+  if (config().debug_val) {
     fprintf(stderr, "validate: stop=%s at rip=%llx steps=%llu syscall=%llu\n",
             emu::stop_reason_name(result.reason),
             (unsigned long long)result.rip,

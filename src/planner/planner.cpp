@@ -386,7 +386,7 @@ std::vector<Planner::Plan> Planner::expand(const Plan& p,
     }
     if (!produced) {
       ++f_dead;
-      if (std::getenv("GP_DEBUG_PLAN") && f_dead <= 2) {
+      if (opts.debug_plan && f_dead <= 2) {
         fprintf(stderr, "    dead cand g[%u] threats=%zu beta=%zu:", gi,
                 threats.size(), base.beta.size());
         for (auto& t : threats)
@@ -403,7 +403,7 @@ std::vector<Planner::Plan> Planner::expand(const Plan& p,
     ++stats_.successors;
   }
   if (out.empty()) ++stats_.dead_ends;
-  if (out.empty() && std::getenv("GP_DEBUG_PLAN")) {
+  if (out.empty() && opts.debug_plan) {
     fprintf(stderr,
             "  expand(%s/%d): ranked=%zu taken=%d adm=%d sys=%d sd=%d "
             "const=%d goalc=%d dead=%d\n",
@@ -500,7 +500,7 @@ void Planner::run_round(const Goal& goal, const Options& opts,
     queue.pop();
     ++expansions;
     ++stats_.expansions;
-    if (std::getenv("GP_DEBUG_PLAN") && expansions <= 80) {
+    if (opts.debug_plan && expansions <= 80) {
       fprintf(stderr, "pop #%d delta=%zu alpha=%zu ncon=%d [", expansions,
               best.delta.size(), best.alpha.size(), best.n_constraints);
       for (auto& [r, c] : best.delta)
@@ -525,7 +525,7 @@ void Planner::run_round(const Goal& goal, const Options& opts,
       if (!copts.stats) copts.stats = &local_cs;
       if (!copts.governor) copts.governor = opts.governor;
       auto chain = payload::concretize(ctx_, lib_, img_, seq, goal, copts);
-      if (!chain && std::getenv("GP_DEBUG_CONC") &&
+      if (!chain && opts.debug_conc &&
           stats_.concretize_calls <= 3) {
         fprintf(stderr, "--- failed sequence (%zu gadgets) ---\n", seq.size());
         for (const u32 gi : seq) {

@@ -23,6 +23,7 @@
 
 #include "gadget/gadget.hpp"
 #include "payload/payload.hpp"
+#include "support/config.hpp"
 #include "support/serial.hpp"
 
 namespace gp::planner {
@@ -45,6 +46,11 @@ struct Options {
   /// Expiry always returns the best-so-far chains, never throws.
   Governor* governor = nullptr;
   payload::ConcretizeOptions concretize;
+  /// Search/concretization failure tracing to stderr. Resolved once from
+  /// the gp::Config snapshot (GP_DEBUG_PLAN / GP_DEBUG_CONC) instead of a
+  /// per-iteration getenv in the expansion loop.
+  bool debug_plan = config().debug_plan;
+  bool debug_conc = config().debug_conc;
   // Ablation switches (the paper's thesis: baselines lack these).
   bool use_cond_gadgets = true;    // CDJ/CIJ paths
   bool use_indirect_gadgets = true;

@@ -2,9 +2,9 @@
 
 #include <unistd.h>
 
-#include <cstdlib>
 #include <filesystem>
 
+#include "support/config.hpp"
 #include "support/str.hpp"
 
 namespace gp::store {
@@ -31,9 +31,9 @@ ArtifactStore::ArtifactStore(std::string dir, u32 version)
 }
 
 std::unique_ptr<ArtifactStore> ArtifactStore::from_env() {
-  const char* env = std::getenv("GP_STORE_DIR");
-  if (!env || !*env) return nullptr;
-  return std::make_unique<ArtifactStore>(env);
+  const std::string dir = Config::from_env().store_dir;
+  if (dir.empty()) return nullptr;
+  return std::make_unique<ArtifactStore>(dir);
 }
 
 std::string ArtifactStore::key(const std::string& stage,

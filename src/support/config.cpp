@@ -1,0 +1,75 @@
+#include "support/config.hpp"
+
+#include <cstdlib>
+#include <thread>
+
+namespace gp {
+
+namespace {
+
+const char* env_str(const char* name) {
+  const char* s = std::getenv(name);
+  return s ? s : "";
+}
+
+bool env_flag(const char* name) { return std::getenv(name) != nullptr; }
+
+/// Unsigned knob; unset or unparsable means 0 ("unlimited").
+u64 env_u64(const char* name) {
+  const char* s = std::getenv(name);
+  if (!s || !*s) return 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || (end && *end)) return 0;
+  return static_cast<u64>(v);
+}
+
+int hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+Config Config::from_env() {
+  Config c;
+
+  // GP_THREADS: positive values clamp to 512; anything else falls back to
+  // the hardware count (the pre-Config ThreadPool::env_threads contract).
+  c.threads = hardware_threads();
+  if (const char* s = std::getenv("GP_THREADS")) {
+    const long v = std::strtol(s, nullptr, 10);
+    if (v >= 1) c.threads = static_cast<int>(std::min<long>(v, 512));
+  }
+
+  c.governor.deadline_seconds =
+      static_cast<double>(env_u64("GP_DEADLINE_MS")) / 1e3;
+  c.governor.max_solver_checks = env_u64("GP_SOLVER_CHECKS");
+  c.governor.max_sym_steps = env_u64("GP_SYM_STEPS");
+  c.governor.max_expr_nodes = env_u64("GP_EXPR_NODES");
+
+  if (const char* s = std::getenv("GP_RETRIES")) {
+    char* end = nullptr;
+    const long n = std::strtol(s, &end, 10);
+    if (end && end != s && *end == '\0' && n >= 0)
+      c.max_retries = static_cast<int>(n);
+  }
+
+  c.store_dir = env_str("GP_STORE_DIR");
+  c.fault_spec = env_str("GP_FAULT");
+
+  c.debug_plan = env_flag("GP_DEBUG_PLAN");
+  c.debug_conc = env_flag("GP_DEBUG_CONC");
+  c.debug_conc2 = env_flag("GP_DEBUG_CONC2");
+  c.debug_val = env_flag("GP_DEBUG_VAL");
+  c.bench_full = env_flag("GP_BENCH_FULL");
+
+  return c;
+}
+
+const Config& config() {
+  static const Config snapshot = Config::from_env();
+  return snapshot;
+}
+
+}  // namespace gp

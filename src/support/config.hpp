@@ -1,0 +1,70 @@
+// Unified process configuration: every GP_* environment knob, resolved at
+// ONE parse point.
+//
+// Config::from_env() (config.cpp) is the only place in src/ that calls
+// std::getenv — thread-pool sizing, governor budgets, retry policy, the
+// checkpoint-store directory, the fault-injection spec and all debug
+// tracing flags route through it. Two access patterns:
+//
+//   - Config::from_env()  parses the environment fresh on every call.
+//     Module-level from_env() helpers (GovernorOptions::from_env,
+//     SupervisorOptions::from_env, ThreadPool::env_threads, ...) delegate
+//     here so tests that setenv() mid-process observe the change.
+//   - config()            a process-wide immutable snapshot taken on first
+//     use. Hot paths (the planner's expansion loop, concretization's
+//     constraint builder) read debug flags from this snapshot instead of
+//     calling getenv per iteration; gp::Engine resolves its configuration
+//     from it exactly once.
+//
+// The snapshot is deliberately immutable: a mid-run environment change
+// must never reshape an analysis that is already in flight.
+#pragma once
+
+#include <string>
+
+#include "support/governor.hpp"
+
+namespace gp {
+
+/// All GP_* knobs. Field order follows the README's env-knob table.
+struct Config {
+  /// GP_THREADS: worker parallelism for the shared pool, already resolved
+  /// (env value clamped to [1, 512]; unset/unparsable = hardware
+  /// concurrency, never 0).
+  int threads = 1;
+
+  /// GP_DEADLINE_MS / GP_SOLVER_CHECKS / GP_SYM_STEPS / GP_EXPR_NODES:
+  /// the pipeline resource budgets (zero fields = unlimited).
+  GovernorOptions governor;
+
+  /// GP_RETRIES: extra supervised attempts per stage after the first.
+  int max_retries = 2;
+
+  /// GP_STORE_DIR: artifact-store directory ("" = checkpointing disabled).
+  std::string store_dir;
+
+  /// GP_FAULT: raw fault-injection spec text (parsed by gp::fault; "" =
+  /// injection disabled).
+  std::string fault_spec;
+
+  /// GP_DEBUG_PLAN / GP_DEBUG_CONC / GP_DEBUG_CONC2 / GP_DEBUG_VAL:
+  /// stderr tracing for the planner search, failed concretizations, the
+  /// constraint builder, and payload validation.
+  bool debug_plan = false;
+  bool debug_conc = false;
+  bool debug_conc2 = false;
+  bool debug_val = false;
+
+  /// GP_BENCH_FULL: benchmark drivers sweep the whole corpus instead of
+  /// the quick subset.
+  bool bench_full = false;
+
+  /// Parse the environment now. The single std::getenv site in src/.
+  static Config from_env();
+};
+
+/// The process-wide snapshot, parsed from the environment on first use and
+/// immutable afterwards.
+const Config& config();
+
+}  // namespace gp

@@ -1,7 +1,8 @@
 #include "support/fault.hpp"
 
-#include <cstdlib>
 #include <mutex>
+
+#include "support/config.hpp"
 
 namespace gp::fault {
 
@@ -121,9 +122,9 @@ void disable() { configure(Spec{}); }
 void configure_from_env() {
   static std::once_flag once;
   std::call_once(once, [] {
-    const char* env = std::getenv("GP_FAULT");
-    if (!env || !*env) return;
-    auto parsed = parse_spec(env);
+    const std::string& spec = gp::config().fault_spec;
+    if (spec.empty()) return;
+    auto parsed = parse_spec(spec);
     if (!parsed.ok()) fail(parsed.status().to_string());
     configure(parsed.value());
   });

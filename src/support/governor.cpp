@@ -1,29 +1,13 @@
 #include "support/governor.hpp"
 
-#include <cstdlib>
+#include "support/config.hpp"
 
 namespace gp {
 
-namespace {
-
-u64 env_u64(const char* name) {
-  const char* s = std::getenv(name);
-  if (!s || !*s) return 0;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(s, &end, 10);
-  if (end == s || (end && *end)) return 0;  // unparsable: unlimited
-  return static_cast<u64>(v);
-}
-
-}  // namespace
-
 GovernorOptions GovernorOptions::from_env() {
-  GovernorOptions o;
-  o.deadline_seconds = static_cast<double>(env_u64("GP_DEADLINE_MS")) / 1e3;
-  o.max_solver_checks = env_u64("GP_SOLVER_CHECKS");
-  o.max_sym_steps = env_u64("GP_SYM_STEPS");
-  o.max_expr_nodes = env_u64("GP_EXPR_NODES");
-  return o;
+  // Fresh parse (not the config() snapshot) so tests that setenv()
+  // mid-process observe the change.
+  return Config::from_env().governor;
 }
 
 }  // namespace gp

@@ -26,6 +26,7 @@
 // stages and worker lanes and must outlive them.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <limits>
@@ -137,6 +138,23 @@ struct GovernorOptions {
   /// Environment knobs: GP_DEADLINE_MS, GP_SOLVER_CHECKS, GP_SYM_STEPS,
   /// GP_EXPR_NODES (unset/unparsable entries stay unlimited).
   static GovernorOptions from_env();
+
+  /// Copy with every counted budget divided across `n` concurrent
+  /// consumers (each share at least 1 so a tiny budget can never round to
+  /// 0 = "unlimited"). The deadline is shared, not split: concurrent
+  /// sessions race one wall clock. This is how an engine-level budget is
+  /// carved into per-session governors.
+  GovernorOptions split_across(int n) const {
+    if (n <= 1) return *this;
+    auto share = [n](u64 v) -> u64 {
+      return v == 0 ? 0 : std::max<u64>(1, v / static_cast<u64>(n));
+    };
+    GovernorOptions o = *this;
+    o.max_solver_checks = share(max_solver_checks);
+    o.max_sym_steps = share(max_sym_steps);
+    o.max_expr_nodes = share(max_expr_nodes);
+    return o;
+  }
 
   /// Copy with every counted budget multiplied by `factor` (saturating;
   /// unlimited stays unlimited). The deadline is NOT scaled — wall-clock

@@ -1,7 +1,8 @@
 #include "support/thread_pool.hpp"
 
 #include <algorithm>
-#include <cstdlib>
+
+#include "support/config.hpp"
 
 namespace gp {
 
@@ -126,12 +127,9 @@ void ThreadPool::run(u64 items,
 }
 
 int ThreadPool::env_threads() {
-  if (const char* env = std::getenv("GP_THREADS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v >= 1) return static_cast<int>(std::min<long>(v, 512));
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw ? static_cast<int>(hw) : 1;
+  // Fresh parse so tests that setenv("GP_THREADS") observe the change;
+  // Config::from_env already applied the clamp and hardware fallback.
+  return Config::from_env().threads;
 }
 
 int ThreadPool::resolve(int threads) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <mutex>
+
 #include "codegen/codegen.hpp"
 #include "core/core.hpp"
 #include "corpus/corpus.hpp"
@@ -60,6 +62,122 @@ TEST(GadgetPlanner, SubsumptionAblation) {
   EXPECT_LT(a.library().size(), b.library().size());
   // The minimized pool must not lose the ability to build chains.
   EXPECT_FALSE(a.find_chains(payload::Goal::execve()).empty());
+}
+
+TEST(Engine, SharedIsProcessWideAndCachesStores) {
+  Engine& a = Engine::shared();
+  Engine& b = Engine::shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.store(""), nullptr);  // checkpointing disabled
+
+  Engine local(Config::from_env());
+  const std::string dir = ::testing::TempDir() + "gp-engine-store-cache";
+  auto s1 = local.store(dir);
+  auto s2 = local.store(dir);
+  ASSERT_NE(s1, nullptr);
+  // One instance per directory: the manifest is rewritten whole-file on
+  // every put, so every session sharing a dir must share the instance.
+  EXPECT_EQ(s1.get(), s2.get());
+}
+
+TEST(Engine, SessionBudgetSplitsCountedBudgetsNotDeadline) {
+  Config cfg = Config::from_env();
+  cfg.governor.max_solver_checks = 10;
+  cfg.governor.max_sym_steps = 3;
+  cfg.governor.max_expr_nodes = 0;  // unlimited stays unlimited
+  cfg.governor.deadline_seconds = 5.0;
+  Engine engine(cfg);
+
+  const GovernorOptions share = engine.session_budget(4);
+  EXPECT_EQ(share.max_solver_checks, 2u);
+  EXPECT_EQ(share.max_sym_steps, 1u);  // never rounds down to 0 (unlimited)
+  EXPECT_EQ(share.max_expr_nodes, 0u);
+  EXPECT_EQ(share.deadline_seconds, 5.0);  // wall clock is shared
+}
+
+TEST(Session, StagesAreLazyExplicitAndIdempotent) {
+  auto prog = minic::compile_source(kCallRichSource);
+  obf::obfuscate(prog, obf::Options::llvm_obf(7));
+  auto img = codegen::compile(prog);
+
+  Session session(Engine::shared(), img);
+  EXPECT_EQ(session.report().extract_runs.attempts, 0u);  // nothing ran yet
+
+  EXPECT_TRUE(session.extract().ok());
+  const u64 raw = session.report().pool_raw;
+  EXPECT_GT(raw, 100u);
+  EXPECT_TRUE(session.extract().ok());  // idempotent: no second attempt
+  EXPECT_EQ(session.report().extract_runs.attempts, 1u);
+
+  EXPECT_TRUE(session.subsume().ok());
+  EXPECT_LE(session.report().pool_minimized, raw);
+  EXPECT_EQ(session.library().size(), session.report().pool_minimized);
+  EXPECT_EQ(session.report().subsume_runs.attempts, 1u);
+  EXPECT_TRUE(session.report().worst_status().ok());
+}
+
+TEST(Session, OwningConstructorKeepsImageAlive) {
+  PipelineOptions popts;
+  popts.plan.max_chains = 2;
+  auto make = [&] {
+    auto prog = minic::compile_source(kCallRichSource);
+    obf::obfuscate(prog, obf::Options::llvm_obf(7));
+    return Session(Engine::shared(), codegen::compile(prog), popts);
+  };
+  Session session = make();  // the temporary image is gone; session owns it
+  EXPECT_FALSE(session.find_chains(payload::Goal::execve()).empty());
+}
+
+TEST(Campaign, BatchSummaryAndJson) {
+  std::vector<Job> jobs;
+  for (const char* obf_name : {"none", "llvm-obf"}) {
+    Job job;
+    job.program = "call_rich";
+    job.source = kCallRichSource;
+    job.obfuscation = obf_name;
+    job.obf = profile_by_name(obf_name, 7);
+    job.goals = {payload::Goal::execve()};
+    jobs.push_back(std::move(job));
+  }
+
+  Campaign::Options copts;
+  copts.concurrency = 2;
+  copts.pipeline.plan.max_chains = 4;
+  int hook_calls = 0;
+  std::mutex hook_mu;
+  copts.on_job = [&](const Job&, Session& s, JobResult& r) {
+    EXPECT_EQ(s.library().size(), r.stages.pool_minimized);
+    std::lock_guard<std::mutex> lock(hook_mu);
+    ++hook_calls;
+  };
+  const auto summary = Campaign(Engine::shared(), copts).run(jobs);
+
+  ASSERT_EQ(summary.results.size(), 2u);
+  EXPECT_EQ(hook_calls, 2);
+  EXPECT_EQ(summary.jobs_ok + summary.jobs_degraded + summary.jobs_failed, 2);
+  EXPECT_EQ(summary.jobs_failed, 0);
+  EXPECT_EQ(summary.results[0].program, "call_rich");
+  EXPECT_EQ(summary.results[0].obfuscation, "none");
+  EXPECT_EQ(summary.results[1].obfuscation, "llvm-obf");
+  // The obfuscated job finds at least as many chains (the paper's point).
+  EXPECT_LE(summary.results[0].total_chains(),
+            summary.results[1].total_chains());
+  EXPECT_NE(summary.results[1].result_digest, 0u);
+
+  const std::string json = summary.to_json();
+  EXPECT_NE(json.find("\"schema\": \"gp-campaign-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"jobs_failed\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"program\": \"call_rich\""), std::string::npos);
+}
+
+TEST(Campaign, CorpusJobsCoverTheGrid) {
+  const auto jobs = Campaign::corpus_jobs({"none", "llvm-obf"}, 7);
+  EXPECT_EQ(jobs.size(), corpus::benchmark().size() * 2);
+  for (const auto& job : jobs) {
+    EXPECT_FALSE(job.source.empty());
+    EXPECT_EQ(job.goals.size(), payload::Goal::all().size());
+  }
+  EXPECT_THROW(profile_by_name("no-such-profile"), Error);
 }
 
 TEST(CurrentRss, ReportsSomethingPlausible) {

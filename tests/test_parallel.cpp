@@ -14,9 +14,12 @@
 #include <vector>
 
 #include "codegen/codegen.hpp"
+#include "core/core.hpp"
+#include "corpus/corpus.hpp"
 #include "gadget/gadget.hpp"
 #include "minic/minic.hpp"
 #include "obfuscate/obfuscate.hpp"
+#include "payload/serialize.hpp"
 #include "subsume/subsume.hpp"
 
 namespace gp::gadget {
@@ -254,6 +257,73 @@ TEST(Parallel, MinimizeObservesCancellation) {
   EXPECT_EQ(st.status.code(), StatusCode::Cancelled);
   EXPECT_LE(kept.size(), pool.size());
   EXPECT_GT(kept.size(), 0u);
+}
+
+// The multi-tenant contract: N concurrent Sessions over distinct images on
+// one Engine produce byte-identical chains to N sequential GadgetPlanner
+// (facade) runs. Counted caps only — a wall-clock budget would make the
+// cut timing-dependent and the comparison meaningless.
+TEST(Parallel, ConcurrentSessionsMatchSequentialFacade) {
+  const char* names[] = {"bubble_sort", "gcd_lcm", "bit_tricks"};
+  std::vector<image::Image> imgs;
+  for (const char* name : names) {
+    auto prog = minic::compile_source(corpus::by_name(name).source);
+    obf::obfuscate(prog, obf::Options::llvm_obf(7));
+    imgs.push_back(codegen::compile(prog));
+  }
+  core::PipelineOptions popts;
+  popts.plan.max_chains = 2;
+  const auto goal = payload::Goal::execve();
+
+  // Sequential reference: the facade, one image at a time.
+  std::vector<std::vector<std::vector<u8>>> ref;
+  for (const auto& img : imgs) {
+    core::GadgetPlanner gp(img, popts);
+    ref.push_back(payload::encode_chains(gp.find_chains(goal)));
+  }
+
+  // All sessions at once against the shared engine.
+  std::vector<std::vector<std::vector<u8>>> got(imgs.size());
+  std::vector<std::thread> drivers;
+  for (size_t i = 0; i < imgs.size(); ++i)
+    drivers.emplace_back([&, i] {
+      core::Session session(core::Engine::shared(), imgs[i], popts);
+      got[i] = payload::encode_chains(session.find_chains(goal));
+    });
+  for (auto& t : drivers) t.join();
+
+  for (size_t i = 0; i < imgs.size(); ++i) {
+    EXPECT_FALSE(ref[i].empty()) << names[i];
+    EXPECT_EQ(ref[i], got[i]) << names[i];
+  }
+}
+
+// Campaign result digests must not depend on the concurrency level.
+TEST(Parallel, CampaignConcurrencyInvariantDigests) {
+  std::vector<core::Job> jobs;
+  for (const char* name : {"bubble_sort", "state_machine"}) {
+    core::Job job;
+    job.program = name;
+    job.obf = obf::Options::llvm_obf(7);
+    job.goals = {payload::Goal::execve()};
+    jobs.push_back(std::move(job));
+  }
+
+  auto digests = [&](int concurrency) {
+    core::Campaign::Options copts;
+    copts.concurrency = concurrency;
+    copts.pipeline.plan.max_chains = 2;
+    const auto summary =
+        core::Campaign(core::Engine::shared(), copts).run(jobs);
+    EXPECT_EQ(summary.jobs_failed, 0);
+    std::vector<u64> out;
+    for (const auto& r : summary.results) out.push_back(r.result_digest);
+    return out;
+  };
+
+  const auto sequential = digests(1);
+  const auto concurrent = digests(static_cast<int>(jobs.size()));
+  EXPECT_EQ(sequential, concurrent);
 }
 
 TEST(Parallel, EnvKnobDrivesPipeline) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "support/common.hpp"
+#include "support/config.hpp"
 #include "support/rng.hpp"
 #include "support/str.hpp"
 #include "support/thread_pool.hpp"
@@ -169,6 +170,58 @@ TEST(ThreadPool, EnvKnobControlsResolve) {
   setenv("GP_THREADS", "junk", 1);  // unparsable: hardware fallback
   EXPECT_GE(ThreadPool::env_threads(), 1);
   unsetenv("GP_THREADS");
+}
+
+TEST(Config, FromEnvParsesEveryKnobFresh) {
+  setenv("GP_THREADS", "5", 1);
+  setenv("GP_RETRIES", "7", 1);
+  setenv("GP_STORE_DIR", "/tmp/gp-config-test", 1);
+  setenv("GP_FAULT", "solver=0.5", 1);
+  setenv("GP_DEADLINE_MS", "1500", 1);
+  setenv("GP_SOLVER_CHECKS", "42", 1);
+  const Config cfg = Config::from_env();
+  EXPECT_EQ(cfg.threads, 5);
+  EXPECT_EQ(cfg.max_retries, 7);
+  EXPECT_EQ(cfg.store_dir, "/tmp/gp-config-test");
+  EXPECT_EQ(cfg.fault_spec, "solver=0.5");
+  EXPECT_DOUBLE_EQ(cfg.governor.deadline_seconds, 1.5);
+  EXPECT_EQ(cfg.governor.max_solver_checks, 42u);
+
+  // from_env() is a fresh parse every call: a later setenv is observed.
+  setenv("GP_RETRIES", "1", 1);
+  EXPECT_EQ(Config::from_env().max_retries, 1);
+
+  for (const char* knob : {"GP_THREADS", "GP_RETRIES", "GP_STORE_DIR",
+                           "GP_FAULT", "GP_DEADLINE_MS", "GP_SOLVER_CHECKS"})
+    unsetenv(knob);
+  const Config clean = Config::from_env();
+  EXPECT_GE(clean.threads, 1);  // hardware fallback, never 0
+  EXPECT_EQ(clean.max_retries, 2);
+  EXPECT_TRUE(clean.store_dir.empty());
+  EXPECT_EQ(clean.governor.max_solver_checks, 0u);  // unlimited
+}
+
+TEST(Config, InvalidValuesKeepDefaults) {
+  setenv("GP_THREADS", "0", 1);     // below minimum: hardware fallback
+  setenv("GP_RETRIES", "junk", 1);  // unparsable: default
+  const Config cfg = Config::from_env();
+  EXPECT_GE(cfg.threads, 1);
+  EXPECT_EQ(cfg.max_retries, 2);
+  unsetenv("GP_THREADS");
+  unsetenv("GP_RETRIES");
+}
+
+TEST(GovernorOptions, SplitAcrossDividesCountedBudgets) {
+  GovernorOptions g;
+  g.max_solver_checks = 100;
+  g.max_sym_steps = 3;
+  g.max_expr_nodes = 0;
+  g.deadline_seconds = 2.0;
+  const GovernorOptions share = g.split_across(4);
+  EXPECT_EQ(share.max_solver_checks, 25u);
+  EXPECT_EQ(share.max_sym_steps, 1u);  // floor is 1, not 0 (= unlimited)
+  EXPECT_EQ(share.max_expr_nodes, 0u);  // unlimited stays unlimited
+  EXPECT_DOUBLE_EQ(share.deadline_seconds, 2.0);  // deadline is shared
 }
 
 }  // namespace

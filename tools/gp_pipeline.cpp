@@ -9,11 +9,17 @@
 //   gp_pipeline [--program <name>] [--obf <profile>] [--seed <n>]
 //               [--image <file.gpim>] [--save-image <file.gpim>]
 //               [--goal <execve|mprotect|mmap|all>] [--out <dir>] [--report]
+//   gp_pipeline --campaign [--profiles a,b,c] [--jobs <n>] [--goal ...]
+//               [--seed <n>] [--summary <file.json>]
 //
-// Either compile a corpus program (--program/--obf/--seed) or analyze a
-// previously saved flat-binary image (--image). --out writes each chain's
-// payload bytes to <dir>/<goal>-<index>.bin for diffing. Checkpointing and
-// retry knobs come from the environment: GP_STORE_DIR, GP_RETRIES, plus the
+// Either compile a corpus program (--program/--obf/--seed), analyze a
+// previously saved flat-binary image (--image), or run a whole campaign:
+// the full corpus × the named obfuscation profiles, analyzed by up to
+// --jobs concurrent sessions on one engine, with the machine-readable
+// gp-campaign-v1 summary (per-stage seconds, pool sizes, chain counts,
+// result digests) written to --summary. --out writes each chain's payload
+// bytes to <dir>/<goal>-<index>.bin for diffing. Checkpointing and retry
+// knobs come from the environment: GP_STORE_DIR, GP_RETRIES, plus the
 // governor (GP_DEADLINE_MS, ...) and chaos (GP_FAULT) knobs.
 #include <cstdio>
 #include <cstring>
@@ -35,23 +41,27 @@ int usage(const char* argv0) {
       "flatten|encode-data|virtualize|llvm-obf|tigress] [--seed <n>]\n"
       "          [--image <file.gpim>] [--save-image <file.gpim>]\n"
       "          [--goal execve|mprotect|mmap|all] [--out <dir>] [--report]\n"
+      "       %s --campaign [--profiles a,b,c] [--jobs <n>] [--goal ...]\n"
+      "          [--seed <n>] [--summary <file.json>]\n"
       "env: GP_STORE_DIR (checkpoint dir), GP_RETRIES, GP_DEADLINE_MS, "
       "GP_FAULT, GP_THREADS\n",
-      argv0);
+      argv0, argv0);
   return 2;
 }
 
-gp::obf::Options obf_profile(const std::string& name, int seed) {
-  using gp::obf::Options;
-  if (name == "none") return Options::none();
-  if (name == "substitution") return {.substitution = true, .seed = seed};
-  if (name == "bogus-cf") return {.bogus_cf = true, .seed = seed};
-  if (name == "flatten") return {.flatten = true, .seed = seed};
-  if (name == "encode-data") return {.encode_data = true, .seed = seed};
-  if (name == "virtualize") return {.virtualize = true, .seed = seed};
-  if (name == "llvm-obf") return Options::llvm_obf(seed);
-  if (name == "tigress") return Options::tigress(seed);
-  throw gp::Error("unknown obfuscation profile '" + name + "'");
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : csv) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
 }
 
 void print_runs(const char* stage, const gp::core::StageRuns& r,
@@ -69,8 +79,9 @@ int main(int argc, char** argv) {
 
   std::string program = "hash_table", obf_name = "llvm-obf";
   std::string image_path, save_image_path, goal_name = "all", out_dir;
-  bool want_report = false;
-  int seed = 5;
+  std::string profiles_csv = "none,llvm-obf,tigress", summary_path;
+  bool want_report = false, campaign_mode = false;
+  int seed = 5, campaign_jobs = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -92,9 +103,59 @@ int main(int argc, char** argv) {
       if (const char* v = next()) out_dir = v; else return usage(argv[0]);
     } else if (arg == "--report") {
       want_report = true;
+    } else if (arg == "--campaign") {
+      campaign_mode = true;
+    } else if (arg == "--profiles") {
+      if (const char* v = next()) profiles_csv = v; else return usage(argv[0]);
+    } else if (arg == "--jobs") {
+      if (const char* v = next()) campaign_jobs = std::atoi(v);
+      else return usage(argv[0]);
+    } else if (arg == "--summary") {
+      if (const char* v = next()) summary_path = v; else return usage(argv[0]);
     } else {
       return usage(argv[0]);
     }
+  }
+
+  std::vector<payload::Goal> goals;
+  if (goal_name == "all") {
+    goals = payload::Goal::all();
+  } else {
+    for (const auto& g : payload::Goal::all())
+      if (g.name == goal_name) goals.push_back(g);
+    if (goals.empty()) return usage(argv[0]);
+  }
+
+  if (campaign_mode) {
+    auto jobs = core::Campaign::corpus_jobs(split_csv(profiles_csv), seed);
+    if (jobs.empty()) return usage(argv[0]);
+    for (auto& job : jobs) job.goals = goals;
+
+    core::Campaign::Options copts;
+    copts.concurrency = campaign_jobs;
+    core::Campaign campaign(core::Engine::shared(), copts);
+    const auto summary = campaign.run(jobs);
+
+    for (const auto& r : summary.results)
+      std::printf("%-14s %-12s %5d chains  %6.2fs  %s\n", r.program.c_str(),
+                  r.obfuscation.c_str(), r.total_chains(), r.seconds,
+                  status_code_name(r.status.code()));
+    std::printf("campaign: %zu jobs (%d ok, %d degraded, %d failed) in "
+                "%.2fs at concurrency %d\n",
+                summary.results.size(), summary.jobs_ok, summary.jobs_degraded,
+                summary.jobs_failed, summary.wall_seconds, summary.concurrency);
+
+    if (!summary_path.empty()) {
+      const std::string json = summary.to_json();
+      const Status st = serial::write_file_atomic(
+          summary_path, std::vector<u8>(json.begin(), json.end()));
+      if (!st.ok()) {
+        std::fprintf(stderr, "gp_pipeline: %s: %s\n", summary_path.c_str(),
+                     st.to_string().c_str());
+        return 1;
+      }
+    }
+    return summary.jobs_failed == 0 ? 0 : 1;
   }
 
   image::Image img;
@@ -108,7 +169,8 @@ int main(int argc, char** argv) {
     img = std::move(loaded.value());
   } else {
     auto prog = minic::compile_source(corpus::by_name(program).source);
-    obf::obfuscate(prog, obf_profile(obf_name, seed));
+    obf::obfuscate(prog,
+                   core::profile_by_name(obf_name, static_cast<u64>(seed)));
     img = codegen::compile(prog);
   }
   if (!save_image_path.empty()) {
@@ -124,15 +186,6 @@ int main(int argc, char** argv) {
   std::printf("pool: %llu raw -> %llu minimized\n",
               (unsigned long long)gp.report().pool_raw,
               (unsigned long long)gp.report().pool_minimized);
-
-  std::vector<payload::Goal> goals;
-  if (goal_name == "all") {
-    goals = payload::Goal::all();
-  } else {
-    for (const auto& g : payload::Goal::all())
-      if (g.name == goal_name) goals.push_back(g);
-    if (goals.empty()) return usage(argv[0]);
-  }
 
   int exit_code = 0;
   for (const auto& goal : goals) {
