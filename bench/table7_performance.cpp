@@ -37,10 +37,11 @@ int main() {
       chains += static_cast<int>(
           baselines::angrop(ctx, lib, img, goal).chains.size());
     const double chain_s = std::chrono::duration<double>(Clock::now() - t1).count();
-    std::printf("%-16s %-22s %10.2f %10llu\n", "Angrop", "gadget finding",
-                find_s, (unsigned long long)find_mb);
-    std::printf("%-16s %-22s %10.2f %10llu  (%d chains)\n", "", "chaining",
-                chain_s, (unsigned long long)core::current_rss_mb(), chains);
+    std::printf("%-16s %-22s %10.2f %10s\n", "Angrop", "gadget finding",
+                find_s, core::format_rss_mb(find_mb).c_str());
+    std::printf("%-16s %-22s %10.2f %10s  (%d chains)\n", "", "chaining",
+                chain_s, core::format_rss_mb(core::current_rss_mb()).c_str(),
+                chains);
   }
 
   // SGC-like: disassembly/extraction + synthesis.
@@ -56,10 +57,11 @@ int main() {
       chains += static_cast<int>(
           baselines::sgc(ctx, lib, img, goal, 4, 20).chains.size());
     const double synth_s = std::chrono::duration<double>(Clock::now() - t1).count();
-    std::printf("%-16s %-22s %10.2f %10llu\n", "SGC", "disassembly", dis_s,
-                (unsigned long long)core::current_rss_mb());
-    std::printf("%-16s %-22s %10.2f %10llu  (%d chains)\n", "", "chaining",
-                synth_s, (unsigned long long)core::current_rss_mb(), chains);
+    std::printf("%-16s %-22s %10.2f %10s\n", "SGC", "disassembly", dis_s,
+                core::format_rss_mb(core::current_rss_mb()).c_str());
+    std::printf("%-16s %-22s %10.2f %10s  (%d chains)\n", "", "chaining",
+                synth_s, core::format_rss_mb(core::current_rss_mb()).c_str(),
+                chains);
   }
 
   // Gadget-Planner: the staged Session API — each stage is an explicit
@@ -75,17 +77,17 @@ int main() {
     for (const auto& goal : payload::Goal::all())
       chains += static_cast<int>(gp.find_chains(goal).size());
     const auto& rep = gp.report();
-    std::printf("%-16s %-22s %10.2f %10llu\n", "Gadget-Planner",
+    std::printf("%-16s %-22s %10.2f %10s\n", "Gadget-Planner",
                 "gadget extraction", rep.extract_seconds,
-                (unsigned long long)rep.rss_mb_after_extract);
-    std::printf("%-16s %-22s %10.2f %10llu  (pool %llu -> %llu)\n", "",
+                core::format_rss_mb(rep.rss_mb_after_extract).c_str());
+    std::printf("%-16s %-22s %10.2f %10s  (pool %llu -> %llu)\n", "",
                 "subsumption testing", rep.subsume_seconds,
-                (unsigned long long)rep.rss_mb_after_subsume,
+                core::format_rss_mb(rep.rss_mb_after_subsume).c_str(),
                 (unsigned long long)rep.pool_raw,
                 (unsigned long long)rep.pool_minimized);
-    std::printf("%-16s %-22s %10.2f %10llu  (%d chains)\n", "", "planning",
+    std::printf("%-16s %-22s %10.2f %10s  (%d chains)\n", "", "planning",
                 rep.plan_seconds,
-                (unsigned long long)rep.rss_mb_after_plan, chains);
+                core::format_rss_mb(rep.rss_mb_after_plan).c_str(), chains);
   }
 
   std::printf("\n(paper Table VII: GP total ~100min on real netperf; "

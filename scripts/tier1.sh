@@ -71,7 +71,7 @@ echo "== tier-1: campaign batch run (4 concurrent sessions) =="
 # kept as the BENCH_pipeline.json perf artifact (per-stage seconds, pool
 # sizes, chain counts per job).
 "$PIPELINE" --campaign --profiles llvm-obf --goal execve --jobs 4 \
-  --summary BENCH_pipeline.json
+  --summary BENCH_pipeline.json --trace-out "$KR_TMP/trace.json"
 "$PIPELINE" --campaign --profiles llvm-obf --goal execve --jobs 1 \
   --summary "$KR_TMP/campaign-seq.json" >/dev/null
 python3 - BENCH_pipeline.json "$KR_TMP/campaign-seq.json" <<'PY'
@@ -85,6 +85,57 @@ dig = lambda s: {(r["program"], r["obfuscation"]): r["digest"]
                  for r in s["results"]}
 assert dig(par) == dig(seq), "concurrency changed campaign results"
 print(f'campaign: {par["jobs"]} jobs ok, 4-way digests == sequential')
+PY
+
+echo "== tier-1: observability drill =="
+# The campaign above also wrote a Chrome trace (--trace-out). It must
+# parse, every job must carry a job span, every session all three stage
+# spans, and the summary the aggregate metrics block plus the
+# critical-path verdict.
+python3 - BENCH_pipeline.json "$KR_TMP/trace.json" <<'PY'
+import json, sys
+summary, trace = (json.load(open(p)) for p in sys.argv[1:3])
+assert trace.get("displayTimeUnit") == "ms"
+events = trace["traceEvents"]
+assert events and all(e["ph"] == "X" and "ts" in e and "dur" in e
+                      for e in events)
+jobs = [e for e in events if e["cat"] == "job"]
+assert len(jobs) == summary["jobs"], (len(jobs), summary["jobs"])
+sessions = {}
+for e in events:
+    if e["cat"] == "stage" and e["args"]["session"]:
+        sessions.setdefault(e["args"]["session"], set()).add(e["name"])
+with_all = [s for s in sessions.values()
+            if {"extract", "subsume", "plan"} <= s]
+assert len(with_all) >= summary["jobs"], (len(with_all), summary["jobs"])
+counters = summary["metrics"]["counters"]
+assert counters["solver.checks"] > 0 and counters["extract.gadgets"] > 0
+cp = summary["critical_path"]
+assert cp["job"] >= 0 and cp["stage"] in ("extract", "subsume", "plan"), cp
+print(f'observability: {len(jobs)} job spans, {len(with_all)} sessions '
+      f'with all three stage spans, aggregate metrics + critical path ok')
+PY
+
+# Disabled-mode cost: GP_METRICS=0 GP_TRACE=0 must stay within noise of
+# the default instrumented run. The bound is deliberately generous (25%)
+# so loaded CI machines don't flake; the real claim lives in
+# bench/observability_overhead (~2%).
+python3 - "$PIPELINE" <<'PY'
+import os, subprocess, sys, time
+pipeline = sys.argv[1]
+def best(extra, runs=2):
+    env = dict(os.environ, **extra)
+    times = []
+    for _ in range(runs):
+        t0 = time.monotonic()
+        subprocess.run([pipeline, "--goal", "execve"], check=True,
+                       stdout=subprocess.DEVNULL, env=env)
+        times.append(time.monotonic() - t0)
+    return min(times)
+on = best({"GP_METRICS": "1", "GP_TRACE": "1"})
+off = best({"GP_METRICS": "0", "GP_TRACE": "0"})
+assert off <= on * 1.25, f"disabled run slower than instrumented: {off} vs {on}"
+print(f"observability overhead: instrumented {on:.2f}s, disabled {off:.2f}s")
 PY
 
 echo "== tier-1: concurrency tests under ThreadSanitizer =="

@@ -8,6 +8,9 @@
 #include "corpus/corpus.hpp"
 #include "minic/minic.hpp"
 #include "payload/serialize.hpp"
+#include "support/metrics.hpp"
+#include "support/str.hpp"
+#include "support/trace.hpp"
 
 namespace gp::core {
 
@@ -19,16 +22,9 @@ double secs_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    if (static_cast<unsigned char>(c) < 0x20) continue;  // names are plain
-    out += c;
-  }
-  return out;
-}
+// JSON escaping is the shared gp::json_escape (support/str.hpp). The old
+// local version emitted a bare backslash before dropping control chars —
+// `"a\nb"` became the invalid literal `a\b` — and is gone.
 
 std::string format_double(double v) {
   char buf[40];
@@ -115,8 +111,11 @@ Campaign::Summary Campaign::run(const std::vector<Job>& jobs) {
             job.obfuscation.empty() ? job.obf.name() : job.obfuscation;
         r.code_bytes = images[i].code().size();
 
+        trace::Span span("job:" + r.program + "/" + r.obfuscation, "job");
         const auto j0 = Clock::now();
+        r.start_seconds = std::chrono::duration<double>(j0 - t0).count();
         Session session(engine_, std::move(images[i]), popts);
+        span.set_session(session.id());
         session.prepare();
         serial::Writer digest;
         for (const auto& goal : job.goals) {
@@ -124,6 +123,7 @@ Campaign::Summary Campaign::run(const std::vector<Job>& jobs) {
           digest.put_str(goal.name);
           for (const auto& rec : payload::encode_chains(chains))
             serial::put_record(digest, rec);
+          r.goal_names.push_back(goal.name);
           r.chains_per_goal.push_back(static_cast<int>(chains.size()));
           r.chains.push_back(std::move(chains));
         }
@@ -134,6 +134,14 @@ Campaign::Summary Campaign::run(const std::vector<Job>& jobs) {
         r.status = r.stages.worst_status();
         r.result_digest = serial::fnv1a(digest.bytes());
         r.seconds = secs_since(j0);
+        r.end_seconds = secs_since(t0);
+        if (metrics::enabled()) {
+          metrics::Registry& reg = metrics::registry();
+          reg.counter("campaign.jobs").add();
+          if (!r.status.ok()) reg.counter("campaign.jobs_degraded").add();
+          reg.histogram("campaign.job_ms")
+              .observe(static_cast<u64>(r.seconds * 1e3));
+        }
         if (opts_.on_job) opts_.on_job(job, session, r);
       },
       opts_.concurrency);
@@ -147,7 +155,32 @@ Campaign::Summary Campaign::run(const std::vector<Job>& jobs) {
       ++sum.jobs_degraded;
   }
   sum.wall_seconds = secs_since(t0);
+  if (metrics::enabled()) sum.metrics_json = metrics::registry().to_json();
   return sum;
+}
+
+Campaign::Summary::CriticalPath Campaign::Summary::critical_path() const {
+  CriticalPath cp;
+  for (size_t i = 0; i < results.size(); ++i)
+    if (cp.job < 0 || results[i].end_seconds >
+                          results[static_cast<size_t>(cp.job)].end_seconds)
+      cp.job = static_cast<int>(i);
+  if (cp.job < 0) return cp;
+  const JobResult& r = results[static_cast<size_t>(cp.job)];
+  cp.program = r.program;
+  cp.obfuscation = r.obfuscation;
+  cp.end_seconds = r.end_seconds;
+  cp.stage = "extract";
+  cp.stage_seconds = r.stages.extract_seconds;
+  if (r.stages.subsume_seconds > cp.stage_seconds) {
+    cp.stage = "subsume";
+    cp.stage_seconds = r.stages.subsume_seconds;
+  }
+  if (r.stages.plan_seconds > cp.stage_seconds) {
+    cp.stage = "plan";
+    cp.stage_seconds = r.stages.plan_seconds;
+  }
+  return cp;
 }
 
 std::string Campaign::Summary::to_json() const {
@@ -161,6 +194,15 @@ std::string Campaign::Summary::to_json() const {
   j += "  \"jobs_ok\": " + std::to_string(jobs_ok) + ",\n";
   j += "  \"jobs_degraded\": " + std::to_string(jobs_degraded) + ",\n";
   j += "  \"jobs_failed\": " + std::to_string(jobs_failed) + ",\n";
+  j += "  \"metrics\": " +
+       (metrics_json.empty() ? std::string("{}") : metrics_json) + ",\n";
+  const CriticalPath cp = critical_path();
+  j += "  \"critical_path\": {\"job\": " + std::to_string(cp.job) +
+       ", \"program\": \"" + json_escape(cp.program) +
+       "\", \"obfuscation\": \"" + json_escape(cp.obfuscation) +
+       "\", \"stage\": \"" + cp.stage +
+       "\", \"stage_seconds\": " + format_double(cp.stage_seconds) +
+       ", \"end_seconds\": " + format_double(cp.end_seconds) + "},\n";
   j += "  \"results\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const JobResult& r = results[i];
@@ -174,14 +216,53 @@ std::string Campaign::Summary::to_json() const {
     j += "\"subsume_seconds\": " + format_double(s.subsume_seconds) + ", ";
     j += "\"plan_seconds\": " + format_double(s.plan_seconds) + ", ";
     j += "\"job_seconds\": " + format_double(r.seconds) + ", ";
+    j += "\"start_seconds\": " + format_double(r.start_seconds) + ", ";
+    j += "\"end_seconds\": " + format_double(r.end_seconds) + ", ";
     j += "\"pool_raw\": " + std::to_string(s.pool_raw) + ", ";
     j += "\"pool_minimized\": " + std::to_string(s.pool_minimized) + ", ";
-    j += "\"rss_mb_after_plan\": " + std::to_string(s.rss_mb_after_plan) +
+    // kRssUnknown renders as -1: consumers must be able to tell "probe
+    // failed" from a real (even zero) measurement.
+    j += "\"rss_mb_after_plan\": " +
+         (s.rss_mb_after_plan == kRssUnknown
+              ? std::string("-1")
+              : std::to_string(s.rss_mb_after_plan)) +
          ", ";
     j += "\"attempts\": {\"extract\": " +
          std::to_string(s.extract_runs.attempts) +
          ", \"subsume\": " + std::to_string(s.subsume_runs.attempts) +
          ", \"plan\": " + std::to_string(s.plan_runs.attempts) + "}, ";
+    j += "\"retries\": {\"extract\": " +
+         std::to_string(s.extract_runs.retries) +
+         ", \"subsume\": " + std::to_string(s.subsume_runs.retries) +
+         ", \"plan\": " + std::to_string(s.plan_runs.retries) + "}, ";
+    j += "\"backoff_seconds\": " +
+         format_double(s.extract_runs.backoff_seconds +
+                       s.subsume_runs.backoff_seconds +
+                       s.plan_runs.backoff_seconds) +
+         ", ";
+    j += "\"metrics\": {\"offsets_scanned\": " +
+         std::to_string(r.extract_stats.offsets_scanned) +
+         ", \"gadgets\": " + std::to_string(r.extract_stats.gadgets) +
+         ", \"paths_cut\": " + std::to_string(r.extract_stats.paths_cut) +
+         ", \"subsume_solver_checks\": " +
+         std::to_string(r.subsume_stats.solver_checks) +
+         ", \"subsume_structural_hits\": " +
+         std::to_string(r.subsume_stats.structural_hits) +
+         ", \"plan_expansions\": " +
+         std::to_string(r.planner_stats.expansions) +
+         ", \"plan_concretize_calls\": " +
+         std::to_string(r.planner_stats.concretize_calls) +
+         ", \"plan_validated\": " +
+         std::to_string(r.planner_stats.validated) + "}, ";
+    j += "\"goals\": {";
+    for (size_t g = 0; g < r.chains_per_goal.size(); ++g) {
+      if (g) j += ", ";
+      const std::string name =
+          g < r.goal_names.size() ? r.goal_names[g] : std::to_string(g);
+      j += "\"" + json_escape(name) +
+           "\": " + std::to_string(r.chains_per_goal[g]);
+    }
+    j += "}, ";
     j += "\"chains_per_goal\": [";
     for (size_t g = 0; g < r.chains_per_goal.size(); ++g) {
       if (g) j += ", ";

@@ -50,6 +50,7 @@ struct JobResult {
   subsume::Stats subsume_stats;
   planner::Stats planner_stats;
 
+  std::vector<std::string> goal_names;              // indexed like job.goals
   std::vector<int> chains_per_goal;                 // indexed like job.goals
   std::vector<std::vector<payload::Chain>> chains;  // per goal, plan order
   int total_chains() const {
@@ -63,6 +64,10 @@ struct JobResult {
   /// Internal only when a stage kept failing through every retry.
   Status status;
   double seconds = 0;  // job wall clock (compile excluded)
+  /// Job start/finish as offsets from the campaign clock — the timeline
+  /// the critical-path analysis works on.
+  double start_seconds = 0;
+  double end_seconds = 0;
 
   /// fnv1a over the serialized chains of every goal: two runs produced
   /// identical results iff their digests match, regardless of timing
@@ -101,10 +106,27 @@ class Campaign {
     double wall_seconds = 0;
     int concurrency = 1;
     int pool_threads = 0;  // engine pool workers + the caller lane
+    /// Aggregate metrics-registry snapshot (metrics::Registry::to_json)
+    /// taken when the campaign finished; "" when metrics were disabled.
+    std::string metrics_json;
+
+    /// The stage that bounded campaign wall time: the longest stage of the
+    /// job that finished last. With every lane racing one clock, shaving
+    /// anything else cannot move wall_seconds.
+    struct CriticalPath {
+      int job = -1;  // index into results; -1 for an empty campaign
+      std::string program;
+      std::string obfuscation;
+      std::string stage;  // "extract" | "subsume" | "plan"
+      double stage_seconds = 0;
+      double end_seconds = 0;  // when that job finished, campaign clock
+    };
+    CriticalPath critical_path() const;
 
     /// The BENCH_pipeline.json schema (gp-campaign-v1): one object with
-    /// campaign totals and a per-job array of stage seconds, pool sizes,
-    /// chain counts, statuses and result digests.
+    /// campaign totals, an aggregate "metrics" block, a "critical_path"
+    /// block, and a per-job array of stage seconds, pool sizes, chain
+    /// counts, per-goal chain maps, statuses and result digests.
     std::string to_json() const;
   };
 

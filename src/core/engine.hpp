@@ -14,6 +14,7 @@
 // core::GadgetPlanner is a thin façade over Engine::shared() + Session.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -58,9 +59,14 @@ class Engine {
   /// the wall-clock deadline left shared — all sessions race one clock.
   GovernorOptions session_budget(int concurrent_sessions) const;
 
+  /// Monotonic id for each Session opened on this engine (starts at 1; 0
+  /// means "no session" in trace events).
+  u64 next_session_id() { return next_session_id_.fetch_add(1) + 1; }
+
  private:
   Config cfg_;
   ThreadPool& pool_;
+  std::atomic<u64> next_session_id_{0};
   std::mutex stores_mu_;
   std::map<std::string, std::shared_ptr<store::ArtifactStore>> stores_;
 };

@@ -1,13 +1,17 @@
 #include "core/session.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
-#include <fstream>
 #include <thread>
 
 #include "gadget/serialize.hpp"
 #include "payload/serialize.hpp"
 #include "support/fault.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace gp::core {
 
@@ -27,22 +31,49 @@ SupervisorOptions SupervisorOptions::from_env() {
 
 std::string store_dir_from_env() { return Config::from_env().store_dir; }
 
-u64 current_rss_mb() {
-  std::ifstream status("/proc/self/status");
-  std::string line;
-  while (std::getline(status, line)) {
+std::optional<u64> parse_vmrss_mb(const std::string& status_text) {
+  size_t pos = 0;
+  while (pos < status_text.size()) {
+    const size_t eol = status_text.find('\n', pos);
+    const std::string line = status_text.substr(
+        pos, eol == std::string::npos ? std::string::npos : eol - pos);
     if (line.rfind("VmRSS:", 0) == 0) {
+      // Parse only the first digit run after the label. The old loop
+      // accumulated EVERY digit in the line, so a hypothetical trailing
+      // number would have been glued onto the kB value.
+      size_t i = 6;
+      while (i < line.size() && !(line[i] >= '0' && line[i] <= '9')) ++i;
+      if (i == line.size()) return std::nullopt;
       u64 kb = 0;
-      for (const char c : line)
-        if (c >= '0' && c <= '9') kb = kb * 10 + (c - '0');
-      return kb / 1024;
+      while (i < line.size() && line[i] >= '0' && line[i] <= '9')
+        kb = kb * 10 + static_cast<u64>(line[i++] - '0');
+      return (kb + 512) / 1024;  // round to nearest MiB, not truncate
     }
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
   }
-  return 0;
+  return std::nullopt;
+}
+
+u64 current_rss_mb() {
+  // /proc files can be pread from offset 0 repeatedly; keeping one fd open
+  // avoids a path lookup + open/close per stage boundary.
+  static const int fd = ::open("/proc/self/status", O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return kRssUnknown;
+  char buf[8192];
+  const ssize_t n = ::pread(fd, buf, sizeof buf - 1, 0);
+  if (n <= 0) return kRssUnknown;
+  const auto mb = parse_vmrss_mb(std::string(buf, static_cast<size_t>(n)));
+  return mb ? *mb : kRssUnknown;
+}
+
+std::string format_rss_mb(u64 mb) {
+  return mb == kRssUnknown ? "n/a" : std::to_string(mb);
 }
 
 Session::Session(Engine& engine, const image::Image& img, PipelineOptions opts)
     : engine_(engine),
+      id_(engine.next_session_id()),
       img_(&img),
       opts_(std::move(opts)),
       gov_(std::make_unique<Governor>(opts_.governor)),
@@ -85,6 +116,11 @@ Status Session::run_supervised(
     Governor* g = gov_.get();
     if (attempt > 0) {
       ++runs.retries;
+      {
+        static metrics::Counter& retries =
+            metrics::registry().counter("supervisor.retries");
+        retries.add();
+      }
       widen *= sup.budget_widen_factor;
       // Fresh governor for the retry: counted budgets widened (and their
       // consumption reset), but the session's wall-clock deadline and
@@ -98,9 +134,15 @@ Status Session::run_supervised(
       retry_govs_.push_back(std::move(fresh));
     }
     ++runs.attempts;
+    {
+      static metrics::Counter& attempts =
+          metrics::registry().counter("supervisor.attempts");
+      attempts.add();
+    }
     ctx_->set_governor(g);
     std::exception_ptr invariant_error;
     try {
+      trace::Span span(stage, "attempt", id_);
       st = body(*g);
     } catch (const ResourceExhausted& e) {
       // A stage let the control-flow exception escape; treat it like the
@@ -129,9 +171,19 @@ Status Session::run_supervised(
     if (remain_s <= 0) return st;
     if (!gov_->deadline().unlimited())
       sleep_ms = std::min(sleep_ms, remain_s * 1000.0 / 2);
-    if (sleep_ms > 0)
+    if (sleep_ms > 0) {
+      // Backoff is deliberate idleness, not stage work: attribute it to
+      // runs.backoff_seconds so stage timing can exclude it (measured, not
+      // assumed — an oversleeping OS timer must not leak into stage time).
+      trace::Span span("backoff", "supervisor", id_);
+      const auto s0 = Clock::now();
       std::this_thread::sleep_for(
           std::chrono::duration<double, std::milli>(sleep_ms));
+      runs.backoff_seconds += secs_since(s0);
+      static metrics::Counter& backoff_ms =
+          metrics::registry().counter("supervisor.backoff_ms");
+      backoff_ms.add(static_cast<u64>(sleep_ms));
+    }
   }
 }
 
@@ -157,10 +209,21 @@ void Session::canonicalize_pool(std::vector<gadget::Record>& pool) {
   }
 }
 
+/// Checkpoint-served stage outputs, rolled up process-wide (per-session
+/// detail stays in StageRuns).
+static void count_checkpoint(bool same_process) {
+  static metrics::Counter& hits =
+      metrics::registry().counter("session.cache_hits");
+  static metrics::Counter& resumes =
+      metrics::registry().counter("session.resumes");
+  (same_process ? hits : resumes).add();
+}
+
 Status Session::extract() {
   if (extracted_) return report_.extract_status;
   extracted_ = true;
 
+  trace::Span span("extract", "stage", id_);
   auto t0 = Clock::now();
   bool have_pool = false;
   std::string extract_key;
@@ -173,6 +236,7 @@ Status Session::extract() {
       if (auto decoded = gadget::decode_pool(*ctx_, art->records)) {
         pool_ = std::move(*decoded);
         have_pool = true;
+        count_checkpoint(art->same_process);
         ++(art->same_process ? report_.extract_runs.cache_hits
                              : report_.extract_runs.resumes);
         // Checkpoints hold only clean (uncut) runs, so status stays Ok.
@@ -195,7 +259,8 @@ Status Session::extract() {
       store_->put(extract_key, gadget::encode_pool(*ctx_, pool_));
     canonicalize_pool(pool_);
   }
-  report_.extract_seconds = secs_since(t0);
+  report_.extract_seconds =
+      secs_since(t0) - report_.extract_runs.backoff_seconds;
   report_.pool_raw = pool_.size();
   report_.rss_mb_after_extract = current_rss_mb();
   snapshot_store_stats();
@@ -207,6 +272,9 @@ Status Session::subsume() {
   (void)extract();
   subsumed_ = true;
 
+  // Span constructed after extract() so a lazily-triggered stage 1 is
+  // attributed to its own span, not folded into this one.
+  trace::Span span("subsume", "stage", id_);
   auto t1 = Clock::now();
   if (opts_.run_subsumption) {
     bool have_min = false;
@@ -225,6 +293,7 @@ Status Session::subsume() {
         if (auto decoded = gadget::decode_pool(*ctx_, art->records)) {
           pool_ = std::move(*decoded);
           have_min = true;
+          count_checkpoint(art->same_process);
           ++(art->same_process ? report_.subsume_runs.cache_hits
                                : report_.subsume_runs.resumes);
         }
@@ -249,7 +318,8 @@ Status Session::subsume() {
         store_->put(subsume_key, gadget::encode_pool(*ctx_, pool_));
     }
   }
-  report_.subsume_seconds = secs_since(t1);
+  report_.subsume_seconds =
+      secs_since(t1) - report_.subsume_runs.backoff_seconds;
   report_.pool_minimized = pool_.size();
   report_.rss_mb_after_subsume = current_rss_mb();
   snapshot_store_stats();
@@ -261,7 +331,11 @@ Status Session::subsume() {
 
 std::vector<payload::Chain> Session::find_chains(const payload::Goal& goal) {
   prepare();
+  trace::Span span("plan", "stage", id_);
   auto t0 = Clock::now();
+  // find_chains accumulates plan_seconds across goals; subtract only the
+  // backoff accrued during THIS call.
+  const double backoff0 = report_.plan_runs.backoff_seconds;
 
   // Chains are only exchanged with the store when the library they index
   // is the canonical one (no stage upstream ran degraded).
@@ -279,6 +353,7 @@ std::vector<payload::Chain> Session::find_chains(const payload::Goal& goal) {
     plan_key = store_->key("plan", material);
     if (auto art = store_->get(plan_key)) {
       if (auto chains = payload::decode_chains(art->records, lib_->size())) {
+        count_checkpoint(art->same_process);
         ++(art->same_process ? report_.plan_runs.cache_hits
                              : report_.plan_runs.resumes);
         report_.plan_seconds += secs_since(t0);
@@ -304,12 +379,20 @@ std::vector<payload::Chain> Session::find_chains(const payload::Goal& goal) {
         planner_stats_.validated += s.validated;
         planner_stats_.deadline_cuts += s.deadline_cuts;
         planner_stats_.status.merge(s.status);
+        if (metrics::enabled()) {
+          metrics::Registry& reg = metrics::registry();
+          reg.counter("plan.expansions").add(s.expansions);
+          reg.counter("plan.dead_ends").add(s.dead_ends);
+          reg.counter("plan.concretize_calls").add(s.concretize_calls);
+          reg.counter("plan.validated").add(s.validated);
+        }
         return s.status;
       });
   if (store_ && canonical_library && st.ok())
     store_->put(plan_key, payload::encode_chains(chains));
   snapshot_store_stats();
-  report_.plan_seconds += secs_since(t0);
+  report_.plan_seconds +=
+      secs_since(t0) - (report_.plan_runs.backoff_seconds - backoff0);
   report_.rss_mb_after_plan = current_rss_mb();
   report_.plan_status = st;
   return chains;

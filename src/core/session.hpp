@@ -87,10 +87,17 @@ struct StageRuns {
   u32 retries = 0;     // attempts the supervisor re-ran after a failure
   u32 cache_hits = 0;  // outputs served from a checkpoint this process wrote
   u32 resumes = 0;     // outputs served from an earlier process's checkpoint
+  /// Wall time the supervisor spent asleep between attempts. Excluded from
+  /// the stage's StageReport seconds — those measure pipeline work, and
+  /// counting deliberate backoff sleep as stage time made retried stages
+  /// look pathologically slow (the Table VII double-count bug).
+  double backoff_seconds = 0;
 };
 
 /// Wall-clock and size accounting per pipeline stage (Table VII).
 struct StageReport {
+  /// Per-stage wall time spent doing pipeline work: supervisor backoff
+  /// sleep (StageRuns::backoff_seconds) is excluded.
   double extract_seconds = 0;
   double subsume_seconds = 0;
   double plan_seconds = 0;
@@ -126,8 +133,25 @@ struct StageReport {
   }
 };
 
-/// Resident set size of this process in MiB (0 when /proc is unavailable).
+/// current_rss_mb() when /proc is unavailable or VmRSS cannot be parsed.
+/// Distinguishable from a genuine measurement — a 0 MiB reading used to be
+/// silently ambiguous between "tiny process" and "probe failed".
+inline constexpr u64 kRssUnknown = ~u64{0};
+
+/// Resident set size of this process in MiB, rounded to nearest (the old
+/// truncating kB/1024 under-reported by up to a full MiB); kRssUnknown when
+/// the probe fails. The /proc/self/status fd is opened once and pread from
+/// offset 0 per call instead of re-opened per stage.
 u64 current_rss_mb();
+
+/// Parse the VmRSS line out of /proc/self/status content; nullopt when the
+/// line is absent. Split out (and exported) so the parser is unit-testable
+/// without a live /proc.
+std::optional<u64> parse_vmrss_mb(const std::string& status_text);
+
+/// "123" or "n/a" for kRssUnknown — every human-facing report shares one
+/// rendering of the sentinel.
+std::string format_rss_mb(u64 mb);
 
 class Session {
  public:
@@ -170,6 +194,9 @@ class Session {
   Engine& engine() { return engine_; }
   solver::Context& ctx() { return *ctx_; }
   const image::Image& img() const { return *img_; }
+  /// Process-unique session id (from Engine::next_session_id); trace spans
+  /// carry it so a campaign's interleaved stages stay attributable.
+  u64 id() const { return id_; }
 
   const StageReport& report() const { return report_; }
   const planner::Stats& planner_stats() const { return planner_stats_; }
@@ -208,6 +235,7 @@ class Session {
   void snapshot_store_stats();
 
   Engine& engine_;
+  u64 id_ = 0;
   std::optional<image::Image> owned_img_;  // set by the owning constructor
   const image::Image* img_;
   PipelineOptions opts_;

@@ -5,6 +5,7 @@
 
 #include "support/fault.hpp"
 #include "support/governor.hpp"
+#include "support/metrics.hpp"
 #include "support/str.hpp"
 
 namespace gp::solver {
@@ -60,6 +61,9 @@ ExprRef Context::intern(Node n) {
   if (fault::enabled() && fault::should_fire(fault::Point::Alloc))
     throw ResourceExhausted(
         Status::fault_injected("expr-node allocation fault"));
+  static metrics::Counter& interned =
+      metrics::registry().counter("expr.interned");
+  interned.add();
   const auto ref = static_cast<ExprRef>(nodes_.size());
   nodes_.push_back(n);
   interned_.emplace(n, ref);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/fault.hpp"
+#include "support/metrics.hpp"
 
 namespace gp::solver {
 namespace {
@@ -17,11 +18,31 @@ u64 key_of(const std::vector<ExprRef>& constraints) {
   return h;
 }
 
+/// Process-wide rollup alongside the per-Solver counters: one relaxed add
+/// per outcome, visible in campaign summaries and --report.
+void count_outcome(SatResult r) {
+  static metrics::Counter& sat = metrics::registry().counter("solver.sat");
+  static metrics::Counter& unsat =
+      metrics::registry().counter("solver.unsat");
+  static metrics::Counter& unknown =
+      metrics::registry().counter("solver.unknown");
+  switch (r) {
+    case SatResult::Sat: sat.add(); break;
+    case SatResult::Unsat: unsat.add(); break;
+    case SatResult::Unknown: unknown.add(); break;
+  }
+}
+
 }  // namespace
 
 SatResult Solver::check_impl(const std::vector<ExprRef>& constraints,
                              std::optional<Model>* model) {
   ++queries_;
+  {
+    static metrics::Counter& checks =
+        metrics::registry().counter("solver.checks");
+    checks.add();
+  }
   last_unknown_ = false;
 
   // Constant-only fast path (free: no budget consumed, always conclusive).
@@ -30,18 +51,21 @@ SatResult Solver::check_impl(const std::vector<ExprRef>& constraints,
     GP_CHECK(ctx_.width(c) == 1, "constraint must be width 1");
     if (ctx_.is_const(c, 0)) {
       memo_[key_of(constraints)] = Memo::Unsat;
+      count_outcome(SatResult::Unsat);
       return SatResult::Unsat;
     }
     if (!ctx_.is_const(c)) all_const_true = false;
   }
   if (all_const_true) {
     if (model) *model = Model{};
+    count_outcome(SatResult::Sat);
     return SatResult::Sat;
   }
 
   auto unknown = [&] {
     last_unknown_ = true;
     ++unknowns_;
+    count_outcome(SatResult::Unknown);
     return SatResult::Unknown;
   };
   // Governed exhaustion and injected solver timeouts both surface as
@@ -68,6 +92,7 @@ SatResult Solver::check_impl(const std::vector<ExprRef>& constraints,
 
   const SatResult r = bb.solve(conflict_budget_, governor_);
   if (r == SatResult::Unknown) return unknown();
+  count_outcome(r);
   memo_[key_of(constraints)] = r == SatResult::Sat ? Memo::Sat : Memo::Unsat;
   if (r == SatResult::Sat && model) {
     Model m;
@@ -89,6 +114,9 @@ SatResult Solver::check(const std::vector<ExprRef>& constraints) {
   auto it = memo_.find(key);
   if (it != memo_.end()) {
     ++cache_hits_;
+    static metrics::Counter& hits =
+        metrics::registry().counter("solver.cache_hits");
+    hits.add();
     last_unknown_ = false;
     return it->second == Memo::Sat ? SatResult::Sat : SatResult::Unsat;
   }

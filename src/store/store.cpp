@@ -5,7 +5,9 @@
 #include <filesystem>
 
 #include "support/config.hpp"
+#include "support/metrics.hpp"
 #include "support/str.hpp"
+#include "support/trace.hpp"
 
 namespace gp::store {
 
@@ -19,6 +21,10 @@ std::string hex16(u64 v) {
   char buf[24];
   std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
   return buf;
+}
+
+metrics::Counter& store_counter(const char* name) {
+  return metrics::registry().counter(std::string("store.") + name);
 }
 
 }  // namespace
@@ -51,6 +57,7 @@ std::string ArtifactStore::path_for(const std::string& key) const {
 
 Status ArtifactStore::put(const std::string& key,
                           const std::vector<std::vector<u8>>& records) {
+  trace::Span span("store.put", "io");
   serial::Writer w;
   w.put_u32(kArtifactMagic);
   w.put_u32(version_);
@@ -65,9 +72,12 @@ Status ArtifactStore::put(const std::string& key,
   Status st = serial::write_file_atomic(path_for(key), w.bytes());
   if (!st.ok()) {
     ++stats_.put_failures;
+    store_counter("put_failures").add();
     return st;
   }
   ++stats_.puts;
+  store_counter("puts").add();
+  store_counter("bytes_written").add(w.size());
   // Manifest is updated strictly after the artifact is live: a crash (or
   // injected rename fault) between the two leaves an orphan file, which
   // get() classifies as stale and rebuilds — never a half-trusted entry.
@@ -76,21 +86,26 @@ Status ArtifactStore::put(const std::string& key,
 }
 
 std::optional<Artifact> ArtifactStore::get(const std::string& key) {
+  trace::Span span("store.get", "io");
   std::lock_guard<std::mutex> lock(mu_);
   const std::string path = path_for(key);
   auto it = manifest_.find(key);
   if (it == manifest_.end()) {
     std::error_code ec;
-    if (std::filesystem::exists(path, ec))
+    if (std::filesystem::exists(path, ec)) {
       ++stats_.stale;  // orphan: written but never published in a manifest
-    else
+      store_counter("stale").add();
+    } else {
       ++stats_.misses;
+      store_counter("misses").add();
+    }
     return std::nullopt;
   }
 
   auto bytes = serial::read_file(path);
   if (!bytes.ok()) {
     ++stats_.misses;
+    store_counter("misses").add();
     manifest_.erase(it);
     return std::nullopt;
   }
@@ -98,8 +113,9 @@ std::optional<Artifact> ArtifactStore::get(const std::string& key) {
   // and stale files even when the damage lands in padding the record CRCs
   // would not cover.
   const auto& data = bytes.value();
-  auto drop = [&](u64& counter) -> std::optional<Artifact> {
+  auto drop = [&](u64& counter, const char* why) -> std::optional<Artifact> {
     ++counter;
+    store_counter(why).add();
     manifest_.erase(it);
     std::error_code ec;
     std::filesystem::remove(path, ec);
@@ -108,34 +124,38 @@ std::optional<Artifact> ArtifactStore::get(const std::string& key) {
   };
   if (data.size() != it->second.size ||
       serial::crc32(data) != it->second.crc)
-    return drop(stats_.corrupt);
+    return drop(stats_.corrupt, "corrupt");
 
   serial::Reader r(data);
-  if (r.get_u32() != kArtifactMagic) return drop(stats_.corrupt);
-  if (r.get_u32() != version_) return drop(stats_.stale);
+  if (r.get_u32() != kArtifactMagic) return drop(stats_.corrupt, "corrupt");
+  if (r.get_u32() != version_) return drop(stats_.stale, "stale");
   auto header = serial::get_record(r);
-  if (!header) return drop(stats_.corrupt);
+  if (!header) return drop(stats_.corrupt, "corrupt");
   serial::Reader hr(*header);
   const u64 writer_pid = hr.get_u64();
   const std::string stored_key = hr.get_str();
   const u32 count = hr.get_u32();
   if (!hr.ok() || !hr.at_end() || stored_key != key)
-    return drop(stats_.corrupt);
+    return drop(stats_.corrupt, "corrupt");
 
   Artifact art;
   art.same_process = writer_pid == static_cast<u64>(::getpid());
   art.records.reserve(count);
   for (u32 i = 0; i < count; ++i) {
     auto rec = serial::get_record(r);
-    if (!rec) return drop(stats_.corrupt);
+    if (!rec) return drop(stats_.corrupt, "corrupt");
     art.records.push_back(std::move(*rec));
   }
-  if (!r.at_end()) return drop(stats_.corrupt);
+  if (!r.at_end()) return drop(stats_.corrupt, "corrupt");
 
-  if (art.same_process)
+  store_counter("bytes_read").add(data.size());
+  if (art.same_process) {
     ++stats_.hits;
-  else
+    store_counter("hits").add();
+  } else {
     ++stats_.resumes;
+    store_counter("resumes").add();
+  }
   return art;
 }
 

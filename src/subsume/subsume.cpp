@@ -5,8 +5,10 @@
 #include <memory>
 #include <unordered_map>
 
+#include "support/metrics.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 
 namespace gp::subsume {
 
@@ -270,6 +272,7 @@ std::vector<Record> minimize(solver::Context& ctx, std::vector<Record> pool,
     ThreadPool::shared().run(
         groups.size(),
         [&](int lane, u64 item) {
+          trace::Span span("subsume.bucket", "shard");
           const u32 gi = by_size[item];
           auto& lc = lane_ctx[static_cast<size_t>(lane)];
           if (!lc) lc = std::make_unique<solver::Context>(ctx.clone());
@@ -291,6 +294,15 @@ std::vector<Record> minimize(solver::Context& ctx, std::vector<Record> pool,
   }
 
   local.kept = kept.size();
+  if (metrics::enabled()) {
+    metrics::Registry& reg = metrics::registry();
+    reg.counter("subsume.input").add(local.input);
+    reg.counter("subsume.removed").add(local.removed);
+    reg.counter("subsume.solver_checks").add(local.solver_checks);
+    reg.counter("subsume.structural_hits").add(local.structural_hits);
+    reg.counter("subsume.solver_unknown").add(local.solver_unknown);
+    reg.histogram("subsume.pool_kept").observe(local.kept);
+  }
   if (stats) *stats = local;
   return kept;
 }

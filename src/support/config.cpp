@@ -1,6 +1,9 @@
 #include "support/config.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdlib>
+#include <string>
 #include <thread>
 
 namespace gp {
@@ -13,6 +16,17 @@ const char* env_str(const char* name) {
 }
 
 bool env_flag(const char* name) { return std::getenv(name) != nullptr; }
+
+/// Tri-state boolean knob: unset keeps the default; "0"/"false"/"off"
+/// (case-insensitive) and the empty string mean false; anything else true.
+/// Needed for knobs that default ON (GP_METRICS=0 must actually disable).
+bool env_bool(const char* name, bool dflt) {
+  const char* s = std::getenv(name);
+  if (!s) return dflt;
+  std::string v(s);
+  for (char& c : v) c = static_cast<char>(std::tolower(c));
+  return !(v.empty() || v == "0" || v == "false" || v == "off");
+}
 
 /// Unsigned knob; unset or unparsable means 0 ("unlimited").
 u64 env_u64(const char* name) {
@@ -63,6 +77,12 @@ Config Config::from_env() {
   c.debug_conc2 = env_flag("GP_DEBUG_CONC2");
   c.debug_val = env_flag("GP_DEBUG_VAL");
   c.bench_full = env_flag("GP_BENCH_FULL");
+
+  c.metrics = env_bool("GP_METRICS", true);
+  c.trace = env_bool("GP_TRACE", false);
+  if (const u64 buf = env_u64("GP_TRACE_BUF"))
+    c.trace_buf = static_cast<u32>(
+        std::min<u64>(std::max<u64>(buf, 64), u64{1} << 22));
 
   return c;
 }

@@ -59,6 +59,21 @@ struct Config {
   /// the quick subset.
   bool bench_full = false;
 
+  /// GP_METRICS: process-wide metrics registry (support/metrics). On by
+  /// default — "0"/"false"/"off" disables collection (instrumentation
+  /// sites then cost one relaxed load each).
+  bool metrics = true;
+
+  /// GP_TRACE: span recording into the per-thread trace rings
+  /// (support/trace). Off by default; gp_pipeline --trace-out enables it
+  /// for the run regardless of this knob.
+  bool trace = false;
+
+  /// GP_TRACE_BUF: per-thread trace ring capacity in events (clamped to
+  /// [64, 4M]; unset/unparsable = 8192). A wrapped ring overwrites its
+  /// oldest spans and counts them in trace::dropped().
+  u32 trace_buf = 8192;
+
   /// Parse the environment now. The single std::getenv site in src/.
   static Config from_env();
 };

@@ -73,10 +73,13 @@ class Deadline {
   bool unlimited() const { return unlimited_; }
   bool expired() const { return !unlimited_ && Clock::now() > at_; }
   Clock::time_point time_point() const { return at_; }
-  /// Seconds until expiry; +inf when unlimited, <= 0 when expired.
+  /// Seconds until expiry; +inf when unlimited, exactly 0 once expired.
+  /// Clamped so downstream arithmetic (backoff budgets, deadline splits)
+  /// can never be driven negative by an already-expired deadline.
   double remaining_seconds() const {
     if (unlimited_) return std::numeric_limits<double>::infinity();
-    return std::chrono::duration<double>(at_ - Clock::now()).count();
+    return std::max(
+        0.0, std::chrono::duration<double>(at_ - Clock::now()).count());
   }
   /// The earlier of two deadlines.
   static Deadline earlier(const Deadline& a, const Deadline& b) {

@@ -45,4 +45,33 @@ inline bool starts_with(const std::string& s, const std::string& prefix) {
          s.compare(0, prefix.size(), prefix) == 0;
 }
 
+/// Escape a string for embedding in a JSON string literal: quotes and
+/// backslashes are backslash-escaped, control characters become \n/\r/\t
+/// or \u00XX. Shared by the campaign summary, the metrics registry and the
+/// trace exporter — program/obfuscation/goal names are attacker-ish inputs
+/// (a goal named `pwn"]}` must not break the summary).
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace gp

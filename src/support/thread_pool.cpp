@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/config.hpp"
+#include "support/metrics.hpp"
 
 namespace gp {
 
@@ -10,6 +11,8 @@ ThreadPool::ThreadPool(int workers) {
   workers = std::max(0, workers);
   for (int i = 0; i < workers; ++i)
     queues_.push_back(std::make_unique<Queue>());
+  for (int i = 0; i < workers + 1; ++i)  // +1: external-caller row
+    stats_.push_back(std::make_unique<StatsCell>());
   for (int i = 0; i < workers; ++i)
     threads_.emplace_back([this, i] { worker_loop(i); });
 }
@@ -36,6 +39,7 @@ void ThreadPool::submit(Task t) {
 /// who always steal.
 bool ThreadPool::try_run_one(int self) {
   Task task;
+  bool stolen = false;
   const int n = static_cast<int>(queues_.size());
   if (self >= 0) {
     std::lock_guard<std::mutex> lk(queues_[self]->m);
@@ -52,11 +56,23 @@ bool ThreadPool::try_run_one(int self) {
       if (!queues_[victim]->q.empty()) {
         task = std::move(queues_[victim]->q.front());
         queues_[victim]->q.pop_front();
+        stolen = true;
       }
     }
   }
   if (!task) return false;
   pending_.fetch_sub(1);
+  StatsCell& cell =
+      *stats_[self >= 0 ? static_cast<size_t>(self) : stats_.size() - 1];
+  (stolen ? cell.stolen : cell.run).fetch_add(1, std::memory_order_relaxed);
+  {
+    static metrics::Counter& tasks =
+        metrics::registry().counter("pool.tasks");
+    static metrics::Counter& steals =
+        metrics::registry().counter("pool.steals");
+    tasks.add();
+    if (stolen) steals.add();
+  }
   task();
   return true;
 }
@@ -64,6 +80,8 @@ bool ThreadPool::try_run_one(int self) {
 void ThreadPool::worker_loop(int idx) {
   while (true) {
     if (try_run_one(idx)) continue;
+    stats_[static_cast<size_t>(idx)]->sleeps.fetch_add(
+        1, std::memory_order_relaxed);
     std::unique_lock<std::mutex> lk(sleep_m_);
     wake_cv_.wait(lk, [this] {
       return stop_.load() || pending_.load() > 0;
@@ -124,6 +142,16 @@ void ThreadPool::run(u64 items,
     rs->done.wait(lk, [&] { return rs->lanes_left.load() == 0; });
   }
   if (rs->error) std::rethrow_exception(rs->error);
+}
+
+std::vector<ThreadPool::WorkerStats> ThreadPool::worker_stats() const {
+  std::vector<WorkerStats> out;
+  out.reserve(stats_.size());
+  for (const auto& cell : stats_)
+    out.push_back({cell->run.load(std::memory_order_relaxed),
+                   cell->stolen.load(std::memory_order_relaxed),
+                   cell->sleeps.load(std::memory_order_relaxed)});
+  return out;
 }
 
 int ThreadPool::env_threads() {

@@ -42,6 +42,17 @@ class ThreadPool {
 
   int workers() const { return static_cast<int>(threads_.size()); }
 
+  /// Per-worker activity snapshot. `run` counts tasks popped from the
+  /// worker's own deque, `stolen` counts tasks taken from a victim's,
+  /// `sleeps` counts trips through the idle wait. The last row aggregates
+  /// external callers (run() participants that are not pool threads).
+  struct WorkerStats {
+    u64 run = 0;
+    u64 stolen = 0;
+    u64 sleeps = 0;
+  };
+  std::vector<WorkerStats> worker_stats() const;
+
   /// Execute `fn(lane, item)` for every item in [0, items). At most
   /// `max_lanes` items run concurrently (the caller counts as one lane);
   /// lane ids are dense in [0, lanes) so callers can keep per-lane scratch
@@ -74,7 +85,14 @@ class ThreadPool {
   bool try_run_one(int self);
   void worker_loop(int idx);
 
+  struct alignas(64) StatsCell {
+    std::atomic<u64> run{0};
+    std::atomic<u64> stolen{0};
+    std::atomic<u64> sleeps{0};
+  };
+
   std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::unique_ptr<StatsCell>> stats_;  // workers + 1 (external)
   std::vector<std::thread> threads_;
   std::mutex sleep_m_;
   std::condition_variable wake_cv_;

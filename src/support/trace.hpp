@@ -1,0 +1,108 @@
+// Scoped span tracing with lock-free per-thread ring buffers, exported as
+// Chrome trace_event JSON (load the file in chrome://tracing or
+// https://ui.perfetto.dev) — the critical-path view of where campaign wall
+// time actually goes, stage by stage and lane by lane.
+//
+// Usage:
+//   { trace::Span span("extract", "stage", session_id);  // records on scope
+//     ... stage body ...                                  // exit when enabled
+//   }
+//   trace::export_chrome_json("trace.json");
+//
+// Design:
+//  - Each thread owns one fixed-capacity ring of flat Event structs
+//    (GP_TRACE_BUF events; no allocation per span). The owner thread is the
+//    only writer, so the record path is lock-free: a seq_cst busy flag, the
+//    slot write, a release publish of the count. When the ring wraps, the
+//    oldest events are overwritten and counted in dropped().
+//  - Readers (export/snapshot) first disable recording (seq_cst), then wait
+//    for every ring's busy flag to clear — the classic two-flag
+//    store-buffering handshake — so a drain never reads a half-written
+//    slot, even while worker threads are mid-span. Recording is restored
+//    afterwards.
+//  - Disabled cost: Span construction/destruction is one relaxed atomic
+//    load each, no clock reads — cheap enough to leave spans on the
+//    supervised-stage and store-I/O paths permanently.
+//
+// GP_TRACE (default off) enables recording from the environment;
+// gp_pipeline --trace-out=FILE enables it for the run and exports on exit.
+// Thread attribution is a dense per-thread id; session/stage attribution
+// rides in each event's name + session argument.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/common.hpp"
+#include "support/status.hpp"
+
+namespace gp::trace {
+
+/// One completed span. Flat (no heap pointers) so ring slots can be
+/// overwritten freely; names longer than the field are truncated.
+struct Event {
+  char name[48] = {};
+  char cat[16] = {};
+  u64 ts_us = 0;    // steady-clock microseconds at span start
+  u64 dur_us = 0;   // span duration in microseconds
+  u64 session = 0;  // owning gp::core::Session id (0 = none)
+  u32 tid = 0;      // dense per-thread trace id
+};
+
+/// Is recording on? Single relaxed load — the whole disabled fast path.
+bool enabled();
+/// Override the GP_TRACE knob at runtime. Flipping to false quiesces
+/// writers (export paths call this internally).
+void set_enabled(bool on);
+
+/// Capacity (in events) for rings created after this call; existing rings
+/// keep their size. Defaults to the GP_TRACE_BUF knob.
+void set_ring_capacity(u32 events);
+
+/// Record a completed event into the calling thread's ring. Spans call
+/// this; direct use is for instants ("checkpoint committed") phrased as
+/// zero-duration spans.
+void record(const Event& e);
+
+/// Events successfully recorded since process start (survives ring wrap).
+u64 recorded();
+/// Events overwritten by ring wrap (lost to export).
+u64 dropped();
+
+/// Quiesced copy of every live ring, oldest first within each thread,
+/// merged and sorted by start time. Does not clear the rings.
+std::vector<Event> snapshot();
+
+/// Discard all recorded events and zero recorded()/dropped() (tests).
+void reset();
+
+/// Write every recorded span as Chrome trace_event JSON:
+///   {"displayTimeUnit":"ms","traceEvents":[{"name":...,"ph":"X",...}]}
+/// Timestamps are rebased to the earliest span. Atomic write (temp-file +
+/// rename). Safe to call while other threads are still tracing.
+Status export_chrome_json(const std::string& path);
+
+/// RAII scoped span: stamps the start on construction, records on
+/// destruction. When tracing is disabled at construction, both ends are a
+/// single atomic load.
+class Span {
+ public:
+  explicit Span(const char* name, const char* cat = "stage", u64 session = 0);
+  explicit Span(const std::string& name, const char* cat = "stage",
+                u64 session = 0)
+      : Span(name.c_str(), cat, session) {}
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach/replace the session id after construction (campaign jobs learn
+  /// their session id only once the Session exists).
+  void set_session(u64 session) { ev_.session = session; }
+
+ private:
+  Event ev_;
+  bool armed_ = false;
+};
+
+}  // namespace gp::trace

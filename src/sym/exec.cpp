@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "support/metrics.hpp"
 #include "support/str.hpp"
 
 namespace gp::sym {
@@ -178,6 +179,10 @@ Flow Executor::step(State& st, const ir::Lifted& l) {
   if (governor_ && !governor_->sym_steps().try_consume())
     throw ResourceExhausted(
         Status::budget_exhausted("symbolic-step budget"));
+  {
+    static metrics::Counter& steps = metrics::registry().counter("sym.steps");
+    steps.add();
+  }
   std::vector<ExprRef> temps(l.num_temps, kNoExpr);
 
   for (const auto& c : l.compute) {

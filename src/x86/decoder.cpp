@@ -1,6 +1,7 @@
 #include "x86/decoder.hpp"
 
 #include "support/fault.hpp"
+#include "support/metrics.hpp"
 
 namespace gp::x86 {
 namespace {
@@ -451,14 +452,24 @@ std::optional<Inst> decode_impl(Cursor& c) {
 }  // namespace
 
 std::optional<Inst> decode(std::span<const u8> bytes, u64 addr) {
+  static metrics::Counter& attempts =
+      metrics::registry().counter("decode.attempts");
+  static metrics::Counter& failures =
+      metrics::registry().counter("decode.failures");
+  attempts.add();
   // Injected decode failure (GP_FAULT decode=<rate>): indistinguishable
   // from genuinely undecodable bytes, so it exercises every caller's
   // nullopt path and lands in the same decode_failures accounting.
-  if (fault::enabled() && fault::should_fire(fault::Point::Decode))
+  if (fault::enabled() && fault::should_fire(fault::Point::Decode)) {
+    failures.add();
     return std::nullopt;
+  }
   Cursor c(bytes);
   auto inst = decode_impl(c);
-  if (!inst || !c.ok()) return std::nullopt;
+  if (!inst || !c.ok()) {
+    failures.add();
+    return std::nullopt;
+  }
   inst->len = static_cast<u8>(c.pos());
   inst->addr = addr;
   return inst;

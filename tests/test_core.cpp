@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <mutex>
+#include <optional>
 
 #include "codegen/codegen.hpp"
 #include "core/core.hpp"
@@ -168,6 +169,53 @@ TEST(Campaign, BatchSummaryAndJson) {
   EXPECT_NE(json.find("\"schema\": \"gp-campaign-v1\""), std::string::npos);
   EXPECT_NE(json.find("\"jobs_failed\": 0"), std::string::npos);
   EXPECT_NE(json.find("\"program\": \"call_rich\""), std::string::npos);
+  // Observability additions to the schema: an aggregate metrics block, the
+  // critical-path verdict, and per-job goal maps / campaign-clock offsets.
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"critical_path\""), std::string::npos);
+  EXPECT_NE(json.find("\"goals\": {\"execve\""), std::string::npos);
+  EXPECT_NE(json.find("\"start_seconds\""), std::string::npos);
+
+  const auto cp = summary.critical_path();
+  ASSERT_GE(cp.job, 0);
+  ASSERT_LT(cp.job, 2);
+  EXPECT_EQ(cp.program, "call_rich");
+  EXPECT_TRUE(cp.stage == "extract" || cp.stage == "subsume" ||
+              cp.stage == "plan");
+  EXPECT_GT(cp.end_seconds, 0.0);
+  const auto& last = summary.results[static_cast<size_t>(cp.job)];
+  EXPECT_GE(last.end_seconds, summary.results[0].end_seconds);
+  EXPECT_GE(last.end_seconds, summary.results[1].end_seconds);
+}
+
+TEST(Campaign, JsonEscapesHostileNames) {
+  // Program/obfuscation names flow into the summary verbatim; quotes and
+  // backslashes (the old local escaper's blind spots) must come out as
+  // valid JSON escapes.
+  Campaign::Summary sum;
+  JobResult r;
+  r.program = "evil\"name";
+  r.obfuscation = "back\\slash\nline";
+  r.goal_names = {"goal\"x"};
+  r.chains_per_goal = {3};
+  r.end_seconds = 1.0;
+  r.stages.rss_mb_after_plan = kRssUnknown;  // probe failed on this job
+  sum.results.push_back(std::move(r));
+
+  const std::string json = sum.to_json();
+  EXPECT_NE(json.find("evil\\\"name"), std::string::npos) << json;
+  EXPECT_NE(json.find("back\\\\slash\\nline"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"goal\\\"x\": 3"), std::string::npos) << json;
+  EXPECT_EQ(json.find("evil\"name"), std::string::npos);
+  EXPECT_EQ(json.find("slash\nline"), std::string::npos);
+  // The hand-built job never ran: RSS is unknown and must render as the
+  // -1 sentinel, not as a huge unsigned number.
+  EXPECT_NE(json.find("\"rss_mb_after_plan\": -1"), std::string::npos);
+}
+
+TEST(Campaign, CriticalPathEmptyCampaign) {
+  Campaign::Summary sum;
+  EXPECT_EQ(sum.critical_path().job, -1);
 }
 
 TEST(Campaign, CorpusJobsCoverTheGrid) {
@@ -182,8 +230,42 @@ TEST(Campaign, CorpusJobsCoverTheGrid) {
 
 TEST(CurrentRss, ReportsSomethingPlausible) {
   const u64 rss = current_rss_mb();
+  EXPECT_NE(rss, kRssUnknown);  // /proc/self/status exists on Linux
   EXPECT_GT(rss, 0u);
   EXPECT_LT(rss, 64u * 1024u);
+}
+
+TEST(CurrentRss, ParseVmRssRoundsToNearestMiB) {
+  EXPECT_EQ(parse_vmrss_mb("VmRSS:\t    2048 kB\n"), 2u);
+  EXPECT_EQ(parse_vmrss_mb("VmRSS:\t    1536 kB\n"), 2u);  // rounds up
+  EXPECT_EQ(parse_vmrss_mb("VmRSS:\t    1023 kB\n"), 1u);  // rounds up too
+  EXPECT_EQ(parse_vmrss_mb("VmRSS:\t     100 kB\n"), 0u);  // rounds down
+  // Only the first digit run after the label counts.
+  EXPECT_EQ(parse_vmrss_mb("VmRSS: 3072 kB extra 9999\n"), 3u);
+  // A realistic multi-line /proc/self/status slice.
+  EXPECT_EQ(parse_vmrss_mb("Name:\tgp\nVmPeak:\t9999 kB\n"
+                           "VmRSS:\t 5120 kB\nVmData:\t1 kB\n"),
+            5u);
+}
+
+TEST(CurrentRss, ParseVmRssRejectsMissingOrMalformed) {
+  EXPECT_EQ(parse_vmrss_mb(""), std::nullopt);
+  EXPECT_EQ(parse_vmrss_mb("Name:\tgp\nVmPeak:\t9999 kB\n"), std::nullopt);
+  EXPECT_EQ(parse_vmrss_mb("VmRSS:\t kB\n"), std::nullopt);  // no digits
+}
+
+TEST(CurrentRss, FormatDistinguishesUnknown) {
+  EXPECT_EQ(format_rss_mb(kRssUnknown), "n/a");
+  EXPECT_EQ(format_rss_mb(0), "0");
+  EXPECT_EQ(format_rss_mb(42), "42");
+}
+
+TEST(Engine, SessionIdsAreUniqueAndNonZero) {
+  Engine& eng = Engine::shared();
+  const u64 a = eng.next_session_id();
+  const u64 b = eng.next_session_id();
+  EXPECT_NE(a, 0u);  // 0 means "no session" in trace events
+  EXPECT_GT(b, a);
 }
 
 TEST(Campaign, RunsAllToolsOnObfuscatedBenchmark) {

@@ -72,6 +72,22 @@ TEST(GovernorDeadline, ExpiresAndCombines) {
       Deadline::earlier(Deadline::never(), Deadline::never()).unlimited());
 }
 
+TEST(GovernorDeadline, RemainingClampsToZeroOnceExpired) {
+  // An expired deadline must read as exactly 0 remaining, never negative:
+  // callers size retry budgets and progress bars from this value, and a
+  // negative remainder used to leak into "seconds left" report fields.
+  const Deadline past = Deadline::after_seconds(-5.0);
+  EXPECT_TRUE(past.expired());
+  EXPECT_EQ(past.remaining_seconds(), 0.0);
+
+  const Deadline barely = Deadline::after_seconds(-1e-9);
+  EXPECT_GE(barely.remaining_seconds(), 0.0);
+
+  const Deadline future = Deadline::after_seconds(60.0);
+  EXPECT_GT(future.remaining_seconds(), 0.0);
+  EXPECT_LE(future.remaining_seconds(), 60.0);
+}
+
 TEST(GovernorCancelToken, CopiesShareTheFlag) {
   CancelToken a;
   CancelToken b = a;

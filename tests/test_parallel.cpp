@@ -21,6 +21,8 @@
 #include "obfuscate/obfuscate.hpp"
 #include "payload/serialize.hpp"
 #include "subsume/subsume.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace gp::gadget {
 namespace {
@@ -345,6 +347,67 @@ TEST(Parallel, EnvKnobDrivesPipeline) {
   expect_stats_equal(e1.stats(), ee.stats());
   ASSERT_EQ(p1.size(), pe.size());
   EXPECT_EQ(sigs(c1, p1), sigs(ce, pe));
+}
+
+TEST(Parallel, MetricsAndTraceTotalsAreExactUnderContention) {
+  // The observability layer's whole claim is "sum over threads ==
+  // sequential": counters are thread-sharded and spans go to per-thread
+  // rings, so hammering them from many threads must lose nothing. This is
+  // also the tsan drill for the ring's two-flag drain handshake —
+  // snapshot() runs concurrently with the writers below.
+  const bool metrics_was = metrics::enabled();
+  const bool trace_was = trace::enabled();
+  metrics::set_enabled(true);
+  trace::set_enabled(true);
+
+  metrics::Counter& counter =
+      metrics::registry().counter("test.parallel.hammer");
+  metrics::Histogram& hist =
+      metrics::registry().histogram("test.parallel.hist");
+  counter.reset();
+  hist.reset();
+  const u64 spans_before = trace::recorded();
+
+  constexpr int kThreads = 8;
+  constexpr u64 kPerThread = 5000;
+  auto hammer = [](int t) {
+    for (u64 i = 0; i < kPerThread; ++i) {
+      metrics::registry().counter("test.parallel.hammer").add();
+      metrics::registry().histogram("test.parallel.hist").observe(i & 0xff);
+      if (i % 64 == 0) {
+        trace::Span span("hammer", "test", static_cast<u64>(t));
+      }
+    }
+  };
+
+  // Phase 1 — exactness: writers only, no concurrent drain. Every add,
+  // observe and span must land.
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) threads.emplace_back(hammer, t);
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(counter.value(), static_cast<u64>(kThreads) * kPerThread);
+  EXPECT_EQ(hist.count(), static_cast<u64>(kThreads) * kPerThread);
+  const u64 spans_per_thread = (kPerThread + 63) / 64;  // ceil(5000/64)
+  EXPECT_EQ(trace::recorded() - spans_before,
+            static_cast<u64>(kThreads) * spans_per_thread);
+
+  // Phase 2 — the tsan drill for the ring drain handshake: snapshot()
+  // races the writers. A drain pauses recording, so spans started in that
+  // window are deliberately dropped (never torn); metrics don't pause, so
+  // counter totals stay exact even here.
+  counter.reset();
+  threads.clear();
+  for (int t = 0; t < kThreads; ++t) threads.emplace_back(hammer, t);
+  for (int i = 0; i < 16; ++i) (void)trace::snapshot();
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter.value(), static_cast<u64>(kThreads) * kPerThread);
+
+  counter.reset();
+  hist.reset();
+  metrics::set_enabled(metrics_was);
+  trace::set_enabled(trace_was);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 // that fails emulator validation.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <span>
 #include <vector>
 
@@ -442,6 +443,51 @@ TEST(PipelineUnderFault, TinyDeadlineStillBuildsAPipeline) {
   // with best-so-far (= no) chains instead of hanging.
   auto chains = gp.find_chains(Goal::execve());
   EXPECT_TRUE(chains.empty());
+}
+
+TEST(StageSupervisor, BackoffSleepIsExcludedFromStageSeconds) {
+  // Regression for the Table VII double-count bug: supervisor backoff used
+  // to be billed as stage time, making every retried stage look slow by
+  // exactly the sleep schedule. Force every extract attempt to fail
+  // (alloc=1 makes the first expression intern throw) so the supervisor
+  // runs its full retry ladder, then check the sleep landed in
+  // backoff_seconds and NOT in extract_seconds.
+  const image::Image& img = corpus_image();
+
+  core::PipelineOptions popts;
+  popts.store_dir.clear();  // no checkpoints: every attempt must run
+  popts.supervise.max_retries = 2;
+  popts.supervise.backoff_initial_ms = 100;
+  popts.supervise.backoff_multiplier = 4;  // sleeps: 100ms + 400ms
+
+  // The Session (and its solver context) must exist before the fault is
+  // armed: the context constructor interns constants and would trip the
+  // alloc fault itself.
+  core::Session session(core::Engine::shared(), img, popts);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    fault::ScopedSpec scoped("alloc=1");
+    (void)session.extract();
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const auto& rep = session.report();
+  EXPECT_EQ(rep.extract_runs.attempts, 3u);
+  EXPECT_EQ(rep.extract_runs.retries, 2u);
+  EXPECT_EQ(rep.extract_status.code(), StatusCode::FaultInjected);
+
+  // The two scheduled sleeps total 0.5s (scheduling can only add).
+  EXPECT_GE(rep.extract_runs.backoff_seconds, 0.45);
+  EXPECT_LE(rep.extract_runs.backoff_seconds, wall);
+  // Stage time excludes the sleep: the three failing attempts are
+  // near-instant (they die on the first allocation), so stage seconds must
+  // come out far below the backoff it used to absorb.
+  EXPECT_LT(rep.extract_seconds, rep.extract_runs.backoff_seconds);
+  EXPECT_LE(rep.extract_seconds + rep.extract_runs.backoff_seconds,
+            wall + 0.05);
 }
 
 }  // namespace

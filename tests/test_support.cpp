@@ -211,6 +211,51 @@ TEST(Config, InvalidValuesKeepDefaults) {
   unsetenv("GP_RETRIES");
 }
 
+TEST(Config, ObservabilityKnobs) {
+  setenv("GP_METRICS", "0", 1);
+  setenv("GP_TRACE", "1", 1);
+  setenv("GP_TRACE_BUF", "4096", 1);
+  Config cfg = Config::from_env();
+  EXPECT_FALSE(cfg.metrics);
+  EXPECT_TRUE(cfg.trace);
+  EXPECT_EQ(cfg.trace_buf, 4096u);
+
+  // "false"/"off" (any case) also disable; unset restores the defaults.
+  setenv("GP_METRICS", "False", 1);
+  setenv("GP_TRACE", "off", 1);
+  cfg = Config::from_env();
+  EXPECT_FALSE(cfg.metrics);
+  EXPECT_FALSE(cfg.trace);
+
+  unsetenv("GP_METRICS");
+  unsetenv("GP_TRACE");
+  unsetenv("GP_TRACE_BUF");
+  cfg = Config::from_env();
+  EXPECT_TRUE(cfg.metrics);   // metrics default on
+  EXPECT_FALSE(cfg.trace);    // tracing default off
+  EXPECT_EQ(cfg.trace_buf, 8192u);
+}
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("hash_table"), "hash_table");
+  EXPECT_EQ(json_escape(""), "");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("pwn\"]}"), "pwn\\\"]}");
+}
+
+TEST(JsonEscape, EscapesControlCharacters) {
+  // The old campaign-local escaper turned "a\nb" into the invalid literal
+  // `a\b`; the shared one must produce a two-character escape.
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape("a\rb"), "a\\rb");
+  EXPECT_EQ(json_escape("a\tb"), "a\\tb");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
 TEST(GovernorOptions, SplitAcrossDividesCountedBudgets) {
   GovernorOptions g;
   g.max_solver_checks = 100;

@@ -23,6 +23,7 @@
 // governor (GP_DEADLINE_MS, ...) and chaos (GP_FAULT) knobs.
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -30,7 +31,9 @@
 #include "core/core.hpp"
 #include "corpus/corpus.hpp"
 #include "minic/minic.hpp"
+#include "support/metrics.hpp"
 #include "support/serial.hpp"
+#include "support/trace.hpp"
 
 namespace {
 
@@ -41,10 +44,12 @@ int usage(const char* argv0) {
       "flatten|encode-data|virtualize|llvm-obf|tigress] [--seed <n>]\n"
       "          [--image <file.gpim>] [--save-image <file.gpim>]\n"
       "          [--goal execve|mprotect|mmap|all] [--out <dir>] [--report]\n"
+      "          [--trace-out <file.json>]\n"
       "       %s --campaign [--profiles a,b,c] [--jobs <n>] [--goal ...]\n"
-      "          [--seed <n>] [--summary <file.json>]\n"
+      "          [--seed <n>] [--summary <file.json>] "
+      "[--trace-out <file.json>]\n"
       "env: GP_STORE_DIR (checkpoint dir), GP_RETRIES, GP_DEADLINE_MS, "
-      "GP_FAULT, GP_THREADS\n",
+      "GP_FAULT, GP_THREADS, GP_METRICS, GP_TRACE, GP_TRACE_BUF\n",
       argv0, argv0);
   return 2;
 }
@@ -80,13 +85,26 @@ int main(int argc, char** argv) {
   std::string program = "hash_table", obf_name = "llvm-obf";
   std::string image_path, save_image_path, goal_name = "all", out_dir;
   std::string profiles_csv = "none,llvm-obf,tigress", summary_path;
+  std::string trace_path;
   bool want_report = false, campaign_mode = false;
   int seed = 5, campaign_jobs = 1;
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
-    };
+    std::string arg = argv[i];
+    // --flag=value is accepted as a synonym for --flag value.
+    std::string inline_value;
+    bool has_inline = false;
+    if (const size_t eq = arg.find('='); eq != std::string::npos) {
+      inline_value = arg.substr(eq + 1);
+      arg.resize(eq);
+      has_inline = true;
+    }
+    std::function<const char*()> next;
+    if (has_inline)
+      next = [&]() -> const char* { return inline_value.c_str(); };
+    else
+      next = [&]() -> const char* {
+        return i + 1 < argc ? argv[++i] : nullptr;
+      };
     if (arg == "--program") {
       if (const char* v = next()) program = v; else return usage(argv[0]);
     } else if (arg == "--obf") {
@@ -112,10 +130,24 @@ int main(int argc, char** argv) {
       else return usage(argv[0]);
     } else if (arg == "--summary") {
       if (const char* v = next()) summary_path = v; else return usage(argv[0]);
+    } else if (arg == "--trace-out") {
+      if (const char* v = next()) trace_path = v; else return usage(argv[0]);
     } else {
       return usage(argv[0]);
     }
   }
+
+  // --trace-out turns recording on for this run regardless of GP_TRACE; the
+  // export happens on every exit path below.
+  if (!trace_path.empty()) trace::set_enabled(true);
+  auto export_trace = [&]() -> bool {
+    if (trace_path.empty()) return true;
+    const Status st = trace::export_chrome_json(trace_path);
+    if (!st.ok())
+      std::fprintf(stderr, "gp_pipeline: trace-out %s: %s\n",
+                   trace_path.c_str(), st.to_string().c_str());
+    return st.ok();
+  };
 
   std::vector<payload::Goal> goals;
   if (goal_name == "all") {
@@ -144,6 +176,12 @@ int main(int argc, char** argv) {
                 "%.2fs at concurrency %d\n",
                 summary.results.size(), summary.jobs_ok, summary.jobs_degraded,
                 summary.jobs_failed, summary.wall_seconds, summary.concurrency);
+    const auto cp = summary.critical_path();
+    if (cp.job >= 0)
+      std::printf("critical path: %s stage of %s/%s (%.2fs of the %.2fs "
+                  "wall; job finished last at %.2fs)\n",
+                  cp.stage.c_str(), cp.program.c_str(), cp.obfuscation.c_str(),
+                  cp.stage_seconds, summary.wall_seconds, cp.end_seconds);
 
     if (!summary_path.empty()) {
       const std::string json = summary.to_json();
@@ -155,6 +193,7 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
+    if (!export_trace()) return 1;
     return summary.jobs_failed == 0 ? 0 : 1;
   }
 
@@ -220,6 +259,13 @@ int main(int argc, char** argv) {
                 (unsigned long long)r.store.stale,
                 (unsigned long long)r.store.puts,
                 (unsigned long long)r.store.put_failures);
+    std::printf("  rss      extract=%s subsume=%s plan=%s (MiB)\n",
+                core::format_rss_mb(r.rss_mb_after_extract).c_str(),
+                core::format_rss_mb(r.rss_mb_after_subsume).c_str(),
+                core::format_rss_mb(r.rss_mb_after_plan).c_str());
+    if (metrics::enabled())
+      std::printf("metrics: %s\n", metrics::registry().to_json().c_str());
   }
+  if (!export_trace()) return 1;
   return exit_code;
 }
