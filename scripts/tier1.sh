@@ -67,13 +67,17 @@ echo "== tier-1: campaign batch run (4 concurrent sessions) =="
 # one engine. The JSON summary must parse, no job may fail outright
 # (degraded-but-usable statuses are acceptable), and — the multi-tenant
 # determinism claim — the per-job result digests must be byte-identical to
-# a sequential (--jobs 1) run of the same campaign. The 4-way summary is
+# a sequential (--jobs 1) run of the same campaign. The sequential run
+# additionally disables the planner's candidate index + nogood learning
+# (GP_PLAN_INDEX=0), so the single digest diff proves BOTH invariants at
+# once: concurrency does not change results, and the indexed search is a
+# pure accelerator over the linear reference path. The 4-way summary is
 # kept as the BENCH_pipeline.json perf artifact (per-stage seconds, pool
 # sizes, chain counts per job).
 "$PIPELINE" --campaign --profiles llvm-obf --goal execve --jobs 4 \
   --summary BENCH_pipeline.json --trace-out "$KR_TMP/trace.json"
-"$PIPELINE" --campaign --profiles llvm-obf --goal execve --jobs 1 \
-  --summary "$KR_TMP/campaign-seq.json" >/dev/null
+GP_PLAN_INDEX=0 "$PIPELINE" --campaign --profiles llvm-obf --goal execve \
+  --jobs 1 --summary "$KR_TMP/campaign-seq.json" >/dev/null
 python3 - BENCH_pipeline.json "$KR_TMP/campaign-seq.json" <<'PY'
 import json, sys
 par, seq = (json.load(open(p)) for p in sys.argv[1:3])
@@ -83,8 +87,45 @@ bad = [r for r in par["results"] if r["status"] == "internal"]
 assert par["jobs_failed"] == 0 and not bad, f"failed jobs: {bad}"
 dig = lambda s: {(r["program"], r["obfuscation"]): r["digest"]
                  for r in s["results"]}
-assert dig(par) == dig(seq), "concurrency changed campaign results"
-print(f'campaign: {par["jobs"]} jobs ok, 4-way digests == sequential')
+assert dig(par) == dig(seq), \
+    "concurrency or the planner index changed campaign results"
+print(f'campaign: {par["jobs"]} jobs ok, '
+      f'4-way indexed digests == sequential linear-reference digests')
+PY
+
+echo "== tier-1: planner index + dead-end learning drill =="
+# Three claims over the indexed campaign run:
+#  1. Unreachable goals fail fast: any job the reachability precheck
+#     rejected must spend under a second in the plan stage (they used to
+#     burn the full ~57s search budget each to find nothing).
+#  2. Nogood learning keeps the search out of known dead ends: the
+#     aggregate dead-end/expansion ratio stays bounded (the pre-index
+#     planner sat near 195 dead ends per expansion on this corpus).
+#  3. The new planner counters are present and the index actually served
+#     the search (hits > 0 across the campaign).
+python3 - BENCH_pipeline.json <<'PY'
+import json, sys
+s = json.load(open(sys.argv[1]))
+res = s["results"]
+counters = ("plan_index_hits", "plan_index_loads", "plan_nogood_hits",
+            "plan_needs_truncated", "plan_unreachable_goals")
+for r in res:
+    for c in counters:
+        assert c in r["metrics"], f'{r["program"]}: missing {c}'
+unreachable = [r for r in res if r["metrics"]["plan_unreachable_goals"] > 0]
+slow = [(r["program"], r["obfuscation"], r["plan_seconds"])
+        for r in unreachable if r["plan_seconds"] >= 1.0]
+assert not slow, f"unreachable jobs not fast-failed: {slow}"
+for r in unreachable:
+    assert r["chains_total"] == 0, \
+        f'{r["program"]}: precheck rejected a goal that produced chains'
+exp = sum(r["metrics"]["plan_expansions"] for r in res)
+dead = sum(r["metrics"]["plan_dead_ends"] for r in res)
+ratio = dead / max(exp, 1)
+assert ratio < 32, f"dead-end/expansion ratio regressed: {ratio:.1f}"
+assert sum(r["metrics"]["plan_index_hits"] for r in res) > 0
+print(f'planner drill: {len(unreachable)} unreachable jobs fast-failed, '
+      f'dead-end ratio {ratio:.2f}, index counters live')
 PY
 
 echo "== tier-1: observability drill =="

@@ -250,10 +250,22 @@ std::string Campaign::Summary::to_json() const {
          std::to_string(r.subsume_stats.structural_hits) +
          ", \"plan_expansions\": " +
          std::to_string(r.planner_stats.expansions) +
+         ", \"plan_dead_ends\": " +
+         std::to_string(r.planner_stats.dead_ends) +
          ", \"plan_concretize_calls\": " +
          std::to_string(r.planner_stats.concretize_calls) +
          ", \"plan_validated\": " +
-         std::to_string(r.planner_stats.validated) + "}, ";
+         std::to_string(r.planner_stats.validated) +
+         ", \"plan_index_hits\": " +
+         std::to_string(r.planner_stats.index_hits) +
+         ", \"plan_index_loads\": " +
+         std::to_string(r.planner_stats.index_loads) +
+         ", \"plan_nogood_hits\": " +
+         std::to_string(r.planner_stats.nogood_hits) +
+         ", \"plan_needs_truncated\": " +
+         std::to_string(r.planner_stats.needs_truncated) +
+         ", \"plan_unreachable_goals\": " +
+         std::to_string(r.planner_stats.unreachable_goals) + "}, ";
     j += "\"goals\": {";
     for (size_t g = 0; g < r.chains_per_goal.size(); ++g) {
       if (g) j += ", ";

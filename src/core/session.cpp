@@ -195,8 +195,10 @@ void Session::canonicalize_pool(std::vector<gadget::Record>& pool) {
   // kill-resume byte-identity guarantee would not hold. encode_pool is
   // content-determined, so decoding it into a fresh context pins both
   // paths to the same arena state.
+  pool_digest_ = 0;  // stale digests must never key a memo for a new pool
   try {
     const auto records = gadget::encode_pool(*ctx_, pool);
+    pool_digest_ = gadget::pool_digest(records);
     auto fresh = std::make_unique<solver::Context>();
     fresh->set_governor(gov_.get());
     if (auto decoded = gadget::decode_pool(*fresh, records)) {
@@ -205,7 +207,9 @@ void Session::canonicalize_pool(std::vector<gadget::Record>& pool) {
     }
   } catch (const ResourceExhausted&) {
     // Out of budget mid-reencode: keep the in-process pool. The run is
-    // already degraded and degraded results are never checkpointed.
+    // already degraded and degraded results are never checkpointed — a
+    // zero digest likewise disables planner memo persistence.
+    pool_digest_ = 0;
   }
 }
 
@@ -369,6 +373,14 @@ std::vector<payload::Chain> Session::find_chains(const payload::Goal& goal) {
         planner::Planner planner(*ctx_, *lib_, *img_);
         planner::Options popts = opts_.plan;
         if (!popts.governor) popts.governor = &g;
+        popts.session_id = id_;
+        // Warm-start memos (candidate index, nogood tables) only make
+        // sense against the canonical pool: a degraded pool's digest
+        // would key memos nothing else can ever reuse.
+        if (store_ && canonical_library && pool_digest_ != 0) {
+          popts.memo_store = store_.get();
+          popts.pool_digest = pool_digest_;
+        }
         chains = planner.plan(goal, popts);
         const auto& s = planner.stats();
         planner_stats_.expansions += s.expansions;
@@ -378,6 +390,15 @@ std::vector<payload::Chain> Session::find_chains(const payload::Goal& goal) {
         planner_stats_.concretize_calls += s.concretize_calls;
         planner_stats_.validated += s.validated;
         planner_stats_.deadline_cuts += s.deadline_cuts;
+        planner_stats_.index_hits += s.index_hits;
+        planner_stats_.index_builds += s.index_builds;
+        planner_stats_.index_loads += s.index_loads;
+        planner_stats_.nogood_hits += s.nogood_hits;
+        planner_stats_.nogood_learned += s.nogood_learned;
+        planner_stats_.needs_truncated += s.needs_truncated;
+        planner_stats_.unreachable_goals += s.unreachable_goals;
+        planner_stats_.failure_budget_cuts += s.failure_budget_cuts;
+        planner_stats_.precheck_seconds += s.precheck_seconds;
         planner_stats_.status.merge(s.status);
         if (metrics::enabled()) {
           metrics::Registry& reg = metrics::registry();
@@ -385,6 +406,13 @@ std::vector<payload::Chain> Session::find_chains(const payload::Goal& goal) {
           reg.counter("plan.dead_ends").add(s.dead_ends);
           reg.counter("plan.concretize_calls").add(s.concretize_calls);
           reg.counter("plan.validated").add(s.validated);
+          reg.counter("plan.index_hits").add(s.index_hits);
+          reg.counter("plan.nogood_hits").add(s.nogood_hits);
+          reg.counter("plan.needs_truncated").add(s.needs_truncated);
+          reg.counter("plan.unreachable_goals").add(s.unreachable_goals);
+          reg.counter("plan.failure_budget_cuts").add(s.failure_budget_cuts);
+          reg.counter("plan.unreachable_ms")
+              .add(static_cast<u64>(s.precheck_seconds * 1e3));
         }
         return s.status;
       });

@@ -250,6 +250,10 @@ class Session {
   bool extracted_ = false;  // stage-1 artifact exists
   bool subsumed_ = false;   // stage-2 artifact (lib_) exists
   std::vector<gadget::Record> pool_;  // raw pool between stages 1 and 2
+  /// Content digest of the current canonical pool (gadget::pool_digest of
+  /// its encoded form); 0 until canonicalize_pool succeeds. Keys the
+  /// planner's warm-start memos (candidate index, nogood tables).
+  u64 pool_digest_ = 0;
   std::unique_ptr<gadget::Library> lib_;
 
   StageReport report_;

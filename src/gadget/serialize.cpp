@@ -237,4 +237,16 @@ void append_extract_key(serial::Writer& w, const ExtractOptions& opts) {
   w.put_bool(opts.drop_wild_stores);
 }
 
+u64 pool_digest(const std::vector<std::vector<u8>>& records) {
+  u64 h = serial::fnv1a({});  // offset basis
+  for (const auto& rec : records) {
+    u8 len[8];
+    const u64 n = rec.size();
+    for (int i = 0; i < 8; ++i) len[i] = static_cast<u8>(n >> (8 * i));
+    h = serial::fnv1a(len, h);
+    h = serial::fnv1a(rec, h);
+  }
+  return h;
+}
+
 }  // namespace gp::gadget

@@ -1,0 +1,333 @@
+#include "planner/index.hpp"
+
+#include <algorithm>
+
+#include "sym/exec.hpp"
+#include "sym/state.hpp"
+
+namespace gp::planner {
+
+using gadget::EndKind;
+using gadget::Record;
+using gadget::RegMask;
+using gadget::reg_bit;
+using solver::ExprRef;
+using x86::Reg;
+
+u64 multiset_hash(std::span<const u64> parts, u64 seed) {
+  std::vector<u64> sorted(parts.begin(), parts.end());
+  std::sort(sorted.begin(), sorted.end());
+  // Sorted-sequence fold: position-dependent multiply keeps duplicates from
+  // cancelling (h contributes twice, not zero times, for a repeated part).
+  u64 h = seed ^ (0x9e3779b97f4a7c15ULL + static_cast<u64>(parts.size()));
+  for (const u64 v : sorted) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 29;
+  }
+  return h;
+}
+
+bool admissible(const Record& g, const AdmissionFlags& f) {
+  if (!f.use_cond_gadgets && g.has_cond_jump) return false;
+  if (!f.use_direct_merged && g.has_direct_jump) return false;
+  if (!f.use_indirect_gadgets && g.end != EndKind::Ret &&
+      g.end != EndKind::Syscall)
+    return false;
+  return true;
+}
+
+Candidate analyze_candidate(solver::Context& ctx, const gadget::Library& lib,
+                            u32 gi, Reg reg) {
+  const Record& g = lib[gi];
+  Candidate c;
+  c.gadget = gi;
+
+  const ExprRef fin = g.final_regs[static_cast<int>(reg)];
+  c.dag_size = static_cast<u32>(ctx.dag_size(fin));
+  if (ctx.is_const(fin)) {
+    c.flags |= Candidate::kConstValue;
+    c.const_value = ctx.const_val(fin);
+  }
+  if (g.end == EndKind::Syscall) c.flags |= Candidate::kSyscallEnd;
+  if (!g.stack_delta && g.end == EndKind::Ret && !g.can_set(Reg::RSP))
+    c.flags |= Candidate::kStackBad;
+  if (g.next_rip != solver::kNoExpr && ctx.is_const(g.next_rip))
+    c.flags |= Candidate::kNextRipConst;
+
+  // Dependency count for the ranking score. Walk the provided value's
+  // variables; POINTER (ind) variables count the registers of their load
+  // address (one level is enough to catch the `mov rbp, [rbp-x]` style
+  // self-regress).
+  int deps = 0;
+  bool self_loop = false;
+  {
+    std::vector<ExprRef> work = ctx.variables(fin);
+    for (size_t wi = 0; wi < work.size() && wi < 64; ++wi) {
+      const std::string& name = ctx.var_name(work[wi]);
+      if (sym::parse_stack_var(name)) continue;
+      if (name.rfind("ind", 0) == 0) {
+        for (const sym::IndirectRead& ir : g.ind_reads)
+          if (ir.var == work[wi])
+            for (const ExprRef av : ctx.variables(ir.addr)) work.push_back(av);
+        continue;
+      }
+      ++deps;
+      if (name == sym::initial_reg_var(reg)) self_loop = true;
+    }
+  }
+  if (self_loop) c.flags |= Candidate::kSelfLoop;
+
+  int clob_count = 0;
+  for (int rbit = 0; rbit < x86::kNumRegs; ++rbit)
+    clob_count += (g.clobbered >> rbit) & 1;
+
+  // A gadget whose own pointer side-effects constrain the very value it
+  // provides (e.g. `pop rax; add [rax], esp; ...`) can only serve
+  // pointer-valued goals; heavily deprioritize it.
+  bool value_is_pointer = false;
+  {
+    const auto provided_vars = ctx.variables(fin);
+    for (const sym::IndirectRead& ir : g.ind_reads)
+      for (const ExprRef av : ctx.variables(ir.addr))
+        for (const ExprRef pv : provided_vars)
+          value_is_pointer |= av == pv;
+  }
+  if (value_is_pointer) c.flags |= Candidate::kValuePointer;
+
+  // Writes through non-rsp-relative pointers may alias the payload in ways
+  // the no-alias memory model cannot see; validation usually rejects such
+  // chains, so prefer gadgets without them.
+  int wild_writes = 0;
+  {
+    const ExprRef rsp0v = ctx.var(sym::initial_reg_var(Reg::RSP), 64);
+    for (const auto& w : g.writes) {
+      const auto bo = sym::split_base_offset(ctx, w.addr);
+      if (!bo || bo->base != rsp0v) ++wild_writes;
+    }
+  }
+
+  // Prefer clean ret gadgets with simple transfer targets; complex
+  // computed-jump targets (VM dispatch arithmetic) go last.
+  const int transfer_cost =
+      g.end == EndKind::Ret || g.next_rip == solver::kNoExpr
+          ? 0
+          : 30 + static_cast<int>(
+                     std::min<size_t>(ctx.dag_size(g.next_rip), 40));
+
+  c.base_score = (self_loop ? 2000 : 0) + (value_is_pointer ? 1500 : 0) +
+                 300 * wild_writes + 80 * deps +
+                 10 * static_cast<int>(g.precond.size()) + 4 * clob_count +
+                 transfer_cost + g.n_insts;
+
+  // Open-precondition walk: every initial register the gadget's path
+  // condition, indirect transfer target, or provided-value expression
+  // depends on, in first-encounter order (the order expand() used to push
+  // them as open subgoals). The `< 32` expansion cap matches the search's
+  // historical behaviour; hitting it is recorded instead of silently
+  // treating the dropped pointer dependencies as met.
+  std::vector<ExprRef> needs = g.precond;
+  if (g.next_rip != solver::kNoExpr) needs.push_back(g.next_rip);
+  needs.push_back(fin);
+  bool seen[x86::kNumRegs] = {};
+  for (size_t ni = 0; ni < needs.size(); ++ni) {
+    const ExprRef pc = needs[ni];
+    for (const ExprRef v : ctx.variables(pc)) {
+      const std::string& name = ctx.var_name(v);
+      if (sym::parse_stack_var(name)) continue;  // payload: solver's job
+      if (name.rfind("ind", 0) == 0) {
+        // POINTER dependency: the load's address registers must be
+        // controlled too.
+        for (const sym::IndirectRead& ir : g.ind_reads)
+          if (ir.var == v) {
+            if (needs.size() < 32)
+              needs.push_back(ir.addr);
+            else
+              c.flags |= Candidate::kNeedsTruncated;
+          }
+        continue;
+      }
+      for (int r = 0; r < x86::kNumRegs; ++r) {
+        const Reg rr = static_cast<Reg>(r);
+        if (rr == Reg::RSP) continue;
+        if (name != sym::initial_reg_var(rr)) continue;
+        if (!seen[r]) {
+          seen[r] = true;
+          c.needs[c.n_needs++] = static_cast<u8>(r);
+        }
+      }
+    }
+  }
+  return c;
+}
+
+GadgetIndex GadgetIndex::build(solver::Context& ctx,
+                               const gadget::Library& lib) {
+  GadgetIndex idx;
+  idx.pool_size_ = lib.size();
+  for (int r = 0; r < x86::kNumRegs; ++r) {
+    const Reg reg = static_cast<Reg>(r);
+    const auto& controlling = lib.controlling(reg);
+    auto& bucket = idx.by_reg_[static_cast<size_t>(r)];
+    bucket.reserve(controlling.size());
+    for (const u32 gi : controlling)
+      bucket.push_back(analyze_candidate(ctx, lib, gi, reg));
+  }
+  return idx;
+}
+
+RegMask GadgetIndex::establishable(const gadget::Library& lib,
+                                   const AdmissionFlags& f) const {
+  RegMask closure = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int r = 0; r < x86::kNumRegs; ++r) {
+      const RegMask bit = reg_bit(static_cast<Reg>(r));
+      if (closure & bit) continue;
+      for (const Candidate& c : by_reg_[static_cast<size_t>(r)]) {
+        if (c.position_filtered()) continue;
+        // Constant-valued setters cannot be steered; they only serve an
+        // exact-constant terminal goal (handled in goal_unreachable).
+        if (c.flags & Candidate::kConstValue) continue;
+        if (!admissible(lib[c.gadget], f)) continue;
+        bool deps_ok = true;
+        for (u8 i = 0; i < c.n_needs; ++i)
+          deps_ok &= (closure & reg_bit(static_cast<Reg>(c.needs[i]))) != 0;
+        if (!deps_ok) continue;
+        closure |= bit;
+        changed = true;
+        break;
+      }
+    }
+  }
+  return closure;
+}
+
+bool GadgetIndex::goal_unreachable(const gadget::Library& lib,
+                                   const payload::Goal& goal,
+                                   const AdmissionFlags& f) const {
+  const RegMask closure = establishable(lib, f);
+  for (const payload::RegTarget& t : goal.regs) {
+    if (closure & reg_bit(t.reg)) continue;
+    // Not in the closure via steerable providers; an exact-constant
+    // provider can still serve a Const target directly, as long as its own
+    // dependencies are establishable.
+    bool provided = false;
+    for (const Candidate& c : by_reg_[static_cast<size_t>(t.reg)]) {
+      if (c.position_filtered()) continue;
+      if (!admissible(lib[c.gadget], f)) continue;
+      if (c.flags & Candidate::kConstValue) {
+        if (!(t.kind == payload::RegTarget::Kind::Const &&
+              t.value == c.const_value))
+          continue;
+      }
+      bool deps_ok = true;
+      for (u8 i = 0; i < c.n_needs; ++i)
+        deps_ok &= (closure & reg_bit(static_cast<Reg>(c.needs[i]))) != 0;
+      if (!deps_ok) continue;
+      provided = true;
+      break;
+    }
+    if (!provided) return true;
+  }
+  return false;
+}
+
+std::vector<std::vector<u8>> GadgetIndex::encode() const {
+  std::vector<std::vector<u8>> records;
+  serial::Writer header;
+  header.put_u32(kIndexFormatVersion);
+  header.put_u64(pool_size_);
+  header.put_u32(static_cast<u32>(x86::kNumRegs));
+  records.push_back(header.take());
+  for (int r = 0; r < x86::kNumRegs; ++r) {
+    serial::Writer w;
+    const auto& bucket = by_reg_[static_cast<size_t>(r)];
+    w.put_u32(static_cast<u32>(bucket.size()));
+    for (const Candidate& c : bucket) {
+      w.put_u32(c.gadget);
+      w.put_u64(static_cast<u64>(static_cast<i64>(c.base_score)));
+      w.put_u32(c.dag_size);
+      w.put_u64(c.const_value);
+      w.put_u16(c.flags);
+      w.put_u8(c.n_needs);
+      for (u8 i = 0; i < c.n_needs; ++i) w.put_u8(c.needs[i]);
+    }
+    records.push_back(w.take());
+  }
+  return records;
+}
+
+std::optional<GadgetIndex> GadgetIndex::decode(
+    const std::vector<std::vector<u8>>& records, u64 expect_pool_size) {
+  if (records.size() != 1 + static_cast<size_t>(x86::kNumRegs))
+    return std::nullopt;
+  serial::Reader header(records[0]);
+  const u32 version = header.get_u32();
+  const u64 pool_size = header.get_u64();
+  const u32 n_regs = header.get_u32();
+  if (!header.ok() || !header.at_end() || version != kIndexFormatVersion ||
+      pool_size != expect_pool_size ||
+      n_regs != static_cast<u32>(x86::kNumRegs))
+    return std::nullopt;
+
+  GadgetIndex idx;
+  idx.pool_size_ = pool_size;
+  for (int r = 0; r < x86::kNumRegs; ++r) {
+    serial::Reader w(records[1 + static_cast<size_t>(r)]);
+    const u32 count = w.get_u32();
+    if (!w.ok()) return std::nullopt;
+    auto& bucket = idx.by_reg_[static_cast<size_t>(r)];
+    bucket.reserve(count);
+    for (u32 i = 0; i < count; ++i) {
+      Candidate c;
+      c.gadget = w.get_u32();
+      c.base_score = static_cast<i32>(static_cast<i64>(w.get_u64()));
+      c.dag_size = w.get_u32();
+      c.const_value = w.get_u64();
+      c.flags = w.get_u16();
+      c.n_needs = w.get_u8();
+      if (!w.ok() || c.gadget >= pool_size || c.n_needs > c.needs.size())
+        return std::nullopt;
+      for (u8 n = 0; n < c.n_needs; ++n) {
+        c.needs[n] = w.get_u8();
+        if (c.needs[n] >= x86::kNumRegs ||
+            static_cast<Reg>(c.needs[n]) == Reg::RSP)
+          return std::nullopt;
+      }
+      bucket.push_back(c);
+    }
+    if (!w.ok() || !w.at_end()) return std::nullopt;
+  }
+  return idx;
+}
+
+std::vector<std::vector<u8>> NogoodTable::encode() const {
+  std::vector<u64> sorted(set_.begin(), set_.end());
+  std::sort(sorted.begin(), sorted.end());
+  serial::Writer w;
+  w.put_u32(kIndexFormatVersion);
+  w.put_u64(static_cast<u64>(sorted.size()));
+  for (const u64 fp : sorted) w.put_u64(fp);
+  return {w.take()};
+}
+
+void NogoodTable::merge_decode(const std::vector<std::vector<u8>>& records) {
+  if (records.size() != 1) return;
+  serial::Reader r(records[0]);
+  const u32 version = r.get_u32();
+  const u64 count = r.get_u64();
+  if (!r.ok() || version != kIndexFormatVersion ||
+      count * 8 != r.remaining())
+    return;
+  std::vector<u64> fps;
+  fps.reserve(count);
+  for (u64 i = 0; i < count; ++i) fps.push_back(r.get_u64());
+  if (!r.ok() || !r.at_end()) return;
+  const bool was_dirty = dirty_;
+  for (const u64 fp : fps) set_.insert(fp);
+  dirty_ = was_dirty;  // persisted entries are not new learning
+}
+
+}  // namespace gp::planner

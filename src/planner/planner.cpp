@@ -9,6 +9,9 @@
 #include <queue>
 #include <set>
 
+#include "store/store.hpp"
+#include "support/trace.hpp"
+
 namespace gp::planner {
 
 using gadget::EndKind;
@@ -19,12 +22,21 @@ using payload::Goal;
 using solver::ExprRef;
 using x86::Reg;
 
+namespace {
+double secs_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
+
 void Options::append_key(serial::Writer& w) const {
+  w.put_u32(kPlannerVersion);
   w.put_u32(static_cast<u32>(max_expansions));
   w.put_u32(static_cast<u32>(max_chains));
   w.put_u32(static_cast<u32>(max_candidates_per_goal));
   w.put_u32(static_cast<u32>(max_plan_gadgets));
   w.put_u32(static_cast<u32>(max_open_goals));
+  w.put_u32(static_cast<u32>(max_concretize_failures));
   w.put_u32(static_cast<u32>(restarts));
   w.put_u64(concretize.stack_base);
   w.put_u64(concretize.max_payload);
@@ -35,12 +47,18 @@ void Options::append_key(serial::Writer& w) const {
 }
 
 bool Planner::admissible(const Record& g, const Options& opts) const {
-  if (!opts.use_cond_gadgets && g.has_cond_jump) return false;
-  if (!opts.use_direct_merged && g.has_direct_jump) return false;
-  if (!opts.use_indirect_gadgets && g.end != EndKind::Ret &&
-      g.end != EndKind::Syscall)
-    return false;
-  return true;
+  return planner::admissible(
+      g, {opts.use_cond_gadgets, opts.use_indirect_gadgets,
+          opts.use_direct_merged});
+}
+
+bool Planner::goal_const_match(Reg reg, u64 value) const {
+  if (!goal_) return false;
+  for (const payload::RegTarget& t : goal_->regs)
+    if (t.reg == reg && t.kind == payload::RegTarget::Kind::Const &&
+        t.value == value)
+      return true;
+  return false;
 }
 
 std::optional<std::vector<int>> Planner::linearize(const Plan& p) {
@@ -75,26 +93,32 @@ bool Planner::reg_usable(Reg reg, const Options& opts) {
   auto it = usable_memo_.find(static_cast<int>(reg));
   if (it != usable_memo_.end()) return it->second;
   bool usable = false;
-  for (const u32 gi : lib_.controlling(reg)) {
-    const Record& g = lib_[gi];
-    if (!admissible(g, opts)) continue;
-    if (g.end == EndKind::Syscall) continue;
-    if (!g.stack_delta && g.end == EndKind::Ret &&
-        !g.can_set(x86::Reg::RSP))
-      continue;
-    if (g.next_rip != solver::kNoExpr && ctx_.is_const(g.next_rip)) continue;
-    const ExprRef fin = g.final_regs[static_cast<int>(reg)];
-    if (ctx_.is_const(fin)) {
-      bool match = false;
-      if (goal_)
-        for (const payload::RegTarget& t : goal_->regs)
-          if (t.reg == reg && t.kind == payload::RegTarget::Kind::Const &&
-              t.value == ctx_.const_val(fin))
-            match = true;
-      if (!match) continue;
+  if (index_) {
+    for (const Candidate& c : index_->candidates(reg)) {
+      if (!admissible(lib_[c.gadget], opts)) continue;
+      if (c.position_filtered()) continue;
+      if ((c.flags & Candidate::kConstValue) &&
+          !goal_const_match(reg, c.const_value))
+        continue;
+      usable = true;
+      break;
     }
-    usable = true;
-    break;
+  } else {
+    for (const u32 gi : lib_.controlling(reg)) {
+      const Record& g = lib_[gi];
+      if (!admissible(g, opts)) continue;
+      if (g.end == EndKind::Syscall) continue;
+      if (!g.stack_delta && g.end == EndKind::Ret &&
+          !g.can_set(x86::Reg::RSP))
+        continue;
+      if (g.next_rip != solver::kNoExpr && ctx_.is_const(g.next_rip))
+        continue;
+      const ExprRef fin = g.final_regs[static_cast<int>(reg)];
+      if (ctx_.is_const(fin) && !goal_const_match(reg, ctx_.const_val(fin)))
+        continue;
+      usable = true;
+      break;
+    }
   }
   usable_memo_.emplace(static_cast<int>(reg), usable);
   return usable;
@@ -110,80 +134,39 @@ std::vector<Planner::Plan> Planner::expand(const Plan& p,
   // Paper: pick an open pre-condition, find gadgets that can fulfil it.
   const auto [reg, consumer] = p.delta.back();
 
+  // Candidate profiles: served from the prescored index when built, else
+  // analyzed here per expansion (the linear reference path). Both sides
+  // are the same analyze_candidate(), over the same lib_.controlling(reg)
+  // order, so ranking ties and the rotation shuffle permute identically —
+  // the two modes are bit-for-bit equivalent.
+  std::vector<Candidate> scratch;
+  std::span<const Candidate> cands;
+  if (index_) {
+    cands = index_->candidates(reg);
+    ++stats_.index_hits;
+  } else {
+    const auto& controlling = lib_.controlling(reg);
+    scratch.reserve(controlling.size());
+    for (const u32 gi : controlling)
+      scratch.push_back(analyze_candidate(ctx_, lib_, gi, reg));
+    cands = scratch;
+  }
+
   // Rank candidates: fewest register dependencies first (a self-dependent
   // setter like `add rax, rcx; ret` technically "sets" rax but re-opens the
-  // same goal — lowest priority), then shortest.
+  // same goal — lowest priority), then shortest. The failure_cost term is
+  // per-goal search state, so it stays out of the precomputed base score.
   struct Scored {
-    u32 gi;
+    const Candidate* c;
     int score;
   };
   std::vector<Scored> ranked;
-  for (const u32 gi : lib_.controlling(reg)) {
-    const Record& g = lib_[gi];
-    int deps = 0;
-    bool self_loop = false;
-    {
-      // Walk the provided value's variables; POINTER (ind) variables count
-      // the registers of their load address (one level is enough to catch
-      // the `mov rbp, [rbp-x]` style self-regress).
-      std::vector<ExprRef> work =
-          ctx_.variables(g.final_regs[static_cast<int>(reg)]);
-      for (size_t wi = 0; wi < work.size() && wi < 64; ++wi) {
-        const std::string& name = ctx_.var_name(work[wi]);
-        if (sym::parse_stack_var(name)) continue;
-        if (name.rfind("ind", 0) == 0) {
-          for (const sym::IndirectRead& ir : g.ind_reads)
-            if (ir.var == work[wi])
-              for (const ExprRef av : ctx_.variables(ir.addr))
-                work.push_back(av);
-          continue;
-        }
-        ++deps;
-        if (name == sym::initial_reg_var(reg)) self_loop = true;
-      }
-    }
-    int clob_count = 0;
-    for (int rbit = 0; rbit < x86::kNumRegs; ++rbit)
-      clob_count += (g.clobbered >> rbit) & 1;
-    // A gadget whose own pointer side-effects constrain the very value it
-    // provides (e.g. `pop rax; add [rax], esp; ...`) can only serve
-    // pointer-valued goals; heavily deprioritize it.
-    bool value_is_pointer = false;
-    {
-      const auto provided_vars =
-          ctx_.variables(g.final_regs[static_cast<int>(reg)]);
-      for (const sym::IndirectRead& ir : g.ind_reads)
-        for (const ExprRef av : ctx_.variables(ir.addr))
-          for (const ExprRef pv : provided_vars)
-            value_is_pointer |= av == pv;
-    }
-    // Writes through non-rsp-relative pointers may alias the payload in
-    // ways the no-alias memory model cannot see; validation usually rejects
-    // such chains, so prefer gadgets without them.
-    int wild_writes = 0;
-    {
-      const ExprRef rsp0v = ctx_.var(sym::initial_reg_var(Reg::RSP), 64);
-      for (const auto& w : g.writes) {
-        const auto bo = sym::split_base_offset(ctx_, w.addr);
-        if (!bo || bo->base != rsp0v) ++wild_writes;
-      }
-    }
-    // Prefer clean ret gadgets with simple transfer targets; complex
-    // computed-jump targets (VM dispatch arithmetic) go last.
-    const int transfer_cost =
-        g.end == EndKind::Ret || g.next_rip == solver::kNoExpr
-            ? 0
-            : 30 + static_cast<int>(
-                       std::min<size_t>(ctx_.dag_size(g.next_rip), 40));
-    const auto fc = failure_count_.find(gi);
+  ranked.reserve(cands.size());
+  for (const Candidate& c : cands) {
+    const auto fc = failure_count_.find(c.gadget);
     const int failure_cost =
         fc == failure_count_.end() ? 0 : 12 * fc->second;
-    ranked.push_back({gi, (self_loop ? 2000 : 0) +
-                              (value_is_pointer ? 1500 : 0) +
-                              300 * wild_writes + 80 * deps +
-                              10 * static_cast<int>(g.precond.size()) +
-                              4 * clob_count + transfer_cost +
-                              failure_cost + g.n_insts});
+    ranked.push_back({&c, c.base_score + failure_cost});
   }
   std::stable_sort(ranked.begin(), ranked.end(),
                    [](const Scored& a, const Scored& b) {
@@ -208,90 +191,54 @@ std::vector<Planner::Plan> Planner::expand(const Plan& p,
 
   int taken = 0;
   int f_adm = 0, f_sys = 0, f_sd = 0, f_const = 0, f_goalc = 0, f_dead = 0;
-  for (const auto& [gi, score] : ranked) {
+  for (const auto& [cp, score] : ranked) {
     if (taken >= opts.max_candidates_per_goal) break;
+    const Candidate& c = *cp;
+    const u32 gi = c.gadget;
     const Record& g = lib_[gi];
     if (!admissible(g, opts)) { ++f_adm; continue; }
     // A chain's inner gadget must transfer control onward to a place the
     // payload can choose; a constant target (resolved jump table) would
     // force a specific successor address.
-    if (g.end == EndKind::Syscall) { ++f_sys; continue; }
+    if (c.flags & Candidate::kSyscallEnd) { ++f_sys; continue; }
     // Ret gadgets whose stack delta is symbolic are still usable when the
     // final rsp is attacker-aimable (a stack pivot, e.g. lea rsp,[rbp-K]
     // with a popped rbp); the composition solver aims the pivot into the
     // payload.
-    if (!g.stack_delta && g.end == EndKind::Ret &&
-        !g.can_set(x86::Reg::RSP)) {
-      ++f_sd;
-      continue;
-    }
-    if (g.next_rip != solver::kNoExpr && ctx_.is_const(g.next_rip)) {
-      ++f_const;
-      continue;
-    }
+    if (c.flags & Candidate::kStackBad) { ++f_sd; continue; }
+    if (c.flags & Candidate::kNextRipConst) { ++f_const; continue; }
     // A constant-valued setter cannot be steered; it only ever serves a
     // terminal goal whose target is that exact constant.
-    {
-      const ExprRef fin = g.final_regs[static_cast<int>(reg)];
-      if (ctx_.is_const(fin)) {
-        bool match = false;
-        if (consumer < 0 && goal_)
-          for (const payload::RegTarget& t : goal_->regs)
-            if (t.reg == reg && t.kind == payload::RegTarget::Kind::Const &&
-                t.value == ctx_.const_val(fin))
-              match = true;
-        if (!match) { ++f_goalc; continue; }
-      }
+    if ((c.flags & Candidate::kConstValue) &&
+        !(consumer < 0 && goal_const_match(reg, c.const_value))) {
+      ++f_goalc;
+      continue;
     }
 
     Plan base = p;
     base.delta.pop_back();
     const int self = static_cast<int>(base.alpha.size());
     base.alpha.push_back({gi, reg, consumer});
-    base.n_constraints += static_cast<int>(g.precond.size()) +
-                          static_cast<int>(ctx_.dag_size(
-                              g.final_regs[static_cast<int>(reg)]));
+    base.n_constraints +=
+        static_cast<int>(g.precond.size()) + static_cast<int>(c.dag_size);
 
     // Causal ordering: this step before its consumer.
     if (consumer >= 0) base.beta.push_back({self, consumer});
 
     // Open pre-conditions of the new gadget: every initial register its
     // path condition, indirect transfer target, or provided-value
-    // expression depends on must be put under control by some earlier
-    // gadget (register-transfer chaining).
+    // expression depends on (precomputed, in first-encounter order) must
+    // be put under control by some earlier gadget (register-transfer
+    // chaining).
+    if (c.flags & Candidate::kNeedsTruncated) ++stats_.needs_truncated;
     bool needs_unmet = false;
-    std::vector<ExprRef> needs = g.precond;
-    if (g.next_rip != solver::kNoExpr) needs.push_back(g.next_rip);
-    if (reg != Reg::NONE)
-      needs.push_back(g.final_regs[static_cast<int>(reg)]);
-    for (size_t ni = 0; ni < needs.size(); ++ni) {
-      const ExprRef pc = needs[ni];
-      for (const ExprRef v : ctx_.variables(pc)) {
-        const std::string& name = ctx_.var_name(v);
-        if (sym::parse_stack_var(name)) continue;  // payload: solver's job
-        if (name.rfind("ind", 0) == 0) {
-          // POINTER dependency: the load's address registers must be
-          // controlled too.
-          for (const sym::IndirectRead& ir : g.ind_reads)
-            if (ir.var == v && needs.size() < 32) needs.push_back(ir.addr);
-          continue;
-        }
-        for (int r = 0; r < x86::kNumRegs; ++r) {
-          const Reg rr = static_cast<Reg>(r);
-          if (rr == Reg::RSP) continue;
-          if (name != sym::initial_reg_var(rr)) continue;
-          bool open = false;
-          for (const auto& [dreg, dcons] : base.delta)
-            open |= dreg == rr && dcons == self;
-          if (!open) {
-            if (!reg_usable(rr, opts)) {
-              // Unsatisfiable dependency: this candidate is a dead end.
-              needs_unmet = true;
-            } else {
-              base.delta.push_back({rr, self});
-            }
-          }
-        }
+    for (u8 ni = 0; ni < c.n_needs; ++ni) {
+      const Reg rr = static_cast<Reg>(c.needs[ni]);
+      if (!reg_usable(rr, opts)) {
+        // Unsatisfiable dependency: this candidate is a dead end.
+        needs_unmet = true;
+      } else {
+        base.delta.push_back({rr, self});
       }
     }
 
@@ -413,14 +360,125 @@ std::vector<Planner::Plan> Planner::expand(const Plan& p,
   return out;
 }
 
+void Planner::ensure_index(const Options& opts) {
+  if (!opts.use_index) {
+    index_.reset();
+    return;
+  }
+  if (index_ && index_->pool_size() == lib_.size()) return;
+  index_.reset();
+  try {
+    trace::Span span("plan.index", "planner", opts.session_id);
+    std::string key;
+    if (opts.memo_store && opts.pool_digest != 0) {
+      serial::Writer material;
+      material.put_u64(opts.pool_digest);
+      material.put_u32(kIndexFormatVersion);
+      key = opts.memo_store->key("planidx", material);
+      if (auto art = opts.memo_store->get(key)) {
+        if (auto idx = GadgetIndex::decode(art->records, lib_.size())) {
+          index_ = std::move(*idx);
+          ++stats_.index_loads;
+          return;
+        }
+      }
+    }
+    index_ = GadgetIndex::build(ctx_, lib_);
+    ++stats_.index_builds;
+    // The index is a pure function of pool content; a failed put only
+    // costs the next run a rebuild.
+    if (!key.empty()) (void)opts.memo_store->put(key, index_->encode());
+  } catch (const ResourceExhausted&) {
+    // Budget died mid-build: fall back to the per-expansion linear path,
+    // which produces identical results. Not a degradation of output, so
+    // the status stays untouched.
+    index_.reset();
+  }
+}
+
+bool Planner::precheck_unreachable(const Goal& goal, const Options& opts) {
+  if (!index_) return false;
+  const auto t0 = std::chrono::steady_clock::now();
+  trace::Span span("plan.precheck", "planner", opts.session_id);
+  const AdmissionFlags flags{opts.use_cond_gadgets, opts.use_indirect_gadgets,
+                             opts.use_direct_merged};
+  bool unreachable = index_->goal_unreachable(lib_, goal, flags);
+  if (!unreachable) {
+    // Terminal feasibility: some admissible syscall gadget must be able to
+    // seed a plan (mirrors run_round's seeding filter — a gadget that
+    // forces a goal register to the wrong constant cannot terminate any
+    // chain).
+    bool any_feasible = false;
+    for (const u32 si : lib_.syscalls()) {
+      const Record& s = lib_[si];
+      if (!admissible(s, opts)) continue;
+      bool feasible = true;
+      for (const payload::RegTarget& t : goal.regs) {
+        const ExprRef fin = s.final_regs[static_cast<int>(t.reg)];
+        if (s.clobbers(t.reg)) {
+          if (!s.can_set(t.reg)) feasible = false;
+          if (ctx_.is_const(fin) &&
+              !(t.kind == payload::RegTarget::Kind::Const &&
+                ctx_.const_val(fin) == t.value))
+            feasible = false;
+        }
+      }
+      if (feasible) {
+        any_feasible = true;
+        break;
+      }
+    }
+    unreachable = !any_feasible;
+  }
+  stats_.precheck_seconds = secs_since(t0);
+  if (unreachable) ++stats_.unreachable_goals;
+  return unreachable;
+}
+
+std::string Planner::nogood_key(const Options& opts, const Goal& goal) const {
+  if (!opts.use_nogoods || !opts.memo_store || opts.pool_digest == 0)
+    return {};
+  serial::Writer material;
+  material.put_u64(opts.pool_digest);
+  material.put_u32(kIndexFormatVersion);
+  opts.append_key(material);
+  // Goal content, not just the name: nogoods are per search problem.
+  material.put_str(goal.name);
+  material.put_u64(goal.syscall_no);
+  material.put_u32(static_cast<u32>(goal.regs.size()));
+  for (const payload::RegTarget& t : goal.regs) {
+    material.put_u8(static_cast<u8>(t.reg));
+    material.put_u8(static_cast<u8>(t.kind));
+    material.put_u64(t.value);
+    material.put_bytes(t.bytes);
+  }
+  return opts.memo_store->key("plannogood", material);
+}
+
 std::vector<Chain> Planner::plan(const Goal& goal, const Options& opts) {
   goal_ = &goal;
+  // Explicit per-call windows: one goal's stats, concretization failures
+  // and usability memo must not leak into the next goal's search on a
+  // reused planner.
   usable_memo_.clear();
+  failure_count_.clear();
+  nogoods_.clear();
+  stats_ = Stats{};
   std::vector<Chain> chains;
+
+  ensure_index(opts);
+  if (precheck_unreachable(goal, opts)) return chains;
   // Fail fast: if any goal register has no statically usable provider at
-  // all, no plan can ever complete.
+  // all, no plan can ever complete. (Strictly weaker than the precheck's
+  // producer closure; it is what the linear path relies on.)
   for (const payload::RegTarget& t : goal.regs)
     if (!reg_usable(t.reg, opts)) return chains;
+
+  const std::string nkey = nogood_key(opts, goal);
+  if (!nkey.empty())
+    if (auto art = opts.memo_store->get(nkey))
+      nogoods_.merge_decode(art->records);
+
   std::set<std::vector<u32>> seen_sequences;
   // The round deadline is the tighter of the local time budget and the
   // governor's global deadline; either one expiring (or a cancellation)
@@ -432,10 +490,85 @@ std::vector<Chain> Planner::plan(const Goal& goal, const Options& opts) {
     rotation_ = round;
     run_round(goal, opts, chains, seen_sequences, deadline);
     if (static_cast<int>(chains.size()) >= opts.max_chains) break;
+    if (failure_budget_spent(opts)) {
+      ++stats_.failure_budget_cuts;
+      break;
+    }
     if (deadline.expired()) break;
     if (opts.governor && opts.governor->should_stop()) break;
   }
+  // Persist newly learned dead ends even for a budget-cut search: each
+  // entry is sound on its own (a zero-successor state stays zero forever),
+  // so a warm start never changes results, only skips re-refutation.
+  if (!nkey.empty() && nogoods_.dirty())
+    (void)opts.memo_store->put(nkey, nogoods_.encode());
   return chains;
+}
+
+namespace {
+/// splitmix64 finalizer: full-avalanche dispersion of one contribution
+/// before the multiset combine sorts and folds them.
+u64 mix64(u64 v) {
+  v += 0x9e3779b97f4a7c15ULL;
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+  return v ^ (v >> 31);
+}
+}  // namespace
+
+u64 Planner::visited_fingerprint(const Plan& p) const {
+  // Order-independent fingerprint: the same gadget/role multiset found
+  // through different expansion orders is the same plan for our purposes
+  // (it linearizes to the same sequences). Combined with multiset_hash —
+  // NOT an xor fold, where two identical (gadget, provides, consumer)
+  // steps cancelled to zero and a plan containing both collided with one
+  // containing neither.
+  std::vector<u64> parts;
+  parts.reserve(p.alpha.size() + p.delta.size());
+  for (const Step& s : p.alpha) {
+    const u64 consumer_gadget =
+        s.consumer < 0 ? ~u64{0} : p.alpha[s.consumer].gadget;
+    parts.push_back(mix64((static_cast<u64>(s.gadget) << 24) ^
+                          (static_cast<u64>(s.provides) << 16) ^
+                          consumer_gadget));
+  }
+  for (const auto& [r, c] : p.delta) {
+    const u64 consumer_gadget = c < 0 ? ~u64{0} : p.alpha[c].gadget;
+    parts.push_back(
+        mix64(0xd00d ^ (static_cast<u64>(r) << 32) ^ consumer_gadget));
+  }
+  return multiset_hash(parts, 0x9e3779b97f4a7c15ULL + p.terminal);
+}
+
+u64 Planner::state_fingerprint(const Plan& p) const {
+  // Everything a zero-successor expand() verdict can depend on: the
+  // focused open goal (delta.back), the open-goal count (the
+  // max_open_goals cap), the exact alpha step sequence (threat analysis,
+  // consumer indices, the gadget cap) and the normalized ordering
+  // constraints (linearization). Goal and options ride in the memo KEY,
+  // not here; rotation and failure counts are excluded by design — they
+  // permute candidate order, and emptiness is order-independent.
+  serial::Writer w;
+  w.put_u32(p.terminal);
+  w.put_u32(static_cast<u32>(p.alpha.size()));
+  for (const Step& s : p.alpha) {
+    w.put_u32(s.gadget);
+    w.put_u8(static_cast<u8>(s.provides));
+    w.put_i64(s.consumer);
+  }
+  std::vector<std::pair<int, int>> beta = p.beta;
+  std::sort(beta.begin(), beta.end());
+  beta.erase(std::unique(beta.begin(), beta.end()), beta.end());
+  w.put_u32(static_cast<u32>(beta.size()));
+  for (const auto& [before, after] : beta) {
+    w.put_i64(before);
+    w.put_i64(after);
+  }
+  w.put_u32(static_cast<u32>(p.delta.size()));
+  const auto& [reg, consumer] = p.delta.back();
+  w.put_u8(static_cast<u8>(reg));
+  w.put_i64(consumer);
+  return serial::fnv1a(w.bytes());
 }
 
 void Planner::run_round(const Goal& goal, const Options& opts,
@@ -524,6 +657,10 @@ void Planner::run_round(const Goal& goal, const Options& opts,
       payload::ConcretizeOptions copts = opts.concretize;
       if (!copts.stats) copts.stats = &local_cs;
       if (!copts.governor) copts.governor = opts.governor;
+      // Caller-shared ConcretizeStats keep values from earlier calls;
+      // clear the blame field so a stale mismatch from a PREVIOUS
+      // concretization can never demote this sequence's providers.
+      copts.stats->last_mismatch_reg = Reg::NONE;
       auto chain = payload::concretize(ctx_, lib_, img_, seq, goal, copts);
       if (!chain && opts.debug_conc &&
           stats_.concretize_calls <= 3) {
@@ -549,30 +686,40 @@ void Planner::run_round(const Goal& goal, const Options& opts,
             if (s.provides == bad && s.consumer < 0)
               failure_count_[s.gadget] += 200;
         }
+        // Give-up budget: a goal refuting every complete plan stops here
+        // instead of enumerating more doomed sequences for the rest of
+        // the expansion budget (plan() skips the remaining rounds too).
+        if (failure_budget_spent(opts)) break;
       }
       continue;
     }
 
-    for (Plan& np : expand(best, opts)) {
+    // Dead-end learning: a state whose expand() provably produced zero
+    // successors stays barren in every later round (candidate ROTATION
+    // only permutes order, never the filter outcomes), so answer repeat
+    // visits from the table. The pop above already charged the expansion,
+    // exactly like the re-scan it replaces — queue evolution and budget
+    // consumption are identical with learning on or off.
+    u64 state_fp = 0;
+    if (opts.use_nogoods) {
+      state_fp = state_fingerprint(best);
+      if (nogoods_.contains(state_fp)) {
+        ++stats_.nogood_hits;
+        ++stats_.dead_ends;
+        continue;
+      }
+    }
+
+    std::vector<Plan> successors = expand(best, opts);
+    if (successors.empty() && opts.use_nogoods) {
+      nogoods_.insert(state_fp);
+      ++stats_.nogood_learned;
+    }
+    for (Plan& np : successors) {
       // Dedupe structurally identical plans (same gadgets, orderings and
       // open goals) that different expansion orders keep regenerating.
       // (per-round scope; rounds re-explore with rotated rankings)
-      // Order-independent fingerprint: the same gadget/role multiset found
-      // through different expansion orders is the same plan for our
-      // purposes (it linearizes to the same sequences).
-      u64 h = 0x9e3779b97f4a7c15ULL + np.terminal;
-      auto mix = [&h](u64 v) { h ^= v * 0x2545f4914f6cdd1dULL; };
-      for (const Step& s : np.alpha) {
-        const u64 consumer_gadget =
-            s.consumer < 0 ? ~u64{0} : np.alpha[s.consumer].gadget;
-        mix((static_cast<u64>(s.gadget) << 24) ^
-            (static_cast<u64>(s.provides) << 16) ^ consumer_gadget);
-      }
-      for (const auto& [r, c] : np.delta) {
-        const u64 consumer_gadget = c < 0 ? ~u64{0} : np.alpha[c].gadget;
-        mix(0xd00d ^ (static_cast<u64>(r) << 32) ^ consumer_gadget);
-      }
-      if (!visited_plans.insert(h).second) continue;
+      if (!visited_plans.insert(visited_fingerprint(np)).second) continue;
       queue.push(std::move(np));
     }
   }

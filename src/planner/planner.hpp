@@ -18,15 +18,29 @@
 #pragma once
 
 #include <chrono>
+#include <optional>
 #include <set>
+#include <span>
 #include <unordered_map>
 
 #include "gadget/gadget.hpp"
 #include "payload/payload.hpp"
+#include "planner/index.hpp"
 #include "support/config.hpp"
 #include "support/serial.hpp"
 
+namespace gp::store {
+class ArtifactStore;
+}
+
 namespace gp::planner {
+
+/// Planner algorithm revision. Folded into Options::append_key, so every
+/// plan-stage artifact (chains, nogood memos) from an older search
+/// algorithm reads as a different key and is recomputed — bumping this is
+/// how a behaviour-changing planner fix invalidates stale checkpoints
+/// without touching the global store format version.
+constexpr u32 kPlannerVersion = 2;
 
 struct Options {
   int max_expansions = 4000;       // plans popped from the queue
@@ -34,6 +48,17 @@ struct Options {
   int max_candidates_per_goal = 10;
   int max_plan_gadgets = 12;
   int max_open_goals = 7;          // discard plans whose delta grows past this
+  /// Give-up budget for concretization-hostile goals: once this many
+  /// complete plans have failed concretization with no offsetting
+  /// successes left to find, the search stops instead of burning the full
+  /// expansion budget enumerating more doomed sequences (the campaign
+  /// critical path was one goal refuting 2.4k sequences at ~24ms of
+  /// solver work each; jobs that do find chains never exceeded 10
+  /// failures, so the default keeps a >10x margin). A COUNTED budget,
+  /// not wall clock: the cut point is deterministic, so results stay
+  /// reproducible and checkpointable, and it applies identically with
+  /// the index on or off. 0 = unlimited.
+  int max_concretize_failures = 128;
   double time_budget_seconds = 60.0;
   /// Diversification: the search restarts this many times, rotating the
   /// per-goal candidate preference each round (failed sequences stay
@@ -56,11 +81,35 @@ struct Options {
   bool use_indirect_gadgets = true;
   bool use_direct_merged = true;   // gadgets spanning direct jumps
 
+  /// Search over the precomputed GadgetIndex instead of re-analyzing every
+  /// candidate per expansion, learn nogoods, and run the reachability
+  /// precheck. Results are bit-identical either way (the tier-1 harness
+  /// diffs digests across the two modes); off is the linear reference
+  /// path. Defaults from the GP_PLAN_INDEX knob.
+  bool use_index = config().plan_index;
+  /// Remember zero-successor search states so they are never re-expanded
+  /// within or across restart rounds (and, with memo_store, across runs).
+  bool use_nogoods = config().plan_index;
+
+  /// Optional warm-start persistence: when set (with a nonzero
+  /// pool_digest), the built index is stored under (pool digest, index
+  /// format version) and learned nogoods under (pool digest, append_key,
+  /// goal), so repeated campaigns over the same pool skip the build and
+  /// start with the previous run's learned dead ends. Both artifacts are
+  /// performance hints only — they never change results.
+  store::ArtifactStore* memo_store = nullptr;
+  /// Content digest of the gadget pool (gadget::pool_digest); 0 disables
+  /// memo persistence.
+  u64 pool_digest = 0;
+  /// Owning session id for trace spans (0 = none).
+  u64 session_id = 0;
+
   /// Append every field that determines the planner's *output* to an
   /// artifact-store key writer. Time budget and governor are excluded on
   /// purpose: results are only checkpointed when the search ran uncut, and
   /// an uncut search is deterministic regardless of how much budget was
-  /// left over.
+  /// left over. use_index/use_nogoods and the memo fields are likewise
+  /// excluded: they accelerate the search without changing its output.
   void append_key(serial::Writer& w) const;
 };
 
@@ -75,6 +124,32 @@ struct Stats {
   /// queue pop) or by an exhausted global budget mid-expansion. The chains
   /// found before the cut are still returned.
   u64 deadline_cuts = 0;
+  /// Expansions served from prescored GadgetIndex buckets (vs the linear
+  /// re-analysis fallback).
+  u64 index_hits = 0;
+  /// GadgetIndex builds / warm loads from the memo store this call.
+  u64 index_builds = 0;
+  u64 index_loads = 0;
+  /// Queue pops answered by the nogood table (state already proven to have
+  /// zero successors — the expand scan is skipped entirely).
+  u64 nogood_hits = 0;
+  /// Zero-successor states learned this call.
+  u64 nogood_learned = 0;
+  /// Accepted candidates whose indirect-read dependency walk hit the
+  /// expansion cap: deep pointer-dependency chains beyond the cap are
+  /// treated as met, which this counter makes visible instead of silent.
+  u64 needs_truncated = 0;
+  /// Goals rejected by the reachability precheck (no producer closure for
+  /// some goal register, or no feasible syscall gadget) without any
+  /// search.
+  u64 unreachable_goals = 0;
+  /// Searches stopped by the max_concretize_failures give-up budget (0 or
+  /// 1 per plan() call). A cut search still returns every chain validated
+  /// before the budget ran out.
+  u64 failure_budget_cuts = 0;
+  /// Wall seconds the reachability precheck took (the "fail in
+  /// milliseconds, not minutes" budget; plan.unreachable_ms in metrics).
+  double precheck_seconds = 0;
   /// Ok for an uncut search; otherwise the first degradation reason.
   Status status;
 };
@@ -89,6 +164,9 @@ class Planner {
   std::vector<payload::Chain> plan(const payload::Goal& goal,
                                    const Options& opts = {});
 
+  /// Counters for the MOST RECENT plan() call (an explicit per-call
+  /// window, reset at entry — callers wanting totals across goals
+  /// accumulate themselves, as Session does).
   const Stats& stats() const { return stats_; }
 
  private:
@@ -118,6 +196,8 @@ class Planner {
   /// Is there any statically usable provider for `reg`? (memoized per
   /// plan() call; terminal_const_ok allows exact-constant terminal matches)
   bool reg_usable(x86::Reg reg, const Options& opts);
+  /// Does the provided constant exactly match a Const goal target for reg?
+  bool goal_const_match(x86::Reg reg, u64 value) const;
   void run_round(const payload::Goal& goal, const Options& opts,
                  std::vector<payload::Chain>& chains,
                  std::set<std::vector<u32>>& seen_sequences,
@@ -126,6 +206,38 @@ class Planner {
   static std::optional<std::vector<int>> linearize(const Plan& p);
   std::vector<Plan> expand(const Plan& p, const Options& opts);
 
+  /// Build (or warm-load from the memo store) the candidate index; resets
+  /// it when use_index is off. On budget exhaustion mid-build the planner
+  /// falls back to the linear path — identical results, just slower.
+  void ensure_index(const Options& opts);
+  /// Sound fast-fail: true when the goal provably has no chain (missing
+  /// producer closure for a goal register or no feasible syscall gadget) —
+  /// exactly the cases where the full search would burn its budget to find
+  /// nothing.
+  bool precheck_unreachable(const payload::Goal& goal, const Options& opts);
+  /// Memo key for the per-goal nogood artifact ("" = persistence off).
+  std::string nogood_key(const Options& opts, const payload::Goal& goal) const;
+
+  /// Has this call consumed the max_concretize_failures give-up budget?
+  /// (Counted on the per-call stats window, so it is deterministic and
+  /// identical with the index on or off.)
+  bool failure_budget_spent(const Options& opts) const {
+    return opts.max_concretize_failures > 0 &&
+           stats_.concretize_calls - stats_.validated >=
+               static_cast<u64>(opts.max_concretize_failures);
+  }
+
+  /// Round-local dedup fingerprint of a successor plan: order-independent
+  /// over the step/open-goal multiset (multiset_hash — duplicate steps do
+  /// not cancel).
+  u64 visited_fingerprint(const Plan& p) const;
+  /// Nogood identity of a search state: everything expand() reads —
+  /// terminal, the alpha step sequence, normalized beta, the focused open
+  /// goal and the open-goal count. Rotation and failure counts are
+  /// deliberately absent (they permute candidate order; a zero-successor
+  /// result is order-independent).
+  u64 state_fingerprint(const Plan& p) const;
+
   solver::Context& ctx_;
   const gadget::Library& lib_;
   const image::Image& img_;
@@ -133,8 +245,12 @@ class Planner {
   std::unordered_map<int, bool> usable_memo_;
   /// Adaptive diversification: gadgets implicated in failed
   /// concretizations are deprioritized in later candidate rankings.
+  /// Scoped per plan() call — one goal's failures must not punish
+  /// providers for an unrelated goal on a reused planner.
   std::unordered_map<u32, int> failure_count_;
   int rotation_ = 0;  // current restart round (rotates candidate ranking)
+  std::optional<GadgetIndex> index_;
+  NogoodTable nogoods_;
   Stats stats_;
 };
 

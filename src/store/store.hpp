@@ -51,14 +51,23 @@ struct Stats {
   u64 stale = 0;        // version/manifest mismatch or orphan file
   u64 puts = 0;
   u64 put_failures = 0;
+  /// put() calls whose bytes already matched the manifest entry on disk —
+  /// the rewrite (and its fsync/rename) was skipped. Warm-start memo
+  /// writers put identical content every run; this makes those puts free.
+  u64 put_noops = 0;
 
   /// Field-wise difference (*this - baseline). Store handles are shared by
   /// every session on one directory; a session reports the activity of its
   /// own window by snapshotting stats at open and diffing at close.
   Stats since(const Stats& b) const {
-    return {hits - b.hits,       resumes - b.resumes, misses - b.misses,
-            corrupt - b.corrupt, stale - b.stale,     puts - b.puts,
-            put_failures - b.put_failures};
+    return {hits - b.hits,
+            resumes - b.resumes,
+            misses - b.misses,
+            corrupt - b.corrupt,
+            stale - b.stale,
+            puts - b.puts,
+            put_failures - b.put_failures,
+            put_noops - b.put_noops};
   }
 };
 

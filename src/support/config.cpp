@@ -78,6 +78,8 @@ Config Config::from_env() {
   c.debug_val = env_flag("GP_DEBUG_VAL");
   c.bench_full = env_flag("GP_BENCH_FULL");
 
+  c.plan_index = env_bool("GP_PLAN_INDEX", true);
+
   c.metrics = env_bool("GP_METRICS", true);
   c.trace = env_bool("GP_TRACE", false);
   if (const u64 buf = env_u64("GP_TRACE_BUF"))

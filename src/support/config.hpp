@@ -59,6 +59,12 @@ struct Config {
   /// the quick subset.
   bool bench_full = false;
 
+  /// GP_PLAN_INDEX: the planner's precomputed candidate index, nogood
+  /// learning and reachability precheck. On by default — "0"/"false"/"off"
+  /// selects the linear reference path (same results, used by the tier-1
+  /// digest-identity drill).
+  bool plan_index = true;
+
   /// GP_METRICS: process-wide metrics registry (support/metrics). On by
   /// default — "0"/"false"/"off" disables collection (instrumentation
   /// sites then cost one relaxed load each).

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
+#include "planner/index.hpp"
 #include "planner/planner.hpp"
+#include "store/store.hpp"
 #include "subsume/subsume.hpp"
 #include "x86/encoder.hpp"
 
@@ -260,6 +264,271 @@ TEST(Payload, GoalDefinitions) {
     if (t.kind == payload::RegTarget::Kind::PointerToBytes)
       has_path = std::string(t.bytes.begin(), t.bytes.end() - 1) == "/bin/sh";
   EXPECT_TRUE(has_path);
+}
+
+// ---- GadgetIndex / nogood / reachability battery ----
+
+/// Byte-level chain equality: gadget sequences AND payloads. This is the
+/// test-side analogue of the tier-1 digest diff — the index and nogood
+/// machinery must be pure accelerators.
+void expect_same_chains(const std::vector<Chain>& x,
+                        const std::vector<Chain>& y) {
+  ASSERT_EQ(x.size(), y.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(x[i].gadgets, y[i].gadgets) << "chain " << i;
+    EXPECT_EQ(x[i].payload, y[i].payload) << "chain " << i;
+  }
+}
+
+TEST(MultisetHash, DuplicatesDoNotCancel) {
+  const u64 a = 0x1111, b = 0x2222;
+  const std::vector<u64> none, one{a}, two{a, a};
+  const u64 h_none = multiset_hash(none, 7);
+  const u64 h_one = multiset_hash(one, 7);
+  const u64 h_two = multiset_hash(two, 7);
+  // The XOR-fold bug this replaces: {a, a} hashed identically to {} (the
+  // pair cancelled), merging distinct plans in the visited set.
+  EXPECT_NE(h_two, h_none);
+  EXPECT_NE(h_two, h_one);
+  EXPECT_NE(h_one, h_none);
+  // Order independence is the property the visited set actually needs.
+  const std::vector<u64> ab{a, b}, ba{b, a};
+  EXPECT_EQ(multiset_hash(ab, 7), multiset_hash(ba, 7));
+  EXPECT_NE(multiset_hash(ab, 7), multiset_hash(ab, 8));  // seed matters
+}
+
+TEST(NogoodTable, EncodeMergeRoundTrip) {
+  NogoodTable t;
+  t.insert(5);
+  t.insert(9);
+  t.insert(5);  // duplicate: no-op
+  EXPECT_TRUE(t.dirty());
+  EXPECT_EQ(t.size(), 2u);
+  NogoodTable u;
+  u.merge_decode(t.encode());
+  EXPECT_FALSE(u.dirty());  // merged entries are not new learning
+  EXPECT_EQ(u.size(), 2u);
+  EXPECT_TRUE(u.contains(5));
+  EXPECT_TRUE(u.contains(9));
+  EXPECT_FALSE(u.contains(7));
+  // Corrupt record: fail-soft, nothing merged.
+  NogoodTable v;
+  v.merge_decode({{1, 2, 3}});
+  EXPECT_EQ(v.size(), 0u);
+}
+
+TEST(GadgetIndex, EncodeDecodeRoundTrip) {
+  Assembler a = classic_rop();
+  Scenario s(a);
+  GadgetIndex idx = GadgetIndex::build(s.ctx, s.lib);
+  const auto recs = idx.encode();
+  auto back = GadgetIndex::decode(recs, s.lib.size());
+  ASSERT_TRUE(back.has_value());
+  for (int r = 0; r < x86::kNumRegs; ++r) {
+    const auto reg = static_cast<Reg>(r);
+    const auto xs = idx.candidates(reg);
+    const auto ys = back->candidates(reg);
+    ASSERT_EQ(xs.size(), ys.size());
+    for (size_t i = 0; i < xs.size(); ++i) {
+      EXPECT_EQ(xs[i].gadget, ys[i].gadget);
+      EXPECT_EQ(xs[i].base_score, ys[i].base_score);
+      EXPECT_EQ(xs[i].dag_size, ys[i].dag_size);
+      EXPECT_EQ(xs[i].const_value, ys[i].const_value);
+      EXPECT_EQ(xs[i].flags, ys[i].flags);
+      EXPECT_EQ(xs[i].n_needs, ys[i].n_needs);
+      EXPECT_EQ(xs[i].needs, ys[i].needs);
+    }
+  }
+  // Pool-size skew (a digest collision would be needed to hit this in the
+  // store, but disk content is never trusted): read as absent.
+  EXPECT_FALSE(GadgetIndex::decode(recs, s.lib.size() + 1).has_value());
+}
+
+/// Candidate-set equivalence on a scenario: the indexed search and the
+/// linear reference path must emit byte-identical chains.
+void expect_index_linear_parity(Assembler& a, const Goal& goal) {
+  Scenario s(a);
+  Options on;
+  on.use_index = true;
+  on.use_nogoods = true;
+  Options off;
+  off.use_index = false;
+  off.use_nogoods = false;
+  Planner pi(s.ctx, s.lib, s.img);
+  const auto indexed = pi.plan(goal, on);
+  Planner pl(s.ctx, s.lib, s.img);
+  const auto linear = pl.plan(goal, off);
+  expect_same_chains(indexed, linear);
+  ASSERT_FALSE(indexed.empty());
+  EXPECT_GT(pi.stats().index_hits, 0u);   // the fast path actually ran
+  EXPECT_EQ(pl.stats().index_hits, 0u);   // the reference never indexes
+}
+
+TEST(Planner, IndexMatchesLinearClassicRop) {
+  Assembler a = classic_rop();
+  expect_index_linear_parity(a, Goal::execve());
+}
+
+TEST(Planner, IndexMatchesLinearConditionalGadgets) {
+  // The Fig. 6 pool: the only rsi-setter carries a conditional-jump
+  // precondition, so the search has real dead ends for nogoods to learn.
+  Assembler a;
+  a.pop(Reg::RAX);
+  a.ret();
+  a.pop(Reg::RDI);
+  a.ret();
+  a.pop(Reg::RDX);
+  a.ret();
+  auto trap = a.new_label();
+  a.pop(Reg::RSI);
+  a.alu(Mnemonic::TEST, Reg::RAX, Reg::RAX);
+  a.jcc(Cond::NE, trap);
+  a.ret();
+  a.bind(trap);
+  a.int3();
+  a.syscall();
+  expect_index_linear_parity(a, Goal::execve());
+}
+
+TEST(Planner, IndexMatchesLinearJop) {
+  Assembler a;
+  a.pop(Reg::RAX);
+  a.ret();
+  a.pop(Reg::RDI);
+  a.ret();
+  a.pop(Reg::RDX);
+  a.ret();
+  a.pop(Reg::RSI);
+  a.jmp_reg(Reg::RAX);
+  a.syscall();
+  expect_index_linear_parity(a, Goal::execve());
+}
+
+TEST(Planner, UnreachableGoalFastFails) {
+  // The only rdi-setter is a register transfer from rbx — and nothing in
+  // the pool establishes rbx. reg_usable(rdi) alone is fooled (a static
+  // provider exists); only the establishable-register closure sees that
+  // the provider's needs can never be met.
+  Assembler a;
+  a.pop(Reg::RAX);
+  a.ret();
+  a.pop(Reg::RSI);
+  a.ret();
+  a.pop(Reg::RDX);
+  a.ret();
+  a.mov(Reg::RDI, Reg::RBX);
+  a.ret();
+  a.syscall();
+  Scenario s(a);
+  Planner p(s.ctx, s.lib, s.img);
+  Options on;
+  on.use_index = true;
+  on.use_nogoods = true;
+  EXPECT_TRUE(p.plan(Goal::execve(), on).empty());
+  EXPECT_EQ(p.stats().unreachable_goals, 1u);
+  EXPECT_EQ(p.stats().expansions, 0u);  // rejected before any search
+  // Soundness cross-check: the linear reference also finds nothing — it
+  // just burns search budget discovering it.
+  Planner lin(s.ctx, s.lib, s.img);
+  Options off;
+  off.use_index = false;
+  off.use_nogoods = false;
+  EXPECT_TRUE(lin.plan(Goal::execve(), off).empty());
+  EXPECT_EQ(lin.stats().unreachable_goals, 0u);
+  EXPECT_GT(lin.stats().expansions, 0u);
+}
+
+TEST(Planner, ReuseAcrossGoalsMatchesFreshPlanners) {
+  // failure_count_ and stats_ are scoped per plan() call: goal A's
+  // concretization failures must not demote providers for goal B on a
+  // reused planner.
+  Assembler a = classic_rop();
+  Scenario s(a);
+  Planner reused(s.ctx, s.lib, s.img);
+  const auto e1 = reused.plan(Goal::execve(), {});
+  const auto m1 = reused.plan(Goal::mprotect(), {});
+  Planner fresh_e(s.ctx, s.lib, s.img);
+  const auto e2 = fresh_e.plan(Goal::execve(), {});
+  Planner fresh_m(s.ctx, s.lib, s.img);
+  const auto m2 = fresh_m.plan(Goal::mprotect(), {});
+  expect_same_chains(e1, e2);
+  expect_same_chains(m1, m2);
+  ASSERT_FALSE(m1.empty());
+}
+
+TEST(Planner, SharedConcretizeStatsDoNotLeakBlame) {
+  // A caller-shared ConcretizeStats arrives poisoned with a stale
+  // last_mismatch_reg (say, from a previous goal). The planner must reset
+  // it before each concretize call so stale blame never demotes an
+  // innocent provider.
+  Assembler a = classic_rop();
+  Scenario s(a);
+  payload::ConcretizeStats shared;
+  shared.last_mismatch_reg = Reg::RDI;  // poison
+  Options with_stats;
+  with_stats.concretize.stats = &shared;
+  Planner p(s.ctx, s.lib, s.img);
+  const auto observed = p.plan(Goal::execve(), with_stats);
+  Planner q(s.ctx, s.lib, s.img);
+  const auto clean = q.plan(Goal::execve(), {});
+  expect_same_chains(observed, clean);
+  ASSERT_FALSE(clean.empty());
+}
+
+TEST(Planner, WarmStartMemoRoundTrip) {
+  const std::string dir =
+      testing::TempDir() + "gp_planner_warm_start_memo";
+  std::filesystem::remove_all(dir);
+  store::ArtifactStore store(dir);
+
+  Assembler a = classic_rop();
+  Scenario s(a);
+  Options opts;
+  opts.use_index = true;
+  opts.use_nogoods = true;
+  opts.memo_store = &store;
+  opts.pool_digest = 0xfeedbeef;  // any nonzero digest keys the memo
+
+  Planner first(s.ctx, s.lib, s.img);
+  const auto cold = first.plan(Goal::execve(), opts);
+  ASSERT_FALSE(cold.empty());
+  EXPECT_EQ(first.stats().index_builds, 1u);
+  EXPECT_EQ(first.stats().index_loads, 0u);
+
+  // A fresh planner on the same store warm-loads the index instead of
+  // rebuilding — and the chains are byte-identical (hints, not results).
+  Planner second(s.ctx, s.lib, s.img);
+  const auto warm = second.plan(Goal::execve(), opts);
+  EXPECT_EQ(second.stats().index_builds, 0u);
+  EXPECT_EQ(second.stats().index_loads, 1u);
+  expect_same_chains(cold, warm);
+  EXPECT_GE(store.stats().hits, 1u);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Planner, NeedsTruncationCountedNotSilent) {
+  // A 31-deep pointer chase (mov rax,[rax] x31; ret): the needs walk's
+  // expansion cap trips, the dropped dependency is flagged on the
+  // candidate, and scanning it during a search is counted.
+  Assembler a = classic_rop();
+  for (int i = 0; i < 31; ++i) a.mov_load(Reg::RAX, x86::MemRef{Reg::RAX});
+  a.ret();
+  Scenario s(a, /*minimize_pool=*/false);
+
+  bool truncated = false;
+  for (const u32 gi : s.lib.controlling(Reg::RAX)) {
+    const Candidate c = analyze_candidate(s.ctx, s.lib, gi, Reg::RAX);
+    truncated |= (c.flags & Candidate::kNeedsTruncated) != 0;
+  }
+  EXPECT_TRUE(truncated);
+
+  Planner p(s.ctx, s.lib, s.img);
+  Options o;
+  o.max_candidates_per_goal = 64;  // deep chains rank last; scan them all
+  const auto chains = p.plan(Goal::execve(), o);
+  EXPECT_FALSE(chains.empty());
+  EXPECT_GT(p.stats().needs_truncated, 0u);
 }
 
 }  // namespace
