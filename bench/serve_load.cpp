@@ -1,0 +1,330 @@
+// serve_load: open-loop load generator for the gp_serve daemon.
+//
+// Runs the server in-process on a private socket + store, then drives it
+// through four legs:
+//
+//   1. cold/warm — first-request latency against an empty store vs the
+//      dedupe/checkpoint fast path (the daemon's reason to exist).
+//   2. concurrency — one unique job per client thread, all in flight at
+//      once; reports the peak concurrent in-flight count (the acceptance
+//      floor is 64).
+//   3. Poisson sweep — open-loop arrivals (the generator never waits for
+//      completions before firing the next request) at increasing offered
+//      rates over the warm corpus; per-rate p50/p99 latency, shed counts,
+//      and achieved throughput. The max achieved rate across the sweep is
+//      reported as the saturation throughput.
+//   4. chaos — the same traffic with GP_FAULT accept/sock_read/sock_write
+//      rates armed; every failure must stay a per-request Status (client
+//      retries), the daemon must answer a clean ping afterwards.
+//
+// Writes gp-serve-bench-v1 JSON to BENCH_serve.json (or argv[1]). Quick
+// mode by default; GP_BENCH_FULL=1 multiplies the request counts.
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/engine.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "support/fault.hpp"
+#include "support/metrics.hpp"
+#include "support/rng.hpp"
+#include "support/serial.hpp"
+
+namespace {
+
+using namespace gp;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count() * 1e3;
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const size_t i = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[i];
+}
+
+struct LegStats {
+  std::vector<double> latencies_ms;
+  u64 completed = 0, shed = 0, errors = 0;
+};
+
+/// One blocking request against the daemon; true on a terminal result.
+bool one_request(const std::string& sock, const serve::JobSpec& spec,
+                 LegStats& stats, std::mutex& mu) {
+  const auto t0 = Clock::now();
+  auto c = serve::Client::connect(sock);
+  if (!c.ok()) {
+    std::lock_guard<std::mutex> lock(mu);
+    stats.errors++;
+    return false;
+  }
+  auto adm = c.value().submit(spec);
+  if (!adm.ok()) {
+    std::lock_guard<std::mutex> lock(mu);
+    stats.errors++;
+    return false;
+  }
+  if (!adm.value().accepted) {
+    std::lock_guard<std::mutex> lock(mu);
+    stats.shed++;
+    return false;
+  }
+  auto outcome = c.value().wait_result();
+  std::lock_guard<std::mutex> lock(mu);
+  if (!outcome.ok()) {
+    stats.errors++;
+    return false;
+  }
+  stats.completed++;
+  stats.latencies_ms.push_back(ms_since(t0));
+  return true;
+}
+
+std::string json_leg(const LegStats& s, double offered_rps, double wall_s) {
+  std::string j = "{";
+  j += "\"offered_rps\": " + std::to_string(offered_rps);
+  j += ", \"requests\": " +
+       std::to_string(s.completed + s.shed + s.errors);
+  j += ", \"completed\": " + std::to_string(s.completed);
+  j += ", \"shed\": " + std::to_string(s.shed);
+  j += ", \"errors\": " + std::to_string(s.errors);
+  j += ", \"achieved_rps\": " +
+       std::to_string(wall_s > 0 ? static_cast<double>(s.completed) / wall_s
+                                 : 0);
+  j += ", \"p50_ms\": " + std::to_string(percentile(s.latencies_ms, 0.50));
+  j += ", \"p99_ms\": " + std::to_string(percentile(s.latencies_ms, 0.99));
+  j += "}";
+  return j;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_serve.json";
+  const bool full = bench::full_sweep();
+
+  char dir_template[] = "/tmp/gp_serve_bench_XXXXXX";
+  const char* dir = ::mkdtemp(dir_template);
+  if (!dir) {
+    std::fprintf(stderr, "serve_load: mkdtemp failed\n");
+    return 1;
+  }
+  const std::string sock = std::string(dir) + "/gp.sock";
+
+  metrics::set_enabled(true);
+  Config cfg = Config::from_env();
+  core::Engine engine(cfg);
+  serve::ServeOptions sopts;
+  sopts.socket_path = sock;
+  sopts.queue_limit = 256;
+  sopts.max_active = 8;
+  sopts.store_dir = std::string(dir) + "/store";
+  serve::Server server(engine, sopts);
+  if (Status st = server.start(); !st.ok()) {
+    std::fprintf(stderr, "serve_load: %s\n", st.to_string().c_str());
+    return 1;
+  }
+
+  const auto& corpus_programs = corpus::benchmark();
+  auto spec_for = [&](size_t i) {
+    serve::JobSpec spec;
+    spec.program = corpus_programs[i % corpus_programs.size()].name;
+    spec.obf = "llvm-obf";
+    spec.goal = "execve";
+    return spec;
+  };
+
+  // -- leg 1: cold vs warm first-request latency ----------------------------
+  std::mutex stats_mu;
+  double cold_ms = 0, warm_ms = 0;
+  {
+    LegStats s;
+    const auto t0 = Clock::now();
+    one_request(sock, spec_for(0), s, stats_mu);
+    cold_ms = ms_since(t0);
+    const auto t1 = Clock::now();
+    one_request(sock, spec_for(0), s, stats_mu);
+    warm_ms = ms_since(t1);
+  }
+  std::printf("cold first request: %.1f ms, warm resubmit: %.1f ms\n",
+              cold_ms, warm_ms);
+
+  // Prefill: one pass over the whole corpus so the sweep and chaos legs
+  // measure the serving layer over warm analyses, not analysis time.
+  {
+    LegStats s;
+    for (size_t i = 0; i < corpus_programs.size(); ++i)
+      one_request(sock, spec_for(i), s, stats_mu);
+  }
+
+  // -- leg 2: peak concurrent in-flight -------------------------------------
+  // One UNIQUE job per client (seed varies → distinct job ids → real queued
+  // work), every client in flight at once. In-flight is counted
+  // client-side: submitted, terminal frame not yet received.
+  const int kClients = 96;
+  std::atomic<int> inflight{0}, max_inflight{0};
+  LegStats conc;
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int t = 0; t < kClients; ++t)
+      clients.emplace_back([&, t] {
+        serve::JobSpec spec = spec_for(static_cast<size_t>(t));
+        spec.seed = 1000 + static_cast<u64>(t);
+        const int now = inflight.fetch_add(1) + 1;
+        int seen = max_inflight.load();
+        while (now > seen && !max_inflight.compare_exchange_weak(seen, now)) {
+        }
+        one_request(sock, spec, conc, stats_mu);
+        inflight.fetch_sub(1);
+      });
+    for (auto& c : clients) c.join();
+  }
+  std::printf("concurrency: %d clients, peak in-flight %d, %llu completed, "
+              "%llu shed, %llu errors\n",
+              kClients, max_inflight.load(),
+              (unsigned long long)conc.completed,
+              (unsigned long long)conc.shed,
+              (unsigned long long)conc.errors);
+
+  // -- leg 3: open-loop Poisson sweep ---------------------------------------
+  const std::vector<double> rates = full
+                                        ? std::vector<double>{50, 200, 800,
+                                                              3200}
+                                        : std::vector<double>{50, 400, 1600};
+  const u64 requests_per_leg = full ? 2000 : 400;
+  std::vector<std::string> sweep_json;
+  double saturation_rps = 0;
+  for (const double rate : rates) {
+    // Pre-draw the Poisson arrival offsets (exponential inter-arrivals,
+    // fixed seed per rate so reruns see the same schedule).
+    Rng rng(static_cast<u64>(rate) * 7919 + 17);
+    std::vector<double> arrival_s(requests_per_leg);
+    double t = 0;
+    for (auto& a : arrival_s) {
+      const double u =
+          (static_cast<double>(rng.next() >> 11) + 1) * 0x1.0p-53;
+      t += -std::log(u) / rate;
+      a = t;
+    }
+
+    LegStats s;
+    std::atomic<u64> next{0};
+    const auto t0 = Clock::now();
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c)
+      clients.emplace_back([&] {
+        for (;;) {
+          const u64 i = next.fetch_add(1);
+          if (i >= requests_per_leg) return;
+          // Open loop: fire at the scheduled offset no matter how many
+          // earlier requests are still in flight.
+          const auto due =
+              t0 + std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double>(arrival_s[i]));
+          std::this_thread::sleep_until(due);
+          one_request(sock, spec_for(i), s, stats_mu);
+        }
+      });
+    for (auto& c : clients) c.join();
+    const double wall_s =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    const double achieved =
+        wall_s > 0 ? static_cast<double>(s.completed) / wall_s : 0;
+    saturation_rps = std::max(saturation_rps, achieved);
+    std::printf("rate %6.0f req/s: %llu completed (%.0f req/s achieved), "
+                "%llu shed, %llu errors, p50 %.2f ms, p99 %.2f ms\n",
+                rate, (unsigned long long)s.completed, achieved,
+                (unsigned long long)s.shed, (unsigned long long)s.errors,
+                percentile(s.latencies_ms, 0.50),
+                percentile(s.latencies_ms, 0.99));
+    sweep_json.push_back(json_leg(s, rate, wall_s));
+  }
+
+  // -- leg 4: chaos — socket faults must never crash the daemon -------------
+  LegStats chaos;
+  {
+    fault::ScopedSpec chaos_spec(
+        "accept=0.05,sock_read=0.02,sock_write=0.02,seed=11");
+    const u64 n = full ? 2000 : 400;
+    std::atomic<u64> next{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c)
+      clients.emplace_back([&] {
+        for (;;) {
+          const u64 i = next.fetch_add(1);
+          if (i >= n) return;
+          one_request(sock, spec_for(i), chaos, stats_mu);
+        }
+      });
+    for (auto& c : clients) c.join();
+  }
+  const bool alive = [&] {
+    auto c = serve::Client::connect(sock);
+    return c.ok() && c.value().ping().ok();
+  }();
+  std::printf("chaos: %llu completed, %llu shed, %llu request errors, "
+              "daemon %s\n",
+              (unsigned long long)chaos.completed,
+              (unsigned long long)chaos.shed,
+              (unsigned long long)chaos.errors,
+              alive ? "alive" : "DEAD");
+
+  server.stop(/*drain=*/true);
+
+  std::string j = "{\n";
+  j += "  \"schema\": \"gp-serve-bench-v1\",\n";
+  j += "  \"quick\": " + std::string(full ? "false" : "true") + ",\n";
+  j += "  \"queue_limit\": " + std::to_string(sopts.queue_limit) + ",\n";
+  j += "  \"max_active\": " + std::to_string(sopts.max_active) + ",\n";
+  j += "  \"cold_first_request_ms\": " + std::to_string(cold_ms) + ",\n";
+  j += "  \"warm_resubmit_ms\": " + std::to_string(warm_ms) + ",\n";
+  j += "  \"concurrency\": {\"clients\": " + std::to_string(kClients) +
+       ", \"peak_inflight\": " + std::to_string(max_inflight.load()) +
+       ", \"completed\": " + std::to_string(conc.completed) +
+       ", \"floor\": 64, \"meets_floor\": " +
+       (max_inflight.load() >= 64 ? "true" : "false") + "},\n";
+  j += "  \"sweep\": [\n";
+  for (size_t i = 0; i < sweep_json.size(); ++i)
+    j += "    " + sweep_json[i] + (i + 1 < sweep_json.size() ? ",\n" : "\n");
+  j += "  ],\n";
+  j += "  \"saturation_rps\": " + std::to_string(saturation_rps) + ",\n";
+  j += "  \"chaos\": " + json_leg(chaos, 0, 0) + ",\n";
+  j += "  \"chaos_daemon_alive\": " + std::string(alive ? "true" : "false") +
+       "\n}\n";
+
+  if (Status st = serial::write_file_atomic(
+          out_path, std::vector<u8>(j.begin(), j.end()));
+      !st.ok()) {
+    std::fprintf(stderr, "serve_load: %s: %s\n", out_path.c_str(),
+                 st.to_string().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (saturation %.0f req/s)\n", out_path.c_str(),
+              saturation_rps);
+
+  if (max_inflight.load() < 64) {
+    std::fprintf(stderr,
+                 "serve_load: FAIL peak in-flight %d below the 64 floor\n",
+                 max_inflight.load());
+    return 1;
+  }
+  if (!alive) {
+    std::fprintf(stderr, "serve_load: FAIL daemon died under chaos\n");
+    return 1;
+  }
+  return 0;
+}

@@ -142,7 +142,22 @@ Campaign::Summary Campaign::run(const std::vector<Job>& jobs) {
           reg.histogram("campaign.job_ms")
               .observe(static_cast<u64>(r.seconds * 1e3));
         }
-        if (opts_.on_job) opts_.on_job(job, session, r);
+        if (opts_.on_job) {
+          // A throwing hook must stay a per-job failure: letting it escape
+          // would rethrow out of pool().run after the barrier, discarding
+          // every other lane's finished results (and before the barrier
+          // there is nothing to protect the job-order results vector from a
+          // half-written entry). The job's chains and digest are already
+          // recorded above, so the digest stays deterministic.
+          try {
+            opts_.on_job(job, session, r);
+          } catch (const std::exception& e) {
+            r.status =
+                Status::internal(std::string("on_job hook threw: ") + e.what());
+          } catch (...) {
+            r.status = Status::internal("on_job hook threw");
+          }
+        }
       },
       opts_.concurrency);
 
@@ -265,7 +280,17 @@ std::string Campaign::Summary::to_json() const {
          ", \"plan_needs_truncated\": " +
          std::to_string(r.planner_stats.needs_truncated) +
          ", \"plan_unreachable_goals\": " +
-         std::to_string(r.planner_stats.unreachable_goals) + "}, ";
+         std::to_string(r.planner_stats.unreachable_goals) +
+         // Microsecond precheck time, plus the legacy ms counter derived
+         // from it (a sub-ms precheck used to truncate to "0 ms spent").
+         ", \"plan_unreachable_us\": " +
+         std::to_string(static_cast<u64>(r.planner_stats.precheck_seconds *
+                                         1e6)) +
+         ", \"plan_unreachable_ms\": " +
+         std::to_string(static_cast<u64>(r.planner_stats.precheck_seconds *
+                                         1e6) /
+                        1000) +
+         "}, ";
     j += "\"goals\": {";
     for (size_t g = 0; g < r.chains_per_goal.size(); ++g) {
       if (g) j += ", ";

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <mutex>
 #include <thread>
 
 #include "gadget/serialize.hpp"
@@ -226,6 +227,7 @@ static void count_checkpoint(bool same_process) {
 Status Session::extract() {
   if (extracted_) return report_.extract_status;
   extracted_ = true;
+  if (opts_.on_stage) opts_.on_stage("extract");
 
   trace::Span span("extract", "stage", id_);
   auto t0 = Clock::now();
@@ -275,6 +277,7 @@ Status Session::subsume() {
   if (subsumed_) return report_.subsume_status;
   (void)extract();
   subsumed_ = true;
+  if (opts_.on_stage) opts_.on_stage("subsume");
 
   // Span constructed after extract() so a lazily-triggered stage 1 is
   // attributed to its own span, not folded into this one.
@@ -335,6 +338,7 @@ Status Session::subsume() {
 
 std::vector<payload::Chain> Session::find_chains(const payload::Goal& goal) {
   prepare();
+  if (opts_.on_stage) opts_.on_stage("plan");
   trace::Span span("plan", "stage", id_);
   auto t0 = Clock::now();
   // find_chains accumulates plan_seconds across goals; subtract only the
@@ -411,8 +415,21 @@ std::vector<payload::Chain> Session::find_chains(const payload::Goal& goal) {
           reg.counter("plan.needs_truncated").add(s.needs_truncated);
           reg.counter("plan.unreachable_goals").add(s.unreachable_goals);
           reg.counter("plan.failure_budget_cuts").add(s.failure_budget_cuts);
-          reg.counter("plan.unreachable_ms")
-              .add(static_cast<u64>(s.precheck_seconds * 1e3));
+          // The precheck completes in sub-millisecond time, so a
+          // per-call millisecond truncation always recorded 0 ("precheck
+          // never ran"). Record microseconds, and derive the legacy ms
+          // counter from the us total with a carried remainder so
+          // sub-millisecond calls still accumulate into it.
+          reg.counter("plan.unreachable_us")
+              .add(static_cast<u64>(s.precheck_seconds * 1e6));
+          {
+            static std::mutex mu;
+            static u64 carry_us = 0;
+            std::lock_guard<std::mutex> lock(mu);
+            carry_us += static_cast<u64>(s.precheck_seconds * 1e6);
+            reg.counter("plan.unreachable_ms").add(carry_us / 1000);
+            carry_us %= 1000;
+          }
         }
         return s.status;
       });

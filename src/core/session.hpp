@@ -79,6 +79,11 @@ struct PipelineOptions {
   /// — same process or a fresh one after a crash/OOM-kill — resumes from
   /// the last good checkpoint instead of recomputing solver work.
   std::string store_dir = store_dir_from_env();
+  /// Progress hook, invoked on the session's thread at the start of each
+  /// stage ("extract", "subsume", "plan") before any work runs. gp_serve
+  /// streams these to attached clients; exceptions from the hook are the
+  /// caller's bug and propagate.
+  std::function<void(const char* stage)> on_stage;
 };
 
 /// Attempt/resume/cache accounting for one supervised pipeline stage.

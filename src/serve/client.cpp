@@ -1,0 +1,145 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/signal.hpp"
+
+namespace gp::serve {
+
+Result<Client> Client::connect(const std::string& socket_path) {
+  sig::ignore_sigpipe();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof addr.sun_path)
+    return Status::internal("bad socket path: '" + socket_path + "'");
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0)
+    return Status::internal(std::string("socket: ") + std::strerror(errno));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const int e = errno;
+    ::close(fd);
+    return Status::internal("connect " + socket_path + ": " +
+                            std::strerror(e));
+  }
+  return Client(fd);
+}
+
+void Client::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+Result<std::vector<u8>> Client::roundtrip(const std::vector<u8>& request) {
+  if (!connected()) return Status::internal("client not connected");
+  if (Status st = write_frame(fd_, request); !st.ok()) return st;
+  return read_frame(fd_);
+}
+
+Result<Client::Admission> Client::parse_admission(
+    const std::vector<u8>& payload) {
+  serial::Reader r(payload);
+  const auto type = read_header(r);
+  if (!type) return Status::internal("bad response header");
+  Admission adm;
+  switch (*type) {
+    case MsgType::kAccepted: {
+      auto m = parse_accepted(r);
+      if (!m) return Status::internal("malformed kAccepted");
+      adm.accepted = true;
+      adm.ok = std::move(*m);
+      return adm;
+    }
+    case MsgType::kShed: {
+      auto m = parse_shed(r);
+      if (!m) return Status::internal("malformed kShed");
+      adm.accepted = false;
+      adm.shed = std::move(*m);
+      return adm;
+    }
+    case MsgType::kError: {
+      auto msg = parse_error(r);
+      return Status::internal(msg ? *msg : "daemon error");
+    }
+    default:
+      return Status::internal("unexpected response type " +
+                              std::to_string(static_cast<int>(*type)));
+  }
+}
+
+Result<Client::Admission> Client::submit(const JobSpec& spec, bool stream) {
+  auto reply = roundtrip(make_submit(spec, stream));
+  if (!reply.ok()) return reply.status();
+  return parse_admission(reply.value());
+}
+
+Result<Client::Admission> Client::attach(const std::string& job_id) {
+  auto reply = roundtrip(make_attach(job_id));
+  if (!reply.ok()) return reply.status();
+  return parse_admission(reply.value());
+}
+
+Result<JobOutcome> Client::wait_result(
+    const std::function<void(const ProgressMsg&)>& on_progress) {
+  if (!connected()) return Status::internal("client not connected");
+  for (;;) {
+    auto frame = read_frame(fd_);
+    if (!frame.ok()) return frame.status();
+    serial::Reader r(frame.value());
+    const auto type = read_header(r);
+    if (!type) return Status::internal("bad response header");
+    if (*type == MsgType::kProgress) {
+      auto m = parse_progress(r);
+      if (!m) return Status::internal("malformed kProgress");
+      if (on_progress) on_progress(*m);
+      continue;
+    }
+    if (*type == MsgType::kResult) {
+      auto outcome = parse_result(r);
+      if (!outcome) return Status::internal("malformed kResult");
+      return *outcome;
+    }
+    if (*type == MsgType::kError) {
+      auto msg = parse_error(r);
+      return Status::internal(msg ? *msg : "daemon error");
+    }
+    return Status::internal("unexpected frame while awaiting result");
+  }
+}
+
+Result<std::string> Client::stats() {
+  auto reply = roundtrip(make_simple(MsgType::kStats));
+  if (!reply.ok()) return reply.status();
+  serial::Reader r(reply.value());
+  if (read_header(r) != std::optional<MsgType>(MsgType::kStatsReply))
+    return Status::internal("unexpected stats response");
+  auto json = parse_stats_reply(r);
+  if (!json) return Status::internal("malformed kStatsReply");
+  return *json;
+}
+
+Status Client::ping() {
+  auto reply = roundtrip(make_simple(MsgType::kPing));
+  if (!reply.ok()) return reply.status();
+  serial::Reader r(reply.value());
+  if (read_header(r) != std::optional<MsgType>(MsgType::kPong))
+    return Status::internal("unexpected ping response");
+  return Status();
+}
+
+Status Client::shutdown_server() {
+  auto reply = roundtrip(make_simple(MsgType::kShutdown));
+  if (!reply.ok()) return reply.status();
+  serial::Reader r(reply.value());
+  if (read_header(r) != std::optional<MsgType>(MsgType::kShutdownAck))
+    return Status::internal("unexpected shutdown response");
+  return Status();
+}
+
+}  // namespace gp::serve

@@ -1,0 +1,88 @@
+// Blocking client for the gp_serve daemon. One Client wraps one connected
+// unix-domain socket; every call is synchronous frame-in/frame-out over the
+// protocol in protocol.hpp. All failures — connect refusal, mid-stream
+// disconnect, CRC violation, injected socket fault — surface as Status;
+// nothing throws.
+//
+// The canonical flow mirrors the daemon's admission model:
+//
+//   auto c = Client::connect(sock);
+//   auto adm = c->submit(spec);              // kAccepted or kShed
+//   if (adm->accepted) {
+//     auto outcome = c->wait_result(...);    // progress frames, then result
+//   } else {
+//     sleep_for(adm->shed.retry_after_ms); retry
+//   }
+//
+// Reconnect-after-crash: a new Client on the restarted daemon re-submits
+// the identical spec (same JobSpec::job_id) or calls attach(job_id); either
+// way it lands on the same registry record / store checkpoints.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace gp::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+
+  Client(Client&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Client& operator=(Client&& o) noexcept {
+    if (this != &o) {
+      close();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+
+  static Result<Client> connect(const std::string& socket_path);
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// The daemon's immediate admission answer to a submit/attach.
+  struct Admission {
+    bool accepted = false;  // false → inspect `shed`
+    AcceptedMsg ok;         // valid when accepted
+    ShedMsg shed;           // valid when !accepted
+  };
+
+  /// Submit a job. stream=true keeps the connection eligible for
+  /// wait_result(); stream=false is fire-and-forget (poll later via a new
+  /// connection's attach()).
+  Result<Admission> submit(const JobSpec& spec, bool stream = true);
+
+  /// Re-attach to a job by id (reconnect path). An unknown id — e.g. one
+  /// the daemon lost to SIGKILL — is Internal("unknown job ..."); the
+  /// caller's recovery is to re-submit the spec, which resumes from the
+  /// store.
+  Result<Admission> attach(const std::string& job_id);
+
+  /// After an accepted submit(stream=true) or attach: block until the
+  /// terminal kResult, invoking on_progress per stage transition frame.
+  Result<JobOutcome> wait_result(
+      const std::function<void(const ProgressMsg&)>& on_progress = {});
+
+  Result<std::string> stats();
+  Status ping();
+  /// Ask the daemon to drain and exit (kShutdownAck expected back).
+  Status shutdown_server();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  /// Write one request frame and read one response frame.
+  Result<std::vector<u8>> roundtrip(const std::vector<u8>& request);
+  Result<Admission> parse_admission(const std::vector<u8>& payload);
+
+  int fd_ = -1;
+};
+
+}  // namespace gp::serve

@@ -86,6 +86,12 @@ Config Config::from_env() {
     c.trace_buf = static_cast<u32>(
         std::min<u64>(std::max<u64>(buf, 64), u64{1} << 22));
 
+  c.serve_sock = env_str("GP_SERVE_SOCK");
+  if (const u64 q = env_u64("GP_SERVE_QUEUE"))
+    c.serve_queue = static_cast<int>(std::min<u64>(q, u64{1} << 20));
+  if (const u64 a = env_u64("GP_SERVE_MAX_ACTIVE"))
+    c.serve_max_active = static_cast<int>(std::min<u64>(a, 256));
+
   return c;
 }
 

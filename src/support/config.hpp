@@ -80,6 +80,20 @@ struct Config {
   /// oldest spans and counts them in trace::dropped().
   u32 trace_buf = 8192;
 
+  /// GP_SERVE_SOCK: unix-socket path the gp_serve daemon listens on ("" =
+  /// the tool's --sock flag is required).
+  std::string serve_sock;
+
+  /// GP_SERVE_QUEUE: gp_serve admission-queue bound — jobs waiting for a
+  /// worker beyond this are shed with an immediate RETRY_AFTER instead of
+  /// queueing unboundedly (clamped to [1, 1M]; default 64).
+  int serve_queue = 64;
+
+  /// GP_SERVE_MAX_ACTIVE: concurrent analysis workers inside gp_serve;
+  /// counted budgets are split across them via
+  /// GovernorOptions::split_across (clamped to [1, 256]; default 4).
+  int serve_max_active = 4;
+
   /// Parse the environment now. The single std::getenv site in src/.
   static Config from_env();
 };

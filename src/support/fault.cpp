@@ -50,6 +50,9 @@ const char* point_name(Point p) {
     case Point::ShortWrite: return "write";
     case Point::ReadCorrupt: return "read";
     case Point::RenameFail: return "rename";
+    case Point::Accept: return "accept";
+    case Point::SockRead: return "sock_read";
+    case Point::SockWrite: return "sock_write";
     case Point::kCount: break;
   }
   return "<bad>";

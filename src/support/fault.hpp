@@ -17,6 +17,9 @@
 //   write=<rate>      atomic file write persists a prefix   (torn write)
 //   read=<rate>       file read flips one bit               (media corruption)
 //   rename=<rate>     checkpoint publish rename fails       (full disk / EIO)
+//   accept=<rate>     gp_serve drops an accepted connection (accept() EMFILE)
+//   sock_read=<rate>  socket frame read fails               (connection reset)
+//   sock_write=<rate> socket frame write fails              (peer gone / EPIPE)
 // with <rate> a probability in [0, 1], e.g.
 //   GP_FAULT="seed=42,decode=0.01,solver=0.05,alloc=0.001"
 // Unknown keys are rejected with an error that lists the valid points.
@@ -41,6 +44,9 @@ enum class Point : u8 {
   ShortWrite,    // serial::write_file_atomic persists only a prefix
   ReadCorrupt,   // serial::read_file flips one deterministic bit
   RenameFail,    // checkpoint publish (temp-file rename) fails
+  Accept,        // serve: accepted connection is dropped immediately
+  SockRead,      // serve: socket frame read fails (connection reset)
+  SockWrite,     // serve: socket frame write fails (peer gone / EPIPE)
   kCount,
 };
 /// The point's GP_FAULT spec key ("decode", "write", ...).

@@ -1,0 +1,52 @@
+#include "support/signal.hpp"
+
+#include <csignal>
+#include <unistd.h>
+
+#include <atomic>
+#include <mutex>
+
+namespace gp::sig {
+
+namespace {
+
+std::atomic<bool> g_drain{false};
+// Self-pipe: [0] read end handed to pollers, [1] written by the handler.
+int g_pipe[2] = {-1, -1};
+
+void on_drain_signal(int /*signo*/) {
+  g_drain.store(true, std::memory_order_release);
+  if (g_pipe[1] >= 0) {
+    const char b = 1;
+    // Best effort: a full pipe still leaves earlier bytes readable.
+    [[maybe_unused]] const ssize_t n = ::write(g_pipe[1], &b, 1);
+  }
+}
+
+}  // namespace
+
+void ignore_sigpipe() {
+  static std::once_flag once;
+  std::call_once(once, [] { ::signal(SIGPIPE, SIG_IGN); });
+}
+
+void install_drain_handler() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    if (::pipe(g_pipe) != 0) g_pipe[0] = g_pipe[1] = -1;
+    struct sigaction sa{};
+    sa.sa_handler = on_drain_signal;
+    ::sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;  // slow reads keep blocking; pollers use the fd
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+  });
+}
+
+bool drain_requested() { return g_drain.load(std::memory_order_acquire); }
+
+int drain_wakeup_fd() { return g_pipe[0]; }
+
+void reset_drain_for_test() { g_drain.store(false, std::memory_order_release); }
+
+}  // namespace gp::sig

@@ -2,11 +2,13 @@
 
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 
 #include "codegen/codegen.hpp"
 #include "core/core.hpp"
 #include "corpus/corpus.hpp"
 #include "minic/minic.hpp"
+#include "support/metrics.hpp"
 
 namespace gp::core {
 namespace {
@@ -284,6 +286,84 @@ TEST(Campaign, RunsAllToolsOnObfuscatedBenchmark) {
   EXPECT_GT(result.gp_avg_chain_len, 0.0);
   for (const auto& t : result.tools)
     EXPECT_EQ(t.chains_per_goal.size(), payload::Goal::all().size());
+}
+
+TEST(Campaign, ThrowingOnJobHookIsContainedAndDeterministic) {
+  auto make_jobs = [] {
+    std::vector<Job> jobs;
+    for (const char* obf_name : {"none", "llvm-obf"}) {
+      Job job;
+      job.program = "call_rich";
+      job.source = kCallRichSource;
+      job.obfuscation = obf_name;
+      job.obf = profile_by_name(obf_name, 7);
+      job.goals = {payload::Goal::execve()};
+      jobs.push_back(std::move(job));
+    }
+    return jobs;
+  };
+  Campaign::Options copts;
+  copts.concurrency = 2;
+  copts.pipeline.plan.max_chains = 4;
+
+  // Reference run: no hook.
+  const auto clean = Campaign(Engine::shared(), copts).run(make_jobs());
+  ASSERT_EQ(clean.results.size(), 2u);
+  ASSERT_EQ(clean.jobs_failed, 0);
+
+  // Hostile hook: one lane throws a std::exception, the other a non-std
+  // value. Neither may deadlock the barrier, corrupt another lane's
+  // result, or escape Campaign::run.
+  copts.on_job = [](const Job& job, Session&, JobResult&) {
+    if (job.obfuscation == "none") throw std::runtime_error("hook boom");
+    throw 42;
+  };
+  const auto hostile = Campaign(Engine::shared(), copts).run(make_jobs());
+  ASSERT_EQ(hostile.results.size(), 2u);
+  EXPECT_EQ(hostile.jobs_failed, 2);
+  EXPECT_EQ(hostile.jobs_ok, 0);
+  for (size_t i = 0; i < 2; ++i) {
+    const JobResult& r = hostile.results[i];
+    EXPECT_EQ(r.status.code(), StatusCode::Internal);
+    EXPECT_NE(r.status.message().find("on_job hook threw"),
+              std::string::npos)
+        << r.status.message();
+    // The chains and digest were recorded before the hook ran: the
+    // deterministic result survives the hook's failure byte-for-byte.
+    EXPECT_EQ(r.result_digest, clean.results[i].result_digest);
+    EXPECT_EQ(r.total_chains(), clean.results[i].total_chains());
+  }
+  const std::string msg = hostile.results[0].status.message();
+  EXPECT_NE(msg.find("hook boom"), std::string::npos) << msg;
+}
+
+TEST(Session, UnreachablePrecheckCountsMicroseconds) {
+  // The planner's reachability precheck finishes in well under a
+  // millisecond, so the old ms-granular counter truncated every
+  // observation to zero. plan.unreachable_us records the measured time;
+  // plan.unreachable_ms is derived from the us total with a carried
+  // remainder, so it can lag by at most one ms-quantum but never drifts.
+  metrics::set_enabled(true);
+  metrics::registry().reset();
+
+  auto prog = minic::compile_source(kCallRichSource);
+  obf::obfuscate(prog, obf::Options::llvm_obf(7));
+  Session session(Engine::shared(), codegen::compile(prog));
+  for (const auto& goal : payload::Goal::all())
+    (void)session.find_chains(goal);
+  EXPECT_GT(session.planner_stats().precheck_seconds, 0.0);
+
+  const auto snap = metrics::registry().snapshot();
+  ASSERT_TRUE(snap.counters.count("plan.unreachable_us"));
+  ASSERT_TRUE(snap.counters.count("plan.unreachable_ms"));
+  const u64 us = snap.counters.at("plan.unreachable_us");
+  const u64 ms = snap.counters.at("plan.unreachable_ms");
+  EXPECT_GT(us, 0u) << "precheck ran but recorded zero microseconds";
+  // Derived-counter invariant (± one quantum for the carried remainder,
+  // which may hold state from earlier sessions in this process).
+  EXPECT_LE(ms, us / 1000 + 1);
+  EXPECT_GE(ms + 1, us / 1000);
+  metrics::set_enabled(false);
 }
 
 TEST(Campaign, OriginalProgramsYieldFewerChains) {

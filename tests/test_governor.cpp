@@ -206,12 +206,14 @@ TEST(Fault, UnknownPointNamesTheTypoAndListsEveryValidPoint) {
   const std::string& msg = r.status().message();
   EXPECT_NE(msg.find("wirte"), std::string::npos) << msg;
   // The error must enumerate the full grammar so a chaos-run typo is
-  // self-diagnosing — including the I/O points.
-  for (const char* name :
-       {"decode", "solver", "emu", "alloc", "write", "read", "rename"})
+  // self-diagnosing — including the I/O and socket points.
+  for (const char* name : {"decode", "solver", "emu", "alloc", "write",
+                           "read", "rename", "accept", "sock_read",
+                           "sock_write"})
     EXPECT_NE(msg.find(name), std::string::npos) << "missing " << name;
   EXPECT_EQ(fault::valid_point_names(),
-            "decode, solver, emu, alloc, write, read, rename");
+            "decode, solver, emu, alloc, write, read, rename, accept, "
+            "sock_read, sock_write");
 }
 
 TEST(Fault, ParseSpecAcceptsTheIoPoints) {
@@ -220,6 +222,42 @@ TEST(Fault, ParseSpecAcceptsTheIoPoints) {
   EXPECT_DOUBLE_EQ(r.value().rate(fault::Point::ShortWrite), 0.25);
   EXPECT_DOUBLE_EQ(r.value().rate(fault::Point::ReadCorrupt), 0.5);
   EXPECT_DOUBLE_EQ(r.value().rate(fault::Point::RenameFail), 1.0);
+}
+
+TEST(Fault, ParseSpecAcceptsTheSocketPoints) {
+  const auto r =
+      fault::parse_spec("seed=3,accept=0.25,sock_read=0.5,sock_write=1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().rate(fault::Point::Accept), 0.25);
+  EXPECT_DOUBLE_EQ(r.value().rate(fault::Point::SockRead), 0.5);
+  EXPECT_DOUBLE_EQ(r.value().rate(fault::Point::SockWrite), 1.0);
+}
+
+TEST(Fault, GrammarAndRegisteredPointsCannotDrift) {
+  // Every key the error-message grammar advertises must round-trip through
+  // the parser, and every registered Point must be reachable by its
+  // advertised name. Adding an enum value without its point_name case (or
+  // vice versa) fails here instead of surfacing as a confusing chaos-run
+  // rejection.
+  const std::string names = fault::valid_point_names();
+  size_t start = 0, listed = 0;
+  while (start < names.size()) {
+    size_t end = names.find(", ", start);
+    if (end == std::string::npos) end = names.size();
+    const std::string name = names.substr(start, end - start);
+    ++listed;
+    const auto parsed = fault::parse_spec(name + "=0.5");
+    ASSERT_TRUE(parsed.ok()) << "advertised key '" << name
+                             << "' rejected by parse_spec";
+    EXPECT_TRUE(parsed.value().any()) << name;
+    start = end + 2;
+  }
+  EXPECT_EQ(listed, static_cast<size_t>(fault::Point::kCount));
+  for (size_t i = 0; i < static_cast<size_t>(fault::Point::kCount); ++i) {
+    const std::string name = fault::point_name(static_cast<fault::Point>(i));
+    EXPECT_NE(names.find(name), std::string::npos)
+        << "point " << name << " missing from valid_point_names()";
+  }
 }
 
 TEST(Fault, DisabledByDefaultAndNeverFires) {

@@ -482,10 +482,13 @@ TEST(StageSupervisor, BackoffSleepIsExcludedFromStageSeconds) {
   // The two scheduled sleeps total 0.5s (scheduling can only add).
   EXPECT_GE(rep.extract_runs.backoff_seconds, 0.45);
   EXPECT_LE(rep.extract_runs.backoff_seconds, wall);
-  // Stage time excludes the sleep: the three failing attempts are
-  // near-instant (they die on the first allocation), so stage seconds must
-  // come out far below the backoff it used to absorb.
-  EXPECT_LT(rep.extract_seconds, rep.extract_runs.backoff_seconds);
+  // Stage time excludes the sleep: wall covers the attempts AND the
+  // >= 0.5s of scheduled sleeps, so stage seconds must sit at least the
+  // sleep schedule below wall. (Comparing stage seconds against the
+  // backoff directly would assume the failing attempts are near-instant,
+  // which doesn't hold on a loaded machine where a full test suite is
+  // competing for cores.)
+  EXPECT_LT(rep.extract_seconds, wall - 0.40);
   EXPECT_LE(rep.extract_seconds + rep.extract_runs.backoff_seconds,
             wall + 0.05);
 }

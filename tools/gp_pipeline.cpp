@@ -21,6 +21,10 @@
 // bytes to <dir>/<goal>-<index>.bin for diffing. Checkpointing and retry
 // knobs come from the environment: GP_STORE_DIR, GP_RETRIES, plus the
 // governor (GP_DEADLINE_MS, ...) and chaos (GP_FAULT) knobs.
+//
+// Campaign exit codes: 0 every job ok, 3 at least one job degraded
+// (deadline/budget/fault — partial but usable results), 4 at least one job
+// failed outright, 1 I/O error, 2 usage.
 #include <cstdio>
 #include <cstring>
 #include <functional>
@@ -194,7 +198,12 @@ int main(int argc, char** argv) {
       }
     }
     if (!export_trace()) return 1;
-    return summary.jobs_failed == 0 ? 0 : 1;
+    // Distinct exit codes so harnesses can tell outcomes apart without
+    // parsing the summary: 0 all ok, 3 some jobs degraded (deadline/budget/
+    // fault — usable but partial results), 4 some jobs failed outright.
+    if (summary.jobs_failed > 0) return 4;
+    if (summary.jobs_degraded > 0) return 3;
+    return 0;
   }
 
   image::Image img;
