@@ -58,8 +58,35 @@ double percentile(std::vector<double> v, double p) {
 
 struct LegStats {
   std::vector<double> latencies_ms;
-  u64 completed = 0, shed = 0, errors = 0;
+  u64 completed = 0, shed = 0;
+  /// Errors by failure class — a chaos leg that only says "errors: 37" cannot
+  /// distinguish a refused dial from a daemon writing garbage.
+  u64 connect_errors = 0, read_errors = 0, write_errors = 0,
+      protocol_errors = 0;
+  /// Client-side retries taken (chaos leg): each is one failed attempt that
+  /// a follow-up attempt absorbed.
+  u64 retries = 0;
+
+  u64 errors() const {
+    return connect_errors + read_errors + write_errors + protocol_errors;
+  }
 };
+
+/// Bucket a failed request's Status into a LegStats error class. The
+/// wire-layer messages are stable ("socket read: ...", "socket write: ...",
+/// "injected sock_*"); anything else is a protocol-level surprise.
+void classify_error(const Status& st, LegStats& stats) {
+  const std::string& m = st.message();
+  if (m.find("sock_read") != std::string::npos ||
+      m.find("socket read") != std::string::npos ||
+      m.find("truncated frame") != std::string::npos)
+    stats.read_errors++;
+  else if (m.find("sock_write") != std::string::npos ||
+           m.find("socket write") != std::string::npos)
+    stats.write_errors++;
+  else
+    stats.protocol_errors++;
+}
 
 /// One blocking request against the daemon; true on a terminal result.
 bool one_request(const std::string& sock, const serve::JobSpec& spec,
@@ -68,13 +95,13 @@ bool one_request(const std::string& sock, const serve::JobSpec& spec,
   auto c = serve::Client::connect(sock);
   if (!c.ok()) {
     std::lock_guard<std::mutex> lock(mu);
-    stats.errors++;
+    stats.connect_errors++;
     return false;
   }
   auto adm = c.value().submit(spec);
   if (!adm.ok()) {
     std::lock_guard<std::mutex> lock(mu);
-    stats.errors++;
+    classify_error(adm.status(), stats);
     return false;
   }
   if (!adm.value().accepted) {
@@ -85,7 +112,7 @@ bool one_request(const std::string& sock, const serve::JobSpec& spec,
   auto outcome = c.value().wait_result();
   std::lock_guard<std::mutex> lock(mu);
   if (!outcome.ok()) {
-    stats.errors++;
+    classify_error(outcome.status(), stats);
     return false;
   }
   stats.completed++;
@@ -97,10 +124,15 @@ std::string json_leg(const LegStats& s, double offered_rps, double wall_s) {
   std::string j = "{";
   j += "\"offered_rps\": " + std::to_string(offered_rps);
   j += ", \"requests\": " +
-       std::to_string(s.completed + s.shed + s.errors);
+       std::to_string(s.completed + s.shed + s.errors());
   j += ", \"completed\": " + std::to_string(s.completed);
   j += ", \"shed\": " + std::to_string(s.shed);
-  j += ", \"errors\": " + std::to_string(s.errors);
+  j += ", \"errors\": " + std::to_string(s.errors());
+  j += ", \"connect_errors\": " + std::to_string(s.connect_errors);
+  j += ", \"read_errors\": " + std::to_string(s.read_errors);
+  j += ", \"write_errors\": " + std::to_string(s.write_errors);
+  j += ", \"protocol_errors\": " + std::to_string(s.protocol_errors);
+  j += ", \"client_retries\": " + std::to_string(s.retries);
   j += ", \"achieved_rps\": " +
        std::to_string(wall_s > 0 ? static_cast<double>(s.completed) / wall_s
                                  : 0);
@@ -198,7 +230,7 @@ int main(int argc, char** argv) {
               kClients, max_inflight.load(),
               (unsigned long long)conc.completed,
               (unsigned long long)conc.shed,
-              (unsigned long long)conc.errors);
+              (unsigned long long)conc.errors());
 
   // -- leg 3: open-loop Poisson sweep ---------------------------------------
   const std::vector<double> rates = full
@@ -248,18 +280,22 @@ int main(int argc, char** argv) {
     std::printf("rate %6.0f req/s: %llu completed (%.0f req/s achieved), "
                 "%llu shed, %llu errors, p50 %.2f ms, p99 %.2f ms\n",
                 rate, (unsigned long long)s.completed, achieved,
-                (unsigned long long)s.shed, (unsigned long long)s.errors,
+                (unsigned long long)s.shed, (unsigned long long)s.errors(),
                 percentile(s.latencies_ms, 0.50),
                 percentile(s.latencies_ms, 0.99));
     sweep_json.push_back(json_leg(s, rate, wall_s));
   }
 
   // -- leg 4: chaos — socket faults must never crash the daemon -------------
+  // Clients retry like gp_client --retries does: a bounded number of fresh
+  // attempts per request, each counted, so the leg reports both how often
+  // faults bit and how completely retries absorbed them.
   LegStats chaos;
   {
     fault::ScopedSpec chaos_spec(
         "accept=0.05,sock_read=0.02,sock_write=0.02,seed=11");
     const u64 n = full ? 2000 : 400;
+    const int kAttempts = 3;
     std::atomic<u64> next{0};
     std::vector<std::thread> clients;
     for (int c = 0; c < kClients; ++c)
@@ -267,7 +303,13 @@ int main(int argc, char** argv) {
         for (;;) {
           const u64 i = next.fetch_add(1);
           if (i >= n) return;
-          one_request(sock, spec_for(i), chaos, stats_mu);
+          for (int attempt = 0; attempt < kAttempts; ++attempt) {
+            if (one_request(sock, spec_for(i), chaos, stats_mu)) break;
+            if (attempt + 1 < kAttempts) {
+              std::lock_guard<std::mutex> lock(stats_mu);
+              chaos.retries++;
+            }
+          }
         }
       });
     for (auto& c : clients) c.join();
@@ -276,11 +318,16 @@ int main(int argc, char** argv) {
     auto c = serve::Client::connect(sock);
     return c.ok() && c.value().ping().ok();
   }();
-  std::printf("chaos: %llu completed, %llu shed, %llu request errors, "
-              "daemon %s\n",
+  std::printf("chaos: %llu completed, %llu shed, errors "
+              "connect=%llu read=%llu write=%llu protocol=%llu, "
+              "%llu client retries, daemon %s\n",
               (unsigned long long)chaos.completed,
               (unsigned long long)chaos.shed,
-              (unsigned long long)chaos.errors,
+              (unsigned long long)chaos.connect_errors,
+              (unsigned long long)chaos.read_errors,
+              (unsigned long long)chaos.write_errors,
+              (unsigned long long)chaos.protocol_errors,
+              (unsigned long long)chaos.retries,
               alive ? "alive" : "DEAD");
 
   server.stop(/*drain=*/true);

@@ -198,6 +198,13 @@ echo "== tier-1: serve drill (concurrency, SIGKILL, resume, shed, drain) =="
 #      burst is shed with RETRY_AFTER (gp_client exit 5, serve.shed > 0).
 #   5. SIGTERM drains: admitted work finishes, exit status 0, manifest
 #      on disk.
+#   6. Journal replay: a SIGKILLed daemon's *backlog* (admitted, not yet
+#      finished) is re-enqueued by the restarted daemon itself and
+#      finishes with digests identical to a clean run — clients only
+#      attach, nothing is resubmitted.
+#   7. Poison quarantine: a job that crashes the daemon twice
+#      (GP_FAULT=job_crash=1) is quarantined by the third, healthy
+#      daemon and answered `poisoned` instead of crashing it again.
 SERVE=build/tools/gp_serve
 CLIENT=build/tools/gp_client
 SV="$KR_TMP/serve"
@@ -325,7 +332,123 @@ PY
 # Drain must still finish the admitted (slow, llvm-obf) jobs and exit 0.
 kill -TERM "$SERVE_PID"; wait "$SERVE_PID"
 [ -s "$SV/store/manifest.gpm" ]
-echo "serve drill: crash-resume digests identical, shed + drain verified"
+
+echo "-- replay pass: SIGKILL with a queued backlog; the journal re-enqueues it"
+# Four slow jobs are admitted --no-stream (the clients are gone before
+# any work starts), then the daemon is SIGKILLed. The restarted daemon
+# must finish the backlog FROM THE JOURNAL ALONE: clients only attach,
+# and every digest matches a clean never-crashed run byte for byte.
+rm -rf "$SV/store-j" "$SV/store-jref"
+mkdir -p "$SV/store-j" "$SV/store-jref" "$SV/out/replay"
+start_serve "$SV/store-j" 64 2
+for seed in 111 112 113 114; do
+  "$CLIENT" --sock "$SOCK" submit --program hash_table --obf llvm-obf \
+    --seed "$seed" --no-stream --quiet > "$SV/out/replay/$seed.sub"
+done
+kill -KILL "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+start_serve "$SV/store-j" 64 2
+grep -q 'journal replay:' "$SV/serve.log"
+depth=-1
+for _ in $(seq 1 240); do
+  depth=$("$CLIENT" --sock "$SOCK" stats | python3 -c \
+    'import json,sys; print(json.load(sys.stdin)["serve"]["journal_depth"])')
+  [ "$depth" -eq 0 ] && break
+  sleep 0.25
+done
+[ "$depth" -eq 0 ] || { echo "journal backlog never drained"; exit 1; }
+for seed in 111 112 113 114; do
+  jid=$(grep -o 'job-[0-9a-f]*' "$SV/out/replay/$seed.sub" | head -1)
+  "$CLIENT" --sock "$SOCK" attach "$jid" --quiet > "$SV/out/replay/$seed.out"
+  grep -q 'status=ok' "$SV/out/replay/$seed.out"
+done
+kill -TERM "$SERVE_PID"; wait "$SERVE_PID"
+start_serve "$SV/store-jref" 64 2   # clean reference: same specs, no crash
+for seed in 111 112 113 114; do
+  "$CLIENT" --sock "$SOCK" submit --program hash_table --obf llvm-obf \
+    --seed "$seed" --quiet > "$SV/out/replay/$seed.ref"
+done
+kill -TERM "$SERVE_PID"; wait "$SERVE_PID"
+for seed in 111 112 113 114; do
+  diff <(grep -o 'digest=[0-9a-f]*' "$SV/out/replay/$seed.out") \
+       <(grep -o 'digest=[0-9a-f]*' "$SV/out/replay/$seed.ref")
+done
+echo "   journal replay finished 4 killed jobs; digests match the clean run"
+
+echo "-- quarantine pass: a job that crashes the daemon twice is poisoned"
+# GP_FAULT=job_crash=1 makes the worker abort() the whole process at job
+# start. The submit itself races the abort (admission is journaled before
+# the reply, but the reply write can lose), so admitting the poison job
+# retries — an identical resubmit dedupes onto the journaled record, and
+# every extra daemon death only pushes the job further past the
+# GP_SERVE_POISON_RETRIES threshold.
+rm -rf "$SV/store-q"; mkdir -p "$SV/store-q"
+jid=
+for _ in 1 2 3; do
+  : > "$SV/ready"
+  GP_FAULT=job_crash=1 "$SERVE" --sock "$SOCK" --store "$SV/store-q" \
+    --ready-fd 3 3>"$SV/ready" 2>>"$SV/serve.log" &
+  SERVE_PID=$!
+  for _ in $(seq 1 100); do
+    [ -s "$SV/ready" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || break
+    sleep 0.1
+  done
+  "$CLIENT" --sock "$SOCK" submit --program crc32 --obf substitution \
+    --seed 201 --no-stream --quiet > "$SV/poison.submit" 2>/dev/null || true
+  jid=$(grep -o 'job-[0-9a-f]*' "$SV/poison.submit" | head -1 || true)
+  for _ in $(seq 1 100); do
+    kill -0 "$SERVE_PID" 2>/dev/null || break
+    sleep 0.1
+  done
+  kill -KILL "$SERVE_PID" 2>/dev/null || true
+  wait "$SERVE_PID" 2>/dev/null || true
+  [ -n "$jid" ] && break
+done
+[ -n "$jid" ] || { echo "could not admit the poison job"; exit 1; }
+# Incarnation 2: replay re-enqueues the job; the worker aborts again. If
+# earlier attempts already pushed it past the threshold, the daemon
+# quarantines at replay and stays alive — terminate it ourselves then.
+GP_FAULT=job_crash=1 "$SERVE" --sock "$SOCK" --store "$SV/store-q" \
+  2>>"$SV/serve.log" &
+SERVE_PID=$!
+for _ in $(seq 1 300); do
+  kill -0 "$SERVE_PID" 2>/dev/null || break
+  sleep 0.1
+done
+kill -KILL "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+start_serve "$SV/store-q" 64 4      # healthy incarnation 3
+rc=0
+"$CLIENT" --sock "$SOCK" attach "$jid" --quiet \
+  > "$SV/poison.out" 2>"$SV/poison.err" || rc=$?
+[ "$rc" -eq 4 ] || { echo "poisoned job not answered failed (rc=$rc)"; exit 1; }
+grep -q 'poisoned' "$SV/poison.err"
+"$CLIENT" --sock "$SOCK" stats | python3 -c '
+import json, sys
+s = json.load(sys.stdin)
+assert s["serve"]["quarantined"] >= 1, s["serve"]
+print("   quarantined after repeated daemon deaths; poisoned answer, exit 4")'
+kill -TERM "$SERVE_PID"; wait "$SERVE_PID"
+echo "serve drill: crash-resume digests identical, shed + drain verified,"
+echo "             journal replay + poison quarantine verified"
+
+echo "== tier-1: chaos matrix (bounded) =="
+# The full sweep (every fault point x rates x kill timings) lives in
+# tools/gp_chaos and EXPERIMENTS.md; this bounded slice keeps tier-1
+# honest on the journal's own fault points plus sock_write (whose eaten
+# admission replies once deadlocked handler and client in read — the
+# regression this slice pins). gp_chaos exits non-zero if any round
+# loses a job, diverges a digest, or fails to converge.
+build/tools/gp_chaos --quick \
+  --points journal_append,journal_replay,job_crash,sock_write \
+  --out "$KR_TMP/chaos.json"
+python3 - "$KR_TMP/chaos.json" <<'PY'
+import json, sys
+c = json.load(open(sys.argv[1]))
+assert c["failed"] == 0 and c["total"] >= 8, (c["failed"], c["total"])
+print(f'chaos: {c["total"]} rounds, 0 failed')
+PY
 
 echo "== tier-1: concurrency tests under ThreadSanitizer =="
 cmake --preset tsan
@@ -333,6 +456,9 @@ cmake --build build-tsan -j --target test_support test_parallel
 (cd build-tsan && ctest -R 'ThreadPool|Parallel' --output-on-failure)
 
 echo "== tier-1: robustness + fault-injection tests under ASan/UBSan =="
+# test_serve carries the journal corruption sweep (torn tail, bit flip,
+# torn append, version bump) — exactly the paths that unwind through
+# partially-parsed bytes, so they run under ASan here too.
 cmake --preset asan
 cmake --build build-asan -j --target test_governor test_robustness test_store \
   test_serve

@@ -1,6 +1,7 @@
 #include "serve/client.hpp"
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -34,6 +35,18 @@ Result<Client> Client::connect(const std::string& socket_path) {
 void Client::close() {
   if (fd_ >= 0) ::close(fd_);
   fd_ = -1;
+}
+
+Status Client::set_io_timeout_ms(int ms) {
+  if (!connected()) return Status::internal("client not connected");
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) < 0 ||
+      ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv) < 0)
+    return Status::internal(std::string("setsockopt: ") +
+                            std::strerror(errno));
+  return {};
 }
 
 Result<std::vector<u8>> Client::roundtrip(const std::vector<u8>& request) {

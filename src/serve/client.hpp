@@ -47,6 +47,13 @@ class Client {
   bool connected() const { return fd_ >= 0; }
   void close();
 
+  /// Bound every subsequent socket read/write to `ms` milliseconds
+  /// (SO_RCVTIMEO/SO_SNDTIMEO); an expired wait surfaces as a Status like
+  /// any other I/O failure. 0 restores fully blocking I/O. Harnesses that
+  /// must survive a wedged or fault-injected daemon (gp_chaos) set this;
+  /// interactive callers default to blocking so long jobs stream freely.
+  Status set_io_timeout_ms(int ms);
+
   /// The daemon's immediate admission answer to a submit/attach.
   struct Admission {
     bool accepted = false;  // false → inspect `shed`

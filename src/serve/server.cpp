@@ -57,6 +57,8 @@ ServeOptions ServeOptions::from_env() {
   o.queue_limit = cfg.serve_queue;
   o.max_active = cfg.serve_max_active;
   o.store_dir = cfg.store_dir;
+  o.poison_retries = cfg.serve_poison_retries;
+  o.watchdog_ms = cfg.serve_watchdog_ms;
   return o;
 }
 
@@ -66,6 +68,8 @@ Server::Server(core::Engine& engine, ServeOptions opts)
   opts_.max_active = std::max(1, opts_.max_active);
   if (opts_.per_class_limit <= 0 || opts_.per_class_limit > opts_.queue_limit)
     opts_.per_class_limit = opts_.queue_limit;
+  opts_.poison_retries = std::max(1, opts_.poison_retries);
+  opts_.watchdog_ms = std::max(0, opts_.watchdog_ms);
 }
 
 Server::~Server() { stop(/*drain=*/false); }
@@ -115,16 +119,141 @@ Status Server::start() {
     return Status::internal(std::string("listen: ") + std::strerror(e));
   }
 
+  // Recover before the first thread exists: replay the journal into the
+  // registry and queue, so workers see the re-enqueued backlog the moment
+  // they start and no client races a half-replayed state.
+  replay_summary_ = ReplaySummary{};
+  if (!opts_.store_dir.empty()) {
+    journal_ = std::make_unique<Journal>(opts_.store_dir + "/journal.gpj");
+    if (Status st = journal_->open(); !st.ok()) {
+      // The daemon never dies over its audit trail: serve non-durably and
+      // let the metrics say why.
+      metrics::registry().counter("serve.journal_open_failures").add();
+      journal_.reset();
+    } else {
+      replay_summary_.journal_enabled = true;
+      apply_replay(journal_->take_replay());
+    }
+  }
+
   started_.store(true);
   stopped_.store(false);
   draining_.store(false);
   stop_workers_.store(false);
   stop_conns_.store(false);
   stop_accept_.store(false);
+  stop_watchdog_.store(false);
   for (int i = 0; i < opts_.max_active; ++i)
     workers_.emplace_back([this] { worker_loop(); });
   accept_thread_ = std::thread([this] { accept_loop(); });
+  if (opts_.watchdog_ms > 0)
+    watchdog_thread_ = std::thread([this] { watchdog_loop(); });
   return Status();
+}
+
+void Server::apply_replay(ReplayResult replay) {
+  metrics::Registry& reg = metrics::registry();
+  replay_summary_.clean_shutdown = replay.clean_shutdown;
+  replay_summary_.rotated = replay.rotated;
+  replay_summary_.records = replay.records;
+  replay_summary_.torn_tail_bytes = replay.torn_tail_bytes;
+  reg.counter("serve.journal_replayed").add(replay.records);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (ReplayedJob& job : replay.jobs) {
+    auto rec = std::make_shared<JobRecord>();
+    rec->spec = std::move(job.spec);
+    rec->id = job.job_id;
+    rec->klass = job.klass.empty() ? "default" : job.klass;
+    rec->dead_incarnations = job.dead_incarnations;
+    rec->enqueued_at = Clock::now();
+
+    const bool poisoned =
+        job.quarantined ||
+        (job.open && !replay.clean_shutdown &&
+         job.dead_incarnations >= static_cast<u32>(opts_.poison_retries));
+    if (poisoned) {
+      // Every incarnation of this job has killed its worker. Stop feeding
+      // it workers: pin a terminal `poisoned` answer that dedupe and
+      // attach will serve, and that compaction keeps across restarts.
+      rec->state = JobRecord::State::Done;
+      rec->stage = "done";
+      rec->quarantined = true;
+      rec->outcome.job_id = rec->id;
+      rec->outcome.status_code = static_cast<u8>(StatusCode::Internal);
+      rec->outcome.status_msg =
+          "poisoned: " + std::to_string(job.dead_incarnations) +
+          " incarnation(s) died in flight";
+      jobs_[rec->id] = rec;  // never in done_order_: exempt from eviction
+      quarantined_count_++;
+      replay_summary_.quarantined++;
+      reg.counter("serve.quarantined").add();
+      continue;
+    }
+    if (!job.open) {
+      // Finished before the crash. Cancelled outcomes are NOT re-installed
+      // (a dedupe hit on one would answer `cancelled` forever); dropping
+      // them means a resubmit re-runs warm from the artifact store.
+      if (job.done_status == static_cast<u8>(StatusCode::Cancelled)) continue;
+      rec->state = JobRecord::State::Done;
+      rec->stage = "done";
+      rec->outcome.job_id = rec->id;
+      rec->outcome.status_code = job.done_status;
+      rec->outcome.status_msg =
+          job.done_status == static_cast<u8>(StatusCode::Ok) ? ""
+                                                             : "replayed";
+      rec->outcome.digest = job.done_digest;
+      rec->outcome.warm = true;
+      jobs_[rec->id] = rec;
+      done_order_.push_back(rec->id);
+      replay_summary_.completed++;
+      continue;
+    }
+    // Incomplete: the crashed daemon owes this answer. Re-enqueue it
+    // ourselves — the client only ever needs to attach, never resubmit.
+    jobs_[rec->id] = rec;
+    queue_.push_back(rec);
+    queued_by_class_[rec->klass]++;
+    replay_summary_.requeued++;
+    reg.counter("serve.journal_requeued").add();
+  }
+  update_queue_gauges_locked();
+
+  // Rebaseline: the compacted log carries each live job's dead-incarnation
+  // count in its Admit record and drops everything already answered
+  // (except quarantined pins), so journal growth is bounded by backlog,
+  // not history.
+  if (journal_) (void)journal_->compact(live_jobs_locked(), /*clean=*/false);
+}
+
+std::vector<LiveJob> Server::live_jobs_locked() const {
+  std::vector<LiveJob> live;
+  for (const auto& [id, rec] : jobs_) {
+    if (rec->quarantined) {
+      LiveJob l;
+      l.spec = rec->spec;
+      l.job_id = rec->id;
+      l.klass = rec->klass;
+      l.dead_incarnations = rec->dead_incarnations;
+      l.quarantined = true;
+      live.push_back(std::move(l));
+    } else if (rec->state != JobRecord::State::Done) {
+      LiveJob l;
+      l.spec = rec->spec;
+      l.job_id = rec->id;
+      l.klass = rec->klass;
+      l.dead_incarnations = rec->dead_incarnations;
+      l.started = rec->state == JobRecord::State::Active;
+      live.push_back(std::move(l));
+    }
+  }
+  return live;
+}
+
+void Server::maybe_compact_locked() {
+  if (!journal_ || journal_->size_bytes() < opts_.journal_compact_bytes)
+    return;
+  (void)journal_->compact(live_jobs_locked(), /*clean=*/false);
 }
 
 void Server::request_drain() {
@@ -146,6 +275,7 @@ void Server::stop(bool drain) {
   if (!started_.load() || stopped_.exchange(true)) return;
 
   request_drain();
+  std::vector<LiveJob> leftover;  // jobs the final journal must keep open
   if (drain) {
     hold_workers_.store(false);
     wait_drained();
@@ -160,6 +290,14 @@ void Server::stop(bool drain) {
       RecordPtr rec = queue_.front();
       queue_.pop_front();
       queued_by_class_[rec->klass]--;
+      // The client that attached gets `cancelled` now, but the journal
+      // keeps the job open: a restart on this store dir re-enqueues it.
+      LiveJob l;
+      l.spec = rec->spec;
+      l.job_id = rec->id;
+      l.klass = rec->klass;
+      l.dead_incarnations = rec->dead_incarnations;
+      leftover.push_back(std::move(l));
       rec->state = JobRecord::State::Done;
       rec->outcome.job_id = rec->id;
       rec->outcome.status_code = static_cast<u8>(StatusCode::Cancelled);
@@ -173,9 +311,22 @@ void Server::stop(bool drain) {
   }
 
   stop_workers_.store(true);
+  stop_watchdog_.store(true);
   cv_.notify_all();
   for (auto& w : workers_) w.join();
   workers_.clear();
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
+
+  // Final compaction: quarantined pins always survive; a drain shutdown
+  // adds the CleanShutdown marker (no open job is poison evidence); a
+  // cancel shutdown keeps the just-cancelled backlog open for the next
+  // incarnation to re-enqueue.
+  if (journal_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<LiveJob> live = live_jobs_locked();
+    for (auto& l : leftover) live.push_back(std::move(l));
+    (void)journal_->compact(live, /*clean=*/drain);
+  }
 
   // Flag first, close after the join: the accept loop polls with a short
   // timeout, so it observes the flag without ever racing the fd teardown.
@@ -285,8 +436,8 @@ void Server::handle_connection(u64 conn_id, int fd) {
           keep = false;
           break;
         }
-        RecordPtr rec = handle_submit(fd, *msg);
-        if (rec && msg->stream) keep = stream_job(fd, rec);
+        RecordPtr rec = handle_submit(fd, *msg, keep);
+        if (keep && rec && msg->stream) keep = stream_job(fd, rec);
         break;
       }
       case MsgType::kAttach: {
@@ -297,8 +448,8 @@ void Server::handle_connection(u64 conn_id, int fd) {
           keep = false;
           break;
         }
-        RecordPtr rec = handle_attach(fd, *id);
-        if (rec) keep = stream_job(fd, rec);
+        RecordPtr rec = handle_attach(fd, *id, keep);
+        if (keep && rec) keep = stream_job(fd, rec);
         break;
       }
       default:
@@ -315,7 +466,8 @@ void Server::handle_connection(u64 conn_id, int fd) {
   finished_conns_.push_back(conn_id);
 }
 
-Server::RecordPtr Server::handle_submit(int fd, const SubmitMsg& msg) {
+Server::RecordPtr Server::handle_submit(int fd, const SubmitMsg& msg,
+                                        bool& keep) {
   metrics::Registry& reg = metrics::registry();
   const std::string id = msg.spec.job_id();
   const std::string klass =
@@ -330,13 +482,19 @@ Server::RecordPtr Server::handle_submit(int fd, const SubmitMsg& msg) {
     const bool done = rec->state == JobRecord::State::Done;
     lock.unlock();
     reg.counter("serve.dedup_hits").add();
-    (void)write_frame(fd, make_accepted(id, done));
+    // A resubmit of a quarantined job streams its pinned `poisoned`
+    // outcome — it is never allowed back into the queue.
+    if (rec->quarantined) reg.counter("serve.poisoned_answers").add();
+    keep = write_frame(fd, make_accepted(id, done)).ok();
     return rec;
   }
 
   auto shed = [&](const std::string& reason) -> RecordPtr {
     const size_t depth = queue_.size();
     const double avg = avg_job_seconds_;
+    // Audit-only (not fsynced): a shed leaves no obligation behind, but
+    // the trail distinguishes "never admitted" from "lost" post-mortem.
+    if (journal_) (void)journal_->append_shed(id, reason);
     lock.unlock();
     // Hint when a queue slot should plausibly free up: the current backlog
     // worked off at the recent per-job rate across all workers.
@@ -346,7 +504,7 @@ Server::RecordPtr Server::handle_submit(int fd, const SubmitMsg& msg) {
         static_cast<u32>(std::clamp(eta_ms, 50.0, 60'000.0));
     reg.counter("serve.shed").add();
     reg.counter("serve.shed." + reason).add();
-    (void)write_frame(fd, make_shed(retry_ms, reason));
+    keep = write_frame(fd, make_shed(retry_ms, reason)).ok();
     return nullptr;
   };
 
@@ -365,28 +523,36 @@ Server::RecordPtr Server::handle_submit(int fd, const SubmitMsg& msg) {
   queue_.push_back(rec);
   queued_by_class_[klass]++;
   update_queue_gauges_locked();
+  // Write-ahead, inside the admission lock so per-job record order matches
+  // the state machine (no worker can journal a Start before this Admit).
+  // An append failure degrades this job to non-durable admission — the
+  // daemon keeps serving and the failure is counted, never fatal.
+  if (journal_ && !journal_->append_admit(msg.spec, id, klass).ok())
+    reg.counter("serve.journal_append_failures").add();
   lock.unlock();
   cv_.notify_all();
 
   reg.counter("serve.admitted").add();
-  (void)write_frame(fd, make_accepted(id, /*already_done=*/false));
+  keep = write_frame(fd, make_accepted(id, /*already_done=*/false)).ok();
   return rec;
 }
 
-Server::RecordPtr Server::handle_attach(int fd, const std::string& job_id) {
+Server::RecordPtr Server::handle_attach(int fd, const std::string& job_id,
+                                        bool& keep) {
   std::unique_lock<std::mutex> lock(mu_);
   auto it = jobs_.find(job_id);
   if (it == jobs_.end()) {
     lock.unlock();
     metrics::registry().counter("serve.attach_misses").add();
-    (void)write_frame(fd, make_error("unknown job " + job_id));
+    keep = write_frame(fd, make_error("unknown job " + job_id)).ok();
     return nullptr;
   }
   RecordPtr rec = it->second;
   const bool done = rec->state == JobRecord::State::Done;
   lock.unlock();
   metrics::registry().counter("serve.attaches").add();
-  if (!write_frame(fd, make_accepted(job_id, done)).ok()) return nullptr;
+  keep = write_frame(fd, make_accepted(job_id, done)).ok();
+  if (!keep) return nullptr;
   return rec;
 }
 
@@ -449,6 +615,10 @@ void Server::worker_loop() {
       rec->stage = "starting";
       rec->gen++;
       active_++;
+      // Durable BEFORE the work begins: if this process dies mid-job, the
+      // unmatched Start is the next incarnation's poison evidence.
+      if (journal_ && !journal_->append_start(rec->id).ok())
+        metrics::registry().counter("serve.journal_append_failures").add();
       update_queue_gauges_locked();
       metrics::registry().gauge("serve.active").set(active_);
       metrics::registry()
@@ -470,6 +640,11 @@ void Server::set_stage(const RecordPtr& rec, const char* stage) {
 }
 
 void Server::run_job(const RecordPtr& rec) {
+  // The quarantine drill's crash site: the Start record is already durable,
+  // so this abort is exactly "worker died in flight" — the next incarnation
+  // replays an unmatched Start and counts a dead incarnation.
+  if (fault::should_fire(fault::Point::JobCrash)) std::abort();
+
   const auto t0 = Clock::now();
   const JobSpec& spec = rec->spec;
   JobOutcome out;
@@ -512,6 +687,20 @@ void Server::run_job(const RecordPtr& rec) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       rec->session = &session;
+      rec->deadline_seconds = g.deadline_seconds;
+      rec->session_started_at = Clock::now();
+      rec->watchdog_fired = false;
+    }
+
+    // Test wedge: spin past the deadline ignoring everything but the
+    // governor's cancel flag — the watchdog's only lever on a genuinely
+    // stuck analysis.
+    if (const int wedge = test_wedge_ms_.load(std::memory_order_acquire);
+        wedge > 0) {
+      const auto until = Clock::now() + std::chrono::milliseconds(wedge);
+      while (Clock::now() < until &&
+             !session.governor().cancel_token().cancelled())
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
     }
 
     // Same digest scheme as Campaign: goal name + serialized chains, in
@@ -580,25 +769,70 @@ void Server::finish_job(const RecordPtr& rec, JobOutcome outcome) {
       if (it != jobs_.end() && it->second->state == JobRecord::State::Done)
         jobs_.erase(it);
     }
+    // Terminal record inside the lock, so a compaction snapshot can never
+    // list this job live while its Done lands in a pre-rename file.
+    if (journal_ && !journal_->append_done(rec->id,
+                                           rec->outcome.status_code,
+                                           rec->outcome.digest).ok())
+      reg.counter("serve.journal_append_failures").add();
+    update_queue_gauges_locked();
+    maybe_compact_locked();
   }
   cv_.notify_all();
+}
+
+void Server::watchdog_loop() {
+  // Scan period: fine-grained enough for test-sized grace values, cheap
+  // enough to be invisible at the 10s default.
+  const auto period =
+      std::chrono::milliseconds(std::clamp(opts_.watchdog_ms / 4, 10, 200));
+  while (!stop_watchdog_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(period);
+    const double grace = opts_.watchdog_ms / 1e3;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, rec] : jobs_) {
+      if (rec->state != JobRecord::State::Active || !rec->session ||
+          rec->watchdog_fired || rec->deadline_seconds <= 0)
+        continue;
+      if (secs_since(rec->session_started_at) <
+          rec->deadline_seconds + grace)
+        continue;
+      // The session blew through its own deadline without coming home:
+      // it is stuck somewhere that does not poll. Cancellation is the
+      // strongest safe lever — every loop head in the pipeline checks it,
+      // so the worker comes back with a degraded (cancelled) outcome
+      // instead of being wedged forever.
+      rec->session->governor().cancel();
+      rec->watchdog_fired = true;
+      watchdog_kills_++;
+      metrics::registry().counter("serve.watchdog_kills").add();
+    }
+  }
 }
 
 void Server::update_queue_gauges_locked() {
   metrics::registry()
       .gauge("serve.queue_depth")
       .set(static_cast<i64>(queue_.size()));
+  // Open (not yet answered) journal obligations: queued + running jobs.
+  metrics::registry()
+      .gauge("serve.journal_depth")
+      .set(static_cast<i64>(queue_.size()) + active_);
 }
 
 std::string Server::stats_json() const {
   size_t depth, njobs;
   int active;
+  u64 quarantined, watchdog_kills;
   {
     std::lock_guard<std::mutex> lock(mu_);
     depth = queue_.size();
     njobs = jobs_.size();
     active = active_;
+    quarantined = quarantined_count_;
+    watchdog_kills = watchdog_kills_;
   }
+  const u64 journal_bytes = journal_ ? journal_->size_bytes() : 0;
   std::string j = "{\"serve\": {";
   j += "\"queue_depth\": " + std::to_string(depth);
   j += ", \"active\": " + std::to_string(active);
@@ -606,6 +840,10 @@ std::string Server::stats_json() const {
   j += ", \"queue_limit\": " + std::to_string(opts_.queue_limit);
   j += ", \"max_active\": " + std::to_string(opts_.max_active);
   j += std::string(", \"draining\": ") + (draining() ? "true" : "false");
+  j += ", \"journal_depth\": " + std::to_string(depth + active);
+  j += ", \"journal_bytes\": " + std::to_string(journal_bytes);
+  j += ", \"quarantined\": " + std::to_string(quarantined);
+  j += ", \"watchdog_kills\": " + std::to_string(watchdog_kills);
   j += "}, \"metrics\": " + metrics::registry().to_json() + "}";
   return j;
 }

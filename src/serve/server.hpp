@@ -32,6 +32,15 @@
 //    complete), then exit 0. SIGKILL needs no cooperation: a restart on
 //    the same store dir resumes re-issued jobs from the surviving
 //    checkpoints to byte-identical digests (tier1.sh drills this).
+//  - Admission is durable (serve/journal). With a store dir, every admit/
+//    start/done is written ahead to an append-only CRC-framed journal;
+//    a restart replays it and re-enqueues the incomplete backlog itself,
+//    with NO client resubmission. A job whose incarnations keep dying
+//    in flight is quarantined after GP_SERVE_POISON_RETRIES deaths and
+//    answered `poisoned` instead of being allowed to kill another worker.
+//  - A hung-job watchdog (GP_SERVE_WATCHDOG_MS grace past the effective
+//    deadline) cancels wedged sessions through their governors, so one
+//    stuck analysis cannot permanently eat a worker slot.
 //
 // Per-request deadlines/budgets: JobSpec overrides are resolved against
 // the engine's gp::Config and split across GP_SERVE_MAX_ACTIVE workers via
@@ -50,6 +59,7 @@
 #include <vector>
 
 #include "core/session.hpp"
+#include "serve/journal.hpp"
 #include "serve/protocol.hpp"
 
 namespace gp::serve {
@@ -62,11 +72,34 @@ struct ServeOptions {
   /// then only bound each other through the total).
   int per_class_limit = 0;
   std::string store_dir;    // checkpoint/resume directory ("" disables)
+  /// Dead in-flight incarnations (journal Start with no terminal record
+  /// across a dirty shutdown) tolerated before a job is quarantined.
+  int poison_retries = 2;
+  /// Watchdog grace beyond a running job's effective deadline before its
+  /// session governor is cancelled; 0 disables the watchdog. Jobs with no
+  /// deadline are never watchdog-killed.
+  int watchdog_ms = 10'000;
+  /// Journal size that triggers compaction on the next job completion.
+  u64 journal_compact_bytes = u64{1} << 20;
 
-  /// GP_SERVE_SOCK / GP_SERVE_QUEUE / GP_SERVE_MAX_ACTIVE / GP_STORE_DIR
-  /// via gp::Config (fresh parse, setenv-sensitive like the other
-  /// from_env helpers).
+  /// GP_SERVE_SOCK / GP_SERVE_QUEUE / GP_SERVE_MAX_ACTIVE /
+  /// GP_SERVE_POISON_RETRIES / GP_SERVE_WATCHDOG_MS / GP_STORE_DIR via
+  /// gp::Config (fresh parse, setenv-sensitive like the other from_env
+  /// helpers).
   static ServeOptions from_env();
+};
+
+/// What journal replay did at startup — surfaced so the daemon can log one
+/// honest line about recovery before accepting traffic.
+struct ReplaySummary {
+  bool journal_enabled = false;
+  bool clean_shutdown = false;
+  bool rotated = false;        // bad magic/version: old log discarded
+  u64 records = 0;             // well-formed records read
+  u64 torn_tail_bytes = 0;     // discarded after the last good record
+  u64 requeued = 0;            // incomplete jobs re-enqueued (no client)
+  u64 completed = 0;           // finished jobs re-installed for attach
+  u64 quarantined = 0;         // jobs now answered `poisoned`
 };
 
 class Server {
@@ -112,6 +145,18 @@ class Server {
   /// jobs are provably still queued.
   void hold_workers(bool hold);
 
+  /// Test hook: make every job spin for `ms` after its session starts,
+  /// ignoring everything but governor cancellation — a deterministic
+  /// stand-in for "analysis wedged past its deadline" so the watchdog can
+  /// be exercised without a genuinely hung solver.
+  void set_test_wedge_ms(int ms) {
+    test_wedge_ms_.store(ms, std::memory_order_release);
+  }
+
+  /// What journal replay did in start(). Zero-valued (journal_enabled ==
+  /// false) when the server runs without a store dir.
+  const ReplaySummary& replay_summary() const { return replay_summary_; }
+
  private:
   struct JobRecord {
     JobSpec spec;
@@ -127,15 +172,38 @@ class Server {
     /// path cancels through it.
     core::Session* session = nullptr;
     std::chrono::steady_clock::time_point enqueued_at;
+    /// Incarnations of this job that died in flight (from journal replay).
+    u32 dead_incarnations = 0;
+    /// Quarantined records are pinned: answered `poisoned`, never evicted.
+    bool quarantined = false;
+    /// Watchdog bookkeeping, valid while a session is registered: when the
+    /// job's effective wall deadline (0 = none) started counting.
+    double deadline_seconds = 0;
+    std::chrono::steady_clock::time_point session_started_at;
+    bool watchdog_fired = false;
   };
   using RecordPtr = std::shared_ptr<JobRecord>;
 
   void accept_loop();
   void worker_loop();
+  void watchdog_loop();
+  /// Turn the journal's replayed state into registry records: completed
+  /// jobs become attachable Done records, poisoned jobs become pinned
+  /// `poisoned` answers, incomplete jobs re-enter the queue. Runs before
+  /// any thread starts; finishes with a compaction that rebaselines
+  /// dead-incarnation counts.
+  void apply_replay(ReplayResult replay);
+  /// Live-jobs snapshot for Journal::compact (caller holds mu_).
+  std::vector<LiveJob> live_jobs_locked() const;
+  void maybe_compact_locked();
   void handle_connection(u64 conn_id, int fd);
   /// Returns the record to stream (nullptr when shed / not streaming).
-  RecordPtr handle_submit(int fd, const SubmitMsg& msg);
-  RecordPtr handle_attach(int fd, const std::string& job_id);
+  // `keep` is cleared when the admission reply could not be written: the
+  // client never saw a verdict, so the only safe move is to close the
+  // connection (leaving it open deadlocks both sides in read — the
+  // client waiting for the reply, the handler for the next request).
+  RecordPtr handle_submit(int fd, const SubmitMsg& msg, bool& keep);
+  RecordPtr handle_attach(int fd, const std::string& job_id, bool& keep);
   /// Stream progress frames until the job completes, then the result.
   /// Returns false when the client disconnected mid-stream.
   bool stream_job(int fd, const RecordPtr& rec);
@@ -170,10 +238,18 @@ class Server {
 
   std::vector<std::thread> workers_;
   std::thread accept_thread_;
+  std::thread watchdog_thread_;
+  std::atomic<bool> stop_watchdog_{false};
+  std::atomic<int> test_wedge_ms_{0};
   std::map<u64, std::thread> conn_threads_;
   std::map<u64, int> conn_fds_;
   std::vector<u64> finished_conns_;
   u64 next_conn_id_ = 0;
+
+  std::unique_ptr<Journal> journal_;  // null when store_dir is empty
+  ReplaySummary replay_summary_;
+  u64 quarantined_count_ = 0;         // guarded by mu_
+  u64 watchdog_kills_ = 0;            // guarded by mu_
 };
 
 }  // namespace gp::serve

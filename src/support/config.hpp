@@ -94,6 +94,18 @@ struct Config {
   /// GovernorOptions::split_across (clamped to [1, 256]; default 4).
   int serve_max_active = 4;
 
+  /// GP_SERVE_POISON_RETRIES: dead in-flight incarnations of one job
+  /// (start record in the journal, no terminal record, dirty shutdown)
+  /// tolerated before the job is quarantined and answered `poisoned`
+  /// instead of re-admitted (clamped to [1, 100]; default 2).
+  int serve_poison_retries = 2;
+
+  /// GP_SERVE_WATCHDOG_MS: grace beyond a running job's deadline before
+  /// the hung-job watchdog fires the session governor's cancel (0 disables
+  /// the watchdog; clamped to [0, 1h]; default 10s). Jobs with no deadline
+  /// are never watchdog-killed.
+  int serve_watchdog_ms = 10'000;
+
   /// Parse the environment now. The single std::getenv site in src/.
   static Config from_env();
 };

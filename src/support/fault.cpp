@@ -53,6 +53,9 @@ const char* point_name(Point p) {
     case Point::Accept: return "accept";
     case Point::SockRead: return "sock_read";
     case Point::SockWrite: return "sock_write";
+    case Point::JournalAppend: return "journal_append";
+    case Point::JournalReplay: return "journal_replay";
+    case Point::JobCrash: return "job_crash";
     case Point::kCount: break;
   }
   return "<bad>";

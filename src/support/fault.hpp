@@ -20,6 +20,10 @@
 //   accept=<rate>     gp_serve drops an accepted connection (accept() EMFILE)
 //   sock_read=<rate>  socket frame read fails               (connection reset)
 //   sock_write=<rate> socket frame write fails              (peer gone / EPIPE)
+//   journal_append=<rate>  gp_serve job-journal append is torn (crash mid-append)
+//   journal_replay=<rate>  journal replay treats a record as corrupt (end-of-log)
+//   job_crash=<rate>  gp_serve worker aborts the process at job start
+//                     (the pathological-image crash the quarantine absorbs)
 // with <rate> a probability in [0, 1], e.g.
 //   GP_FAULT="seed=42,decode=0.01,solver=0.05,alloc=0.001"
 // Unknown keys are rejected with an error that lists the valid points.
@@ -47,6 +51,9 @@ enum class Point : u8 {
   Accept,        // serve: accepted connection is dropped immediately
   SockRead,      // serve: socket frame read fails (connection reset)
   SockWrite,     // serve: socket frame write fails (peer gone / EPIPE)
+  JournalAppend, // serve: job-journal append persists only a prefix
+  JournalReplay, // serve: journal replay reads a record as corrupt
+  JobCrash,      // serve: worker std::abort()s right after the start record
   kCount,
 };
 /// The point's GP_FAULT spec key ("decode", "write", ...).

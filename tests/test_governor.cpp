@@ -209,11 +209,13 @@ TEST(Fault, UnknownPointNamesTheTypoAndListsEveryValidPoint) {
   // self-diagnosing — including the I/O and socket points.
   for (const char* name : {"decode", "solver", "emu", "alloc", "write",
                            "read", "rename", "accept", "sock_read",
-                           "sock_write"})
+                           "sock_write", "journal_append", "journal_replay",
+                           "job_crash"})
     EXPECT_NE(msg.find(name), std::string::npos) << "missing " << name;
   EXPECT_EQ(fault::valid_point_names(),
             "decode, solver, emu, alloc, write, read, rename, accept, "
-            "sock_read, sock_write");
+            "sock_read, sock_write, journal_append, journal_replay, "
+            "job_crash");
 }
 
 TEST(Fault, ParseSpecAcceptsTheIoPoints) {

@@ -15,10 +15,12 @@
 
 #include "core/engine.hpp"
 #include "serve/client.hpp"
+#include "serve/journal.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "support/fault.hpp"
 #include "support/metrics.hpp"
+#include "support/serial.hpp"
 
 namespace gp::serve {
 namespace {
@@ -498,6 +500,341 @@ TEST(ServeDaemon, BadBytesOnTheSocketGetErrorNotCrash) {
   auto c2 = Client::connect(d.sock());
   ASSERT_TRUE(c2.ok());
   EXPECT_TRUE(c2.value().ping().ok());
+}
+
+// -- durable job journal ------------------------------------------------------
+
+/// mkdtemp scratch dir with rm -rf cleanup, for tests that drive Journal
+/// or Server generations directly.
+struct TempDir {
+  TempDir() {
+    char tmpl[] = "/tmp/gp_journal_test_XXXXXX";
+    const char* p = ::mkdtemp(tmpl);
+    EXPECT_NE(p, nullptr);
+    if (p) path = p;
+  }
+  ~TempDir() { std::system(("rm -rf " + path).c_str()); }
+  std::string path;
+};
+
+TEST(ServeJournal, RoundTripReplaysAdmitStartDone) {
+  TempDir t;
+  const std::string jpath = t.path + "/journal.gpj";
+  const JobSpec spec = tiny_spec(600);
+  {
+    Journal j(jpath);
+    ASSERT_TRUE(j.open().ok());
+    EXPECT_TRUE(j.take_replay().jobs.empty());
+    ASSERT_TRUE(j.append_admit(spec, spec.job_id(), "default").ok());
+    ASSERT_TRUE(j.append_start(spec.job_id()).ok());
+    ASSERT_TRUE(j.append_done(spec.job_id(), 0, 0xfeedbeefcafe).ok());
+  }
+  Journal j2(jpath);
+  ASSERT_TRUE(j2.open().ok());
+  const ReplayResult r = j2.take_replay();
+  EXPECT_EQ(r.records, 3u);
+  EXPECT_EQ(r.torn_tail_bytes, 0u);
+  EXPECT_FALSE(r.rotated);
+  ASSERT_EQ(r.jobs.size(), 1u);
+  EXPECT_EQ(r.jobs[0].job_id, spec.job_id());
+  EXPECT_FALSE(r.jobs[0].open);
+  EXPECT_EQ(r.jobs[0].done_digest, 0xfeedbeefcafeu);
+  EXPECT_EQ(r.jobs[0].dead_incarnations, 0u);
+  // The replayed spec is byte-equivalent: same job id.
+  EXPECT_EQ(r.jobs[0].spec.job_id(), spec.job_id());
+}
+
+TEST(ServeJournal, UnmatchedStartsCountDeadIncarnations) {
+  TempDir t;
+  const std::string jpath = t.path + "/journal.gpj";
+  const JobSpec spec = tiny_spec(601);
+  {
+    Journal j(jpath);
+    ASSERT_TRUE(j.open().ok());
+    ASSERT_TRUE(j.append_admit(spec, spec.job_id(), "default").ok());
+    ASSERT_TRUE(j.append_start(spec.job_id()).ok());
+  }  // incarnation 1 "dies": Start with no terminal record
+  {
+    Journal j(jpath);
+    ASSERT_TRUE(j.open().ok());
+    const ReplayResult r = j.take_replay();
+    ASSERT_EQ(r.jobs.size(), 1u);
+    EXPECT_TRUE(r.jobs[0].open);
+    EXPECT_EQ(r.jobs[0].dead_incarnations, 1u);
+    ASSERT_TRUE(j.append_start(spec.job_id()).ok());
+  }  // incarnation 2 dies the same way
+  Journal j3(jpath);
+  ASSERT_TRUE(j3.open().ok());
+  EXPECT_EQ(j3.take_replay().jobs[0].dead_incarnations, 2u);
+}
+
+TEST(ServeJournal, ServerReplaysBacklogAndCompletesWithoutResubmission) {
+  TempDir t;
+  const std::string store = t.path + "/store";
+  const JobSpec spec = tiny_spec(602);
+
+  // What the journal of a SIGKILLed daemon looks like: an admitted job
+  // with no terminal record. Written directly — no server ever saw it.
+  {
+    Journal j(store + "/journal.gpj");
+    ASSERT_TRUE(j.open().ok());
+    ASSERT_TRUE(j.append_admit(spec, spec.job_id(), "default").ok());
+  }
+
+  core::Engine engine{Config{}};
+  ServeOptions opts;
+  opts.socket_path = t.path + "/gp.sock";
+  opts.store_dir = store;
+  Server server(engine, opts);
+  ASSERT_TRUE(server.start().ok());
+  EXPECT_EQ(server.replay_summary().requeued, 1u);
+
+  // Attach ONLY — the job must complete from the journal alone.
+  auto c = Client::connect(opts.socket_path);
+  ASSERT_TRUE(c.ok());
+  auto adm = c.value().attach(spec.job_id());
+  ASSERT_TRUE(adm.ok()) << adm.status().to_string();
+  ASSERT_TRUE(adm.value().accepted);
+  auto outcome = c.value().wait_result();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().to_string();
+  EXPECT_EQ(static_cast<StatusCode>(outcome.value().status_code),
+            StatusCode::Ok);
+  const u64 replayed_digest = outcome.value().digest;
+  server.stop(/*drain=*/true);
+
+  // Digest identity: the same spec submitted normally to a fresh daemon
+  // (fresh store, fresh engine) must agree byte-for-byte.
+  TestDaemon d;
+  auto c2 = Client::connect(d.sock());
+  ASSERT_TRUE(c2.ok());
+  auto adm2 = c2.value().submit(spec);
+  ASSERT_TRUE(adm2.ok());
+  auto out2 = c2.value().wait_result();
+  ASSERT_TRUE(out2.ok());
+  EXPECT_EQ(out2.value().digest, replayed_digest);
+}
+
+TEST(ServeJournal, PoisonJobIsQuarantinedAndAnsweredPoisoned) {
+  TempDir t;
+  const std::string store = t.path + "/store";
+  const JobSpec spec = tiny_spec(603);
+
+  // Two incarnations started and never finished, and the log ends dirty:
+  // exactly what GP_FAULT=job_crash=1 leaves behind after two daemon
+  // deaths (tier1.sh drills the out-of-process version of this).
+  {
+    Journal j(store + "/journal.gpj");
+    ASSERT_TRUE(j.open().ok());
+    ASSERT_TRUE(j.append_admit(spec, spec.job_id(), "default").ok());
+    ASSERT_TRUE(j.append_start(spec.job_id()).ok());
+    ASSERT_TRUE(j.append_start(spec.job_id()).ok());
+  }
+
+  core::Engine engine{Config{}};
+  ServeOptions opts;
+  opts.socket_path = t.path + "/gp.sock";
+  opts.store_dir = store;
+  opts.poison_retries = 2;
+  Server server(engine, opts);
+  ASSERT_TRUE(server.start().ok());
+  EXPECT_EQ(server.replay_summary().quarantined, 1u);
+  EXPECT_EQ(server.replay_summary().requeued, 0u);
+
+  auto c = Client::connect(opts.socket_path);
+  ASSERT_TRUE(c.ok());
+  auto adm = c.value().attach(spec.job_id());
+  ASSERT_TRUE(adm.ok());
+  ASSERT_TRUE(adm.value().accepted);
+  EXPECT_TRUE(adm.value().ok.already_done);
+  auto outcome = c.value().wait_result();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(static_cast<StatusCode>(outcome.value().status_code),
+            StatusCode::Internal);
+  EXPECT_NE(outcome.value().status_msg.find("poisoned"), std::string::npos);
+
+  // An identical resubmit dedupes onto the pinned quarantine record — it
+  // is never re-admitted to the queue.
+  auto c2 = Client::connect(opts.socket_path);
+  ASSERT_TRUE(c2.ok());
+  auto readm = c2.value().submit(spec);
+  ASSERT_TRUE(readm.ok());
+  ASSERT_TRUE(readm.value().accepted);
+  EXPECT_TRUE(readm.value().ok.already_done);
+  auto again = c2.value().wait_result();
+  ASSERT_TRUE(again.ok());
+  EXPECT_NE(again.value().status_msg.find("poisoned"), std::string::npos);
+
+  auto stats = Client::connect(opts.socket_path);
+  ASSERT_TRUE(stats.ok());
+  auto json = stats.value().stats();
+  ASSERT_TRUE(json.ok());
+  EXPECT_NE(json.value().find("\"quarantined\": 1"), std::string::npos);
+  server.stop(/*drain=*/true);
+
+  // Quarantine survives the clean shutdown's compaction: a third daemon
+  // generation still answers `poisoned` without re-running anything.
+  core::Engine engine2{Config{}};
+  opts.socket_path = t.path + "/gen2.sock";
+  Server server2(engine2, opts);
+  ASSERT_TRUE(server2.start().ok());
+  EXPECT_EQ(server2.replay_summary().quarantined, 1u);
+  server2.stop(/*drain=*/true);
+}
+
+TEST(ServeJournal, CorruptionSweepReadsAsEndOfLogNeverACrash) {
+  TempDir t;
+  const std::string jpath = t.path + "/journal.gpj";
+  const JobSpec closed = tiny_spec(604), open = tiny_spec(605);
+  {
+    Journal j(jpath);
+    ASSERT_TRUE(j.open().ok());
+    ASSERT_TRUE(j.append_admit(closed, closed.job_id(), "default").ok());
+    ASSERT_TRUE(j.append_start(closed.job_id()).ok());
+    ASSERT_TRUE(j.append_done(closed.job_id(), 0, 42).ok());
+    ASSERT_TRUE(j.append_admit(open, open.job_id(), "default").ok());
+  }
+  auto pristine = serial::read_file(jpath);
+  ASSERT_TRUE(pristine.ok());
+  const std::vector<u8> bytes = pristine.value();
+
+  auto restore = [&](const std::vector<u8>& b) {
+    ASSERT_TRUE(serial::write_file_atomic(jpath, b).ok());
+  };
+  auto replay = [&]() -> ReplayResult {
+    Journal j(jpath);
+    const Status st = j.open();
+    EXPECT_TRUE(st.ok()) << st.to_string();
+    return j.take_replay();
+  };
+
+  // Truncated tail: the cut record reads as end-of-log; every record
+  // before it survives.
+  {
+    std::vector<u8> cut(bytes.begin(), bytes.end() - 7);
+    restore(cut);
+    const ReplayResult r = replay();
+    EXPECT_GT(r.torn_tail_bytes, 0u);
+    ASSERT_EQ(r.jobs.size(), 1u);
+    EXPECT_FALSE(r.jobs[0].open);
+  }
+
+  // Bit flip inside the final record: CRC rejects it, prefix survives.
+  {
+    std::vector<u8> flipped = bytes;
+    flipped[flipped.size() - 3] ^= 0x40;
+    restore(flipped);
+    const ReplayResult r = replay();
+    EXPECT_GT(r.torn_tail_bytes, 0u);
+    EXPECT_EQ(r.records, 3u);
+  }
+
+  // Torn final append (injected): the journal's own fault point models a
+  // crash mid-write; the next open truncates the torn half-record.
+  {
+    restore(bytes);
+    {
+      Journal j(jpath);
+      ASSERT_TRUE(j.open().ok());
+      (void)j.take_replay();
+      fault::ScopedSpec tear("journal_append=1,seed=5");
+      const Status st = j.append_start(open.job_id());
+      EXPECT_EQ(st.code(), StatusCode::FaultInjected);
+    }
+    const ReplayResult r = replay();
+    EXPECT_GT(r.torn_tail_bytes, 0u);
+    EXPECT_EQ(r.records, 4u);  // the torn Start is gone, nothing else
+    EXPECT_EQ(r.jobs[1].dead_incarnations, 0u);
+  }
+
+  // Version bump: the whole file reads as a foreign log and is rotated
+  // out; replay starts empty rather than misparsing.
+  {
+    std::vector<u8> bumped = bytes;
+    bumped[4] ^= 0xff;  // u32 version little-endian low byte
+    restore(bumped);
+    const ReplayResult r = replay();
+    EXPECT_TRUE(r.rotated);
+    EXPECT_TRUE(r.jobs.empty());
+  }
+
+  // Injected replay corruption: reads as end-of-log, never a crash.
+  {
+    restore(bytes);
+    fault::ScopedSpec bad("journal_replay=1,seed=9");
+    const ReplayResult r = replay();
+    EXPECT_EQ(r.records, 0u);
+    EXPECT_TRUE(r.jobs.empty());
+  }
+}
+
+TEST(ServeJournal, CompactionKeepsLiveJobsAndCleanDrainMarksShutdown) {
+  TempDir t;
+  const std::string store = t.path + "/store";
+  {
+    core::Engine engine{Config{}};
+    ServeOptions opts;
+    opts.socket_path = t.path + "/gp.sock";
+    opts.store_dir = store;
+    // Tiny threshold: every completion triggers compaction, so the log
+    // must stay bounded by live backlog, not by history.
+    opts.journal_compact_bytes = 256;
+    Server server(engine, opts);
+    ASSERT_TRUE(server.start().ok());
+    for (u64 seed = 620; seed < 626; ++seed) {
+      auto c = Client::connect(opts.socket_path);
+      ASSERT_TRUE(c.ok());
+      auto adm = c.value().submit(tiny_spec(seed));
+      ASSERT_TRUE(adm.ok());
+      ASSERT_TRUE(adm.value().accepted);
+      auto out = c.value().wait_result();
+      ASSERT_TRUE(out.ok());
+    }
+    server.stop(/*drain=*/true);
+  }
+  // After six jobs and a clean drain the log holds only the header and
+  // the CleanShutdown marker — history was compacted away.
+  Journal j(store + "/journal.gpj");
+  ASSERT_TRUE(j.open().ok());
+  const ReplayResult r = j.take_replay();
+  EXPECT_TRUE(r.clean_shutdown);
+  EXPECT_TRUE(r.jobs.empty());
+  EXPECT_LT(j.size_bytes(), 64u);
+}
+
+TEST(ServeJournal, WatchdogCancelsWedgedJobAndCountsTheKill) {
+  TempDir t;
+  core::Engine engine{Config{}};
+  ServeOptions opts;
+  opts.socket_path = t.path + "/gp.sock";
+  opts.store_dir = t.path + "/store";
+  opts.watchdog_ms = 100;  // grace beyond the job deadline
+  Server server(engine, opts);
+  ASSERT_TRUE(server.start().ok());
+  // Wedge every job for 30s — far past deadline+grace; only the watchdog's
+  // governor cancel can release it.
+  server.set_test_wedge_ms(30'000);
+
+  JobSpec spec = tiny_spec(630);
+  spec.deadline_ms = 150;
+  auto c = Client::connect(opts.socket_path);
+  ASSERT_TRUE(c.ok());
+  auto adm = c.value().submit(spec);
+  ASSERT_TRUE(adm.ok());
+  ASSERT_TRUE(adm.value().accepted);
+  auto outcome = c.value().wait_result();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().to_string();
+  // The wedge released well before its 30s: the watchdog fired and the
+  // session came home degraded, freeing the worker slot.
+  EXPECT_NE(static_cast<StatusCode>(outcome.value().status_code),
+            StatusCode::Ok);
+
+  auto c2 = Client::connect(opts.socket_path);
+  ASSERT_TRUE(c2.ok());
+  auto json = c2.value().stats();
+  ASSERT_TRUE(json.ok());
+  EXPECT_NE(json.value().find("\"watchdog_kills\": 1"), std::string::npos);
+  server.set_test_wedge_ms(0);
+  server.stop(/*drain=*/true);
 }
 
 }  // namespace

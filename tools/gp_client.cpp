@@ -15,10 +15,14 @@
 // Exit codes mirror gp_pipeline's campaign taxonomy so scripts can branch
 // without parsing: 0 job ok, 3 degraded (deadline/budget/fault), 4 failed
 // (internal), 5 shed and retries exhausted, 1 connection/protocol error,
-// 2 usage. --retries N honors the daemon's retry_after_ms hint between
-// attempts (the polite response to load shedding).
+// 2 usage. --retries N covers BOTH flavors of transient failure: a shed
+// honors the daemon's retry_after_ms hint, while a connect refusal or a
+// mid-stream read error (a daemon restarting under it) gets exponential
+// backoff and a fresh submit — the identical spec dedupes onto the live
+// record or replayed journal entry, so riding out a restart is free.
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -185,16 +189,29 @@ int main(int argc, char** argv) {
 
   if (command != "submit") return usage(argv[0]);
 
+  // Transient-failure backoff: 100ms doubling to a 2s ceiling. Shed
+  // retries ignore this and use the daemon's own hint instead.
+  auto backoff = [](int attempt) {
+    const int ms = std::min(100 << std::min(attempt, 5), 2'000);
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  };
+  auto transient = [&](int attempt, const Status& st) {
+    std::fprintf(stderr, "gp_client: %s%s\n", st.to_string().c_str(),
+                 attempt < retries ? " (will retry)" : "");
+    if (attempt >= retries) return false;
+    backoff(attempt);
+    return true;
+  };
+
   for (int attempt = 0;; ++attempt) {
     auto c = connect();
     if (!c.ok()) {
-      std::fprintf(stderr, "gp_client: %s\n", c.status().to_string().c_str());
+      if (transient(attempt, c.status())) continue;
       return 1;
     }
     auto adm = c.value().submit(spec, stream);
     if (!adm.ok()) {
-      std::fprintf(stderr, "gp_client: %s\n",
-                   adm.status().to_string().c_str());
+      if (transient(attempt, adm.status())) continue;
       return 1;
     }
     if (!adm.value().accepted) {
@@ -222,8 +239,9 @@ int main(int argc, char** argv) {
       if (!quiet) std::fprintf(stderr, "stage: %s\n", p.stage.c_str());
     });
     if (!outcome.ok()) {
-      std::fprintf(stderr, "gp_client: %s\n",
-                   outcome.status().to_string().c_str());
+      // Mid-stream loss (daemon killed under us). Resubmitting the same
+      // spec lands on the journal-replayed record, warm from the store.
+      if (transient(attempt, outcome.status())) continue;
       return 1;
     }
     print_outcome(outcome.value());

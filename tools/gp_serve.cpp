@@ -16,7 +16,10 @@
 //   - kShutdown from a client: same drain, same exit 0.
 //   - SIGKILL: nothing to handle — the artifact store's manifest and
 //     CRC-checked records survive, and a restarted daemon on the same
-//     --store dir resumes re-issued jobs to byte-identical digests.
+//     --store dir replays the job journal: the incomplete backlog is
+//     re-enqueued server-side (no client resubmission) and finishes to
+//     byte-identical digests; jobs whose incarnations keep dying are
+//     quarantined and answered `poisoned`.
 #include <unistd.h>
 
 #include <cstdio>
@@ -91,6 +94,19 @@ int main(int argc, char** argv) {
                opts.socket_path.c_str(), server.options().queue_limit,
                server.options().max_active,
                opts.store_dir.empty() ? "<disabled>" : opts.store_dir.c_str());
+  if (const serve::ReplaySummary& rs = server.replay_summary();
+      rs.journal_enabled) {
+    std::fprintf(stderr,
+                 "gp_serve: journal replay: %llu records, %llu requeued, "
+                 "%llu completed, %llu quarantined%s%s%s\n",
+                 static_cast<unsigned long long>(rs.records),
+                 static_cast<unsigned long long>(rs.requeued),
+                 static_cast<unsigned long long>(rs.completed),
+                 static_cast<unsigned long long>(rs.quarantined),
+                 rs.clean_shutdown ? " (clean shutdown)" : "",
+                 rs.torn_tail_bytes ? " (torn tail truncated)" : "",
+                 rs.rotated ? " (rotated: bad header)" : "");
+  }
   if (ready_fd >= 0) {
     const char r = 'R';
     (void)!::write(ready_fd, &r, 1);
