@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "codegen/codegen.hpp"
 #include "core/core.hpp"
 #include "corpus/corpus.hpp"
 #include "support/config.hpp"
@@ -19,6 +20,21 @@
 namespace gp::bench {
 
 inline bool full_sweep() { return config().bench_full; }
+
+/// Codegen options honoring GP_OPT_LEVEL — the drivers that compile
+/// directly (fig1/table1/table7) use this so `GP_OPT_LEVEL=2 fig1`
+/// regenerates the table at -O2; campaign-based drivers resolve the same
+/// knob inside Campaign::run.
+inline codegen::Options bench_codegen() {
+  codegen::Options opts;
+  opts.opt = codegen::opt_level_from_int(config().opt_level);
+  return opts;
+}
+
+/// "O0"/"O1"/"O2" for table headers.
+inline const char* opt_label() {
+  return codegen::opt_level_name(bench_codegen().opt);
+}
 
 /// The benchmark programs a quick run uses (a representative third of the
 /// corpus); GP_BENCH_FULL=1 uses all twelve.

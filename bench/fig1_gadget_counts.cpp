@@ -10,7 +10,8 @@
 
 int main() {
   using namespace gp;
-  std::printf("Fig. 1 — gadget counts per benchmark program\n");
+  std::printf("Fig. 1 — gadget counts per benchmark program (codegen %s)\n",
+              bench::opt_label());
   std::printf("%-16s %12s %12s %12s %10s %10s\n", "program", "original",
               "llvm-obf", "tigress", "llvm-x", "tigress-x");
   bench::hr();
@@ -23,7 +24,7 @@ int main() {
     for (const auto& row : bench::table4_rows()) {
       auto prog = minic::compile_source(program.source);
       obf::obfuscate(prog, row.options);
-      const auto img = codegen::compile(prog);
+      const auto img = codegen::compile(prog, bench::bench_codegen());
       solver::Context ctx;
       gadget::Extractor ex(ctx, img);
       counts[idx++] = ex.extract({}).size();

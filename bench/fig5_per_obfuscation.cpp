@@ -15,8 +15,8 @@ int main() {
                            "bogus-cf", "flatten",      "virtualize"};
 
   std::printf("Fig. 5 — Gadget-Planner payloads per obfuscation method "
-              "(summed over %zu programs, all goals)\n",
-              bench::bench_programs().size());
+              "(summed over %zu programs, all goals, codegen %s)\n",
+              bench::bench_programs().size(), bench::opt_label());
   std::printf("%-16s %10s %10s %10s\n", "method", "gadgets", "payloads",
               "code-bytes");
   bench::hr(52);

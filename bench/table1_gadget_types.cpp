@@ -60,20 +60,20 @@ int main() {
   for (const auto& program : bench::bench_programs()) {
     {
       auto prog = minic::compile_source(program.source);
-      count_types(codegen::compile(prog), original);
+      count_types(codegen::compile(prog, bench::bench_codegen()), original);
     }
     {
       // "Obfuscated" aggregates the paper's all-options setting; we follow
       // with the Tigress profile (all five methods).
       auto prog = minic::compile_source(program.source);
       obf::obfuscate(prog, obf::Options::tigress(7));
-      count_types(codegen::compile(prog), obfuscated);
+      count_types(codegen::compile(prog, bench::bench_codegen()), obfuscated);
     }
   }
 
   std::printf("Table I — gadget types, original vs obfuscated (summed over "
-              "%zu programs)\n",
-              bench::bench_programs().size());
+              "%zu programs, codegen %s)\n",
+              bench::bench_programs().size(), bench::opt_label());
   std::printf("%-10s %14s %14s %10s\n", "type", "original", "obfuscated",
               "IR");
   bench::hr(52);

@@ -78,7 +78,9 @@ int main() {
   };
   core::Campaign(core::Engine::shared(), copts).run(jobs);
 
-  std::printf("Table V — chain properties on obfuscated programs\n");
+  std::printf("Table V — chain properties on obfuscated programs "
+              "(codegen %s)\n",
+              bench::opt_label());
   std::printf("%-16s %10s %10s %8s %6s %6s %6s\n", "tool", "gadget-len",
               "chain-len", "Ret", "IJ", "DJ", "CJ");
   bench::hr(70);

@@ -15,10 +15,10 @@ int main() {
 
   auto prog = minic::compile_source(corpus::netperf().source);
   obf::obfuscate(prog, obf::Options::llvm_obf(2023));
-  const auto img = codegen::compile(prog);
+  const auto img = codegen::compile(prog, bench::bench_codegen());
   std::printf("Table VII — per-stage cost on obfuscated netperf-like "
-              "(%zu bytes of code)\n\n",
-              img.code().size());
+              "(%zu bytes of code, codegen %s)\n\n",
+              img.code().size(), bench::opt_label());
   std::printf("%-16s %-22s %10s %10s\n", "tool", "stage", "time(s)",
               "mem(MB)");
   bench::hr(64);

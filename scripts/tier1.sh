@@ -92,7 +92,7 @@ assert par["schema"] == "gp-campaign-v1", par["schema"]
 assert par["jobs"] == len(par["results"]) > 0
 bad = [r for r in par["results"] if r["status"] == "internal"]
 assert par["jobs_failed"] == 0 and not bad, f"failed jobs: {bad}"
-dig = lambda s: {(r["program"], r["obfuscation"]): r["digest"]
+dig = lambda s: {(r["program"], r["obfuscation"], r["opt_level"]): r["digest"]
                  for r in s["results"]}
 assert dig(par) == dig(seq), \
     "concurrency or the planner index changed campaign results"
@@ -185,6 +185,80 @@ off = best({"GP_METRICS": "0", "GP_TRACE": "0"})
 assert off <= on * 1.25, f"disabled run slower than instrumented: {off} vs {on}"
 print(f"observability overhead: instrumented {on:.2f}s, disabled {off:.2f}s")
 PY
+
+echo "== tier-1: opt-level drill (determinism, distinctness, store isolation) =="
+# Three claims about codegen -O0/-O2:
+#  1. Per-level determinism: compiling the same program twice at one level
+#     yields byte-identical images, and a campaign re-run at the same
+#     levels yields identical result digests per (program, profile, level).
+#  2. Distinctness: the O0 and O2 images of one program differ (the
+#     optimizer is not a no-op).
+#  3. Store isolation: artifact-store keys are derived from image bytes,
+#     so a warm O2 run over a store populated at O0 must recompute from
+#     scratch — never serve an O0 checkpoint to an O2 analysis. A second
+#     O2 run over the same store then must resume (positive control that
+#     the store itself works at O2).
+OPT="$KR_TMP/opt"
+mkdir -p "$OPT/store"
+# Single-job pipeline runs exit 1 when a goal finds zero chains; at O2
+# that is a legitimate measured outcome (the optimizer shrinks the gadget
+# surface), not a tooling failure. Tolerate exit<=1, reject anything else.
+run_opt() { # opt_level image_path [extra args...]
+  local _lvl="$1" _img="$2" _rc=0; shift 2
+  GP_OPT_LEVEL=$_lvl "$PIPELINE" --goal execve \
+    --save-image "$_img" "$@" >/dev/null || _rc=$?
+  [ "$_rc" -le 1 ] || { echo "O$_lvl pipeline failed (rc=$_rc)"; exit 1; }
+}
+for level in 0 2; do
+  run_opt "$level" "$OPT/a$level.gpim"
+  run_opt "$level" "$OPT/b$level.gpim"
+  cmp "$OPT/a$level.gpim" "$OPT/b$level.gpim" \
+    || { echo "O$level images not deterministic"; exit 1; }
+done
+cmp -s "$OPT/a0.gpim" "$OPT/a2.gpim" \
+  && { echo "O0 and O2 images are byte-identical (optimizer inert)"; exit 1; }
+echo "   image determinism per level ok; O0 != O2"
+
+rc=0
+"$PIPELINE" --campaign --profiles none --opt-levels 0,2 --goal execve \
+  --jobs 2 --summary "$OPT/opt-a.json" >/dev/null || rc=$?
+[ "$rc" -eq 0 ] || [ "$rc" -eq 3 ]
+rc=0
+"$PIPELINE" --campaign --profiles none --opt-levels 0,2 --goal execve \
+  --jobs 2 --summary "$OPT/opt-b.json" >/dev/null || rc=$?
+[ "$rc" -eq 0 ] || [ "$rc" -eq 3 ]
+python3 - "$OPT/opt-a.json" "$OPT/opt-b.json" <<'PY'
+import json, sys
+a, b = (json.load(open(p)) for p in sys.argv[1:3])
+dig = lambda s: {(r["program"], r["obfuscation"], r["opt_level"]): r["digest"]
+                 for r in s["results"]}
+da, db = dig(a), dig(b)
+assert da == db, "campaign digests not deterministic per opt level"
+levels = {k[2] for k in da}
+assert levels == {0, 2}, f"opt_level axis not fanned: {levels}"
+print(f'   campaign: {len(da)} (program, profile, level) digests '
+      f'deterministic across re-runs, levels {sorted(levels)} present')
+PY
+
+echo "-- store isolation: O2 over an O0-populated store must recompute"
+GP_THREADS=1 GP_OPT_LEVEL=0 GP_STORE_DIR="$OPT/store" \
+  "$PIPELINE" --goal execve >/dev/null
+# Capture reports to files rather than grepping mid-pipe: under pipefail
+# an exit-1 (zero chains) from the O2 pipeline would poison the pipe
+# status and mask what the grep actually found.
+run_o2_report() { # report_path
+  local _rc=0
+  GP_THREADS=1 GP_OPT_LEVEL=2 GP_STORE_DIR="$OPT/store" \
+    "$PIPELINE" --goal execve --report >"$1" || _rc=$?
+  [ "$_rc" -le 1 ] || { echo "O2 pipeline failed (rc=$_rc)"; exit 1; }
+}
+run_o2_report "$OPT/o2-cold.report"
+grep -E 'hits=[1-9]|resumes=[1-9]' "$OPT/o2-cold.report" \
+  && { echo "O2 run reused O0 checkpoints (store keys not isolated)"; exit 1; }
+run_o2_report "$OPT/o2-warm.report"
+grep -Eq 'hits=[1-9]|resumes=[1-9]' "$OPT/o2-warm.report" \
+  || { echo "second O2 run did not reuse its own checkpoints"; exit 1; }
+echo "   O0-store never served the O2 run; O2 re-run reused its own work"
 
 echo "== tier-1: serve drill (concurrency, SIGKILL, resume, shed, drain) =="
 # The daemon's crash-tolerance claims, end to end over a real socket:

@@ -1,5 +1,6 @@
 #include "cfg/cfg.hpp"
 
+#include <optional>
 #include <sstream>
 
 #include "support/str.hpp"
@@ -171,11 +172,32 @@ void verify_function(const Program& p, const Function& f) {
         check_block(blk.term.target);
         check_block(blk.term.fallthrough);
         break;
-      case Terminator::Kind::Switch:
+      case Terminator::Kind::Switch: {
         check_temp(blk.term.cond);
         GP_CHECK(!blk.term.table.empty(), ctx("empty switch table"));
         for (const BlockId b : blk.term.table) check_block(b);
+        GP_CHECK(blk.term.sel_bound >= 0 &&
+                     blk.term.sel_bound <=
+                         static_cast<i64>(blk.term.table.size()),
+                 ctx("switch sel_bound wider than table"));
+        // A selector whose every definition is a constant is statically
+        // decided; any out-of-range constant then guarantees a dispatch
+        // past the table on some path — a producer bug, rejected here.
+        bool all_const = true, any_oob = false, any_def = false;
+        for (const Block& db : f.blocks)
+          for (const Instr& di : db.instrs) {
+            if (di.dst != blk.term.cond) continue;
+            any_def = true;
+            if (di.op != Opcode::Const)
+              all_const = false;
+            else if (di.imm < 0 ||
+                     di.imm >= static_cast<i64>(blk.term.table.size()))
+              any_oob = true;
+          }
+        GP_CHECK(!(any_def && all_const && any_oob),
+                 ctx("switch selector constant out of range"));
         break;
+      }
       case Terminator::Kind::Ret:
         check_temp(blk.term.value);
         break;
@@ -183,7 +205,105 @@ void verify_function(const Program& p, const Function& f) {
   }
 }
 
+// Latest definition of `t` strictly before instruction `upto` in `blk`,
+// or -1 when the block holds none. Straight-line code within one block,
+// so the latest prior def is the reaching def.
+int latest_local_def(const Block& blk, size_t upto, Temp t) {
+  for (size_t i = upto; i-- > 0;)
+    if (blk.instrs[i].dst == t) return static_cast<int>(i);
+  return -1;
+}
+
+// Resolve `t` to a compile-time constant from its latest in-block def:
+// a Const, or a Sub of two resolvable temps (the shape the flattening
+// pass computes its state delta with). Nullopt when unresolvable.
+std::optional<i64> local_const(const Block& blk, size_t upto, Temp t,
+                               int depth = 0) {
+  if (depth > 4) return std::nullopt;
+  const int di = latest_local_def(blk, upto, t);
+  if (di < 0) return std::nullopt;
+  const Instr& d = blk.instrs[di];
+  if (d.op == Opcode::Const) return d.imm;
+  if (d.op == Opcode::Copy) return local_const(blk, di, d.a, depth + 1);
+  if (d.op == Opcode::Sub) {
+    const auto a = local_const(blk, di, d.a, depth + 1);
+    const auto b = local_const(blk, di, d.b, depth + 1);
+    if (a && b)
+      return static_cast<i64>(static_cast<u64>(*a) - static_cast<u64>(*b));
+  }
+  return std::nullopt;
+}
+
+// Is `t` the 0/1 result of a comparison (latest in-block def)?
+bool local_bool(const Block& blk, size_t upto, Temp t) {
+  const int di = latest_local_def(blk, upto, t);
+  if (di < 0) return false;
+  switch (blk.instrs[di].op) {
+    case Opcode::CmpEq:
+    case Opcode::CmpNe:
+    case Opcode::CmpLt:
+    case Opcode::CmpLe:
+    case Opcode::CmpGt:
+    case Opcode::CmpGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
 }  // namespace
+
+bool switch_selector_bounded(const Function& f, const Terminator& term) {
+  if (term.kind != Terminator::Kind::Switch) return false;
+  const Temp sel = term.cond;
+  const i64 n = static_cast<i64>(term.table.size());
+  // Producer-declared bound (verified against the table by cfg::verify).
+  if (term.sel_bound > 0 && term.sel_bound <= n) return true;
+  // A parameter arrives with a caller-chosen value; no def set can bound
+  // the value it may still carry at the switch.
+  if (sel < f.num_params) return false;
+  bool any_def = false;
+  for (const Block& blk : f.blocks) {
+    for (size_t i = 0; i < blk.instrs.size(); ++i) {
+      const Instr& in = blk.instrs[i];
+      if (in.dst != sel) continue;
+      any_def = true;
+      if (in.op == Opcode::Const) {
+        if (in.imm < 0 || in.imm >= n) return false;
+        continue;
+      }
+      if (in.op == Opcode::Copy) {
+        const auto c = local_const(blk, i, in.a);
+        if (c && *c >= 0 && *c < n) continue;
+        return false;
+      }
+      if (in.op == Opcode::Add) {
+        // Flattening's arithmetic select: sel = base + bool * delta, so
+        // the value is base or base + delta; both must be in range.
+        const auto base = local_const(blk, i, in.a);
+        const int mi = latest_local_def(blk, i, in.b);
+        if (base && mi >= 0) {
+          const Instr& m = blk.instrs[mi];
+          if (m.op == Opcode::Mul &&
+              local_bool(blk, static_cast<size_t>(mi), m.a)) {
+            if (const auto delta =
+                    local_const(blk, static_cast<size_t>(mi), m.b)) {
+              const i64 lo = *base;
+              const i64 hi = static_cast<i64>(static_cast<u64>(*base) +
+                                              static_cast<u64>(*delta));
+              if (lo >= 0 && lo < n && hi >= 0 && hi < n) continue;
+            }
+          }
+        }
+        return false;
+      }
+      return false;
+    }
+  }
+  // Never defined: the value is the zero-initialized slot only when the
+  // program is well-formed; do not claim a bound we cannot see.
+  return any_def;
+}
 
 void verify(const Program& p) {
   GP_CHECK(p.main_index >= 0 &&

@@ -66,6 +66,14 @@ struct Terminator {
   BlockId fallthrough = 0;    // Branch not-taken
   std::vector<BlockId> table; // Switch: selector indexes this table
   Temp value = kNoTemp;       // Ret
+  /// Switch only: producer-declared selector bound. Non-zero means the
+  /// producer guarantees every runtime selector value lies in
+  /// [0, sel_bound) by construction of the program — the virtualizer
+  /// declares this for its opcode dispatch, whose bytecode and handler
+  /// table it generates together (the same trusted lowering a generated
+  /// interpreter's computed-goto dispatch relies on). The verifier
+  /// rejects declarations wider than the table.
+  i64 sel_bound = 0;
 
   static Terminator jump(BlockId t) {
     return {.kind = Kind::Jump, .target = t};
@@ -115,8 +123,22 @@ struct Program {
 };
 
 /// Structural validation: temps in range, block targets in range, call
-/// indices valid, exactly one main. Throws gp::Error with a description.
+/// indices valid, exactly one main. Also rejects switch terminators whose
+/// selector is statically guaranteed out of range (every reaching value a
+/// constant, at least one outside the table). Throws gp::Error with a
+/// description.
 void verify(const Program& p);
+
+/// Is `term` (a Switch) selector provably within [0, table.size()) on
+/// every path? Conservative dataflow over the selector's definitions:
+/// each def must be an in-range constant or the `base + bool * delta`
+/// arithmetic select the flattening pass builds (both outcomes in range);
+/// selectors that are parameters, loads, or anything else unrecognized
+/// are not provable. Codegen omits the runtime dispatch bounds check
+/// exactly when this returns true — mirroring a real compiler's
+/// value-range analysis eliding the check on compiler-generated jump
+/// tables.
+bool switch_selector_bounded(const Function& f, const Terminator& term);
 
 /// Human-readable dump (tests and debugging).
 std::string to_string(const Program& p);

@@ -1,0 +1,259 @@
+#include "cfg/opt.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+namespace gp::cfg {
+
+namespace {
+
+/// Fold a binary op over runtime (u64) values with exactly the emulated
+/// x86 semantics: wraparound arithmetic, shift counts masked `& 63`
+/// (64-bit operand form), comparisons signed, results 0/1.
+u64 fold_bin(Opcode op, u64 a, u64 b) {
+  switch (op) {
+    case Opcode::Add: return a + b;
+    case Opcode::Sub: return a - b;
+    case Opcode::Mul: return a * b;
+    case Opcode::And: return a & b;
+    case Opcode::Or: return a | b;
+    case Opcode::Xor: return a ^ b;
+    case Opcode::Shl: return a << (b & 63);
+    case Opcode::Shr: return a >> (b & 63);
+    case Opcode::Sar:
+      return static_cast<u64>(static_cast<i64>(a) >>
+                              static_cast<int>(b & 63));
+    case Opcode::CmpEq: return a == b;
+    case Opcode::CmpNe: return a != b;
+    case Opcode::CmpLt: return static_cast<i64>(a) < static_cast<i64>(b);
+    case Opcode::CmpLe: return static_cast<i64>(a) <= static_cast<i64>(b);
+    case Opcode::CmpGt: return static_cast<i64>(a) > static_cast<i64>(b);
+    case Opcode::CmpGe: return static_cast<i64>(a) >= static_cast<i64>(b);
+    default: fail("fold_bin: not a foldable binary opcode");
+  }
+}
+
+bool foldable_bin(Opcode op) {
+  switch (op) {
+    case Opcode::Add: case Opcode::Sub: case Opcode::Mul: case Opcode::And:
+    case Opcode::Or: case Opcode::Xor: case Opcode::Shl: case Opcode::Sar:
+    case Opcode::Shr: case Opcode::CmpEq: case Opcode::CmpNe:
+    case Opcode::CmpLt: case Opcode::CmpLe: case Opcode::CmpGt:
+    case Opcode::CmpGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Instructions that must survive even with a dead (or absent) dst.
+bool has_side_effects(Opcode op) {
+  switch (op) {
+    case Opcode::Store: case Opcode::StoreB: case Opcode::Out:
+    case Opcode::Call:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Block-local constant propagation: rewrite Copy/ops over known-constant
+/// temps into Const. The known-map starts empty at every block, so no
+/// cross-block assumptions are ever made (temps are mutable, not SSA).
+u64 fold_function(Function& f, OptStats& stats) {
+  u64 changed = 0;
+  for (Block& blk : f.blocks) {
+    std::unordered_map<Temp, u64> known;
+    auto lookup = [&](Temp t, u64* out) {
+      auto it = known.find(t);
+      if (it == known.end()) return false;
+      *out = it->second;
+      return true;
+    };
+    for (Instr& in : blk.instrs) {
+      u64 a = 0, b = 0;
+      switch (in.op) {
+        case Opcode::Const:
+          known[in.dst] = static_cast<u64>(in.imm);
+          continue;
+        case Opcode::Copy:
+          if (lookup(in.a, &a)) {
+            in = Instr::constant(in.dst, static_cast<i64>(a));
+            known[in.dst] = a;
+            ++stats.folded;
+            ++changed;
+            continue;
+          }
+          break;
+        case Opcode::Not:
+        case Opcode::Neg:
+          if (lookup(in.a, &a)) {
+            const u64 v = in.op == Opcode::Not ? ~a : ~a + 1;
+            in = Instr::constant(in.dst, static_cast<i64>(v));
+            known[in.dst] = v;
+            ++stats.folded;
+            ++changed;
+            continue;
+          }
+          break;
+        default:
+          if (foldable_bin(in.op) && lookup(in.a, &a) && lookup(in.b, &b)) {
+            const u64 v = fold_bin(in.op, a, b);
+            in = Instr::constant(in.dst, static_cast<i64>(v));
+            known[in.dst] = v;
+            ++stats.folded;
+            ++changed;
+            continue;
+          }
+          break;
+      }
+      // Anything else that writes dst produces an unknown value.
+      if (in.dst != kNoTemp) known.erase(in.dst);
+    }
+    // Terminator folding on facts proven inside this block.
+    Terminator& t = blk.term;
+    u64 sel = 0;
+    if (t.kind == Terminator::Kind::Branch && lookup(t.cond, &sel)) {
+      t = Terminator::jump(sel != 0 ? t.target : t.fallthrough);
+      ++stats.terms_folded;
+      ++changed;
+    } else if (t.kind == Terminator::Kind::Switch && lookup(t.cond, &sel) &&
+               sel < t.table.size()) {
+      // In-range only: an out-of-range constant selector keeps its Switch
+      // so the compiled bounds check still traps exactly like -O0 would.
+      t = Terminator::jump(t.table[sel]);
+      ++stats.terms_folded;
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+void note_read(std::vector<bool>& use, const std::vector<bool>& def, Temp t) {
+  if (t != kNoTemp && !def[static_cast<size_t>(t)])
+    use[static_cast<size_t>(t)] = true;
+}
+
+Temp term_reads(const Terminator& t) {
+  return t.kind == Terminator::Kind::Ret ? t.value : t.cond;
+}
+
+std::vector<BlockId> successors(const Terminator& t) {
+  std::vector<BlockId> s;
+  switch (t.kind) {
+    case Terminator::Kind::Jump: s.push_back(t.target); break;
+    case Terminator::Kind::Branch:
+      s.push_back(t.target);
+      s.push_back(t.fallthrough);
+      break;
+    case Terminator::Kind::Switch:
+      s.insert(s.end(), t.table.begin(), t.table.end());
+      break;
+    case Terminator::Kind::Ret: break;
+  }
+  return s;
+}
+
+/// Backward dead-store sweep over compute_liveness. A def whose value can
+/// never be read again (on any path) is deleted unless the instruction
+/// has side effects.
+u64 dse_function(Function& f, OptStats& stats) {
+  const size_t nb = f.blocks.size();
+  const Liveness lv = compute_liveness(f);
+
+  u64 removed = 0;
+  for (size_t b = 0; b < nb; ++b) {
+    std::vector<bool> live = lv.live_out[b];
+    const Temp tr = term_reads(f.blocks[b].term);
+    if (tr != kNoTemp) live[static_cast<size_t>(tr)] = true;
+    auto& instrs = f.blocks[b].instrs;
+    std::vector<Instr> kept;
+    kept.reserve(instrs.size());
+    for (size_t i = instrs.size(); i-- > 0;) {
+      const Instr& in = instrs[i];
+      const bool dead = in.dst != kNoTemp &&
+                        !live[static_cast<size_t>(in.dst)] &&
+                        !has_side_effects(in.op);
+      if (dead) {
+        ++removed;
+        continue;
+      }
+      if (in.dst != kNoTemp) live[static_cast<size_t>(in.dst)] = false;
+      auto read = [&](Temp t) {
+        if (t != kNoTemp) live[static_cast<size_t>(t)] = true;
+      };
+      read(in.a);
+      read(in.b);
+      for (const Temp t : in.args) read(t);
+      kept.push_back(in);
+    }
+    if (kept.size() != instrs.size()) {
+      instrs.assign(kept.rbegin(), kept.rend());
+    }
+  }
+  stats.dead_removed += removed;
+  return removed;
+}
+
+}  // namespace
+
+Liveness compute_liveness(const Function& f) {
+  const size_t nb = f.blocks.size();
+  const size_t nt = static_cast<size_t>(f.num_temps);
+  std::vector<std::vector<bool>> use(nb), def(nb);
+  Liveness lv;
+  lv.live_in.resize(nb);
+  lv.live_out.resize(nb);
+
+  for (size_t b = 0; b < nb; ++b) {
+    use[b].assign(nt, false);
+    def[b].assign(nt, false);
+    lv.live_in[b].assign(nt, false);
+    lv.live_out[b].assign(nt, false);
+    for (const Instr& in : f.blocks[b].instrs) {
+      note_read(use[b], def[b], in.a);
+      note_read(use[b], def[b], in.b);
+      for (const Temp t : in.args) note_read(use[b], def[b], t);
+      if (in.dst != kNoTemp) def[b][static_cast<size_t>(in.dst)] = true;
+    }
+    note_read(use[b], def[b], term_reads(f.blocks[b].term));
+  }
+
+  // live_in = use | (live_out & ~def); live_out = U live_in(succ).
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (size_t b = nb; b-- > 0;) {
+      for (const BlockId s : successors(f.blocks[b].term))
+        for (size_t t = 0; t < nt; ++t)
+          if (lv.live_in[static_cast<size_t>(s)][t] && !lv.live_out[b][t]) {
+            lv.live_out[b][t] = true;
+            changed = true;
+          }
+      for (size_t t = 0; t < nt; ++t) {
+        const bool in_ = use[b][t] || (lv.live_out[b][t] && !def[b][t]);
+        if (in_ && !lv.live_in[b][t]) {
+          lv.live_in[b][t] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+  return lv;
+}
+
+OptStats optimize(Program& p) {
+  OptStats stats;
+  for (Function& f : p.functions) {
+    // Folding exposes dead defs; a removed def never re-enables folding
+    // (folding is forward, DSE only deletes), so the fixpoint is fast. The
+    // round bound is a safety net, not a tuning knob.
+    for (int round = 0; round < 8; ++round) {
+      u64 changed = fold_function(f, stats);
+      changed += dse_function(f, stats);
+      if (changed == 0) break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace gp::cfg

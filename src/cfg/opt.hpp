@@ -1,0 +1,37 @@
+// CFG-IR cleanup passes behind codegen's -O1/-O2: block-local constant
+// propagation + folding (semantics bit-for-bit identical to the emulator's
+// x86: 64-bit wraparound, shift counts masked to 6 bits, signed compares),
+// terminator folding (constant branch/switch selectors become jumps), and
+// global liveness-based dead-store elimination over the mutable temps.
+//
+// The passes run obfuscate-then-optimize (see DESIGN.md "Optimizer pass
+// ordering"): they see the obfuscated IR, the way OLLVM's passes feed the
+// rest of the LLVM pipeline. They never remove blocks — a junk block made
+// unreachable by folding still gets emitted, like a linker keeping a
+// section nothing references out of a compilation unit that does.
+#pragma once
+
+#include "cfg/cfg.hpp"
+
+namespace gp::cfg {
+
+struct OptStats {
+  u64 folded = 0;           // instrs rewritten to Const
+  u64 dead_removed = 0;     // side-effect-free instrs with a dead dst
+  u64 terms_folded = 0;     // Branch/Switch on a constant -> Jump
+};
+
+/// Per-block temp liveness (backward dataflow fixpoint). Shared by the
+/// dead-store sweep here and codegen's -O2 linear-scan interval builder.
+struct Liveness {
+  std::vector<std::vector<bool>> live_in;   // [block][temp]
+  std::vector<std::vector<bool>> live_out;  // [block][temp]
+};
+Liveness compute_liveness(const Function& f);
+
+/// Run constant folding + dead-store elimination to a fixpoint (bounded).
+/// Deterministic, and the result passes cfg::verify. Behavioral identity
+/// across levels is property-tested in tests/test_codegen_opt.cpp.
+OptStats optimize(Program& p);
+
+}  // namespace gp::cfg

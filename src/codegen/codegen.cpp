@@ -1,9 +1,12 @@
 #include "codegen/codegen.hpp"
 
 #include <algorithm>
+#include <array>
+#include <climits>
 #include <optional>
 #include <unordered_map>
 
+#include "cfg/opt.hpp"
 #include "x86/encoder.hpp"
 
 namespace gp::codegen {
@@ -21,10 +24,28 @@ using x86::MemRef;
 using x86::Mnemonic;
 using x86::Reg;
 
+OptLevel opt_level_from_int(int level) {
+  if (level < 0 || level > 2)
+    throw Error("invalid opt level '" + std::to_string(level) +
+                "' (valid levels: 0, 1, 2)");
+  return static_cast<OptLevel>(level);
+}
+
+const char* opt_level_name(OptLevel level) {
+  switch (level) {
+    case OptLevel::O0: return "O0";
+    case OptLevel::O1: return "O1";
+    case OptLevel::O2: return "O2";
+  }
+  return "O?";
+}
+
 namespace {
 
 constexpr Reg kArgRegs[6] = {Reg::RDI, Reg::RSI, Reg::RDX,
                              Reg::RCX, Reg::R8,  Reg::R9};
+constexpr Reg kCalleeSaved[] = {Reg::RBX, Reg::R12, Reg::R13,
+                                Reg::R14, Reg::R15};
 
 Cond cond_of(Opcode op) {
   switch (op) {
@@ -40,16 +61,18 @@ Cond cond_of(Opcode op) {
 
 class FunctionCompiler {
  public:
-  FunctionCompiler(Assembler& a, const Function& f,
+  FunctionCompiler(Assembler& a, const Function& f, OptLevel opt,
                    const std::vector<Assembler::Label>& fn_labels,
                    std::vector<std::pair<i64, Assembler::Label>>& table_fixups,
                    std::vector<u8>& data)
-      : a_(a), f_(f), fn_labels_(fn_labels), table_fixups_(table_fixups),
-        data_(data) {
+      : a_(a), f_(f), opt_(opt), fn_labels_(fn_labels),
+        table_fixups_(table_fixups), data_(data) {
     block_labels_.reserve(f.blocks.size());
     for (size_t i = 0; i < f.blocks.size(); ++i)
       block_labels_.push_back(a_.new_label());
+    held_.fill(cfg::kNoTemp);
     allocate_registers();
+    build_slot_map();
   }
 
   void run() {
@@ -62,17 +85,8 @@ class FunctionCompiler {
   }
 
  private:
-  /// Like a real compiler, the hottest temps live in callee-saved registers
-  /// (saved in the prologue, restored with a `pop` run in the epilogue —
-  /// which is exactly where compiled binaries get their classic
-  /// `pop reg; ... ; pop rbp; ret` gadget shapes).
-  void allocate_registers() {
-    static const Reg kCalleeSaved[] = {Reg::RBX, Reg::R12, Reg::R13,
-                                       Reg::R14, Reg::R15};
-    std::unordered_map<Temp, int> uses;
-    auto touch = [&](Temp t) {
-      if (t != cfg::kNoTemp) ++uses[t];
-    };
+  template <typename Fn>
+  void for_each_temp(Fn&& touch) const {
     for (const Block& b : f_.blocks) {
       for (const Instr& in : b.instrs) {
         touch(in.dst);
@@ -83,6 +97,25 @@ class FunctionCompiler {
       touch(b.term.cond);
       touch(b.term.value);
     }
+  }
+
+  void allocate_registers() {
+    if (opt_ == OptLevel::O2)
+      linear_scan();
+    else
+      rank_by_use_count();
+  }
+
+  /// O0/O1: like a real compiler's cheapest heuristic, the hottest temps
+  /// live in callee-saved registers (saved in the prologue, restored with
+  /// a `pop` run in the epilogue — which is exactly where compiled
+  /// binaries get their classic `pop reg; ... ; pop rbp; ret` gadget
+  /// shapes).
+  void rank_by_use_count() {
+    std::unordered_map<Temp, int> uses;
+    for_each_temp([&](Temp t) {
+      if (t != cfg::kNoTemp) ++uses[t];
+    });
     std::vector<std::pair<int, Temp>> ranked;
     for (const auto& [t, n] : uses) ranked.push_back({n, t});
     std::sort(ranked.begin(), ranked.end(),
@@ -98,6 +131,129 @@ class FunctionCompiler {
     }
   }
 
+  /// O2: linear-scan register allocation over conservative live intervals.
+  /// Each temp's interval is the [min, max] span of positions (in emission
+  /// order) where it is defined, used, or block-live; under register
+  /// pressure the interval with the furthest end spills for its whole
+  /// life (no interval splitting — a temp is either register- or
+  /// slot-resident). Only callee-saved registers are used, so calls and
+  /// syscalls never clobber an allocation. Fully deterministic: ties
+  /// break on temp id.
+  void linear_scan() {
+    std::vector<cfg::BlockId> order;
+    order.push_back(f_.entry);
+    for (size_t b = 0; b < f_.blocks.size(); ++b)
+      if (static_cast<cfg::BlockId>(b) != f_.entry)
+        order.push_back(static_cast<cfg::BlockId>(b));
+
+    const size_t nt = static_cast<size_t>(f_.num_temps);
+    const cfg::Liveness lv = cfg::compute_liveness(f_);
+    std::vector<int> start(nt, INT_MAX), end(nt, -1);
+    auto extend = [&](Temp t, int pos) {
+      if (t == cfg::kNoTemp) return;
+      start[t] = std::min(start[t], pos);
+      end[t] = std::max(end[t], pos);
+    };
+    int pos = 0;
+    for (const cfg::BlockId bid : order) {
+      const Block& blk = f_.blocks[bid];
+      const int bstart = pos;
+      for (const Instr& in : blk.instrs) {
+        extend(in.a, pos);
+        extend(in.b, pos);
+        for (const Temp t : in.args) extend(t, pos);
+        extend(in.dst, pos);
+        ++pos;
+      }
+      extend(blk.term.cond, pos);
+      extend(blk.term.value, pos);
+      const int bend = pos++;
+      for (size_t t = 0; t < nt; ++t) {
+        if (lv.live_in[bid][t]) extend(static_cast<Temp>(t), bstart);
+        if (lv.live_out[bid][t]) extend(static_cast<Temp>(t), bend);
+      }
+    }
+    // Params are defined by the prologue, before every block.
+    for (int p = 0; p < f_.num_params; ++p)
+      if (end[p] >= 0) start[p] = -1;
+
+    std::vector<Temp> ivs;
+    for (size_t t = 0; t < nt; ++t)
+      if (end[t] >= 0) ivs.push_back(static_cast<Temp>(t));
+    std::sort(ivs.begin(), ivs.end(), [&](Temp x, Temp y) {
+      if (start[x] != start[y]) return start[x] < start[y];
+      return x < y;
+    });
+
+    auto reg_rank = [](Reg r) {
+      for (size_t i = 0; i < std::size(kCalleeSaved); ++i)
+        if (kCalleeSaved[i] == r) return i;
+      fail("linear_scan: not a callee-saved register");
+    };
+    std::vector<Reg> free_regs(std::rbegin(kCalleeSaved),
+                               std::rend(kCalleeSaved));
+    std::vector<Temp> active;
+    for (const Temp t : ivs) {
+      for (size_t i = active.size(); i-- > 0;) {
+        const Temp a = active[i];
+        if (end[a] < start[t]) {
+          free_regs.push_back(reg_alloc_.at(a));
+          active.erase(active.begin() + static_cast<i64>(i));
+        }
+      }
+      // Lowest-ranked register first (pop from the back of the
+      // reverse-ordered free list, re-sorted after expiries).
+      std::sort(free_regs.begin(), free_regs.end(),
+                [&](Reg x, Reg y) { return reg_rank(x) > reg_rank(y); });
+      if (!free_regs.empty()) {
+        reg_alloc_.emplace(t, free_regs.back());
+        free_regs.pop_back();
+        active.push_back(t);
+        continue;
+      }
+      Temp victim = t;
+      for (const Temp a : active)
+        if (end[a] > end[victim] || (end[a] == end[victim] && a > victim))
+          victim = a;
+      if (victim != t) {
+        const Reg r = reg_alloc_.at(victim);
+        reg_alloc_.erase(victim);
+        active.erase(std::find(active.begin(), active.end(), victim));
+        reg_alloc_.emplace(t, r);
+        active.push_back(t);
+      }
+    }
+
+    for (const Reg r : kCalleeSaved)
+      for (const auto& [t, alloc] : reg_alloc_)
+        if (alloc == r) {
+          saved_.push_back(r);
+          break;
+        }
+  }
+
+  /// O0 keeps the reference discipline: every temp owns frame slot `t`.
+  /// At O1+ only temps that can actually hit memory get one — params (the
+  /// prologue stores them) and referenced temps without a register — and
+  /// the frame shrinks accordingly.
+  void build_slot_map() {
+    if (opt_ == OptLevel::O0) {
+      num_slots_ = f_.num_temps;
+      return;
+    }
+    std::vector<bool> needs(static_cast<size_t>(f_.num_temps), false);
+    for (int p = 0; p < f_.num_params; ++p) needs[static_cast<size_t>(p)] = true;
+    for_each_temp([&](Temp t) {
+      if (t != cfg::kNoTemp) needs[static_cast<size_t>(t)] = true;
+    });
+    slot_index_.assign(static_cast<size_t>(f_.num_temps), -1);
+    i32 next = 0;
+    for (Temp t = 0; t < f_.num_temps; ++t)
+      if (needs[static_cast<size_t>(t)] && !reg_alloc_.count(t))
+        slot_index_[static_cast<size_t>(t)] = next++;
+    num_slots_ = next;
+  }
+
   std::optional<Reg> reg_of(Temp t) const {
     auto it = reg_alloc_.find(t);
     if (it == reg_alloc_.end()) return std::nullopt;
@@ -105,34 +261,57 @@ class FunctionCompiler {
   }
   MemRef slot(Temp t) const {
     GP_CHECK(t >= 0 && t < f_.num_temps, "codegen: temp out of range");
+    i64 idx = t;
+    if (opt_ != OptLevel::O0) {
+      idx = slot_index_[static_cast<size_t>(t)];
+      GP_CHECK(idx >= 0, "codegen: temp has no frame slot");
+    }
     return MemRef{.base = Reg::RBP,
                   .disp = static_cast<i32>(-8 * static_cast<i64>(saved_.size()) -
-                                           8 * (t + 1))};
+                                           8 * (idx + 1))};
   }
   i32 frame_area_disp(i64 off) const {
     return static_cast<i32>(-8 * static_cast<i64>(saved_.size()) -
-                            (8 * f_.num_temps + f_.frame_bytes) + off);
+                            (8 * num_slots_ + f_.frame_bytes) + off);
   }
+
+  // O1+ peephole: a register-value cache over emission. held_[r] is the
+  // temp whose current value register r is known to hold; a load that
+  // would reproduce it is elided. Every instruction that writes a
+  // register outside load()/store() must clobber() it, and join points
+  // (block labels) and calls/syscalls forget everything.
+  Temp& held(Reg r) { return held_[static_cast<size_t>(r)]; }
+  void clobber(Reg r) { held(r) = cfg::kNoTemp; }
+  void clobber_all() { held_.fill(cfg::kNoTemp); }
+  void forget(Temp t) {
+    for (Temp& h : held_)
+      if (h == t) h = cfg::kNoTemp;
+  }
+
   void load(Reg r, Temp t) {
+    if (opt_ != OptLevel::O0 && held(r) == t) return;
     if (const auto alloc = reg_of(t)) {
       if (*alloc != r) a_.mov(r, *alloc);
     } else {
       a_.mov_load(r, slot(t));
     }
+    held(r) = t;
   }
   void store(Temp t, Reg r) {
+    forget(t);  // every cached copy of t's old value is now stale
     if (const auto alloc = reg_of(t)) {
       if (*alloc != r) a_.mov(*alloc, r);
     } else {
       a_.mov_store(slot(t), r);
     }
+    held(r) = t;
   }
 
   void prologue() {
     a_.push(Reg::RBP);
     a_.mov(Reg::RBP, Reg::RSP);
     for (const Reg r : saved_) a_.push(r);
-    const i64 frame = 8 * f_.num_temps + f_.frame_bytes;
+    const i64 frame = 8 * num_slots_ + f_.frame_bytes;
     if (frame > 0) a_.alu_imm(Mnemonic::SUB, Reg::RSP, static_cast<i32>(frame));
     for (int i = 0; i < f_.num_params; ++i) store(i, kArgRegs[i]);
   }
@@ -153,6 +332,7 @@ class FunctionCompiler {
 
   void emit_block(cfg::BlockId id) {
     a_.bind(block_labels_[id]);
+    clobber_all();  // labels are join points; nothing survives into them
     const Block& blk = f_.blocks[id];
     for (const Instr& in : blk.instrs) emit_instr(in);
     emit_term(blk.term);
@@ -162,6 +342,7 @@ class FunctionCompiler {
     switch (in.op) {
       case Opcode::Const:
         a_.mov_imm(Reg::RAX, in.imm);
+        clobber(Reg::RAX);
         store(in.dst, Reg::RAX);
         break;
       case Opcode::Copy:
@@ -170,24 +351,18 @@ class FunctionCompiler {
         break;
       case Opcode::Add: case Opcode::Sub: case Opcode::And:
       case Opcode::Or: case Opcode::Xor: {
-        static const Mnemonic m[] = {Mnemonic::ADD, Mnemonic::SUB,
-                                     Mnemonic::AND, Mnemonic::OR,
-                                     Mnemonic::XOR};
-        const int idx = static_cast<int>(in.op) - static_cast<int>(Opcode::Add);
-        // Add..Xor are contiguous in Opcode except Mul sits between Sub and
-        // And; map explicitly instead.
         Mnemonic mn;
         switch (in.op) {
-          case Opcode::Add: mn = m[0]; break;
-          case Opcode::Sub: mn = m[1]; break;
-          case Opcode::And: mn = m[2]; break;
-          case Opcode::Or: mn = m[3]; break;
-          default: mn = m[4]; break;
+          case Opcode::Add: mn = Mnemonic::ADD; break;
+          case Opcode::Sub: mn = Mnemonic::SUB; break;
+          case Opcode::And: mn = Mnemonic::AND; break;
+          case Opcode::Or: mn = Mnemonic::OR; break;
+          default: mn = Mnemonic::XOR; break;
         }
-        (void)idx;
         load(Reg::RAX, in.a);
         load(Reg::RCX, in.b);
         a_.alu(mn, Reg::RAX, Reg::RCX);
+        clobber(Reg::RAX);
         store(in.dst, Reg::RAX);
         break;
       }
@@ -195,6 +370,7 @@ class FunctionCompiler {
         load(Reg::RAX, in.a);
         load(Reg::RCX, in.b);
         a_.imul(Reg::RAX, Reg::RCX);
+        clobber(Reg::RAX);
         store(in.dst, Reg::RAX);
         break;
       case Opcode::Shl: case Opcode::Sar: case Opcode::Shr: {
@@ -204,17 +380,20 @@ class FunctionCompiler {
         load(Reg::RAX, in.a);
         load(Reg::RCX, in.b);
         a_.shift_cl(mn, Reg::RAX);
+        clobber(Reg::RAX);
         store(in.dst, Reg::RAX);
         break;
       }
       case Opcode::Not:
         load(Reg::RAX, in.a);
         a_.unary(Mnemonic::NOT, Reg::RAX);
+        clobber(Reg::RAX);
         store(in.dst, Reg::RAX);
         break;
       case Opcode::Neg:
         load(Reg::RAX, in.a);
         a_.unary(Mnemonic::NEG, Reg::RAX);
+        clobber(Reg::RAX);
         store(in.dst, Reg::RAX);
         break;
       case Opcode::CmpEq: case Opcode::CmpNe: case Opcode::CmpLt:
@@ -224,7 +403,9 @@ class FunctionCompiler {
         load(Reg::RCX, in.b);
         a_.alu(Mnemonic::CMP, Reg::RAX, Reg::RCX);
         a_.mov_imm(Reg::RAX, 0);
+        clobber(Reg::RAX);
         a_.mov_imm(Reg::RDX, 1);
+        clobber(Reg::RDX);
         a_.cmov(cond_of(in.op), Reg::RAX, Reg::RDX);
         store(in.dst, Reg::RAX);
         break;
@@ -233,12 +414,14 @@ class FunctionCompiler {
         load(Reg::RAX, in.a);
         a_.mov_load(Reg::RAX, MemRef{.base = Reg::RAX,
                                      .disp = static_cast<i32>(in.imm)});
+        clobber(Reg::RAX);
         store(in.dst, Reg::RAX);
         break;
       case Opcode::LoadB:
         load(Reg::RAX, in.a);
         a_.movzx_load(Reg::RAX, MemRef{.base = Reg::RAX,
                                        .disp = static_cast<i32>(in.imm)});
+        clobber(Reg::RAX);
         store(in.dst, Reg::RAX);
         break;
       case Opcode::Store:
@@ -253,10 +436,13 @@ class FunctionCompiler {
         load(Reg::RAX, in.a);
         a_.mov_load(Reg::RDX, MemRef{.base = Reg::RAX,
                                      .disp = static_cast<i32>(in.imm)});
+        clobber(Reg::RDX);
         a_.mov_imm(Reg::RCX, ~i64{0xff});
+        clobber(Reg::RCX);
         a_.alu(Mnemonic::AND, Reg::RDX, Reg::RCX);
         load(Reg::RCX, in.b);
         a_.alu_imm(Mnemonic::AND, Reg::RCX, 0xff);
+        clobber(Reg::RCX);
         a_.alu(Mnemonic::OR, Reg::RDX, Reg::RCX);
         a_.mov_store(MemRef{.base = Reg::RAX,
                             .disp = static_cast<i32>(in.imm)},
@@ -266,17 +452,20 @@ class FunctionCompiler {
       case Opcode::FrameAddr:
         a_.lea(Reg::RAX, MemRef{.base = Reg::RBP,
                                 .disp = frame_area_disp(in.imm)});
+        clobber(Reg::RAX);
         store(in.dst, Reg::RAX);
         break;
       case Opcode::GlobalAddr:
         a_.mov_imm(Reg::RAX,
                    static_cast<i64>(image::kDataBase) + in.imm);
+        clobber(Reg::RAX);
         store(in.dst, Reg::RAX);
         break;
       case Opcode::Call: {
         for (size_t i = 0; i < in.args.size(); ++i)
           load(kArgRegs[i], in.args[i]);
         a_.call(fn_labels_[in.imm]);
+        clobber_all();
         store(in.dst, Reg::RAX);
         break;
       }
@@ -285,11 +474,13 @@ class FunctionCompiler {
         load(Reg::RAX, in.a);
         a_.mov_imm(Reg::RSI, static_cast<i64>(image::kDataBase) +
                                  static_cast<i64>(out_scratch_offset(data_)));
+        clobber(Reg::RSI);
         a_.mov_store(MemRef{.base = Reg::RSI}, Reg::RAX);
         a_.mov_imm(Reg::RAX, 1);
         a_.mov_imm(Reg::RDI, 1);
         a_.mov_imm(Reg::RDX, 8);
         a_.syscall();
+        clobber_all();
         break;
       }
     }
@@ -314,6 +505,24 @@ class FunctionCompiler {
           table_fixups_.push_back(
               {table_off + 8 * static_cast<i64>(i),
                block_labels_[t.table[i]]});
+        // A selector the IR range analysis proves in [0, n) dispatches
+        // unchecked — the same elision a real compiler's value-range
+        // analysis performs on compiler-generated jump tables (flatten's
+        // state machine is the canonical producer). Anything unprovable
+        // (loads, parameters) gets a runtime bounds check: out of range
+        // (unsigned compare, so negative too) falls into int3 instead of
+        // indexing past the table through whatever bytes follow it. The
+        // check sits before a fresh reload of the selector, so the
+        // dispatch proper stays one unbroken load->shl->add->jmp run.
+        if (!cfg::switch_selector_bounded(f_, t)) {
+          const Assembler::Label dispatch = a_.new_label();
+          load(Reg::RAX, t.cond);
+          a_.alu_imm(Mnemonic::CMP, Reg::RAX,
+                     static_cast<i32>(t.table.size()));
+          a_.jcc(Cond::B, dispatch);
+          a_.int3();
+          a_.bind(dispatch);
+        }
         load(Reg::RAX, t.cond);
         a_.shift_imm(Mnemonic::SHL, Reg::RAX, 3);
         a_.mov_imm(Reg::RCX,
@@ -335,12 +544,16 @@ class FunctionCompiler {
 
   Assembler& a_;
   const Function& f_;
+  const OptLevel opt_;
   const std::vector<Assembler::Label>& fn_labels_;
   std::vector<std::pair<i64, Assembler::Label>>& table_fixups_;
   std::vector<u8>& data_;
   std::vector<Assembler::Label> block_labels_;
   std::unordered_map<Temp, Reg> reg_alloc_;
   std::vector<Reg> saved_;
+  std::vector<i32> slot_index_;  // O1+: temp -> compacted slot (-1 = none)
+  i64 num_slots_ = 0;
+  std::array<Temp, x86::kNumRegs> held_;
 };
 
 // Scratch offset is communicated via a thread-local set by compile();
@@ -355,7 +568,20 @@ i64 FunctionCompiler::out_scratch_offset(const std::vector<u8>&) {
 image::Image compile(const Program& prog, const Options& opts) {
   cfg::verify(prog);
 
-  std::vector<u8> data = prog.data;
+  // O1+: clean the IR first (obfuscate-then-optimize — the caller's
+  // obfuscation passes already ran; see DESIGN.md "Optimizer pass
+  // ordering"). The caller's program is never mutated.
+  const Program* src = &prog;
+  Program optimized;
+  if (opts.opt != OptLevel::O0) {
+    optimized = prog;
+    cfg::optimize(optimized);
+    cfg::verify(optimized);
+    src = &optimized;
+  }
+  const Program& p = *src;
+
+  std::vector<u8> data = p.data;
   // 8-byte scratch slot used by Out, 8-aligned.
   data.resize((data.size() + 7) & ~size_t{7}, 0);
   g_out_scratch = static_cast<i64>(data.size());
@@ -364,24 +590,25 @@ image::Image compile(const Program& prog, const Options& opts) {
   Assembler a;
   a.set_base(image::kCodeBase);
   std::vector<Assembler::Label> fn_labels;
-  for (size_t i = 0; i < prog.functions.size(); ++i)
+  for (size_t i = 0; i < p.functions.size(); ++i)
     fn_labels.push_back(a.new_label());
   std::vector<std::pair<i64, Assembler::Label>> table_fixups;
 
   // Entry stub.
-  a.call(fn_labels[prog.main_index]);
+  a.call(fn_labels[p.main_index]);
   a.mov(Reg::RDI, Reg::RAX);
   a.mov_imm(Reg::RAX, 60);
   a.syscall();
 
   std::vector<std::pair<std::string, i64>> symbol_offsets;
-  for (size_t i = 0; i < prog.functions.size(); ++i) {
+  for (size_t i = 0; i < p.functions.size(); ++i) {
     if (opts.pad_functions)
       for (int k = 0; k < 4; ++k) a.int3();
     a.bind(fn_labels[i]);
-    symbol_offsets.emplace_back(prog.functions[i].name,
+    symbol_offsets.emplace_back(p.functions[i].name,
                                 a.label_offset(fn_labels[i]));
-    FunctionCompiler fc(a, prog.functions[i], fn_labels, table_fixups, data);
+    FunctionCompiler fc(a, p.functions[i], opts.opt, fn_labels, table_fixups,
+                        data);
     fc.run();
   }
 

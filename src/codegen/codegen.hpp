@@ -5,12 +5,27 @@
 // output is idiomatic compiler-shaped code — dense with the mov/alu/branch
 // patterns that gadget scanners feed on, which is the point of the study.
 //
+// Options::opt selects the optimization level:
+//   O0  the reference stack-slot discipline above, untouched;
+//   O1  cfg::optimize (constant folding + dead-store elimination) on the
+//       IR, plus a peephole over emission: redundant spill reloads elided
+//       through a register-value cache, frame slots compacted to the temps
+//       that actually need one;
+//   O2  O1 plus linear-scan register allocation over live intervals —
+//       temps live in callee-saved registers and spill only under
+//       pressure, instead of the five-hottest-by-use-count heuristic.
+// Every level is deterministic (same input -> byte-identical image) and
+// behaviorally identical (differential-emulation-tested per level); the
+// levels exist to measure how optimization reshapes the gadget surface.
+//
 // Layout of the emitted image:
 //   code:  [entry stub][function 0][function 1]...
 //   data:  [program data][out-scratch][switch jump tables]
 // The entry stub calls main and performs the exit(rax) syscall. Switch
-// terminators compile to `jmp [table + sel*8]` with an absolute-address
-// table in the data section (patched after layout).
+// terminators compile to a bounds check (out-of-range selectors trap on
+// int3 instead of jumping through bytes past the table) followed by
+// `jmp [table + sel*8]` with an absolute-address table in the data
+// section (patched after layout).
 #pragma once
 
 #include "cfg/cfg.hpp"
@@ -18,10 +33,20 @@
 
 namespace gp::codegen {
 
+enum class OptLevel : u8 { O0 = 0, O1 = 1, O2 = 2 };
+
+/// Validate an integer level (the GP_OPT_LEVEL / Job::opt_level domain).
+/// Throws gp::Error listing the valid grammar on anything outside 0..2.
+OptLevel opt_level_from_int(int level);
+const char* opt_level_name(OptLevel level);  // "O0" / "O1" / "O2"
+
 struct Options {
   /// Pad function entries with int3 sleds (off by default; keeps addresses
   /// deterministic for tests).
   bool pad_functions = false;
+  /// Optimization level; O0 keeps the historical output byte-for-byte
+  /// (modulo the switch bounds check, which applies at every level).
+  OptLevel opt = OptLevel::O0;
 };
 
 /// Compile a verified program to an executable image.

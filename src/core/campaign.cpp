@@ -8,6 +8,7 @@
 #include "corpus/corpus.hpp"
 #include "minic/minic.hpp"
 #include "payload/serialize.hpp"
+#include "support/config.hpp"
 #include "support/metrics.hpp"
 #include "support/str.hpp"
 #include "support/trace.hpp"
@@ -50,7 +51,9 @@ obf::Options profile_by_name(const std::string& name, u64 seed) {
   if (name == "virtualize") return {.virtualize = true, .seed = seed};
   if (name == "llvm-obf") return Options::llvm_obf(seed);
   if (name == "tigress") return Options::tigress(seed);
-  throw Error("unknown obfuscation profile '" + name + "'");
+  throw Error("unknown obfuscation profile '" + name +
+              "' (valid profiles: none, substitution, bogus-cf, flatten, "
+              "encode-data, virtualize, llvm-obf, tigress)");
 }
 
 Campaign::Campaign(Engine& engine, Options opts)
@@ -59,16 +62,25 @@ Campaign::Campaign(Engine& engine, Options opts)
 }
 
 std::vector<Job> Campaign::corpus_jobs(const std::vector<std::string>& profiles,
-                                       int seed) {
+                                       int seed,
+                                       const std::vector<int>& opt_levels) {
+  // Validate levels up front — rejecting before any job compiles keeps a
+  // typo'd sweep from burning a campaign's worth of work.
+  for (const int level : opt_levels) codegen::opt_level_from_int(level);
+  const std::vector<int> levels =
+      opt_levels.empty() ? std::vector<int>{-1} : opt_levels;
   std::vector<Job> jobs;
   for (const auto& program : corpus::benchmark()) {
     for (const auto& profile : profiles) {
-      Job job;
-      job.program = program.name;
-      job.source = program.source;
-      job.obfuscation = profile;
-      job.obf = profile_by_name(profile, static_cast<u64>(seed));
-      jobs.push_back(std::move(job));
+      for (const int level : levels) {
+        Job job;
+        job.program = program.name;
+        job.source = program.source;
+        job.obfuscation = profile;
+        job.obf = profile_by_name(profile, static_cast<u64>(seed));
+        job.opt_level = level;
+        jobs.push_back(std::move(job));
+      }
     }
   }
   return jobs;
@@ -86,13 +98,18 @@ Campaign::Summary Campaign::run(const std::vector<Job>& jobs) {
   // milliseconds per job, and keeping the compilers out of the concurrent
   // phase means only Sessions — which are built for it — run in parallel.
   std::vector<image::Image> images(jobs.size());
+  const int env_level = Config::from_env().opt_level;
   for (size_t i = 0; i < jobs.size(); ++i) {
     const Job& job = jobs[i];
     const std::string& src =
         job.source.empty() ? corpus::by_name(job.program).source : job.source;
     auto prog = minic::compile_source(src);
     obf::obfuscate(prog, job.obf);
-    images[i] = codegen::compile(prog);
+    const int level = job.opt_level >= 0 ? job.opt_level : env_level;
+    codegen::Options copts;
+    copts.opt = codegen::opt_level_from_int(level);
+    images[i] = codegen::compile(prog, copts);
+    sum.results[i].opt_level = level;
   }
 
   // Each concurrent session runs on a share of the campaign budget; the
@@ -224,6 +241,7 @@ std::string Campaign::Summary::to_json() const {
     const auto& s = r.stages;
     j += "    {\"program\": \"" + json_escape(r.program) + "\", ";
     j += "\"obfuscation\": \"" + json_escape(r.obfuscation) + "\", ";
+    j += "\"opt_level\": " + std::to_string(r.opt_level) + ", ";
     j += "\"code_bytes\": " + std::to_string(r.code_bytes) + ", ";
     j += "\"status\": \"" + std::string(status_code_name(r.status.code())) +
          "\", ";

@@ -37,12 +37,17 @@ struct Job {
   std::string source;       // mini-C source; "" = corpus::by_name(program)
   std::string obfuscation;  // profile label for reports ("" = obf.name())
   obf::Options obf;
+  /// Codegen optimization level, 0..2; -1 resolves to GP_OPT_LEVEL (the
+  /// Config::from_env value) at compile time. Out-of-range values reject
+  /// with the valid grammar before any job runs.
+  int opt_level = -1;
   std::vector<payload::Goal> goals = payload::Goal::all();
 };
 
 struct JobResult {
   std::string program;
   std::string obfuscation;
+  int opt_level = 0;  // resolved level the job compiled at
   size_t code_bytes = 0;
 
   StageReport stages;
@@ -137,13 +142,15 @@ class Campaign {
   /// (JobResult::status), never an exception.
   Summary run(const std::vector<Job>& jobs);
 
-  /// The full corpus × the named obfuscation profiles — the paper's
-  /// evaluation grid. Profiles default to Table IV's rows (none,
-  /// llvm-obf, tigress).
+  /// The full corpus × the named obfuscation profiles × the requested
+  /// opt levels — the paper's evaluation grid plus the optimization fan
+  /// axis. Profiles default to Table IV's rows (none, llvm-obf, tigress);
+  /// an empty opt_levels means one job per (program, profile) at the
+  /// GP_OPT_LEVEL default.
   static std::vector<Job> corpus_jobs(
       const std::vector<std::string>& profiles = {"none", "llvm-obf",
                                                   "tigress"},
-      int seed = 7);
+      int seed = 7, const std::vector<int>& opt_levels = {});
 
  private:
   Engine& engine_;

@@ -2,6 +2,7 @@
 
 #include "codegen/codegen.hpp"
 #include "minic/minic.hpp"
+#include "support/config.hpp"
 
 namespace gp::core {
 
@@ -15,7 +16,9 @@ CampaignResult run_campaign(const std::string& program_name,
 
   auto prog = minic::compile_source(source);
   obf::obfuscate(prog, obf_opts);
-  const image::Image img = codegen::compile(prog);
+  codegen::Options copts;
+  copts.opt = codegen::opt_level_from_int(Config::from_env().opt_level);
+  const image::Image img = codegen::compile(prog, copts);
   result.code_bytes = img.code().size();
 
   const auto& goals = payload::Goal::all();

@@ -287,6 +287,10 @@ class Virtualizer {
     const u64 num_ops = kFirstCall + call_classes_.size();
     for (u64 op = 0; op < num_ops; ++op) table.push_back(build_handler(nf, op));
     nf.blocks[loop_].term = Terminator::make_switch(op_, table);
+    // Every opcode this translator writes into the bytecode indexes a
+    // handler built above; declare the bound so codegen keeps the
+    // unchecked computed dispatch a generated interpreter uses.
+    nf.blocks[loop_].term.sel_bound = static_cast<i64>(num_ops);
 
     f_ = std::move(nf);
   }

@@ -115,7 +115,33 @@ Candidate analyze_candidate(solver::Context& ctx, const gadget::Library& lib,
           : 30 + static_cast<int>(
                      std::min<size_t>(ctx.dag_size(g.next_rip), 40));
 
+  // A computed-transfer gadget whose own path condition constrains the
+  // transfer target — a bounds-checked jump table is the canonical shape
+  // (`cmp sel, n; jb ...; jmp [table+sel*8]`) — can only reach the few
+  // in-range entries, so steering it at an arbitrary next gadget is
+  // almost always UNSAT. Sink it into the bottom band (>= the shuffle
+  // threshold) so the unconstrained variants get tried first.
+  bool target_constrained = false;
+  if (g.end != EndKind::Ret && g.next_rip != solver::kNoExpr &&
+      !g.precond.empty() && !ctx.is_const(g.next_rip)) {
+    std::vector<ExprRef> tvars = ctx.variables(g.next_rip);
+    for (size_t ti = 0; ti < tvars.size() && ti < 64; ++ti) {
+      if (ctx.var_name(tvars[ti]).rfind("ind", 0) != 0) continue;
+      for (const sym::IndirectRead& ir : g.ind_reads)
+        if (ir.var == tvars[ti])
+          for (const ExprRef av : ctx.variables(ir.addr))
+            tvars.push_back(av);
+    }
+    for (const ExprRef pc : g.precond) {
+      for (const ExprRef pv : ctx.variables(pc))
+        for (const ExprRef tv : tvars)
+          target_constrained |= pv == tv;
+      if (target_constrained) break;
+    }
+  }
+
   c.base_score = (self_loop ? 2000 : 0) + (value_is_pointer ? 1500 : 0) +
+                 (target_constrained ? 1400 : 0) +
                  300 * wild_writes + 80 * deps +
                  10 * static_cast<int>(g.precond.size()) + 4 * clob_count +
                  transfer_cost + g.n_insts;

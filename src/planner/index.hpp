@@ -42,7 +42,7 @@ namespace gp::planner {
 /// Bumped whenever Candidate layout or analyze_candidate() semantics
 /// change; persisted indexes and nogood memos from another version read as
 /// stale and are rebuilt.
-constexpr u32 kIndexFormatVersion = 1;
+constexpr u32 kIndexFormatVersion = 2;
 
 /// Order-independent combine of per-element hashes: elements are sorted,
 /// then folded with a position-mixing sequence hash, so the same multiset

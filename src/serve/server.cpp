@@ -661,7 +661,9 @@ void Server::run_job(const RecordPtr& rec) {
                                  : spec.source;
     auto prog = minic::compile_source(src);
     obf::obfuscate(prog, core::profile_by_name(spec.obf, spec.seed));
-    image::Image img = codegen::compile(prog);
+    codegen::Options copts;
+    copts.opt = codegen::opt_level_from_int(engine_.config().opt_level);
+    image::Image img = codegen::compile(prog, copts);
 
     const std::vector<payload::Goal> goals = resolve_goals(spec.goal);
     if (goals.empty()) throw Error("unknown goal '" + spec.goal + "'");

@@ -78,6 +78,18 @@ Config Config::from_env() {
   c.debug_val = env_flag("GP_DEBUG_VAL");
   c.bench_full = env_flag("GP_BENCH_FULL");
 
+  // GP_OPT_LEVEL rejects out-of-range values instead of clamping: a level
+  // that silently degraded to 0 would invalidate every size/gadget
+  // measurement made under it.
+  if (const char* s = std::getenv("GP_OPT_LEVEL")) {
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end == s || *end != '\0' || v < 0 || v > 2)
+      throw Error("invalid GP_OPT_LEVEL '" + std::string(s) +
+                  "' (valid levels: 0, 1, 2)");
+    c.opt_level = static_cast<int>(v);
+  }
+
   c.plan_index = env_bool("GP_PLAN_INDEX", true);
 
   c.metrics = env_bool("GP_METRICS", true);

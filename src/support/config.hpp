@@ -59,6 +59,12 @@ struct Config {
   /// the quick subset.
   bool bench_full = false;
 
+  /// GP_OPT_LEVEL: codegen optimization level, 0..2 (default 0). Values
+  /// outside that range reject at parse time with the valid grammar —
+  /// there is no silent fallback, because a mis-set level would skew
+  /// every measurement downstream.
+  int opt_level = 0;
+
   /// GP_PLAN_INDEX: the planner's precomputed candidate index, nogood
   /// learning and reachability precheck. On by default — "0"/"false"/"off"
   /// selects the linear reference path (same results, used by the tier-1

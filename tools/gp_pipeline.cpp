@@ -35,6 +35,7 @@
 #include "core/core.hpp"
 #include "corpus/corpus.hpp"
 #include "minic/minic.hpp"
+#include "support/config.hpp"
 #include "support/metrics.hpp"
 #include "support/serial.hpp"
 #include "support/trace.hpp"
@@ -49,11 +50,13 @@ int usage(const char* argv0) {
       "          [--image <file.gpim>] [--save-image <file.gpim>]\n"
       "          [--goal execve|mprotect|mmap|all] [--out <dir>] [--report]\n"
       "          [--trace-out <file.json>]\n"
-      "       %s --campaign [--profiles a,b,c] [--jobs <n>] [--goal ...]\n"
+      "       %s --campaign [--profiles a,b,c] [--opt-levels 0,1,2] "
+      "[--jobs <n>] [--goal ...]\n"
       "          [--seed <n>] [--summary <file.json>] "
       "[--trace-out <file.json>]\n"
       "env: GP_STORE_DIR (checkpoint dir), GP_RETRIES, GP_DEADLINE_MS, "
-      "GP_FAULT, GP_THREADS, GP_METRICS, GP_TRACE, GP_TRACE_BUF\n",
+      "GP_FAULT, GP_THREADS, GP_OPT_LEVEL (codegen 0|1|2), GP_METRICS, "
+      "GP_TRACE, GP_TRACE_BUF\n",
       argv0, argv0);
   return 2;
 }
@@ -89,7 +92,7 @@ int main(int argc, char** argv) {
   std::string program = "hash_table", obf_name = "llvm-obf";
   std::string image_path, save_image_path, goal_name = "all", out_dir;
   std::string profiles_csv = "none,llvm-obf,tigress", summary_path;
-  std::string trace_path;
+  std::string opt_levels_csv, trace_path;
   bool want_report = false, campaign_mode = false;
   int seed = 5, campaign_jobs = 1;
   for (int i = 1; i < argc; ++i) {
@@ -129,6 +132,9 @@ int main(int argc, char** argv) {
       campaign_mode = true;
     } else if (arg == "--profiles") {
       if (const char* v = next()) profiles_csv = v; else return usage(argv[0]);
+    } else if (arg == "--opt-levels") {
+      if (const char* v = next()) opt_levels_csv = v;
+      else return usage(argv[0]);
     } else if (arg == "--jobs") {
       if (const char* v = next()) campaign_jobs = std::atoi(v);
       else return usage(argv[0]);
@@ -163,7 +169,24 @@ int main(int argc, char** argv) {
   }
 
   if (campaign_mode) {
-    auto jobs = core::Campaign::corpus_jobs(split_csv(profiles_csv), seed);
+    // --opt-levels fans a third campaign axis; unset leaves one job per
+    // (program, profile) at the GP_OPT_LEVEL default. Bad level strings
+    // reject inside corpus_jobs with the valid grammar.
+    std::vector<int> opt_levels;
+    for (const auto& s : split_csv(opt_levels_csv)) {
+      char* end = nullptr;
+      const long v = std::strtol(s.c_str(), &end, 10);
+      if (end == s.c_str() || *end != '\0') {
+        std::fprintf(stderr,
+                     "gp_pipeline: bad --opt-levels entry '%s' "
+                     "(valid levels: 0, 1, 2)\n",
+                     s.c_str());
+        return 2;
+      }
+      opt_levels.push_back(static_cast<int>(v));
+    }
+    auto jobs =
+        core::Campaign::corpus_jobs(split_csv(profiles_csv), seed, opt_levels);
     if (jobs.empty()) return usage(argv[0]);
     for (auto& job : jobs) job.goals = goals;
 
@@ -173,8 +196,11 @@ int main(int argc, char** argv) {
     const auto summary = campaign.run(jobs);
 
     for (const auto& r : summary.results)
-      std::printf("%-14s %-12s %5d chains  %6.2fs  %s\n", r.program.c_str(),
-                  r.obfuscation.c_str(), r.total_chains(), r.seconds,
+      std::printf("%-14s %-12s %s %5d chains  %6.2fs  %s\n", r.program.c_str(),
+                  r.obfuscation.c_str(),
+                  codegen::opt_level_name(
+                      codegen::opt_level_from_int(r.opt_level)),
+                  r.total_chains(), r.seconds,
                   status_code_name(r.status.code()));
     std::printf("campaign: %zu jobs (%d ok, %d degraded, %d failed) in "
                 "%.2fs at concurrency %d\n",
@@ -219,7 +245,9 @@ int main(int argc, char** argv) {
     auto prog = minic::compile_source(corpus::by_name(program).source);
     obf::obfuscate(prog,
                    core::profile_by_name(obf_name, static_cast<u64>(seed)));
-    img = codegen::compile(prog);
+    codegen::Options copts;
+    copts.opt = codegen::opt_level_from_int(Config::from_env().opt_level);
+    img = codegen::compile(prog, copts);
   }
   if (!save_image_path.empty()) {
     const Status st = image::save_file(img, save_image_path);
